@@ -1,0 +1,73 @@
+// Command salsabench regenerates the paper's evaluation figures
+// (DESIGN.md §3 maps ids to figures). Each run prints one CSV block per
+// experiment: series, x, y-mean, and the 95% Student-t half-width over the
+// trials.
+//
+// Usage:
+//
+//	salsabench -experiment fig8cd                # one figure
+//	salsabench -all -n 1000000 -trials 5         # everything, paper-style
+//	salsabench -list                             # what exists
+//
+// The paper runs 98M-update traces; -n scales the streams (and the harness
+// scales sketch widths to match the paper's operating points). Shapes are
+// the reproduction target, not absolute values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"salsa/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		n          = flag.Int("n", 400_000, "stream length (paper: 98M)")
+		trials     = flag.Int("trials", 3, "trials per data point (paper: 10)")
+		seed       = flag.Uint64("seed", 42, "master seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-9s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	cfg := experiments.Config{N: *n, Trials: *trials, Seed: *seed}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *experiment != "":
+		ids = []string{*experiment}
+	default:
+		fmt.Fprintln(os.Stderr, "salsabench: need -experiment <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "salsabench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s: %s\n", res.ID, res.Title)
+		fmt.Printf("# x=%s, y=%s, n=%d, trials=%d, elapsed=%s\n",
+			res.XLabel, res.YLabel, cfg.N, cfg.Trials, time.Since(start).Round(time.Millisecond))
+		fmt.Println("series,x,y,ci95")
+		for _, p := range res.Points {
+			fmt.Printf("%s,%g,%g,%g\n", p.Series, p.X, p.Y, p.CI)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,85 @@
+// Command salsatop tracks heavy hitters over a stream using a SALSA
+// Conservative Update sketch plus a top-k heap — the paper's heavy-hitter
+// pipeline as a CLI. It reads one item per line from stdin (any string;
+// hashed with BobHash), or generates a synthetic trace with -dataset.
+//
+// Usage:
+//
+//	salsatop -dataset NY18 -n 1000000 -k 10
+//	cut -d' ' -f1 access.log | salsatop -k 20 -width 65536
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "generate this trace stand-in instead of reading stdin")
+		n       = flag.Int("n", 1_000_000, "generated stream length")
+		seed    = flag.Uint64("seed", 1, "generator/sketch seed")
+		k       = flag.Int("k", 10, "number of top items to report")
+		width   = flag.Int("width", 1<<14, "sketch row width (power of two)")
+		mode    = flag.String("mode", "salsa", "counter backend: salsa, baseline, tango")
+	)
+	flag.Parse()
+
+	var m Mode = salsaMode(*mode)
+	monitor := salsa.NewMonitor(salsa.Options{Width: *width, Mode: m.mode, Seed: *seed}, *k)
+
+	var volume uint64
+	if *dataset != "" {
+		ds, ok := stream.ByName(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "salsatop: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		for _, x := range ds.Generate(*n, *seed) {
+			monitor.Process(x)
+			volume++
+		}
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			monitor.Process(salsa.KeyBytes(sc.Bytes()))
+			volume++
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "salsatop:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("processed %d items; sketch memory %d KB (%s mode)\n",
+		volume, monitor.Sketch().MemoryBits()/8/1024, m.name)
+	for i, e := range monitor.Top() {
+		fmt.Printf("%2d. item %-20d estimate %d\n", i+1, e.Item, e.Count)
+	}
+}
+
+// Mode pairs the flag spelling with the API mode.
+type Mode struct {
+	name string
+	mode salsa.Mode
+}
+
+func salsaMode(s string) Mode {
+	switch s {
+	case "baseline":
+		return Mode{s, salsa.ModeBaseline}
+	case "tango":
+		return Mode{s, salsa.ModeTango}
+	case "salsa":
+		return Mode{s, salsa.ModeSALSA}
+	}
+	fmt.Fprintf(os.Stderr, "salsatop: unknown mode %q\n", s)
+	os.Exit(2)
+	return Mode{}
+}

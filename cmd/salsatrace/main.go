@@ -1,0 +1,79 @@
+// Command salsatrace generates and summarizes the synthetic traces that
+// stand in for the paper's datasets (DESIGN.md §2): the four named trace
+// substitutes and arbitrary Zipf streams.
+//
+// Usage:
+//
+//	salsatrace -dataset NY18 -n 1000000            # summary statistics
+//	salsatrace -zipf 1.2 -n 1000000 -emit          # stream item ids
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"salsa/internal/stream"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "trace stand-in: NY18, CH16, Univ2, YouTube")
+		zipf    = flag.Float64("zipf", 0, "Zipf skew (alternative to -dataset)")
+		n       = flag.Int("n", 1_000_000, "stream length")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		emit    = flag.Bool("emit", false, "write item ids to stdout instead of a summary")
+		topk    = flag.Int("top", 10, "number of top items in the summary")
+	)
+	flag.Parse()
+
+	var data []uint64
+	var name string
+	switch {
+	case *dataset != "":
+		ds, ok := stream.ByName(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "salsatrace: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		data = ds.Generate(*n, *seed)
+		name = ds.Name
+	case *zipf > 0:
+		u := *n / 10
+		if u < 1024 {
+			u = 1024
+		}
+		data = stream.Zipf(*n, u, *zipf, *seed)
+		name = fmt.Sprintf("Zipf(%.2f)", *zipf)
+	default:
+		fmt.Fprintln(os.Stderr, "salsatrace: need -dataset or -zipf")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *emit {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, x := range data {
+			fmt.Fprintln(w, x)
+		}
+		return
+	}
+
+	exact := stream.NewExact()
+	for _, x := range data {
+		exact.Observe(x)
+	}
+	fmt.Printf("trace:     %s (seed %d)\n", name, *seed)
+	fmt.Printf("volume:    %d\n", exact.Volume())
+	fmt.Printf("distinct:  %d\n", exact.Distinct())
+	fmt.Printf("entropy:   %.4f bits\n", exact.Entropy())
+	fmt.Printf("F2:        %.4g\n", exact.Moment(2))
+	fmt.Printf("top %d items:\n", *topk)
+	for i, x := range exact.TopK(*topk) {
+		f := exact.Count(x)
+		fmt.Printf("  %2d. item %-20d count %-10d (%.3f%% of volume)\n",
+			i+1, x, f, 100*float64(f)/float64(exact.Volume()))
+	}
+}

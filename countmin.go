@@ -1,0 +1,146 @@
+package salsa
+
+import (
+	"salsa/internal/sketch"
+	"salsa/internal/topk"
+)
+
+// CountMin is a Count-Min Sketch (or, via NewConservativeUpdate, a
+// Conservative Update Sketch) over the configured counter backend. It
+// overestimates: truth ≤ Query(x), with the error bounds of the underlying
+// scheme (Theorems V.1–V.3 of the paper for the SALSA/Tango backends).
+type CountMin struct {
+	sk           *sketch.CMS
+	opt          Options
+	conservative bool
+}
+
+// NewCountMin returns a Count-Min Sketch. By default SALSA mode uses
+// max-merge, which is correct for the Cash Register streams (non-negative
+// updates) most callers have; set Merge: MergeSum for Strict Turnstile
+// streams with decrements, and for sketches that will be merged/subtracted.
+func NewCountMin(opt Options) *CountMin {
+	opt = opt.withDefaults(4, MergeMax)
+	opt.validate()
+	return &CountMin{sk: sketch.NewCMS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed), opt: opt}
+}
+
+// NewConservativeUpdate returns a Conservative Update Sketch: CMS accuracy
+// improved by only raising the counters that constrain the estimate (§III).
+// Restricted to the Cash Register model; SALSA rows use max-merge
+// (Theorem V.3).
+func NewConservativeUpdate(opt Options) *CountMin {
+	opt = opt.withDefaults(4, MergeMax)
+	opt.validate()
+	return &CountMin{
+		sk:           sketch.NewCUS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed),
+		opt:          opt,
+		conservative: true,
+	}
+}
+
+func rowSpec(opt Options) sketch.RowSpec {
+	switch opt.Mode {
+	case ModeBaseline:
+		return sketch.FixedRow(opt.CounterBits)
+	case ModeTango:
+		return sketch.TangoRow(opt.CounterBits, opt.policy())
+	default:
+		return sketch.SalsaRow(opt.CounterBits, opt.policy(), opt.CompactEncoding)
+	}
+}
+
+// Update adds count occurrences of item. Negative counts are allowed only
+// with MergeSum (Strict Turnstile) and never in conservative mode.
+func (c *CountMin) Update(item uint64, count int64) { c.sk.Update(item, count) }
+
+// Increment adds one occurrence of item.
+func (c *CountMin) Increment(item uint64) { c.sk.Update(item, 1) }
+
+// Query returns the frequency estimate for item (an overestimate).
+func (c *CountMin) Query(item uint64) uint64 { return c.sk.Query(item) }
+
+// UpdateBytes and QueryBytes are Update/Query for byte-slice keys.
+func (c *CountMin) UpdateBytes(key []byte, count int64) { c.sk.Update(KeyBytes(key), count) }
+
+// QueryBytes returns the frequency estimate for a byte-slice key.
+func (c *CountMin) QueryBytes(key []byte) uint64 { return c.sk.Query(KeyBytes(key)) }
+
+// MemoryBits returns the sketch footprint in bits, including the SALSA
+// merge-encoding overhead.
+func (c *CountMin) MemoryBits() int { return c.sk.SizeBits() }
+
+// Depth and Width return the sketch geometry.
+func (c *CountMin) Depth() int { return c.sk.Depth() }
+
+// Width returns the per-row slot count.
+func (c *CountMin) Width() int { return c.sk.Width() }
+
+// Options returns the configuration the sketch was built with.
+func (c *CountMin) Options() Options { return c.opt }
+
+// Merge folds other into c, yielding a sketch of the union stream s(A∪B).
+// Both sketches must share Options (including Seed).
+func (c *CountMin) Merge(other *CountMin) { c.sk.MergeFrom(other.sk) }
+
+// Subtract removes other from c, yielding s(A\B). Valid in the Strict
+// Turnstile model (MergeSum) when other's stream is contained in c's.
+func (c *CountMin) Subtract(other *CountMin) { c.sk.SubtractFrom(other.sk) }
+
+// Distinct estimates the number of distinct items with Linear Counting over
+// the rows' zero-counter fractions (§III), using the paper's optimistic
+// merged-counter heuristic for SALSA rows. It fails once no counters are
+// zero (load beyond Linear Counting's range).
+func (c *CountMin) Distinct() (float64, error) { return c.sk.DistinctLinearCounting() }
+
+// Monitor couples a CountMin with a top-k heap for one-pass heavy-hitter
+// tracking (§III, "Finding Heavy Hitters"): each processed item is queried
+// and offered to the heap.
+type Monitor struct {
+	cm   *CountMin
+	heap *topk.Heap
+}
+
+// NewMonitor returns a Monitor tracking the k items with the largest
+// estimates over the given sketch options.
+func NewMonitor(opt Options, k int) *Monitor {
+	return &Monitor{cm: NewConservativeUpdate(opt), heap: topk.New(k)}
+}
+
+// Process records one occurrence of item and refreshes its heap entry.
+func (m *Monitor) Process(item uint64) {
+	m.cm.Increment(item)
+	m.heap.Offer(item, int64(m.cm.Query(item)))
+}
+
+// Sketch exposes the underlying CountMin for point queries.
+func (m *Monitor) Sketch() *CountMin { return m.cm }
+
+// ItemCount is a tracked item with its frequency estimate.
+type ItemCount struct {
+	Item  uint64
+	Count int64
+}
+
+// Top returns the tracked items in descending estimate order.
+func (m *Monitor) Top() []ItemCount {
+	entries := m.heap.Items()
+	out := make([]ItemCount, len(entries))
+	for i, e := range entries {
+		out[i] = ItemCount{Item: e.Item, Count: e.Count}
+	}
+	return out
+}
+
+// HeavyHitters returns the tracked items whose estimate is at least
+// phi times the volume processed so far.
+func (m *Monitor) HeavyHitters(phi float64, volume uint64) []ItemCount {
+	threshold := phi * float64(volume)
+	var out []ItemCount
+	for _, e := range m.Top() {
+		if float64(e.Count) >= threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package salsa
+
+import (
+	"fmt"
+
+	"salsa/internal/sketch"
+	"salsa/internal/topk"
+)
+
+// CountSketch is a Count Sketch over the configured counter backend:
+// unbiased, works in the general Turnstile model (negative frequencies) and
+// provides the stronger L2 error guarantee. SALSA rows use sign-magnitude
+// counters so that overflow is sign-symmetric, which preserves
+// unbiasedness (Lemma V.4); Tango mode is not supported.
+type CountSketch struct {
+	sk  *sketch.CountSketch
+	opt Options
+}
+
+// NewCountSketch returns a Count Sketch. Merge policy is always sum.
+func NewCountSketch(opt Options) *CountSketch {
+	opt = opt.withDefaults(5, MergeSum)
+	opt.validate()
+	if opt.Merge == MergeMax {
+		panic("salsa: CountSketch requires MergeSum (signed counters)")
+	}
+	var spec sketch.SignedRowSpec
+	switch opt.Mode {
+	case ModeBaseline:
+		spec = sketch.FixedSignRow(opt.CounterBits)
+	case ModeTango:
+		panic("salsa: CountSketch does not support ModeTango")
+	default:
+		if opt.CounterBits < 2 {
+			panic(fmt.Sprintf("salsa: CountSketch needs at least 2-bit counters, got %d", opt.CounterBits))
+		}
+		spec = sketch.SalsaSignRow(opt.CounterBits, opt.CompactEncoding)
+	}
+	return &CountSketch{sk: sketch.NewCountSketch(opt.Depth, opt.Width, spec, opt.Seed), opt: opt}
+}
+
+// Update adds count occurrences of item (count of either sign).
+func (c *CountSketch) Update(item uint64, count int64) { c.sk.Update(item, count) }
+
+// Increment adds one occurrence of item.
+func (c *CountSketch) Increment(item uint64) { c.sk.Update(item, 1) }
+
+// Query returns the (unbiased) frequency estimate for item.
+func (c *CountSketch) Query(item uint64) int64 { return c.sk.Query(item) }
+
+// MemoryBits returns the sketch footprint in bits.
+func (c *CountSketch) MemoryBits() int { return c.sk.SizeBits() }
+
+// Depth and Width return the sketch geometry.
+func (c *CountSketch) Depth() int { return c.sk.Depth() }
+
+// Width returns the per-row slot count.
+func (c *CountSketch) Width() int { return c.sk.Width() }
+
+// Options returns the configuration the sketch was built with.
+func (c *CountSketch) Options() Options { return c.opt }
+
+// Merge folds other into c: s(A∪B). Sketches must share Options and Seed.
+func (c *CountSketch) Merge(other *CountSketch) { c.sk.MergeFrom(other.sk, 1) }
+
+// Subtract removes other from c: s(A\B), the frequency-difference sketch
+// used for change detection (§V).
+func (c *CountSketch) Subtract(other *CountSketch) { c.sk.MergeFrom(other.sk, -1) }
+
+// TopK tracks the k items of largest estimated |frequency| over a
+// CountSketch in one pass.
+type TopK struct {
+	cs   *CountSketch
+	heap *topk.Heap
+}
+
+// NewTopK returns a Count Sketch top-k tracker.
+func NewTopK(opt Options, k int) *TopK {
+	return &TopK{cs: NewCountSketch(opt), heap: topk.New(k)}
+}
+
+// Process records one occurrence of item and refreshes its heap entry.
+func (t *TopK) Process(item uint64) {
+	t.cs.Increment(item)
+	t.heap.Offer(item, t.cs.Query(item))
+}
+
+// Sketch exposes the underlying CountSketch.
+func (t *TopK) Sketch() *CountSketch { return t.cs }
+
+// Top returns the tracked items in descending estimate order.
+func (t *TopK) Top() []ItemCount {
+	entries := t.heap.Items()
+	out := make([]ItemCount, len(entries))
+	for i, e := range entries {
+		out[i] = ItemCount{Item: e.Item, Count: e.Count}
+	}
+	return out
+}
+
+// ChangeDetector sketches two stream epochs with shared hashes and answers
+// frequency-difference queries from their subtraction (§V and Fig. 15c,d).
+type ChangeDetector struct {
+	before, after *CountSketch
+	diffed        bool
+}
+
+// NewChangeDetector returns a detector; opt.Merge must be sum (default).
+func NewChangeDetector(opt Options) *ChangeDetector {
+	return &ChangeDetector{before: NewCountSketch(opt), after: NewCountSketch(opt)}
+}
+
+// ObserveBefore records an item in the first epoch.
+func (d *ChangeDetector) ObserveBefore(item uint64) { d.mustOpen(); d.before.Increment(item) }
+
+// ObserveAfter records an item in the second epoch.
+func (d *ChangeDetector) ObserveAfter(item uint64) { d.mustOpen(); d.after.Increment(item) }
+
+func (d *ChangeDetector) mustOpen() {
+	if d.diffed {
+		panic("salsa: ChangeDetector already finalized")
+	}
+}
+
+// Change returns the estimated frequency change (after − before) of item.
+// The first call finalizes the detector: the epoch sketches are subtracted
+// in place and no further observations are accepted.
+func (d *ChangeDetector) Change(item uint64) int64 {
+	if !d.diffed {
+		d.after.Subtract(d.before)
+		d.diffed = true
+	}
+	return d.after.Query(item)
+}

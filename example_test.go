@@ -1,0 +1,80 @@
+package salsa_test
+
+import (
+	"fmt"
+
+	"salsa"
+)
+
+func ExampleNewCountMin() {
+	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
+	for i := 0; i < 42; i++ {
+		cm.Increment(7)
+	}
+	cm.Update(8, 5)
+	fmt.Println(cm.Query(7), cm.Query(8), cm.Query(9))
+	// Output: 42 5 0
+}
+
+func ExampleCountMin_UpdateBytes() {
+	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
+	flow := []byte("10.0.0.1:443 -> 10.0.0.2:55000 tcp")
+	cm.UpdateBytes(flow, 3)
+	fmt.Println(cm.QueryBytes(flow))
+	// Output: 3
+}
+
+func ExampleNewCountSketch() {
+	cs := salsa.NewCountSketch(salsa.Options{Width: 1 << 12, Seed: 1})
+	cs.Update(1, 10)
+	cs.Update(1, -4) // turnstile: decrements allowed
+	fmt.Println(cs.Query(1))
+	// Output: 6
+}
+
+func ExampleChangeDetector() {
+	det := salsa.NewChangeDetector(salsa.Options{Width: 1 << 12, Seed: 1})
+	for i := 0; i < 9; i++ {
+		det.ObserveBefore(5)
+	}
+	for i := 0; i < 2; i++ {
+		det.ObserveAfter(5)
+	}
+	fmt.Println(det.Change(5))
+	// Output: -7
+}
+
+func ExampleMonitor() {
+	m := salsa.NewMonitor(salsa.Options{Width: 1 << 12, Seed: 1}, 2)
+	for item, count := range map[uint64]int{1: 5, 2: 9, 3: 1} {
+		for i := 0; i < count; i++ {
+			m.Process(item)
+		}
+	}
+	for _, hh := range m.Top() {
+		fmt.Println(hh.Item, hh.Count)
+	}
+	// Output:
+	// 2 9
+	// 1 5
+}
+
+func ExampleCountMin_Merge() {
+	opt := salsa.Options{Width: 1 << 12, Merge: salsa.MergeSum, Seed: 1}
+	a := salsa.NewCountMin(opt)
+	b := salsa.NewCountMin(opt) // must share Options, including Seed
+	a.Update(1, 4)
+	b.Update(1, 6)
+	a.Merge(b)
+	fmt.Println(a.Query(1))
+	// Output: 10
+}
+
+func ExampleUnmarshalCountMin() {
+	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
+	cm.Update(3, 12)
+	blob, _ := cm.MarshalBinary()
+	back, _ := salsa.UnmarshalCountMin(blob)
+	fmt.Println(back.Query(3))
+	// Output: 12
+}

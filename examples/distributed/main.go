@@ -1,0 +1,66 @@
+// Distributed aggregation: the paper's sketch-merging use case (§V) as a
+// pipeline. Four workers sketch disjoint partitions of a stream in
+// parallel with shared hash seeds, serialize their sketches, and a
+// coordinator merges the payloads and answers global frequency queries —
+// the pattern for multi-core or multi-host measurement.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+func main() {
+	const workers = 4
+	const packets = 2_000_000
+	opt := salsa.Options{Width: 1 << 14, Merge: salsa.MergeSum, Seed: 99}
+
+	trace := stream.NY18.Generate(packets, 17)
+	exact := stream.NewExact()
+	for _, x := range trace {
+		exact.Observe(x)
+	}
+
+	// Fan out: each worker sketches its partition and ships bytes.
+	payloads := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cm := salsa.NewCountMin(opt)
+			for i := w; i < len(trace); i += workers {
+				cm.Increment(trace[i])
+			}
+			blob, err := cm.MarshalBinary()
+			if err != nil {
+				panic(err)
+			}
+			payloads[w] = blob
+		}(w)
+	}
+	wg.Wait()
+
+	// Coordinator: decode and merge.
+	global, err := salsa.UnmarshalCountMin(payloads[0])
+	if err != nil {
+		panic(err)
+	}
+	for _, blob := range payloads[1:] {
+		part, err := salsa.UnmarshalCountMin(blob)
+		if err != nil {
+			panic(err)
+		}
+		global.Merge(part)
+	}
+
+	fmt.Printf("%d workers, %d packets, %d-byte payloads each\n\n",
+		workers, packets, len(payloads[0]))
+	fmt.Println("item                     truth    merged")
+	for _, x := range exact.TopK(8) {
+		fmt.Printf("%-20d %9d %9d\n", x, exact.Count(x), global.Query(x))
+	}
+}

@@ -1,0 +1,51 @@
+// Heavy hitters: the paper's motivating network-measurement task. A SALSA
+// Conservative Update sketch plus a top-k heap tracks the heaviest flows of
+// a skewed packet trace in one pass, within a fixed memory budget — the
+// building block for per-flow accounting and DoS detection.
+package main
+
+import (
+	"fmt"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+func main() {
+	const packets = 2_000_000
+	trace := stream.NY18.Generate(packets, 3)
+
+	// 64KB of sketch: Width 1<<14 SALSA slots × 4 rows × 9 bits ≈ 72KB.
+	monitor := salsa.NewMonitor(salsa.Options{Width: 1 << 14, Seed: 9}, 64)
+	exact := stream.NewExact() // ground truth, for the comparison below
+
+	for _, pkt := range trace {
+		monitor.Process(pkt)
+		exact.Observe(pkt)
+	}
+
+	// Flows above 0.5% of the traffic.
+	const phi = 0.005
+	fmt.Printf("flows ≥ %.1f%% of %d packets (sketch: %d KB):\n",
+		phi*100, packets, monitor.Sketch().MemoryBits()/8192)
+	fmt.Println("rank  flow                  estimate     truth   rel.err")
+	for i, hh := range monitor.HeavyHitters(phi, exact.Volume()) {
+		truth := exact.Count(hh.Item)
+		rel := float64(hh.Count-int64(truth)) / float64(truth)
+		fmt.Printf("%4d  %-20d %9d %9d   %+.4f\n", i+1, hh.Item, hh.Count, truth, rel)
+	}
+
+	// Recall check against the exact heavy hitters.
+	tracked := map[uint64]bool{}
+	for _, hh := range monitor.HeavyHitters(phi, exact.Volume()) {
+		tracked[hh.Item] = true
+	}
+	missed := 0
+	for _, x := range exact.HeavyHitters(phi) {
+		if !tracked[x] {
+			missed++
+		}
+	}
+	fmt.Printf("\nrecall: missed %d of %d true heavy hitters\n",
+		missed, len(exact.HeavyHitters(phi)))
+}

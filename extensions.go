@@ -1,0 +1,268 @@
+package salsa
+
+import (
+	"salsa/internal/aee"
+	"salsa/internal/coldfilter"
+	"salsa/internal/sketch"
+	"salsa/internal/univmon"
+)
+
+// UnivMonOptions configures a universal sketch.
+type UnivMonOptions struct {
+	// Levels is the number of Count Sketch instances (default 16, as in
+	// the paper's configuration).
+	Levels int
+	// Depth and Width shape each Count Sketch (default d = 5).
+	Depth, Width int
+	// HeapK is the per-level heavy-hitter heap size (default 100).
+	HeapK int
+	// Mode picks Baseline or SALSA Count Sketch rows (Tango unsupported).
+	Mode Mode
+	// CounterBits is the SALSA base size (default 8) or baseline width
+	// (default 32).
+	CounterBits uint
+	// Seed makes the sketch deterministic.
+	Seed uint64
+}
+
+// UnivMon estimates any Stream-PolyLog function of the frequency vector —
+// entropy, frequency moments, distinct count — from a single pass (§III).
+// The paper's "SALSA UnivMon" is this with Mode: ModeSALSA (the default).
+type UnivMon struct {
+	um *univmon.Sketch
+}
+
+// NewUnivMon returns an empty universal sketch.
+func NewUnivMon(opt UnivMonOptions) *UnivMon {
+	if opt.Levels == 0 {
+		opt.Levels = 16
+	}
+	if opt.Depth == 0 {
+		opt.Depth = 5
+	}
+	if opt.HeapK == 0 {
+		opt.HeapK = 100
+	}
+	if opt.CounterBits == 0 {
+		if opt.Mode == ModeBaseline {
+			opt.CounterBits = 32
+		} else {
+			opt.CounterBits = 8
+		}
+	}
+	var rows sketch.SignedRowSpec
+	if opt.Mode == ModeBaseline {
+		rows = sketch.FixedSignRow(opt.CounterBits)
+	} else {
+		rows = sketch.SalsaSignRow(opt.CounterBits, false)
+	}
+	return &UnivMon{um: univmon.New(univmon.Config{
+		Levels: opt.Levels,
+		Depth:  opt.Depth,
+		Width:  opt.Width,
+		HeapK:  opt.HeapK,
+		Rows:   rows,
+		Seed:   opt.Seed,
+	})}
+}
+
+// Process records one unit-weight arrival (Cash Register model).
+func (u *UnivMon) Process(item uint64) { u.um.Update(item) }
+
+// Entropy estimates the empirical entropy of the frequency vector.
+func (u *UnivMon) Entropy() float64 { return u.um.Entropy() }
+
+// Moment estimates the frequency moment Fp.
+func (u *UnivMon) Moment(p float64) float64 { return u.um.Moment(p) }
+
+// Distinct estimates the number of distinct items F0.
+func (u *UnivMon) Distinct() float64 { return u.um.Distinct() }
+
+// Volume returns the number of processed arrivals N.
+func (u *UnivMon) Volume() uint64 { return u.um.Volume() }
+
+// HeavyHitters returns the tracked items with the largest estimates.
+func (u *UnivMon) HeavyHitters() []ItemCount {
+	entries := u.um.HeavyHitters()
+	out := make([]ItemCount, len(entries))
+	for i, e := range entries {
+		out[i] = ItemCount{Item: e.Item, Count: e.Count}
+	}
+	return out
+}
+
+// MemoryBits returns the total footprint of the level sketches.
+func (u *UnivMon) MemoryBits() int { return u.um.SizeBits() }
+
+// ColdFilterOptions configures a Cold Filter in front of a second-stage
+// Conservative Update sketch.
+type ColdFilterOptions struct {
+	// Layer1Width and Layer2Width are the filter layer widths in counters
+	// (4-bit and 8-bit respectively); powers of two.
+	Layer1Width, Layer2Width int
+	// Probes is the number of hash probes per layer (default 3).
+	Probes int
+	// Stage2 configures the second-stage sketch (Baseline or SALSA CUS).
+	Stage2 Options
+	// Seed makes the filter deterministic.
+	Seed uint64
+}
+
+// ColdFilter separates the cold items from the heavy hitters: two
+// conservative filter layers absorb cold volume, and only the hot residual
+// reaches the second-stage sketch (§III; Fig. 13 uses a SALSA CUS stage).
+type ColdFilter struct {
+	cf *coldfilter.Filter
+}
+
+// NewColdFilter returns an empty Cold Filter.
+func NewColdFilter(opt ColdFilterOptions) *ColdFilter {
+	if opt.Probes == 0 {
+		opt.Probes = 3
+	}
+	stage2 := NewConservativeUpdate(opt.Stage2)
+	return &ColdFilter{cf: coldfilter.New(coldfilter.Config{
+		W1:   opt.Layer1Width,
+		W2:   opt.Layer2Width,
+		D1:   opt.Probes,
+		D2:   opt.Probes,
+		Seed: opt.Seed,
+	}, stage2.sk)}
+}
+
+// Process records one occurrence of item.
+func (c *ColdFilter) Process(item uint64) { c.cf.Update(item, 1) }
+
+// Query returns the frequency estimate (an overestimate).
+func (c *ColdFilter) Query(item uint64) uint64 { return c.cf.Query(item) }
+
+// MemoryBits returns the footprint including both layers and stage 2.
+func (c *ColdFilter) MemoryBits() int { return c.cf.SizeBits() }
+
+// AEEVariant selects the Additive Error Estimator flavour.
+type AEEVariant int
+
+const (
+	// AEEMaxAccuracy downsamples only when a counter overflows.
+	AEEMaxAccuracy AEEVariant = iota
+	// AEEMaxSpeed downsamples on a schedule so updates never check for
+	// overflow; faster, less accurate.
+	AEEMaxSpeed
+)
+
+// AEEOptions configures an estimator sketch.
+type AEEOptions struct {
+	// Depth and Width shape the sketch (defaults d = 4).
+	Depth, Width int
+	// CounterBits is the short counter width (default 16).
+	CounterBits uint
+	// Variant picks MaxAccuracy or MaxSpeed.
+	Variant AEEVariant
+	// Deterministic switches downsampling from Binomial(c,1/2) to ⌊c/2⌋.
+	Deterministic bool
+	// Seed drives hashing and sampling.
+	Seed uint64
+}
+
+// AEE is an estimator-based Count-Min sketch: large counts are represented
+// by sampling rather than wide counters, with a bounded additive error.
+type AEE struct {
+	e *aee.Estimator
+}
+
+// NewAEE returns an empty AEE sketch.
+func NewAEE(opt AEEOptions) *AEE {
+	if opt.Depth == 0 {
+		opt.Depth = 4
+	}
+	if opt.CounterBits == 0 {
+		opt.CounterBits = 16
+	}
+	cfg := aee.Config{
+		Rows:          opt.Depth,
+		Width:         opt.Width,
+		CounterBits:   opt.CounterBits,
+		Probabilistic: !opt.Deterministic,
+		Seed:          opt.Seed,
+	}
+	if opt.Variant == AEEMaxSpeed {
+		return &AEE{e: aee.NewMaxSpeed(cfg)}
+	}
+	return &AEE{e: aee.NewMaxAccuracy(cfg)}
+}
+
+// Process records one occurrence of item.
+func (a *AEE) Process(item uint64) { a.e.Update(item) }
+
+// ProcessWeighted records weight occurrences of item at once (weighted
+// streams, e.g. byte volumes).
+func (a *AEE) ProcessWeighted(item uint64, weight uint64) { a.e.UpdateWeighted(item, weight) }
+
+// Query returns the frequency estimate (unbiased, additive error).
+func (a *AEE) Query(item uint64) float64 { return a.e.Query(item) }
+
+// SampleProb returns the current sampling probability.
+func (a *AEE) SampleProb() float64 { return a.e.SampleProb() }
+
+// MemoryBits returns the counter footprint in bits.
+func (a *AEE) MemoryBits() int { return a.e.SizeBits() }
+
+// SalsaAEEOptions configures the estimator-integrated SALSA CMS (§V).
+type SalsaAEEOptions struct {
+	// Depth and Width shape the sketch (defaults d = 4).
+	Depth, Width int
+	// CounterBits is the SALSA base size (default 8).
+	CounterBits uint
+	// Delta is the failure probability budget (default 0.001, the paper's
+	// δ = 4·δest setting).
+	Delta float64
+	// ForcedDownsamples is the d of SALSA AEE_d: unconditionally
+	// downsample on the first d overflows for speed.
+	ForcedDownsamples int
+	// Split re-splits merged counters that shrink below their size after
+	// a downsample.
+	Split bool
+	// Seed drives hashing and sampling.
+	Seed uint64
+}
+
+// SalsaAEE resolves each counter overflow by whichever of merging and
+// downsampling raises the theoretical error bound less, combining SALSA's
+// counting range with AEE's speed (§V, Fig. 16).
+type SalsaAEE struct {
+	e *aee.SalsaAEE
+}
+
+// NewSalsaAEE returns an empty SALSA AEE sketch.
+func NewSalsaAEE(opt SalsaAEEOptions) *SalsaAEE {
+	if opt.Depth == 0 {
+		opt.Depth = 4
+	}
+	if opt.CounterBits == 0 {
+		opt.CounterBits = 8
+	}
+	if opt.Delta == 0 {
+		opt.Delta = 0.001
+	}
+	return &SalsaAEE{e: aee.NewSalsa(aee.SalsaConfig{
+		Rows:              opt.Depth,
+		Width:             opt.Width,
+		S:                 opt.CounterBits,
+		Delta:             opt.Delta,
+		ForcedDownsamples: opt.ForcedDownsamples,
+		Split:             opt.Split,
+		Seed:              opt.Seed,
+	})}
+}
+
+// Process records one occurrence of item.
+func (a *SalsaAEE) Process(item uint64) { a.e.Update(item) }
+
+// Query returns the frequency estimate.
+func (a *SalsaAEE) Query(item uint64) float64 { return a.e.Query(item) }
+
+// SampleProb returns the current sampling probability.
+func (a *SalsaAEE) SampleProb() float64 { return a.e.SampleProb() }
+
+// MemoryBits returns the footprint in bits.
+func (a *SalsaAEE) MemoryBits() int { return a.e.SizeBits() }

@@ -1,0 +1,124 @@
+// Package abc reimplements ABC (Gong et al., IEEE Big Data 2017) as
+// described in the SALSA paper's comparison: 8-bit counters where an
+// overflowing counter combines with its pair neighbor — at most once — into
+// a single counter whose range is 2^13−1, because three of the pair's
+// sixteen bits are spent marking the combination. The hard 2^13−1 cap is
+// what produces ABC's large heavy-hitter errors (Fig. 9, region B).
+//
+// The three marker bits are modeled as a per-pair state flag with the
+// combined counting range capped at 13 bits exactly as the in-band encoding
+// would allow; the memory accounting (SizeBits) charges the full pair width.
+package abc
+
+import (
+	"fmt"
+
+	"salsa/internal/bitvec"
+	"salsa/internal/hashing"
+)
+
+const (
+	cellMax     = 255       // 8-bit separate counter
+	combinedMax = 1<<13 - 1 // 16 bits minus 3 marker bits
+)
+
+// Sketch is a d-row ABC Count-Min sketch.
+type Sketch struct {
+	rows  []row
+	seeds []uint64
+	mask  uint64
+}
+
+type row struct {
+	cells    []uint16 // cell value; for a combined pair, held in the even cell
+	combined *bitvec.Vector
+}
+
+// New returns a d-row ABC sketch with w 8-bit cells per row (w a power of
+// two).
+func New(d, w int, seed uint64) *Sketch {
+	if d <= 0 {
+		panic("abc: invalid depth")
+	}
+	if w <= 0 || w&(w-1) != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("abc: width %d must be an even power of two", w))
+	}
+	rows := make([]row, d)
+	for i := range rows {
+		rows[i] = row{cells: make([]uint16, w), combined: bitvec.New(w / 2)}
+	}
+	return &Sketch{
+		rows:  rows,
+		seeds: hashing.Seeds(seed, d),
+		mask:  uint64(w - 1),
+	}
+}
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return len(s.rows) }
+
+// Width returns the number of 8-bit cells per row.
+func (s *Sketch) Width() int { return int(s.mask) + 1 }
+
+// SizeBits returns the footprint in bits: w cells of 8 bits per row (the
+// marker bits live inside the pairs, reflected in the 13-bit combined cap).
+func (s *Sketch) SizeBits() int {
+	return len(s.rows) * (int(s.mask) + 1) * 8
+}
+
+// Update processes ⟨x, v⟩ with v ≥ 0 (Cash Register model).
+func (s *Sketch) Update(x uint64, v int64) {
+	if v < 0 {
+		panic("abc: negative update")
+	}
+	for i := range s.rows {
+		s.rows[i].add(int(hashing.Index(x, s.seeds[i], s.mask)), uint64(v))
+	}
+}
+
+// Query returns the min-over-rows estimate.
+func (s *Sketch) Query(x uint64) uint64 {
+	est := ^uint64(0)
+	for i := range s.rows {
+		if v := s.rows[i].value(int(hashing.Index(x, s.seeds[i], s.mask))); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+func (r *row) add(slot int, v uint64) {
+	pair := slot / 2
+	if r.combined.Get(pair) {
+		nv := uint64(r.cells[pair*2]) + v
+		if nv > combinedMax {
+			nv = combinedMax // cannot combine more than once; saturate
+		}
+		r.cells[pair*2] = uint16(nv)
+		return
+	}
+	nv := uint64(r.cells[slot]) + v
+	if nv <= cellMax {
+		r.cells[slot] = uint16(nv)
+		return
+	}
+	// Overflow: combine the pair into one counter accounting for both
+	// items' totals.
+	sibling := slot ^ 1
+	total := nv + uint64(r.cells[sibling])
+	if total > combinedMax {
+		total = combinedMax
+	}
+	r.cells[slot] = 0
+	r.cells[sibling] = 0
+	r.cells[pair*2] = uint16(total)
+	r.combined.Set(pair)
+}
+
+func (r *row) value(slot int) uint64 {
+	pair := slot / 2
+	if r.combined.Get(pair) {
+		return uint64(r.cells[pair*2])
+	}
+	return uint64(r.cells[slot])
+}

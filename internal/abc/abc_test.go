@@ -1,0 +1,110 @@
+package abc
+
+import (
+	"math/rand"
+	"testing"
+
+	"salsa/internal/hashing"
+)
+
+func TestABCSmallValuesExact(t *testing.T) {
+	s := New(4, 4096, 1)
+	s.Update(1, 200)
+	if got := s.Query(1); got != 200 {
+		t.Fatalf("Query = %d, want 200", got)
+	}
+	if got := s.Query(2); got != 0 {
+		t.Fatalf("absent item = %d", got)
+	}
+}
+
+func TestABCCombineOnOverflow(t *testing.T) {
+	s := New(1, 4096, 1)
+	s.Update(1, 300) // needs 9 bits: pair combines
+	if got := s.Query(1); got != 300 {
+		t.Fatalf("Query = %d, want 300", got)
+	}
+}
+
+func TestABCCapsAtThirteenBits(t *testing.T) {
+	// SALSA paper: starting at 8 bits, ABC counts to at most 2^13−1 because
+	// counters cannot combine more than once — its heavy-hitter failure.
+	s := New(1, 4096, 1)
+	s.Update(1, 100000)
+	if got := s.Query(1); got != 1<<13-1 {
+		t.Fatalf("Query = %d, want cap 8191", got)
+	}
+	s.Update(1, 1)
+	if got := s.Query(1); got != 1<<13-1 {
+		t.Fatal("saturated counter moved")
+	}
+}
+
+func TestABCCombinedPairSharesValue(t *testing.T) {
+	// Once a pair combines, both slots answer with the combined total.
+	s := New(1, 1024, 5)
+	var a, b uint64
+	slotOf := func(x uint64) int { return int(hashing.Index(x, s.seeds[0], s.mask)) }
+	a = 1
+	for x := uint64(2); ; x++ {
+		if slotOf(x) == slotOf(a)^1 && slotOf(a)%2 == 0 {
+			b = x
+			break
+		}
+		if x > 1<<20 {
+			t.Skip("no sibling pair found")
+		}
+	}
+	s.Update(a, 100)
+	s.Update(b, 200)
+	s.Update(a, 200) // a reaches 300: combine; total = 300+200
+	if got := s.Query(a); got != 500 {
+		t.Fatalf("Query(a) = %d, want 500", got)
+	}
+	if got := s.Query(b); got != 500 {
+		t.Fatalf("Query(b) = %d, want 500", got)
+	}
+}
+
+func TestABCOverestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New(4, 512, 9)
+	truth := map[uint64]uint64{}
+	for i := 0; i < 40000; i++ {
+		x := uint64(rng.Intn(800))
+		s.Update(x, 1)
+		truth[x]++
+	}
+	for x, f := range truth {
+		if f >= 1<<13 {
+			continue // beyond ABC's counting range by design
+		}
+		if est := s.Query(x); est < f {
+			t.Fatalf("item %d: %d < truth %d", x, est, f)
+		}
+	}
+}
+
+func TestABCSizeBits(t *testing.T) {
+	s := New(4, 512, 1)
+	if s.SizeBits() != 4*512*8 {
+		t.Fatalf("SizeBits = %d", s.SizeBits())
+	}
+}
+
+func TestABCValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 8, 1) },
+		func() { New(1, 100, 1) },
+		func() { New(1, 8, 1).Update(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+// Package aee implements the Additive Error Estimators of Ben Basat et al.
+// (INFOCOM 2020) and the paper's SALSA+AEE integration (§V): instead of
+// growing counters, updates are sampled with probability p and every
+// counter overflow halves p and downsamples all counters, trading a bounded
+// additive error for counting range and speed.
+//
+// Estimator is the plain AEE over short fixed-size counters, in the
+// MaxAccuracy (downsample on overflow) and MaxSpeed (downsample on a
+// schedule, so overflow checks are unnecessary) variants. SalsaAEE layers
+// sampling over a SALSA CMS and resolves each overflow by whichever of
+// merging and downsampling raises the theoretical error bound less.
+package aee
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// Estimator is an AEE Count-Min sketch: d rows of small saturating
+// counters, a global sampling probability p = 2^−k, and estimates scaled
+// by 1/p.
+type Estimator struct {
+	rows          []*core.Fixed
+	seeds         []uint64
+	mask          uint64
+	counterMax    uint64
+	kPow          uint // p = 2^-kPow
+	probabilistic bool
+	maxSpeed      bool
+	sampledSince  uint64 // sampled updates since the last downsample
+	speedEvery    uint64 // MaxSpeed: downsample cadence in sampled updates
+	processed     uint64
+	rng           *rand.Rand
+}
+
+// Config shapes an AEE estimator.
+type Config struct {
+	// Rows and Width shape the sketch (d × w).
+	Rows, Width int
+	// CounterBits is the short per-counter width (16 in the paper).
+	CounterBits uint
+	// Probabilistic selects Binomial(c, 1/2) downsampling over ⌊c/2⌋.
+	Probabilistic bool
+	// Seed drives hashing and sampling.
+	Seed uint64
+}
+
+// NewMaxAccuracy returns the accuracy-optimized variant: full-rate counting
+// until a counter would overflow, then downsample.
+func NewMaxAccuracy(cfg Config) *Estimator { return newEstimator(cfg, false) }
+
+// NewMaxSpeed returns the speed-optimized variant: downsampling is
+// scheduled every w·2^(bits−2) sampled updates, which keeps counters clear
+// of overflow with high probability without per-update overflow checks.
+func NewMaxSpeed(cfg Config) *Estimator { return newEstimator(cfg, true) }
+
+func newEstimator(cfg Config, maxSpeed bool) *Estimator {
+	rows := make([]*core.Fixed, cfg.Rows)
+	for i := range rows {
+		rows[i] = core.NewFixed(cfg.Width, cfg.CounterBits)
+	}
+	if cfg.Width&(cfg.Width-1) != 0 {
+		panic("aee: width must be a power of two")
+	}
+	e := &Estimator{
+		rows:          rows,
+		seeds:         hashing.Seeds(cfg.Seed, cfg.Rows),
+		mask:          uint64(cfg.Width - 1),
+		counterMax:    1<<cfg.CounterBits - 1,
+		probabilistic: cfg.Probabilistic,
+		maxSpeed:      maxSpeed,
+		speedEvery:    uint64(cfg.Width) << (cfg.CounterBits - 2),
+		rng:           rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5eed)),
+	}
+	return e
+}
+
+// SampleProb returns the current sampling probability p.
+func (e *Estimator) SampleProb() float64 { return math.Pow(0.5, float64(e.kPow)) }
+
+// Downsamples returns how many downsampling events have occurred.
+func (e *Estimator) Downsamples() uint { return e.kPow }
+
+// SizeBits returns the counter footprint in bits.
+func (e *Estimator) SizeBits() int {
+	total := 0
+	for _, r := range e.rows {
+		total += r.SizeBits()
+	}
+	return total
+}
+
+// sampled decides whether the current update is processed; with p = 2^−k a
+// k-bit coin suffices, and when k = 0 no randomness (and crucially no hash)
+// is consumed.
+func (e *Estimator) sampled() bool {
+	if e.kPow == 0 {
+		return true
+	}
+	mask := uint64(1)<<e.kPow - 1
+	return e.rng.Uint64()&mask == mask
+}
+
+// Update processes one unit-weight arrival.
+func (e *Estimator) Update(x uint64) { e.UpdateWeighted(x, 1) }
+
+// UpdateWeighted processes ⟨x, v⟩ with v ≥ 1. The whole weight is sampled
+// as a unit, as in the weighted AEE variant the estimators paper describes.
+func (e *Estimator) UpdateWeighted(x uint64, v uint64) {
+	e.processed++
+	if !e.sampled() {
+		return
+	}
+	e.sampledSince++
+	if e.maxSpeed {
+		if e.sampledSince >= e.speedEvery {
+			e.downsample()
+		}
+	} else {
+		// MaxAccuracy: downsample (possibly repeatedly) until the update
+		// fits everywhere. The pending weight was admitted at the old
+		// sampling probability, so each halving must thin it too, or the
+		// update would be counted at 1/p_new instead of 1/p_old.
+		for v > 0 && e.wouldOverflowBy(x, v) {
+			e.downsample()
+			v = e.halveWeight(v)
+		}
+		if v == 0 {
+			return
+		}
+	}
+	for i, r := range e.rows {
+		r.Add(int(hashing.Index(x, e.seeds[i], e.mask)), int64(v))
+	}
+}
+
+// halveWeight draws Binomial(v, 1/2): each unit of the pending weight
+// survives a downsample independently with probability one half.
+func (e *Estimator) halveWeight(v uint64) uint64 {
+	var kept uint64
+	for v >= 64 {
+		kept += uint64(bits.OnesCount64(e.rng.Uint64()))
+		v -= 64
+	}
+	if v > 0 {
+		kept += uint64(bits.OnesCount64(e.rng.Uint64() & (uint64(1)<<v - 1)))
+	}
+	return kept
+}
+
+func (e *Estimator) wouldOverflowBy(x, v uint64) bool {
+	for i, r := range e.rows {
+		if r.Value(int(hashing.Index(x, e.seeds[i], e.mask)))+v > e.counterMax {
+			return true
+		}
+	}
+	return false
+}
+
+// downsample halves the sampling probability and every counter.
+func (e *Estimator) downsample() {
+	e.kPow++
+	e.sampledSince = 0
+	for _, r := range e.rows {
+		r.Halve(e.probabilistic, e.rng.Uint64)
+	}
+}
+
+// Query returns the estimate: the min-over-rows counter scaled by 1/p.
+func (e *Estimator) Query(x uint64) float64 {
+	est := ^uint64(0)
+	for i, r := range e.rows {
+		if v := r.Value(int(hashing.Index(x, e.seeds[i], e.mask))); v < est {
+			est = v
+		}
+	}
+	return float64(est) * math.Pow(2, float64(e.kPow))
+}

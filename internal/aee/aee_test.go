@@ -1,0 +1,186 @@
+package aee
+
+import (
+	"math"
+	"testing"
+
+	"salsa/internal/stream"
+)
+
+func TestEstimatorExactBeforeDownsampling(t *testing.T) {
+	e := NewMaxAccuracy(Config{Rows: 4, Width: 1024, CounterBits: 16, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		e.Update(7)
+	}
+	if e.Downsamples() != 0 {
+		t.Fatal("premature downsampling")
+	}
+	if got := e.Query(7); got != 1000 {
+		t.Fatalf("Query = %f, want exact 1000", got)
+	}
+}
+
+func TestEstimatorDownsamplesOnOverflow(t *testing.T) {
+	e := NewMaxAccuracy(Config{Rows: 2, Width: 64, CounterBits: 8, Seed: 2})
+	for i := 0; i < 1000; i++ {
+		e.Update(7)
+	}
+	if e.Downsamples() == 0 {
+		t.Fatal("8-bit counters must downsample before 1000")
+	}
+	got := e.Query(7)
+	// Unbiased up to sampling noise; with k downsamples the sd is roughly
+	// sqrt(2^k · f). Allow a wide band.
+	if math.Abs(got-1000) > 250 {
+		t.Fatalf("Query = %f, want ≈ 1000", got)
+	}
+}
+
+func TestEstimatorDeterministicDownsampling(t *testing.T) {
+	e := newEstimator(Config{Rows: 2, Width: 64, CounterBits: 8, Probabilistic: false, Seed: 3}, false)
+	for i := 0; i < 600; i++ {
+		e.Update(9)
+	}
+	if e.Downsamples() == 0 {
+		t.Fatal("expected a downsample")
+	}
+	if got := e.Query(9); math.Abs(got-600) > 200 {
+		t.Fatalf("Query = %f", got)
+	}
+}
+
+func TestEstimatorUnbiasedOverTrials(t *testing.T) {
+	// Mean over many independent estimators should be near the truth even
+	// with multiple downsamples.
+	const truth = 4000
+	var sum float64
+	const trials = 40
+	for s := uint64(0); s < trials; s++ {
+		e := NewMaxAccuracy(Config{Rows: 2, Width: 64, CounterBits: 8, Probabilistic: true, Seed: s*7 + 1})
+		for i := 0; i < truth; i++ {
+			e.Update(5)
+		}
+		sum += e.Query(5)
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth) > truth*0.1 {
+		t.Fatalf("mean %f over %d trials, want ≈ %d", mean, trials, truth)
+	}
+}
+
+func TestMaxSpeedDownsamplesOnSchedule(t *testing.T) {
+	e := NewMaxSpeed(Config{Rows: 2, Width: 64, CounterBits: 8, Seed: 4})
+	// speedEvery = 64·2^6 = 4096 sampled updates.
+	for i := 0; i < 5000; i++ {
+		e.Update(uint64(i % 50))
+	}
+	if e.Downsamples() == 0 {
+		t.Fatal("MaxSpeed never downsampled")
+	}
+}
+
+func TestMaxSpeedStaysCloser(t *testing.T) {
+	// MaxSpeed trades accuracy for speed; both must remain sane.
+	data := stream.Zipf(100000, 2000, 1.0, 31)
+	exact := stream.NewExact()
+	acc := NewMaxAccuracy(Config{Rows: 4, Width: 512, CounterBits: 16, Probabilistic: true, Seed: 5})
+	spd := NewMaxSpeed(Config{Rows: 4, Width: 512, CounterBits: 16, Probabilistic: true, Seed: 5})
+	for _, x := range data {
+		exact.Observe(x)
+		acc.Update(x)
+		spd.Update(x)
+	}
+	top := exact.TopK(1)[0]
+	truth := float64(exact.Count(top))
+	for name, est := range map[string]float64{"acc": acc.Query(top), "spd": spd.Query(top)} {
+		if est < truth*0.5 || est > truth*2 {
+			t.Fatalf("%s estimate %f vs truth %f", name, est, truth)
+		}
+	}
+}
+
+func TestSalsaAEEPureMergingMatchesSalsa(t *testing.T) {
+	// With ample width the error-bound rule always prefers merging, so the
+	// sketch behaves exactly like a SALSA CMS (p stays 1, estimates exact
+	// in the absence of collisions).
+	e := NewSalsa(SalsaConfig{Rows: 4, Width: 4096, S: 8, Delta: 0.001, Seed: 6})
+	for i := 0; i < 100000; i++ {
+		e.Update(3)
+	}
+	if e.Downsamples() != 0 {
+		t.Fatalf("downsampled %d times despite merging being cheap", e.Downsamples())
+	}
+	if got := e.Query(3); got != 100000 {
+		t.Fatalf("Query = %f, want exact 100000", got)
+	}
+	if e.Merges() == 0 {
+		t.Fatal("expected merges for a 100k count")
+	}
+}
+
+func TestSalsaAEEForcedDownsamples(t *testing.T) {
+	e := NewSalsa(SalsaConfig{Rows: 2, Width: 1024, S: 8, Delta: 0.001, ForcedDownsamples: 3, Seed: 7})
+	for i := 0; i < 4000; i++ {
+		e.Update(11)
+	}
+	if e.Downsamples() < 3 {
+		t.Fatalf("only %d downsamples; the first 3 overflows must downsample", e.Downsamples())
+	}
+	got := e.Query(11)
+	if math.Abs(got-4000) > 1200 {
+		t.Fatalf("Query = %f, want ≈ 4000", got)
+	}
+}
+
+func TestSalsaAEEEstimateQuality(t *testing.T) {
+	data := stream.Zipf(100000, 2000, 1.0, 33)
+	exact := stream.NewExact()
+	e := NewSalsa(SalsaConfig{Rows: 4, Width: 1024, S: 8, Delta: 0.001, Seed: 8})
+	for _, x := range data {
+		exact.Observe(x)
+		e.Update(x)
+	}
+	// All top items within a generous multiplicative band.
+	for _, x := range exact.TopK(5) {
+		truth := float64(exact.Count(x))
+		if got := e.Query(x); got < truth*0.5 || got > truth*3 {
+			t.Fatalf("item %d: estimate %f vs truth %f", x, got, truth)
+		}
+	}
+}
+
+func TestSalsaAEESplitKeepsEstimatesSane(t *testing.T) {
+	with := NewSalsa(SalsaConfig{Rows: 2, Width: 256, S: 8, Delta: 0.001, ForcedDownsamples: 4, Split: true, Seed: 9})
+	without := NewSalsa(SalsaConfig{Rows: 2, Width: 256, S: 8, Delta: 0.001, ForcedDownsamples: 4, Split: false, Seed: 9})
+	data := stream.Zipf(50000, 500, 1.2, 35)
+	exact := stream.NewExact()
+	for _, x := range data {
+		exact.Observe(x)
+		with.Update(x)
+		without.Update(x)
+	}
+	top := exact.TopK(1)[0]
+	truth := float64(exact.Count(top))
+	for name, got := range map[string]float64{"split": with.Query(top), "nosplit": without.Query(top)} {
+		if got < truth*0.4 || got > truth*3 {
+			t.Fatalf("%s: estimate %f vs truth %f", name, got, truth)
+		}
+	}
+}
+
+func TestSalsaAEEValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSalsa(SalsaConfig{Rows: 2, Width: 100, S: 8, Delta: 0.001}) },
+		func() { NewSalsa(SalsaConfig{Rows: 2, Width: 128, S: 8, Delta: 0}) },
+		func() { NewMaxAccuracy(Config{Rows: 2, Width: 100, CounterBits: 16}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

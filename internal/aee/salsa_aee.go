@@ -1,0 +1,210 @@
+package aee
+
+import (
+	"math"
+	"math/rand"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// SalsaAEE is the paper's estimator-integrated SALSA CMS (§V, "Integrating
+// Estimators into SALSA"). Overflows of non-largest counters always merge.
+// When a largest counter overflows, the sketch compares the error-bound
+// increase of the two escape hatches — Δest = √2·εest for halving the
+// sampling probability versus ΔCMS = δ^(−1/d)·2^ℓ/w for doubling the
+// largest counter size — and picks the smaller. SalsaAEE_d (ForcedDownsamples
+// = d) instead downsamples unconditionally on the first d overflows,
+// reaching sampling rate 2^−d for speed, like AEE MaxSpeed.
+type SalsaAEE struct {
+	rows      []*core.Salsa
+	seeds     []uint64
+	mask      uint64
+	s         uint
+	width     int
+	maxLvl    uint
+	kPow      uint
+	delta     float64
+	deltaEst  float64
+	forced    int
+	overflows int
+	split     bool
+	processed uint64
+	downsmpld uint64
+	// gml caches the largest merge level present in any row; kept fresh on
+	// merges and recomputed after downsampling (which may split counters).
+	gml uint
+	rng *rand.Rand
+}
+
+// SalsaConfig shapes a SalsaAEE sketch.
+type SalsaConfig struct {
+	// Rows and Width shape the sketch (d × w); Width a power of two.
+	Rows, Width int
+	// S is the SALSA base counter size in bits (8 in the paper).
+	S uint
+	// Delta is the target failure probability; the paper uses
+	// δ = 4·δest = 0.001, i.e. δest = δ/Rows.
+	Delta float64
+	// ForcedDownsamples is the d of SALSA AEE_d: unconditional downsamples
+	// on the first d overflows (0 for the accuracy-optimal variant).
+	ForcedDownsamples int
+	// Split re-splits merged counters whose halved value fits in a smaller
+	// size after downsampling (§V, "Should We Split Counters?").
+	Split bool
+	// Seed drives hashing and sampling.
+	Seed uint64
+}
+
+// NewSalsa returns an empty SALSA AEE sketch. Rows use max-merge (unit
+// weight Cash Register streams), which is also what permits splitting.
+func NewSalsa(cfg SalsaConfig) *SalsaAEE {
+	if cfg.Width&(cfg.Width-1) != 0 {
+		panic("aee: width must be a power of two")
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		panic("aee: delta must be in (0,1)")
+	}
+	rows := make([]*core.Salsa, cfg.Rows)
+	for i := range rows {
+		rows[i] = core.NewSalsa(cfg.Width, cfg.S, core.MaxMerge, false)
+	}
+	maxLvl := uint(0)
+	for b := cfg.S; b < 64; b <<= 1 {
+		maxLvl++
+	}
+	return &SalsaAEE{
+		rows:     rows,
+		seeds:    hashing.Seeds(cfg.Seed, cfg.Rows),
+		mask:     uint64(cfg.Width - 1),
+		s:        cfg.S,
+		width:    cfg.Width,
+		maxLvl:   maxLvl,
+		delta:    cfg.Delta,
+		deltaEst: cfg.Delta / float64(cfg.Rows),
+		forced:   cfg.ForcedDownsamples,
+		split:    cfg.Split,
+		rng:      rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5a15a)),
+	}
+}
+
+// SampleProb returns the current sampling probability p.
+func (e *SalsaAEE) SampleProb() float64 { return math.Pow(0.5, float64(e.kPow)) }
+
+// Downsamples returns the number of downsampling events so far.
+func (e *SalsaAEE) Downsamples() uint { return e.kPow }
+
+// Merges returns the total SALSA merges across rows.
+func (e *SalsaAEE) Merges() uint64 {
+	var total uint64
+	for _, r := range e.rows {
+		total += r.Merges()
+	}
+	return total
+}
+
+// SizeBits returns the footprint in bits including merge-encoding overhead.
+func (e *SalsaAEE) SizeBits() int {
+	total := 0
+	for _, r := range e.rows {
+		total += r.SizeBits()
+	}
+	return total
+}
+
+func (e *SalsaAEE) sampled() bool {
+	if e.kPow == 0 {
+		return true
+	}
+	mask := uint64(1)<<e.kPow - 1
+	return e.rng.Uint64()&mask == mask
+}
+
+// recomputeMaxLevel rescans the rows for the largest merge level; only
+// needed after downsampling, when splitting may have lowered levels.
+func (e *SalsaAEE) recomputeMaxLevel() {
+	max := uint(0)
+	for _, r := range e.rows {
+		r.Counters(func(_ int, lvl uint, _ uint64) bool {
+			if lvl > max {
+				max = lvl
+			}
+			return true
+		})
+	}
+	e.gml = max
+}
+
+// Update processes one unit-weight arrival.
+func (e *SalsaAEE) Update(x uint64) {
+	e.processed++
+	if !e.sampled() {
+		return
+	}
+	for i, r := range e.rows {
+		slot := int(hashing.Index(x, e.seeds[i], e.mask))
+		lvl := r.Level(slot)
+		size := e.s << lvl
+		if size < 64 && r.Value(slot) >= (uint64(1)<<size)-1 {
+			// Overflow. Merging is free unless this is a largest counter,
+			// in which case the error-bound comparison (or the forced-
+			// downsample budget) decides.
+			if e.resolveOverflow(lvl) {
+				e.downsample()
+			}
+		}
+		r.Add(slot, 1)
+		if nl := r.Level(slot); nl > e.gml {
+			e.gml = nl
+		}
+	}
+}
+
+// resolveOverflow reports whether the overflow of a level-lvl counter
+// should be resolved by downsampling rather than merging.
+func (e *SalsaAEE) resolveOverflow(lvl uint) bool {
+	if lvl < e.gml {
+		return false
+	}
+	e.overflows++
+	if e.overflows <= e.forced {
+		return true
+	}
+	if lvl >= e.maxLvl {
+		return true // cannot merge further; downsampling is the only option
+	}
+	// Δest = √2·εest with εest = √(2·p⁻¹·ln(2/δest)/N).
+	n := float64(e.processed)
+	if n == 0 {
+		n = 1
+	}
+	epsEst := math.Sqrt(2 * math.Pow(2, float64(e.kPow)) * math.Log(2/e.deltaEst) / n)
+	deltaEst := math.Sqrt2 * epsEst
+	// ΔCMS = δ^(−1/d)·2^ℓ/w, the guarantee lost by doubling counter size.
+	deltaCMS := math.Pow(e.delta, -1/float64(len(e.rows))) * math.Pow(2, float64(lvl)) / float64(e.width)
+	return deltaCMS > deltaEst
+}
+
+// downsample halves the sampling probability and every counter
+// (probabilistically), splitting shrunken counters when configured.
+func (e *SalsaAEE) downsample() {
+	e.kPow++
+	e.downsmpld++
+	for _, r := range e.rows {
+		r.Halve(true, e.rng.Uint64, e.split)
+	}
+	if e.split {
+		e.recomputeMaxLevel()
+	}
+}
+
+// Query returns the estimate: min over rows scaled by 1/p.
+func (e *SalsaAEE) Query(x uint64) float64 {
+	est := ^uint64(0)
+	for i, r := range e.rows {
+		if v := r.Value(int(hashing.Index(x, e.seeds[i], e.mask))); v < est {
+			est = v
+		}
+	}
+	return float64(est) * math.Pow(2, float64(e.kPow))
+}

@@ -1,0 +1,49 @@
+package aee
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedUpdatesExactBeforeSampling(t *testing.T) {
+	e := NewMaxAccuracy(Config{Rows: 4, Width: 1024, CounterBits: 16, Seed: 51})
+	e.UpdateWeighted(3, 1000)
+	e.UpdateWeighted(3, 234)
+	if got := e.Query(3); got != 1234 {
+		t.Fatalf("Query = %f, want exact 1234", got)
+	}
+	if e.Downsamples() != 0 {
+		t.Fatal("no downsample expected")
+	}
+}
+
+func TestWeightedUpdateTriggersDownsample(t *testing.T) {
+	e := NewMaxAccuracy(Config{Rows: 2, Width: 64, CounterBits: 8, Seed: 52})
+	// A single weighted update larger than the 8-bit range must downsample
+	// until it fits rather than silently saturating.
+	e.UpdateWeighted(5, 200)
+	e.UpdateWeighted(5, 200)
+	if e.Downsamples() == 0 {
+		t.Fatal("weighted overflow did not downsample")
+	}
+	if got := e.Query(5); math.Abs(got-400) > 150 {
+		t.Fatalf("Query = %f, want ≈ 400", got)
+	}
+}
+
+func TestWeightedMeanUnbiased(t *testing.T) {
+	const truth = 3000.0
+	var sum float64
+	const trials = 50
+	for s := uint64(0); s < trials; s++ {
+		e := NewMaxAccuracy(Config{Rows: 2, Width: 64, CounterBits: 8, Probabilistic: true, Seed: s*17 + 3})
+		for i := 0; i < 30; i++ {
+			e.UpdateWeighted(9, 100)
+		}
+		sum += e.Query(9)
+	}
+	mean := sum / trials
+	if math.Abs(mean-truth) > truth*0.15 {
+		t.Fatalf("mean %f over %d trials, want ≈ %f", mean, trials, truth)
+	}
+}

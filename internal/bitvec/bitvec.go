@@ -1,0 +1,98 @@
+// Package bitvec provides a fixed-size bit vector used as the backing store
+// for SALSA merge bits and other per-counter flags.
+package bitvec
+
+import "math/bits"
+
+// Vector is a fixed-length sequence of bits packed into 64-bit words.
+// The zero value is an empty vector; use New to allocate capacity.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Vector with n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the backing words for performance-critical readers that
+// cannot afford a call per probe; treat as read-only.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// SetTo sets bit i to b.
+func (v *Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Reset clears all bits.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Or sets v to the bitwise OR of v and other. The vectors must have the same
+// length.
+func (v *Vector) Or(other *Vector) {
+	if v.n != other.n {
+		panic("bitvec: length mismatch")
+	}
+	for i, w := range other.words {
+		v.words[i] |= w
+	}
+}
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and other hold identical bits.
+func (v *Vector) Equal(other *Vector) bool {
+	if v.n != other.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	for i := 0; i < 130; i += 3 {
+		v.Set(i)
+	}
+	for i := 0; i < 130; i++ {
+		want := i%3 == 0
+		if v.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+	for i := 0; i < 130; i += 3 {
+		v.Clear(i)
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount = %d after clearing all", v.OnesCount())
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(64)
+	v.SetTo(5, true)
+	if !v.Get(5) {
+		t.Fatal("SetTo(5,true) did not set")
+	}
+	v.SetTo(5, false)
+	if v.Get(5) {
+		t.Fatal("SetTo(5,false) did not clear")
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	v := New(200)
+	set := map[int]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		k := rng.Intn(200)
+		set[k] = true
+		v.Set(k)
+	}
+	if got := v.OnesCount(); got != len(set) {
+		t.Fatalf("OnesCount = %d, want %d", got, len(set))
+	}
+}
+
+func TestWordBoundary(t *testing.T) {
+	v := New(128)
+	v.Set(63)
+	v.Set(64)
+	if !v.Get(63) || !v.Get(64) {
+		t.Fatal("bits across word boundary not independent")
+	}
+	v.Clear(63)
+	if v.Get(63) || !v.Get(64) {
+		t.Fatal("clearing 63 affected 64")
+	}
+}
+
+func TestOrCloneEqual(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(99)
+	b.Set(50)
+	c := a.Clone()
+	if !c.Equal(a) {
+		t.Fatal("clone not equal to source")
+	}
+	a.Or(b)
+	if !a.Get(1) || !a.Get(50) || !a.Get(99) {
+		t.Fatal("Or missing bits")
+	}
+	if c.Get(50) {
+		t.Fatal("Or mutated the clone")
+	}
+	if c.Equal(a) {
+		t.Fatal("Equal true for different vectors")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(70)
+	for i := 0; i < 70; i++ {
+		v.Set(i)
+	}
+	v.Reset()
+	if v.OnesCount() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	New(10).Or(New(20))
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+// Property: a vector behaves like a set of integers.
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 512
+		v := New(n)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			if op&0x8000 != 0 {
+				v.Clear(i)
+				delete(ref, i)
+			} else {
+				v.Set(i)
+				ref[i] = true
+			}
+		}
+		if v.OnesCount() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if v.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

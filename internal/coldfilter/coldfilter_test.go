@@ -1,0 +1,121 @@
+package coldfilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"salsa/internal/core"
+	"salsa/internal/sketch"
+)
+
+func newStage2(salsa bool) Stage2 {
+	if salsa {
+		return sketch.NewCUS(4, 1024, sketch.SalsaRow(8, core.MaxMerge, false), 99)
+	}
+	return sketch.NewCUS(4, 1024, sketch.FixedRow(32), 99)
+}
+
+func defaultFilter(salsa bool) *Filter {
+	return New(Config{W1: 4096, W2: 2048, D1: 3, D2: 3, Seed: 7}, newStage2(salsa))
+}
+
+func TestColdItemsStayInLayerOne(t *testing.T) {
+	f := defaultFilter(false)
+	for i := uint64(0); i < 100; i++ {
+		for k := 0; k < 5; k++ {
+			f.Update(i, 1)
+		}
+	}
+	if f.Stage2Volume() != 0 {
+		t.Fatalf("cold items reached stage 2: %d", f.Stage2Volume())
+	}
+	for i := uint64(0); i < 100; i++ {
+		if est := f.Query(i); est < 5 {
+			t.Fatalf("item %d: estimate %d < truth 5", i, est)
+		}
+	}
+}
+
+func TestHotItemFlowsThroughAllStages(t *testing.T) {
+	for _, salsa := range []bool{false, true} {
+		f := defaultFilter(salsa)
+		const hot = uint64(42)
+		const n = 5000
+		for k := 0; k < n; k++ {
+			f.Update(hot, 1)
+		}
+		if f.Stage2Volume() == 0 {
+			t.Fatal("a 5000-count item must overflow both filter layers")
+		}
+		// Volume conservation: stage2 got exactly n − t1 − t2 (no
+		// collisions in an otherwise empty filter).
+		if f.Stage2Volume() != n-15-255 {
+			t.Fatalf("stage 2 volume = %d, want %d", f.Stage2Volume(), n-15-255)
+		}
+		if est := f.Query(hot); est < n {
+			t.Fatalf("estimate %d < truth %d", est, n)
+		}
+	}
+}
+
+func TestConservativeOverestimate(t *testing.T) {
+	for _, salsa := range []bool{false, true} {
+		f := defaultFilter(salsa)
+		rng := rand.New(rand.NewSource(13))
+		truth := map[uint64]uint64{}
+		// Skewed-ish stream: items 0..49 hot, rest cold.
+		for i := 0; i < 60000; i++ {
+			var x uint64
+			if rng.Intn(2) == 0 {
+				x = uint64(rng.Intn(50))
+			} else {
+				x = uint64(rng.Intn(20000)) + 100
+			}
+			f.Update(x, 1)
+			truth[x]++
+		}
+		for x, ft := range truth {
+			if est := f.Query(x); est < ft {
+				t.Fatalf("salsa=%v item %d: estimate %d < truth %d", salsa, x, est, ft)
+			}
+		}
+	}
+}
+
+func TestWeightedUpdateSpansLayers(t *testing.T) {
+	f := defaultFilter(false)
+	f.Update(7, 1000) // crosses both thresholds in one update
+	if f.Stage2Volume() != 1000-15-255 {
+		t.Fatalf("stage 2 volume = %d", f.Stage2Volume())
+	}
+	if est := f.Query(7); est < 1000 {
+		t.Fatalf("estimate %d < 1000", est)
+	}
+}
+
+func TestSizeBitsIncludesAllStages(t *testing.T) {
+	s2 := newStage2(false)
+	f := New(Config{W1: 1024, W2: 512, D1: 3, D2: 3, Seed: 1}, s2)
+	want := 1024*4 + 512*8 + s2.SizeBits()
+	if f.SizeBits() != want {
+		t.Fatalf("SizeBits = %d, want %d", f.SizeBits(), want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(Config{W1: 100, W2: 64, D1: 3, D2: 3}, newStage2(false)) },
+		func() { New(Config{W1: 64, W2: 64, D1: 0, D2: 3}, newStage2(false)) },
+		func() { New(Config{W1: 64, W2: 64, D1: 3, D2: 3}, nil) },
+		func() { defaultFilter(false).Update(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+)
+
+// validBits reports whether b is a power of two between 1 and max.
+func validBits(b, max uint) bool {
+	return b >= 1 && b <= max && b&(b-1) == 0
+}
+
+// maxValue returns the largest value representable in bits bits.
+func maxValue(bits uint) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+// satAdd returns a+b, saturating at 2^64−1.
+func satAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return ^uint64(0)
+	}
+	return s
+}
+
+// satAddSigned returns a+b, saturating at ±(2^63−1).
+func satAddSigned(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return 1<<63 - 1
+		}
+		return -(1<<63 - 1)
+	}
+	return s
+}
+
+// readAligned reads size bits at bit offset off. The caller guarantees the
+// field is self-aligned (off is a multiple of size, size a power of two
+// ≤ 64), so the field never straddles a word.
+func readAligned(words []uint64, off, size uint) uint64 {
+	if size == 64 {
+		return words[off>>6]
+	}
+	return (words[off>>6] >> (off & 63)) & ((uint64(1) << size) - 1)
+}
+
+// writeAligned writes the low size bits of v at bit offset off, under the
+// same alignment contract as readAligned.
+func writeAligned(words []uint64, off, size uint, v uint64) {
+	if size == 64 {
+		words[off>>6] = v
+		return
+	}
+	mask := ((uint64(1) << size) - 1) << (off & 63)
+	words[off>>6] = words[off>>6]&^mask | v<<(off&63)&mask
+}
+
+// readSpan reads n bits (n ≤ 64) at arbitrary bit offset off, possibly
+// crossing one word boundary. Used by Tango, whose counters are not
+// self-aligned.
+func readSpan(words []uint64, off, n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	w := off >> 6
+	sh := off & 63
+	v := words[w] >> sh
+	if sh+n > 64 {
+		v |= words[w+1] << (64 - sh)
+	}
+	if n == 64 {
+		return v
+	}
+	return v & ((uint64(1) << n) - 1)
+}
+
+// writeSpan writes the low n bits (n ≤ 64) of v at arbitrary bit offset off.
+func writeSpan(words []uint64, off, n uint, v uint64) {
+	if n == 0 {
+		return
+	}
+	w := off >> 6
+	sh := off & 63
+	var lowMask uint64
+	if n == 64 {
+		lowMask = ^uint64(0)
+	} else {
+		lowMask = (uint64(1) << n) - 1
+	}
+	v &= lowMask
+	words[w] = words[w]&^(lowMask<<sh) | v<<sh
+	if sh+n > 64 {
+		hi := n - (64 - sh)
+		hiMask := (uint64(1) << hi) - 1
+		words[w+1] = words[w+1]&^hiMask | v>>(64-sh)
+	}
+}
+
+// zeroSpan clears n bits starting at bit offset off; n may exceed 64.
+func zeroSpan(words []uint64, off, n uint) {
+	for n > 0 {
+		chunk := n
+		if chunk > 64 {
+			chunk = 64
+		}
+		writeSpan(words, off, chunk, 0)
+		off += chunk
+		n -= chunk
+	}
+}
+
+// binomialHalf samples Binomial(c, 1/2) using the random-word source rnd.
+// For large c it uses a normal approximation to stay O(1); for small c it
+// counts bits of c/64 random words, which is exact.
+func binomialHalf(c uint64, rnd func() uint64) uint64 {
+	if c == 0 {
+		return 0
+	}
+	if c <= 4096 {
+		// Exact: count set bits among c fair coin flips, 64 at a time.
+		var n uint64
+		for c >= 64 {
+			n += uint64(bits.OnesCount64(rnd()))
+			c -= 64
+		}
+		if c > 0 {
+			n += uint64(bits.OnesCount64(rnd() & ((uint64(1) << c) - 1)))
+		}
+		return n
+	}
+	// Normal approximation: mean c/2, variance c/4. The error is far below
+	// the sketch noise at these magnitudes.
+	mean := float64(c) / 2
+	sd := math.Sqrt(float64(c) / 4)
+	z := gaussFrom(rnd)
+	v := mean + z*sd
+	if v < 0 {
+		return 0
+	}
+	if v > float64(c) {
+		return c
+	}
+	return uint64(v + 0.5)
+}
+
+// gaussFrom produces an approximately standard normal variate by summing 12
+// uniforms (Irwin–Hall), which is plenty for downsampling noise.
+func gaussFrom(rnd func() uint64) float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += float64(rnd()>>11) / (1 << 53)
+	}
+	return s - 6
+}

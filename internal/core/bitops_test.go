@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxValue(t *testing.T) {
+	cases := map[uint]uint64{
+		1:  1,
+		2:  3,
+		8:  255,
+		16: 65535,
+		32: 1<<32 - 1,
+		64: ^uint64(0),
+	}
+	for bits, want := range cases {
+		if got := maxValue(bits); got != want {
+			t.Errorf("maxValue(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if satAdd(1, 2) != 3 {
+		t.Fatal("satAdd(1,2)")
+	}
+	if satAdd(^uint64(0), 1) != ^uint64(0) {
+		t.Fatal("satAdd did not saturate")
+	}
+	if satAdd(^uint64(0)-5, 100) != ^uint64(0) {
+		t.Fatal("satAdd did not saturate on partial overflow")
+	}
+}
+
+func TestSatAddSigned(t *testing.T) {
+	if satAddSigned(1, -2) != -1 {
+		t.Fatal("satAddSigned(1,-2)")
+	}
+	max := int64(1<<63 - 1)
+	if satAddSigned(max, max) != max {
+		t.Fatal("positive saturation")
+	}
+	if satAddSigned(-max, -max) != -max {
+		t.Fatal("negative saturation")
+	}
+}
+
+func TestAlignedReadWriteRoundTrip(t *testing.T) {
+	words := make([]uint64, 4)
+	for _, size := range []uint{1, 2, 4, 8, 16, 32, 64} {
+		for i := range words {
+			words[i] = 0
+		}
+		n := uint(256) / size
+		rng := rand.New(rand.NewSource(int64(size)))
+		vals := make([]uint64, n)
+		for i := uint(0); i < n; i++ {
+			vals[i] = rng.Uint64() & maxValue(size)
+			writeAligned(words, i*size, size, vals[i])
+		}
+		for i := uint(0); i < n; i++ {
+			if got := readAligned(words, i*size, size); got != vals[i] {
+				t.Fatalf("size %d field %d: got %d, want %d", size, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestWriteAlignedMasksValue(t *testing.T) {
+	words := make([]uint64, 1)
+	writeAligned(words, 8, 8, 0xfff) // wider than the field
+	if got := readAligned(words, 8, 8); got != 0xff {
+		t.Fatalf("got %#x, want 0xff", got)
+	}
+	if got := readAligned(words, 0, 8); got != 0 {
+		t.Fatalf("neighbor field clobbered: %#x", got)
+	}
+	if got := readAligned(words, 16, 8); got != 0 {
+		t.Fatalf("neighbor field clobbered: %#x", got)
+	}
+}
+
+func TestSpanReadWriteCrossesWords(t *testing.T) {
+	words := make([]uint64, 3)
+	// A 24-bit field straddling the first word boundary.
+	writeSpan(words, 56, 24, 0xabcdef)
+	if got := readSpan(words, 56, 24); got != 0xabcdef {
+		t.Fatalf("got %#x", got)
+	}
+	// Neighbors untouched.
+	if got := readSpan(words, 0, 56); got != 0 {
+		t.Fatalf("low bits clobbered: %#x", got)
+	}
+	if got := readSpan(words, 80, 48); got != 0 {
+		t.Fatalf("high bits clobbered: %#x", got)
+	}
+}
+
+func TestQuickSpanRoundTrip(t *testing.T) {
+	f := func(off16 uint16, n8 uint8, v uint64) bool {
+		off := uint(off16) % 128
+		n := uint(n8)%64 + 1
+		words := make([]uint64, 4)
+		writeSpan(words, off, n, v)
+		want := v
+		if n < 64 {
+			want &= (uint64(1) << n) - 1
+		}
+		return readSpan(words, off, n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpanPreservesNeighbors(t *testing.T) {
+	f := func(off16 uint16, n8 uint8, v, bg uint64) bool {
+		off := uint(off16) % 128
+		n := uint(n8)%64 + 1
+		words := []uint64{bg, bg, bg, bg}
+		before := append([]uint64(nil), words...)
+		writeSpan(words, off, n, v)
+		// Re-zero the written field and compare against the original with
+		// the same field zeroed.
+		writeSpan(words, off, n, 0)
+		writeSpan(before, off, n, 0)
+		for i := range words {
+			if words[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSpanLong(t *testing.T) {
+	words := []uint64{^uint64(0), ^uint64(0), ^uint64(0)}
+	zeroSpan(words, 10, 150)
+	for i := uint(0); i < 192; i++ {
+		inRange := i >= 10 && i < 160
+		got := readSpan(words, i, 1)
+		if inRange && got != 0 {
+			t.Fatalf("bit %d not zeroed", i)
+		}
+		if !inRange && got != 1 {
+			t.Fatalf("bit %d clobbered", i)
+		}
+	}
+}
+
+func TestBinomialHalfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := rng.Uint64
+	for _, c := range []uint64{0, 1, 2, 63, 64, 65, 1000, 4096, 5000, 1 << 20} {
+		for trial := 0; trial < 20; trial++ {
+			got := binomialHalf(c, src)
+			if got > c {
+				t.Fatalf("binomialHalf(%d) = %d > c", c, got)
+			}
+		}
+	}
+	if binomialHalf(0, src) != 0 {
+		t.Fatal("binomialHalf(0) != 0")
+	}
+}
+
+func TestBinomialHalfMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := rng.Uint64
+	const c = 1000
+	const trials = 2000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(binomialHalf(c, src))
+	}
+	mean := sum / trials
+	// sd of the mean ≈ sqrt(c/4)/sqrt(trials) ≈ 0.35; allow 6 sigma.
+	if mean < c/2-3 || mean > c/2+3 {
+		t.Fatalf("mean = %f, want ≈ %d", mean, c/2)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	if signExtend(0xff, 8) != -1 {
+		t.Fatal("0xff as 8-bit should be -1")
+	}
+	if signExtend(0x7f, 8) != 127 {
+		t.Fatal("0x7f as 8-bit should be 127")
+	}
+	if signExtend(0x80, 8) != -128 {
+		t.Fatal("0x80 as 8-bit should be -128")
+	}
+}

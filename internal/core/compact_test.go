@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLayoutCountsRecurrence(t *testing.T) {
+	// aₙ = aₙ₋₁² + 1 with a₀ = 1 (Appendix A).
+	for n := 1; n < len(layoutCounts); n++ {
+		want := layoutCounts[n-1]*layoutCounts[n-1] + 1
+		if layoutCounts[n] != want {
+			t.Fatalf("a_%d = %d, want %d", n, layoutCounts[n], want)
+		}
+	}
+	// The appendix's concrete values.
+	if layoutCounts[2] != 5 || layoutCounts[5] != 458330 {
+		t.Fatal("layout counts disagree with the paper")
+	}
+}
+
+func TestGroupEncodingBits(t *testing.T) {
+	// zₙ = ⌈log₂ aₙ⌉; the appendix's headline numbers are z₅ = 19 giving
+	// 19/32 < 0.594 bits per counter.
+	for n := 1; n < len(layoutCounts); n++ {
+		z := groupEncodingBits[n]
+		if uint64(1)<<z < layoutCounts[n] {
+			t.Fatalf("z_%d = %d too small for a_%d = %d", n, z, n, layoutCounts[n])
+		}
+		if z > 0 && uint64(1)<<(z-1) >= layoutCounts[n] {
+			t.Fatalf("z_%d = %d not tight", n, z)
+		}
+	}
+	if groupEncodingBits[5] != 19 {
+		t.Fatal("z_5 should be 19")
+	}
+	if got := float64(groupEncodingBits[5]) / 32; got >= 0.594 {
+		t.Fatalf("overhead %f per counter, want < 0.594", got)
+	}
+}
+
+// randomLayoutLevels builds a random valid SALSA layout for a block of 2^n
+// slots: each block is merged whole with probability p, otherwise its halves
+// are laid out recursively.
+func randomLayoutLevels(rng *rand.Rand, levels []uint, base int, n uint, maxLvl uint) {
+	if n > 0 && n <= maxLvl && rng.Float64() < 0.3 {
+		for j := base; j < base+1<<n; j++ {
+			levels[j] = n
+		}
+		return
+	}
+	if n == 0 {
+		levels[base] = 0
+		return
+	}
+	randomLayoutLevels(rng, levels, base, n-1, maxLvl)
+	randomLayoutLevels(rng, levels, base+1<<(n-1), n-1, maxLvl)
+}
+
+func TestCompactEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		lay := newCompactLayout(32, 3)
+		levels := make([]uint, 32)
+		randomLayoutLevels(rng, levels, 0, 5, 3)
+		// Apply the layout through mergeTo, coarsest blocks first is not
+		// required: mergeTo rewrites the group from decoded levels.
+		for i := 0; i < 32; {
+			if levels[i] > 0 {
+				lay.mergeTo(i, levels[i])
+			}
+			i += 1 << levels[i]
+		}
+		for i := 0; i < 32; i++ {
+			if lay.level(i) != levels[i] {
+				t.Fatalf("trial %d slot %d: level %d, want %d", trial, i, lay.level(i), levels[i])
+			}
+		}
+	}
+}
+
+func TestCompactSplitMatchesBitLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	bit := newBitLayout(64, 3)
+	cmp := newCompactLayout(64, 3)
+	for op := 0; op < 2000; op++ {
+		i := rng.Intn(64)
+		lvl := bit.level(i)
+		if lvl < 3 && rng.Intn(3) > 0 {
+			bit.mergeTo(i, lvl+1)
+			cmp.mergeTo(i, lvl+1)
+		} else if lvl > 0 {
+			bit.split(i, lvl)
+			cmp.split(i, lvl)
+		}
+		for j := 0; j < 64; j++ {
+			if bit.level(j) != cmp.level(j) {
+				t.Fatalf("op %d slot %d: bit layout %d, compact %d", op, j, bit.level(j), cmp.level(j))
+			}
+		}
+	}
+}
+
+func TestCompactClone(t *testing.T) {
+	lay := newCompactLayout(32, 3)
+	lay.mergeTo(0, 2)
+	c := lay.clone().(*compactLayout)
+	c.mergeTo(8, 3)
+	if lay.level(8) != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+	if c.level(0) != 2 || c.level(8) != 3 {
+		t.Fatal("clone lost state")
+	}
+}
+
+func TestCompactWidthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for width not a multiple of the group size")
+		}
+	}()
+	newCompactLayout(48, 3)
+}
+
+func TestBitLayoutClone(t *testing.T) {
+	lay := newBitLayout(32, 3)
+	lay.mergeTo(4, 1)
+	c := lay.clone().(*bitLayout)
+	c.mergeTo(8, 1)
+	if lay.level(8) != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestSplitBaseCounterPanics(t *testing.T) {
+	for _, lay := range []layout{newBitLayout(32, 3), newCompactLayout(32, 3)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("split(level 0) did not panic")
+				}
+			}()
+			lay.split(0, 0)
+		}()
+	}
+}

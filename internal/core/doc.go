@@ -1,0 +1,28 @@
+// Package core implements the paper's primary contribution: counter arrays
+// whose counters start small and grow by merging with their neighbors on
+// overflow (SALSA, §IV of the paper), together with the fixed-size baseline
+// arrays the paper compares against.
+//
+// Three resizable array flavours are provided:
+//
+//   - Salsa: unsigned counters that double in size on overflow by merging
+//     with the power-of-two-aligned sibling block. Supports sum-merge (strict
+//     turnstile) and max-merge (cash register) policies, and either the
+//     simple one-bit-per-counter merge encoding or the near-optimal
+//     (< 0.594 bits/counter) encoding of Appendix A.
+//   - SalsaSign: signed counters in sign-magnitude representation for the
+//     Count Sketch, merged with sum semantics; sign-magnitude keeps the
+//     overflow event sign-symmetric, which is what makes the SALSA Count
+//     Sketch unbiased (Lemma V.4).
+//   - Tango: fine-grained merging where counters grow one s-bit cell at a
+//     time, with the merge direction chosen so a Tango counter is always
+//     contained in the corresponding SALSA counter (§IV, "Fine-grained
+//     Counter Merges").
+//
+// Fixed and FixedSign are the constant-width baselines (saturating at their
+// maximum representable value, matching the paper's small-counter baseline).
+//
+// Throughout, base counters have s bits with s a power of two in {1,...,32},
+// counter values are capped at 64 bits (the paper's O(1)-machine-words
+// assumption), and a width-w array packs its counters into ⌈w·s/64⌉ words.
+package core

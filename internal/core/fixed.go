@@ -1,0 +1,208 @@
+package core
+
+import "fmt"
+
+// Fixed is a packed array of w unsigned counters, each exactly b bits wide
+// with b a power of two in {1, 2, 4, 8, 16, 32, 64}. Counters saturate at
+// 2^b−1 instead of wrapping, matching the small-counter baseline in the
+// paper ("the counter is only incremented if it does not overflow").
+type Fixed struct {
+	bits  uint
+	width int
+	maxV  uint64
+	words []uint64
+}
+
+// NewFixed returns a Fixed array of width counters of bits bits each.
+func NewFixed(width int, bits uint) *Fixed {
+	if !validBits(bits, 64) {
+		panic(fmt.Sprintf("core: invalid fixed counter size %d", bits))
+	}
+	if width <= 0 {
+		panic("core: non-positive width")
+	}
+	return &Fixed{
+		bits:  bits,
+		width: width,
+		maxV:  maxValue(bits),
+		words: make([]uint64, (uint(width)*bits+63)/64),
+	}
+}
+
+// Width returns the number of counters.
+func (f *Fixed) Width() int { return f.width }
+
+// CounterBits returns the per-counter width in bits.
+func (f *Fixed) CounterBits() uint { return f.bits }
+
+// SizeBits returns the total memory footprint in bits.
+func (f *Fixed) SizeBits() int { return f.width * int(f.bits) }
+
+// Value returns the value of counter i.
+func (f *Fixed) Value(i int) uint64 {
+	return readAligned(f.words, uint(i)*f.bits, f.bits)
+}
+
+// Add adds v to counter i, saturating at the counter maximum; negative v
+// subtracts, clamping at zero.
+func (f *Fixed) Add(i int, v int64) {
+	cur := f.Value(i)
+	var nv uint64
+	if v >= 0 {
+		nv = satAdd(cur, uint64(v))
+		if nv > f.maxV {
+			nv = f.maxV
+		}
+	} else {
+		d := uint64(-v)
+		if d >= cur {
+			nv = 0
+		} else {
+			nv = cur - d
+		}
+	}
+	writeAligned(f.words, uint(i)*f.bits, f.bits, nv)
+}
+
+// SetAtLeast raises counter i to at least v (capped at the counter maximum).
+// This is the conservative-update primitive.
+func (f *Fixed) SetAtLeast(i int, v uint64) {
+	if v > f.maxV {
+		v = f.maxV
+	}
+	if v > f.Value(i) {
+		writeAligned(f.words, uint(i)*f.bits, f.bits, v)
+	}
+}
+
+// ZeroCount returns the number of zero-valued counters (used by the Linear
+// Counting distinct-count estimator).
+func (f *Fixed) ZeroCount() int {
+	zeros := 0
+	for i := 0; i < f.width; i++ {
+		if f.Value(i) == 0 {
+			zeros++
+		}
+	}
+	return zeros
+}
+
+// ZeroFraction returns the fraction of zero-valued counters.
+func (f *Fixed) ZeroFraction() float64 {
+	return float64(f.ZeroCount()) / float64(f.width)
+}
+
+// Halve replaces every counter by either ⌊c/2⌋ (deterministic) or a sample
+// from Binomial(c, 1/2) (probabilistic), the two AEE downsampling modes.
+// rnd supplies random bits for the probabilistic mode and may be nil for the
+// deterministic one.
+func (f *Fixed) Halve(probabilistic bool, rnd func() uint64) {
+	for i := 0; i < f.width; i++ {
+		cur := f.Value(i)
+		var nv uint64
+		if probabilistic {
+			nv = binomialHalf(cur, rnd)
+		} else {
+			nv = cur / 2
+		}
+		writeAligned(f.words, uint(i)*f.bits, f.bits, nv)
+	}
+}
+
+// MergeFrom adds every counter of other into the corresponding counter of f,
+// saturating. Both arrays must have the same geometry.
+func (f *Fixed) MergeFrom(other *Fixed) {
+	if f.width != other.width || f.bits != other.bits {
+		panic("core: fixed geometry mismatch")
+	}
+	for i := 0; i < f.width; i++ {
+		nv := satAdd(f.Value(i), other.Value(i))
+		if nv > f.maxV {
+			nv = f.maxV
+		}
+		writeAligned(f.words, uint(i)*f.bits, f.bits, nv)
+	}
+}
+
+// SubtractFrom subtracts every counter of other from f, clamping at zero.
+func (f *Fixed) SubtractFrom(other *Fixed) {
+	if f.width != other.width || f.bits != other.bits {
+		panic("core: fixed geometry mismatch")
+	}
+	for i := 0; i < f.width; i++ {
+		cur, d := f.Value(i), other.Value(i)
+		if d >= cur {
+			cur = 0
+		} else {
+			cur -= d
+		}
+		writeAligned(f.words, uint(i)*f.bits, f.bits, cur)
+	}
+}
+
+// FixedSign is a packed array of w signed counters of b bits each, stored in
+// two's complement, saturating at ±(2^(b−1)−1). It is the baseline row for
+// the Count Sketch.
+type FixedSign struct {
+	bits  uint
+	width int
+	maxV  int64
+	words []uint64
+}
+
+// NewFixedSign returns a FixedSign array of width counters of bits bits each
+// (bits a power of two in {2, ..., 64}).
+func NewFixedSign(width int, bits uint) *FixedSign {
+	if !validBits(bits, 64) || bits < 2 {
+		panic(fmt.Sprintf("core: invalid signed counter size %d", bits))
+	}
+	if width <= 0 {
+		panic("core: non-positive width")
+	}
+	return &FixedSign{
+		bits:  bits,
+		width: width,
+		maxV:  int64(maxValue(bits) >> 1),
+		words: make([]uint64, (uint(width)*bits+63)/64),
+	}
+}
+
+// Width returns the number of counters.
+func (f *FixedSign) Width() int { return f.width }
+
+// SizeBits returns the total memory footprint in bits.
+func (f *FixedSign) SizeBits() int { return f.width * int(f.bits) }
+
+// Value returns the value of counter i.
+func (f *FixedSign) Value(i int) int64 {
+	raw := readAligned(f.words, uint(i)*f.bits, f.bits)
+	return signExtend(raw, f.bits)
+}
+
+// Add adds v to counter i, saturating at ±(2^(b−1)−1).
+func (f *FixedSign) Add(i int, v int64) {
+	nv := satAddSigned(f.Value(i), v)
+	if nv > f.maxV {
+		nv = f.maxV
+	} else if nv < -f.maxV {
+		nv = -f.maxV
+	}
+	writeAligned(f.words, uint(i)*f.bits, f.bits, uint64(nv)&maxValue(f.bits))
+}
+
+// MergeFrom adds scale times every counter of other into f (scale is +1 for
+// sketch union, −1 for subtraction).
+func (f *FixedSign) MergeFrom(other *FixedSign, scale int64) {
+	if f.width != other.width || f.bits != other.bits {
+		panic("core: fixed geometry mismatch")
+	}
+	for i := 0; i < f.width; i++ {
+		f.Add(i, scale*other.Value(i))
+	}
+}
+
+// signExtend interprets the low bits of raw as a two's-complement value.
+func signExtend(raw uint64, bits uint) int64 {
+	shift := 64 - bits
+	return int64(raw<<shift) >> shift
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFixedBasic(t *testing.T) {
+	for _, b := range []uint{1, 2, 4, 8, 16, 32, 64} {
+		f := NewFixed(128, b)
+		if f.Width() != 128 || f.CounterBits() != b || f.SizeBits() != 128*int(b) {
+			t.Fatalf("bits %d: geometry wrong", b)
+		}
+		f.Add(3, 1)
+		if f.Value(3) != 1 {
+			t.Fatalf("bits %d: Value(3) = %d", b, f.Value(3))
+		}
+		if f.Value(2) != 0 || f.Value(4) != 0 {
+			t.Fatalf("bits %d: neighbors affected", b)
+		}
+	}
+}
+
+func TestFixedSaturates(t *testing.T) {
+	f := NewFixed(8, 8)
+	f.Add(0, 300)
+	if f.Value(0) != 255 {
+		t.Fatalf("Value = %d, want saturation at 255", f.Value(0))
+	}
+	f.Add(0, 1)
+	if f.Value(0) != 255 {
+		t.Fatal("saturated counter moved")
+	}
+}
+
+func TestFixedSubtractClamps(t *testing.T) {
+	f := NewFixed(8, 16)
+	f.Add(1, 10)
+	f.Add(1, -3)
+	if f.Value(1) != 7 {
+		t.Fatalf("Value = %d, want 7", f.Value(1))
+	}
+	f.Add(1, -100)
+	if f.Value(1) != 0 {
+		t.Fatalf("Value = %d, want clamp at 0", f.Value(1))
+	}
+}
+
+func TestFixedSetAtLeast(t *testing.T) {
+	f := NewFixed(4, 8)
+	f.SetAtLeast(0, 10)
+	if f.Value(0) != 10 {
+		t.Fatal("SetAtLeast did not raise")
+	}
+	f.SetAtLeast(0, 5)
+	if f.Value(0) != 10 {
+		t.Fatal("SetAtLeast lowered the counter")
+	}
+	f.SetAtLeast(0, 1000)
+	if f.Value(0) != 255 {
+		t.Fatal("SetAtLeast did not cap")
+	}
+}
+
+func TestFixedZeroCount(t *testing.T) {
+	f := NewFixed(10, 8)
+	if f.ZeroCount() != 10 {
+		t.Fatal("fresh array should be all zero")
+	}
+	f.Add(1, 1)
+	f.Add(7, 2)
+	if f.ZeroCount() != 8 {
+		t.Fatalf("ZeroCount = %d, want 8", f.ZeroCount())
+	}
+}
+
+func TestFixedHalveDeterministic(t *testing.T) {
+	f := NewFixed(4, 16)
+	f.Add(0, 11)
+	f.Add(1, 1)
+	f.Add(2, 65535)
+	f.Halve(false, nil)
+	want := []uint64{5, 0, 32767, 0}
+	for i, w := range want {
+		if f.Value(i) != w {
+			t.Fatalf("Value(%d) = %d, want %d", i, f.Value(i), w)
+		}
+	}
+}
+
+func TestFixedHalveProbabilisticBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := NewFixed(64, 16)
+	for i := 0; i < 64; i++ {
+		f.Add(i, 1000)
+	}
+	f.Halve(true, rng.Uint64)
+	var total uint64
+	for i := 0; i < 64; i++ {
+		v := f.Value(i)
+		if v > 1000 {
+			t.Fatalf("halved counter grew: %d", v)
+		}
+		total += v
+	}
+	// E[total] = 32000, sd = sqrt(64*250) = 126; allow 8 sigma.
+	if total < 31000 || total > 33000 {
+		t.Fatalf("total after halving = %d, want ≈ 32000", total)
+	}
+}
+
+func TestFixedMergeSubtract(t *testing.T) {
+	a := NewFixed(8, 16)
+	b := NewFixed(8, 16)
+	a.Add(0, 5)
+	a.Add(1, 7)
+	b.Add(0, 2)
+	b.Add(2, 9)
+	a.MergeFrom(b)
+	if a.Value(0) != 7 || a.Value(1) != 7 || a.Value(2) != 9 {
+		t.Fatalf("merge wrong: %d %d %d", a.Value(0), a.Value(1), a.Value(2))
+	}
+	a.SubtractFrom(b)
+	if a.Value(0) != 5 || a.Value(1) != 7 || a.Value(2) != 0 {
+		t.Fatalf("subtract wrong: %d %d %d", a.Value(0), a.Value(1), a.Value(2))
+	}
+}
+
+func TestFixedGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on geometry mismatch")
+		}
+	}()
+	NewFixed(8, 16).MergeFrom(NewFixed(8, 8))
+}
+
+func TestFixedInvalidBitsPanics(t *testing.T) {
+	for _, b := range []uint{0, 3, 12, 65, 128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixed with %d bits did not panic", b)
+				}
+			}()
+			NewFixed(8, b)
+		}()
+	}
+}
+
+func TestFixedSignBasic(t *testing.T) {
+	f := NewFixedSign(16, 32)
+	f.Add(0, 5)
+	f.Add(0, -12)
+	if f.Value(0) != -7 {
+		t.Fatalf("Value = %d, want -7", f.Value(0))
+	}
+	f.Add(1, -1)
+	if f.Value(1) != -1 || f.Value(2) != 0 {
+		t.Fatal("neighbors wrong")
+	}
+}
+
+func TestFixedSignSaturates(t *testing.T) {
+	f := NewFixedSign(4, 8)
+	f.Add(0, 1000)
+	if f.Value(0) != 127 {
+		t.Fatalf("Value = %d, want 127", f.Value(0))
+	}
+	f.Add(1, -1000)
+	if f.Value(1) != -127 {
+		t.Fatalf("Value = %d, want -127", f.Value(1))
+	}
+}
+
+func TestFixedSignMergeScale(t *testing.T) {
+	a := NewFixedSign(4, 32)
+	b := NewFixedSign(4, 32)
+	a.Add(0, 10)
+	b.Add(0, 4)
+	b.Add(1, -2)
+	a.MergeFrom(b, 1)
+	if a.Value(0) != 14 || a.Value(1) != -2 {
+		t.Fatalf("merge wrong: %d %d", a.Value(0), a.Value(1))
+	}
+	a.MergeFrom(b, -1)
+	if a.Value(0) != 10 || a.Value(1) != 0 {
+		t.Fatalf("subtract wrong: %d %d", a.Value(0), a.Value(1))
+	}
+}
+
+func TestFixedRandomAgainstOracle(t *testing.T) {
+	const w = 64
+	rng := rand.New(rand.NewSource(99))
+	f := NewFixed(w, 32)
+	oracle := make([]uint64, w)
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(w)
+		v := int64(rng.Intn(1000)) - 200
+		f.Add(i, v)
+		if v >= 0 {
+			oracle[i] += uint64(v)
+			if oracle[i] > 1<<32-1 {
+				oracle[i] = 1<<32 - 1
+			}
+		} else {
+			d := uint64(-v)
+			if d >= oracle[i] {
+				oracle[i] = 0
+			} else {
+				oracle[i] -= d
+			}
+		}
+	}
+	for i := 0; i < w; i++ {
+		if f.Value(i) != oracle[i] {
+			t.Fatalf("slot %d: got %d, want %d", i, f.Value(i), oracle[i])
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+// FuzzSalsaOps drives a SALSA array with arbitrary operation bytes and
+// checks the structural invariants after every step. Run with
+// `go test -fuzz FuzzSalsaOps ./internal/core` for deep exploration; the
+// seed corpus keeps it meaningful as a plain test.
+func FuzzSalsaOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0xff, 0x10})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x7f, 0x7f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const w = 64
+		c := NewSalsa(w, 8, MaxMerge, false)
+		sums := make([]uint64, w)
+		for i := 0; i+1 < len(ops); i += 2 {
+			slot := int(ops[i]) % w
+			v := int64(ops[i+1])
+			c.Add(slot, v)
+			sums[slot] += uint64(v)
+		}
+		for i := 0; i < w; i++ {
+			start, count := c.CounterRange(i)
+			if count&(count-1) != 0 || start%count != 0 {
+				t.Fatalf("slot %d: malformed range [%d,+%d)", i, start, count)
+			}
+			var total, max uint64
+			for j := start; j < start+count; j++ {
+				total += sums[j]
+				if sums[j] > max {
+					max = sums[j]
+				}
+			}
+			if v := c.Value(i); v < max || v > total {
+				t.Fatalf("slot %d: value %d outside [%d,%d]", i, v, max, total)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to every decoder; none may panic.
+func FuzzUnmarshal(f *testing.F) {
+	c := NewSalsa(64, 8, SumMerge, false)
+	c.Add(3, 300)
+	good, _ := c.MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0xa0, 0x15, 0x5a})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = UnmarshalSalsa(data)
+		_, _ = UnmarshalSalsaSign(data)
+		_, _ = UnmarshalFixed(data)
+		_, _ = UnmarshalFixedSign(data)
+	})
+}

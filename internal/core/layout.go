@@ -1,0 +1,81 @@
+package core
+
+import "salsa/internal/bitvec"
+
+// A layout tracks which counters of a SALSA array have merged. SALSA merges
+// are hierarchical: a level-ℓ counter occupies the 2^ℓ base slots of a
+// 2^ℓ-aligned block, and all interior merge state of the block is set.
+//
+// Two implementations exist: bitLayout, the paper's simple one-bit-per-
+// counter encoding (§IV), and compactLayout, the near-optimal encoding of
+// Appendix A at 19 bits per 32 counters (< 0.594 bits per counter).
+type layout interface {
+	// level returns the merge level of the counter containing base slot i:
+	// 0 for an unmerged s-bit counter, ℓ for an s·2^ℓ-bit counter.
+	level(i int) uint
+	// mergeTo records that the 2^lvl-aligned block containing slot i is now
+	// a single level-lvl counter (marking all interior merges).
+	mergeTo(i int, lvl uint)
+	// split undoes the top merge of the level-lvl counter containing slot i,
+	// leaving two level-(lvl−1) counters. Used by AEE counter splitting.
+	split(i int, lvl uint)
+	// overheadBits returns the encoding overhead in bits.
+	overheadBits() int
+	// clone returns a deep copy.
+	clone() layout
+}
+
+// bitLayout is the simple SALSA encoding: merge bit m[i] per base counter.
+// Block ⟨b, …, b+2^ℓ−1⟩ being merged into one counter is recorded by setting
+// m[b + 2^(ℓ−1) − 1]; the invariant that interior merges are also recorded
+// lets level() probe exactly one bit per level.
+type bitLayout struct {
+	bits   *bitvec.Vector
+	maxLvl uint
+}
+
+func newBitLayout(width int, maxLvl uint) *bitLayout {
+	return &bitLayout{bits: bitvec.New(width), maxLvl: maxLvl}
+}
+
+func (l *bitLayout) level(i int) uint {
+	lvl := uint(0)
+	for lvl < l.maxLvl {
+		blockStart := i &^ (1<<(lvl+1) - 1)
+		if !l.bits.Get(blockStart + 1<<lvl - 1) {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+func (l *bitLayout) mergeTo(i int, lvl uint) {
+	if lvl > l.maxLvl {
+		panic("core: merge beyond maximum level")
+	}
+	start := i &^ (1<<lvl - 1)
+	// Mark every interior merge of the block, level by level. Re-marking
+	// already-merged sub-blocks is harmless and keeps this simple; merges
+	// are rare relative to updates.
+	for lev := uint(1); lev <= lvl; lev++ {
+		step := 1 << lev
+		for b := start; b < start+1<<lvl; b += step {
+			l.bits.Set(b + step/2 - 1)
+		}
+	}
+}
+
+func (l *bitLayout) split(i int, lvl uint) {
+	if lvl == 0 {
+		panic("core: cannot split a base counter")
+	}
+	start := i &^ (1<<lvl - 1)
+	l.bits.Clear(start + 1<<(lvl-1) - 1)
+}
+
+func (l *bitLayout) overheadBits() int { return l.bits.Len() }
+
+func (l *bitLayout) clone() layout {
+	return &bitLayout{bits: l.bits.Clone(), maxLvl: l.maxLvl}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary serialization for counter arrays: fixed little-endian headers
+// followed by the raw backing words. The format is versioned and
+// self-describing enough to reject mismatched geometry; it exists so
+// sketches built on different machines can be shipped and merged
+// (§V, "Merging and Subtracting SALSA Sketches").
+
+const (
+	marshalMagic   = uint32(0x5a15a001)
+	kindFixed      = byte(1)
+	kindFixedSign  = byte(2)
+	kindSalsa      = byte(3)
+	kindSalsaSign  = byte(4)
+	headerLen      = 4 + 1 + 1 + 1 + 1 + 8 // magic, kind, bits, policy, compact, width
+	errShortBuffer = "core: truncated marshal payload"
+)
+
+// ErrBadPayload is returned when unmarshaling data that is not a counter
+// array of the expected kind.
+var ErrBadPayload = errors.New("core: not a counter array payload")
+
+// maxMarshalWidth bounds decoded geometry so a corrupt or hostile payload
+// cannot trigger a huge allocation: the words are length-checked against
+// the payload, and the width must agree with them.
+const maxMarshalWidth = 1 << 31
+
+// wordsForGeometry returns the expected backing word count, or -1 for
+// invalid geometry.
+func wordsForGeometry(width int, bits uint) int {
+	if width <= 0 || width > maxMarshalWidth || !validBits(bits, 64) {
+		return -1
+	}
+	return int((uint(width)*bits + 63) / 64)
+}
+
+func putHeader(kind byte, bits uint, policy byte, compact bool, width int) []byte {
+	buf := make([]byte, headerLen)
+	binary.LittleEndian.PutUint32(buf, marshalMagic)
+	buf[4] = kind
+	buf[5] = byte(bits)
+	buf[6] = policy
+	if compact {
+		buf[7] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[8:], uint64(width))
+	return buf
+}
+
+func readHeader(data []byte, wantKind byte) (bits uint, policy byte, compact bool, width int, rest []byte, err error) {
+	if len(data) < headerLen {
+		return 0, 0, false, 0, nil, errors.New(errShortBuffer)
+	}
+	if binary.LittleEndian.Uint32(data) != marshalMagic {
+		return 0, 0, false, 0, nil, ErrBadPayload
+	}
+	if data[4] != wantKind {
+		return 0, 0, false, 0, nil, fmt.Errorf("core: payload kind %d, want %d", data[4], wantKind)
+	}
+	return uint(data[5]), data[6], data[7] == 1,
+		int(binary.LittleEndian.Uint64(data[8:])), data[headerLen:], nil
+}
+
+func appendWords(buf []byte, words []uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+func readWords(data []byte) ([]uint64, []byte, error) {
+	if len(data) < 8 {
+		return nil, nil, errors.New(errShortBuffer)
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	// Compare without multiplying so a huge declared count cannot wrap.
+	if n > uint64(len(data))/8 {
+		return nil, nil, errors.New(errShortBuffer)
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return words, data[n*8:], nil
+}
+
+// MarshalBinary encodes the array.
+func (f *Fixed) MarshalBinary() ([]byte, error) {
+	buf := putHeader(kindFixed, f.bits, 0, false, f.width)
+	return appendWords(buf, f.words), nil
+}
+
+// UnmarshalFixed decodes a Fixed array.
+func UnmarshalFixed(data []byte) (*Fixed, error) {
+	bits, _, _, width, rest, err := readHeader(data, kindFixed)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	if wordsForGeometry(width, bits) != len(words) {
+		return nil, ErrBadPayload
+	}
+	f := NewFixed(width, bits)
+	copy(f.words, words)
+	return f, nil
+}
+
+// MarshalBinary encodes the array.
+func (f *FixedSign) MarshalBinary() ([]byte, error) {
+	buf := putHeader(kindFixedSign, f.bits, 0, false, f.width)
+	return appendWords(buf, f.words), nil
+}
+
+// UnmarshalFixedSign decodes a FixedSign array.
+func UnmarshalFixedSign(data []byte) (*FixedSign, error) {
+	bits, _, _, width, rest, err := readHeader(data, kindFixedSign)
+	if err != nil {
+		return nil, err
+	}
+	words, _, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	if bits < 2 || wordsForGeometry(width, bits) != len(words) {
+		return nil, ErrBadPayload
+	}
+	f := NewFixedSign(width, bits)
+	copy(f.words, words)
+	return f, nil
+}
+
+// layoutWords exposes the layout backing words for serialization.
+func layoutWords(l layout) []uint64 {
+	switch ly := l.(type) {
+	case *bitLayout:
+		return ly.bits.Words()
+	case *compactLayout:
+		return ly.words
+	}
+	panic("core: unknown layout type")
+}
+
+// MarshalBinary encodes the array including its merge layout.
+func (c *Salsa) MarshalBinary() ([]byte, error) {
+	_, compact := c.lay.(*compactLayout)
+	buf := putHeader(kindSalsa, c.s, byte(c.policy), compact, c.width)
+	buf = appendWords(buf, c.words)
+	return appendWords(buf, layoutWords(c.lay)), nil
+}
+
+// UnmarshalSalsa decodes a Salsa array.
+func UnmarshalSalsa(data []byte) (*Salsa, error) {
+	s, policy, compact, width, rest, err := readHeader(data, kindSalsa)
+	if err != nil {
+		return nil, err
+	}
+	words, rest, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	layWords, _, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	if s > 32 || wordsForGeometry(width, s) != len(words) ||
+		policy > byte(MaxMerge) || !salsaWidthOK(width, s, compact) {
+		return nil, ErrBadPayload
+	}
+	c := NewSalsa(width, s, MergePolicy(policy), compact)
+	if len(layWords) != len(layoutWords(c.lay)) {
+		return nil, ErrBadPayload
+	}
+	copy(c.words, words)
+	copy(layoutWords(c.lay), layWords)
+	return c, nil
+}
+
+// salsaWidthOK mirrors the constructor's width validation without the
+// panic, for decoding untrusted payloads.
+func salsaWidthOK(width int, s uint, compact bool) bool {
+	maxLvl := 0
+	for b := s; b < 64; b <<= 1 {
+		maxLvl++
+	}
+	if width <= 0 || width%(1<<maxLvl) != 0 {
+		return false
+	}
+	if compact {
+		groupLog := 5
+		if maxLvl > groupLog {
+			groupLog = maxLvl
+		}
+		if width%(1<<groupLog) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalBinary encodes the array including its merge layout.
+func (c *SalsaSign) MarshalBinary() ([]byte, error) {
+	_, compact := c.lay.(*compactLayout)
+	buf := putHeader(kindSalsaSign, c.s, 0, compact, c.width)
+	buf = appendWords(buf, c.words)
+	return appendWords(buf, layoutWords(c.lay)), nil
+}
+
+// UnmarshalSalsaSign decodes a SalsaSign array.
+func UnmarshalSalsaSign(data []byte) (*SalsaSign, error) {
+	s, _, compact, width, rest, err := readHeader(data, kindSalsaSign)
+	if err != nil {
+		return nil, err
+	}
+	words, rest, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	layWords, _, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	if s < 2 || s > 32 || wordsForGeometry(width, s) != len(words) || !salsaWidthOK(width, s, compact) {
+		return nil, ErrBadPayload
+	}
+	c := NewSalsaSign(width, s, compact)
+	if len(layWords) != len(layoutWords(c.lay)) {
+		return nil, ErrBadPayload
+	}
+	copy(c.words, words)
+	copy(layoutWords(c.lay), layWords)
+	return c, nil
+}

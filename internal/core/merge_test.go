@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSalsaMaxMergeFromBounds(t *testing.T) {
+	// Max-merge sketch union: the merged array must dominate both inputs
+	// pointwise and stay below the sum-merge union.
+	const w = 64
+	a := NewSalsa(w, 8, MaxMerge, false)
+	b := NewSalsa(w, 8, MaxMerge, false)
+	rng := rand.New(rand.NewSource(71))
+	for op := 0; op < 8000; op++ {
+		a.Add(rng.Intn(w), int64(rng.Intn(200)))
+		b.Add(rng.Intn(w), int64(rng.Intn(200)))
+	}
+	beforeA := make([]uint64, w)
+	beforeB := make([]uint64, w)
+	for i := 0; i < w; i++ {
+		beforeA[i], beforeB[i] = a.Value(i), b.Value(i)
+	}
+	a.MergeFrom(b)
+	for i := 0; i < w; i++ {
+		if a.Value(i) < beforeA[i] || a.Value(i) < beforeB[i] {
+			t.Fatalf("slot %d: union %d below inputs (%d, %d)", i, a.Value(i), beforeA[i], beforeB[i])
+		}
+	}
+}
+
+func TestSalsaProbabilisticHalve(t *testing.T) {
+	const w = 64
+	c := NewSalsa(w, 8, MaxMerge, false)
+	// Touch only even slots: each Add merges its pair into one 16-bit
+	// counter holding exactly 1000 (adding to the odd slot too would land
+	// in the same merged counter and double it).
+	for i := 0; i < w; i += 2 {
+		c.Add(i, 1000)
+	}
+	rng := rand.New(rand.NewSource(73))
+	c.Halve(true, rng.Uint64, false)
+	var total uint64
+	for i := 0; i < w; i += 2 {
+		v := c.Value(i)
+		if v > 1000 {
+			t.Fatalf("slot %d grew to %d", i, v)
+		}
+		total += v
+	}
+	// 32 merged counters of 1000 halved: expected total 16000, sd ≈ 90.
+	if total < 15000 || total > 17000 {
+		t.Fatalf("total after halving = %d, want ≈ 16000", total)
+	}
+}
+
+func TestSalsaCountersEarlyStop(t *testing.T) {
+	c := NewSalsa(64, 8, SumMerge, false)
+	c.Add(0, 1)
+	c.Add(1, 2)
+	visits := 0
+	c.Counters(func(start int, lvl uint, val uint64) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Fatalf("visits = %d, want early stop after 2", visits)
+	}
+}
+
+func TestSalsaSubtractRequiresSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSalsa(64, 8, MaxMerge, false).SubtractFrom(NewSalsa(64, 8, MaxMerge, false))
+}
+
+func TestSalsaMergeGeometryMismatch(t *testing.T) {
+	cases := []*Salsa{
+		NewSalsa(128, 8, SumMerge, false), // width mismatch
+		NewSalsa(64, 16, SumMerge, false), // s mismatch
+		NewSalsa(64, 8, MaxMerge, false),  // policy mismatch
+	}
+	base := NewSalsa(64, 8, SumMerge, false)
+	for i, other := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			base.MergeFrom(other)
+		}()
+	}
+}
+
+func TestSalsaSignLevelAccessor(t *testing.T) {
+	c := NewSalsaSign(64, 8, false)
+	c.Add(4, 1000)
+	if c.Level(4) == 0 {
+		t.Fatal("1000 must have merged an 8-bit signed counter")
+	}
+	if c.BaseBits() != 8 || c.Width() != 64 {
+		t.Fatal("geometry accessors wrong")
+	}
+	if c.SizeBits() != 64*8+64 {
+		t.Fatalf("SizeBits = %d", c.SizeBits())
+	}
+	if c.Merges() == 0 {
+		t.Fatal("merge counter not tracked")
+	}
+}
+
+func TestTangoDirectionAtArrayEdges(t *testing.T) {
+	// A counter at slot 0 can only ever grow right; at the last slot the
+	// first growth is left (its 2-block sibling).
+	c := NewTango(16, 8, MaxMerge)
+	c.SetAtLeast(0, 300)
+	lo, hi := c.Span(0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("slot 0 span [%d,%d]", lo, hi)
+	}
+	c2 := NewTango(16, 8, MaxMerge)
+	c2.SetAtLeast(15, 300)
+	lo, hi = c2.Span(15)
+	if lo != 14 || hi != 15 {
+		t.Fatalf("slot 15 span [%d,%d]", lo, hi)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickSalsaSumInvariant(t *testing.T) {
+	// Property: for any sequence of positive adds, every counter holds
+	// exactly the sum of the updates to its slot range (Theorem V.1's
+	// invariant).
+	f := func(slots []uint16, values []uint16, compact bool) bool {
+		const w = 128
+		c := NewSalsa(w, 8, SumMerge, compact)
+		sums := make([]uint64, w)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			slot := int(slots[i]) % w
+			v := int64(values[i])
+			c.Add(slot, v)
+			sums[slot] += uint64(v)
+		}
+		for i := 0; i < w; i++ {
+			start, count := c.CounterRange(i)
+			var want uint64
+			for j := start; j < start+count; j++ {
+				want += sums[j]
+			}
+			if c.Value(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSalsaMaxBounds(t *testing.T) {
+	// Property: max-merge values stay within [max slot total, range total].
+	f := func(slots []uint16, values []uint8) bool {
+		const w = 64
+		c := NewSalsa(w, 8, MaxMerge, false)
+		sums := make([]uint64, w)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			slot := int(slots[i]) % w
+			c.Add(slot, int64(values[i]))
+			sums[slot] += uint64(values[i])
+		}
+		for i := 0; i < w; i++ {
+			start, count := c.CounterRange(i)
+			var total, max uint64
+			for j := start; j < start+count; j++ {
+				total += sums[j]
+				if sums[j] > max {
+					max = sums[j]
+				}
+			}
+			if v := c.Value(i); v < max || v > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedSumInvariant(t *testing.T) {
+	// Property: signed counters hold exactly the signed totals.
+	f := func(slots []uint16, values []int16) bool {
+		const w = 64
+		c := NewSalsaSign(w, 8, false)
+		sums := make([]int64, w)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			slot := int(slots[i]) % w
+			c.Add(slot, int64(values[i]))
+			sums[slot] += int64(values[i])
+		}
+		ok := true
+		c.Counters(func(start int, lvl uint, val int64) bool {
+			var want int64
+			for j := start; j < start+1<<lvl; j++ {
+				want += sums[j]
+			}
+			if val != want {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTangoContainment(t *testing.T) {
+	// Property: Tango spans stay inside SALSA ranges and Tango estimates
+	// never exceed SALSA's (§IV) for the same update sequence.
+	f := func(slots []uint16, values []uint16) bool {
+		const w = 64
+		tg := NewTango(w, 8, SumMerge)
+		sa := NewSalsa(w, 8, SumMerge, false)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			slot := int(slots[i]) % w
+			v := int64(values[i])
+			tg.Add(slot, v)
+			sa.Add(slot, v)
+		}
+		for i := 0; i < w; i++ {
+			lo, hi := tg.Span(i)
+			start, count := sa.CounterRange(i)
+			if lo < start || hi >= start+count {
+				return false
+			}
+			if tg.Value(i) > sa.Value(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	// Property: marshal→unmarshal is the identity on observable state.
+	f := func(slots []uint16, values []uint16, compact bool) bool {
+		const w = 64
+		c := NewSalsa(w, 8, MaxMerge, compact)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			c.Add(int(slots[i])%w, int64(values[i]))
+		}
+		data, err := c.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		g, err := UnmarshalSalsa(data)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < w; i++ {
+			if g.Value(i) != c.Value(i) || g.Level(i) != c.Level(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnmarshalNeverPanics(t *testing.T) {
+	// Property: arbitrary bytes are rejected gracefully, never a panic.
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = UnmarshalSalsa(data)
+		_, _ = UnmarshalSalsaSign(data)
+		_, _ = UnmarshalFixed(data)
+		_, _ = UnmarshalFixedSign(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHalveNeverGrows(t *testing.T) {
+	// Property: downsampling never increases any counter, with or without
+	// splitting.
+	f := func(slots []uint16, values []uint16, split bool, probabilistic bool) bool {
+		const w = 64
+		c := NewSalsa(w, 8, MaxMerge, false)
+		n := len(slots)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			c.Add(int(slots[i])%w, int64(values[i]))
+		}
+		before := make([]uint64, w)
+		for i := range before {
+			before[i] = c.Value(i)
+		}
+		rng := rand.New(rand.NewSource(1))
+		c.Halve(probabilistic, rng.Uint64, split)
+		for i := 0; i < w; i++ {
+			if c.Value(i) > before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkExactSums verifies the sum-merge invariant from the proof of
+// Theorem V.1: the value of each merged counter is exactly the total of the
+// updates applied to the base slots it spans.
+func checkExactSums(t *testing.T, c *Salsa, sums []uint64) {
+	t.Helper()
+	for i := 0; i < c.Width(); {
+		start, count := c.CounterRange(i)
+		if start != i {
+			t.Fatalf("counter range start %d != walk position %d", start, i)
+		}
+		var want uint64
+		for j := start; j < start+count; j++ {
+			want += sums[j]
+		}
+		if got := c.Value(i); got != want {
+			t.Fatalf("counter at %d (count %d): got %d, want %d", start, count, got, want)
+		}
+		i += count
+	}
+}
+
+// checkAlignment verifies the structural invariants of the merge layout:
+// ranges are power-of-two sized, self-aligned, and consistent across their
+// slots.
+func checkAlignment(t *testing.T, c *Salsa) {
+	t.Helper()
+	for i := 0; i < c.Width(); i++ {
+		start, count := c.CounterRange(i)
+		if count&(count-1) != 0 {
+			t.Fatalf("slot %d: count %d not a power of two", i, count)
+		}
+		if start%count != 0 {
+			t.Fatalf("slot %d: start %d not aligned to %d", i, start, count)
+		}
+		lvl := c.Level(i)
+		for j := start; j < start+count; j++ {
+			if c.Level(j) != lvl {
+				t.Fatalf("slots %d and %d disagree on level", i, j)
+			}
+		}
+		if int(c.BaseBits())<<lvl > 64 {
+			t.Fatalf("slot %d: counter exceeds 64 bits", i)
+		}
+	}
+}
+
+func TestSalsaSumExactAllSizes(t *testing.T) {
+	for _, s := range []uint{1, 2, 4, 8, 16, 32} {
+		for _, compact := range []bool{false, true} {
+			name := map[bool]string{false: "simple", true: "compact"}[compact]
+			t.Run(name+"/s="+itoa(int(s)), func(t *testing.T) {
+				w := 128
+				c := NewSalsa(w, s, SumMerge, compact)
+				sums := make([]uint64, w)
+				rng := rand.New(rand.NewSource(int64(s)))
+				for op := 0; op < 5000; op++ {
+					i := rng.Intn(w)
+					v := int64(rng.Intn(1 << 12))
+					c.Add(i, v)
+					sums[i] += uint64(v)
+				}
+				checkExactSums(t, c, sums)
+				checkAlignment(t, c)
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestSalsaStrictTurnstileExact(t *testing.T) {
+	// With decrements that never take a slot's running total negative, the
+	// exact-sum invariant must still hold (Strict Turnstile model).
+	const w = 64
+	c := NewSalsa(w, 8, SumMerge, false)
+	sums := make([]uint64, w)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(w)
+		if rng.Intn(10) < 7 || sums[i] == 0 {
+			v := uint64(rng.Intn(500))
+			c.Add(i, int64(v))
+			sums[i] += v
+		} else {
+			d := uint64(rng.Intn(int(sums[i]))) + 1
+			c.Add(i, -int64(d))
+			sums[i] -= d
+		}
+	}
+	checkExactSums(t, c, sums)
+}
+
+func TestSalsaNegativeOnMaxMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSalsa(64, 8, MaxMerge, false).Add(0, -1)
+}
+
+func TestSalsaMaxMergeBounds(t *testing.T) {
+	// Max-merge invariant (Theorem V.2): per-slot total ≤ counter value ≤
+	// range total, and values never shrink.
+	const w = 64
+	c := NewSalsa(w, 8, MaxMerge, false)
+	sums := make([]uint64, w)
+	rng := rand.New(rand.NewSource(6))
+	prev := make([]uint64, w)
+	for op := 0; op < 30000; op++ {
+		i := rng.Intn(w)
+		v := uint64(rng.Intn(64))
+		c.Add(i, int64(v))
+		sums[i] += v
+		if g := c.Value(i); g < prev[i] {
+			t.Fatalf("op %d: counter at %d shrank from %d to %d", op, i, prev[i], g)
+		}
+		prev[i] = c.Value(i)
+	}
+	for i := 0; i < w; i++ {
+		start, count := c.CounterRange(i)
+		var total, max uint64
+		for j := start; j < start+count; j++ {
+			total += sums[j]
+			if sums[j] > max {
+				max = sums[j]
+			}
+		}
+		got := c.Value(i)
+		if got < max || got > total {
+			t.Fatalf("slot %d: value %d outside [%d, %d]", i, got, max, total)
+		}
+	}
+	checkAlignment(t, c)
+}
+
+func TestSalsaMaxVsSumDominance(t *testing.T) {
+	// For identical cash-register streams, the max-merge estimate is upper
+	// bounded by the sum-merge estimate (argument of Theorem V.2).
+	const w = 64
+	sum := NewSalsa(w, 8, SumMerge, false)
+	max := NewSalsa(w, 8, MaxMerge, false)
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(w)
+		v := int64(rng.Intn(100))
+		sum.Add(i, v)
+		max.Add(i, v)
+	}
+	for i := 0; i < w; i++ {
+		if max.Value(i) > sum.Value(i) {
+			t.Fatalf("slot %d: max-merge %d > sum-merge %d", i, max.Value(i), sum.Value(i))
+		}
+	}
+}
+
+func TestSalsaUnderlyingSketchDominance(t *testing.T) {
+	// Theorem V.1: if the largest SALSA counter is s·2^ℓ bits, the SALSA
+	// estimate is upper bounded by a fixed-size sketch with s·2^ℓ-bit
+	// counters and hashes ⌊h(x)/2^ℓ⌋ — equivalently, by the range sum of
+	// the full 2^L-aligned block. Check against the coarsest underlying
+	// array (ℓ = max level).
+	const w = 128
+	c := NewSalsa(w, 8, SumMerge, false)
+	sums := make([]uint64, w)
+	rng := rand.New(rand.NewSource(8))
+	for op := 0; op < 50000; op++ {
+		i := rng.Intn(w)
+		v := int64(rng.Intn(200))
+		c.Add(i, v)
+		sums[i] += uint64(v)
+	}
+	// Underlying CMS row with 64-bit counters: block of 8 slots each.
+	for i := 0; i < w; i++ {
+		blockStart := i &^ 7
+		var underlying uint64
+		for j := blockStart; j < blockStart+8; j++ {
+			underlying += sums[j]
+		}
+		if c.Value(i) > underlying {
+			t.Fatalf("slot %d: SALSA %d > underlying %d", i, c.Value(i), underlying)
+		}
+		if c.Value(i) < sums[i] {
+			t.Fatalf("slot %d: SALSA %d < truth %d", i, c.Value(i), sums[i])
+		}
+	}
+}
+
+func TestSalsaSetAtLeast(t *testing.T) {
+	c := NewSalsa(64, 8, MaxMerge, false)
+	c.SetAtLeast(5, 10)
+	if c.Value(5) != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value(5))
+	}
+	c.SetAtLeast(5, 3)
+	if c.Value(5) != 10 {
+		t.Fatal("SetAtLeast lowered a counter")
+	}
+	// Force an overflow merge: 300 needs 16 bits.
+	c.SetAtLeast(5, 300)
+	if c.Value(5) != 300 {
+		t.Fatalf("Value = %d, want 300", c.Value(5))
+	}
+	if c.Level(5) != 1 {
+		t.Fatalf("Level = %d, want 1", c.Level(5))
+	}
+	if c.Level(4) != 1 {
+		t.Fatal("merge partner not at level 1")
+	}
+}
+
+func TestSalsaPaperFigure1Encoding(t *testing.T) {
+	// Figure 1 of the paper: s = 8, sixteen slots; ⟨4..7⟩ merged to 32 bits,
+	// ⟨10,11⟩ and ⟨14,15⟩ merged to 16 bits. The simple encoding must have
+	// merge bits set exactly at indices 4, 5, 6, 10 and 14.
+	lay := newBitLayout(16, 3)
+	lay.mergeTo(4, 2)
+	lay.mergeTo(10, 1)
+	lay.mergeTo(14, 1)
+	wantSet := map[int]bool{4: true, 5: true, 6: true, 10: true, 14: true}
+	for i := 0; i < 16; i++ {
+		if lay.bits.Get(i) != wantSet[i] {
+			t.Fatalf("merge bit %d = %v, want %v", i, lay.bits.Get(i), wantSet[i])
+		}
+	}
+	wantLvl := []uint{0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 1, 1, 0, 0, 1, 1}
+	for i, want := range wantLvl {
+		if lay.level(i) != want {
+			t.Fatalf("level(%d) = %d, want %d", i, lay.level(i), want)
+		}
+	}
+}
+
+func TestSalsaPaperFigure2SumMerge(t *testing.T) {
+	// Figure 2a: s = 8, slots ⟨0..7⟩ holding 0,255,3,0,[65533 in ⟨4,5⟩],95,11.
+	// ⟨x,3⟩ at slot 1 overflows 255 → ⟨0,1⟩ = 258. ⟨y,5⟩ at slot 5 overflows
+	// 65533 → ⟨4..7⟩ = 65533+5+95+11 = 65644 under sum merge.
+	c := NewSalsa(8, 8, SumMerge, false)
+	c.Add(1, 255)
+	c.Add(2, 3)
+	c.Add(4, 65533) // merges ⟨4,5⟩ immediately
+	c.Add(6, 95)
+	c.Add(7, 11)
+	if c.Level(4) != 1 || c.Value(4) != 65533 {
+		t.Fatalf("setup: level %d value %d", c.Level(4), c.Value(4))
+	}
+	c.Add(1, 3)
+	if c.Level(1) != 1 || c.Value(1) != 258 {
+		t.Fatalf("⟨0,1⟩: level %d value %d, want 1/258", c.Level(1), c.Value(1))
+	}
+	c.Add(5, 5)
+	if c.Level(5) != 2 {
+		t.Fatalf("⟨4..7⟩ level = %d, want 2", c.Level(5))
+	}
+	if c.Value(5) != 65644 {
+		t.Fatalf("⟨4..7⟩ = %d, want 65644", c.Value(5))
+	}
+	if c.Value(2) != 3 || c.Value(3) != 0 {
+		t.Fatal("untouched slots changed")
+	}
+}
+
+func TestSalsaPaperFigure2MaxMerge(t *testing.T) {
+	// Figure 2b: same setup with max merge; ⟨4..7⟩ = 65538 after the merge.
+	c := NewSalsa(8, 8, MaxMerge, false)
+	c.Add(1, 255)
+	c.Add(2, 3)
+	c.Add(4, 65533)
+	c.Add(6, 95)
+	c.Add(7, 11)
+	c.Add(1, 3)
+	if c.Value(1) != 258 {
+		t.Fatalf("⟨0,1⟩ = %d, want 258 (max(258, 0))", c.Value(1))
+	}
+	c.Add(5, 5)
+	if c.Value(5) != 65538 {
+		t.Fatalf("⟨4..7⟩ = %d, want 65538", c.Value(5))
+	}
+}
+
+func TestSalsaGrowsToSixtyFourBits(t *testing.T) {
+	c := NewSalsa(64, 8, SumMerge, false)
+	c.Add(0, 1<<40)
+	if c.Level(0) != 3 {
+		t.Fatalf("level = %d, want 3 (64-bit counter)", c.Level(0))
+	}
+	if c.Value(0) != 1<<40 {
+		t.Fatalf("value = %d", c.Value(0))
+	}
+	// All eight slots of the block now alias the same counter.
+	for i := 1; i < 8; i++ {
+		if c.Value(i) != 1<<40 {
+			t.Fatalf("slot %d does not alias the merged counter", i)
+		}
+	}
+	if c.Value(8) != 0 {
+		t.Fatal("adjacent block affected")
+	}
+}
+
+func TestSalsaSaturatesAtMaxLevel(t *testing.T) {
+	c := NewSalsa(64, 8, SumMerge, false)
+	c.Add(0, 1<<62)
+	c.Add(0, 1<<62)
+	c.Add(0, 1<<62)
+	c.Add(0, 1<<62) // exceeds 2^64−1
+	if c.Value(0) != ^uint64(0) {
+		t.Fatalf("value = %d, want saturation", c.Value(0))
+	}
+}
+
+func TestSalsaZeroStats(t *testing.T) {
+	c := NewSalsa(16, 8, SumMerge, false)
+	c.Add(0, 1)
+	c.Add(4, 300) // merges ⟨4,5⟩
+	st := c.ZeroStats()
+	if st.Unmerged != 14 {
+		t.Fatalf("Unmerged = %d, want 14", st.Unmerged)
+	}
+	if st.ZeroUnmerged != 13 {
+		t.Fatalf("ZeroUnmerged = %d, want 13", st.ZeroUnmerged)
+	}
+	if st.MergedSlots[1] != 1 {
+		t.Fatalf("MergedSlots[1] = %d, want 1", st.MergedSlots[1])
+	}
+	// f = 13/14; estimate = (13 + f·1)/16.
+	want := (13 + 13.0/14.0) / 16
+	if got := c.EstimatedZeroFraction(); !close(got, want) {
+		t.Fatalf("EstimatedZeroFraction = %f, want %f", got, want)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func TestSalsaHalveDeterministic(t *testing.T) {
+	c := NewSalsa(16, 8, MaxMerge, false)
+	c.Add(0, 11)
+	c.Add(4, 301) // merged 16-bit
+	c.Halve(false, nil, false)
+	if c.Value(0) != 5 {
+		t.Fatalf("Value(0) = %d, want 5", c.Value(0))
+	}
+	if c.Value(4) != 150 || c.Level(4) != 1 {
+		t.Fatalf("Value(4) = %d level %d, want 150 at level 1", c.Value(4), c.Level(4))
+	}
+}
+
+func TestSalsaHalveSplit(t *testing.T) {
+	// Paper §V: a 16-bit counter ⟨4,5⟩ holding 300, downsampled to 150,
+	// splits back into two 8-bit counters both holding 150.
+	c := NewSalsa(16, 8, MaxMerge, false)
+	c.Add(4, 300)
+	if c.Level(4) != 1 {
+		t.Fatal("setup: expected a merged counter")
+	}
+	c.Halve(false, nil, true)
+	if c.Level(4) != 0 || c.Level(5) != 0 {
+		t.Fatalf("levels after split: %d %d, want 0 0", c.Level(4), c.Level(5))
+	}
+	if c.Value(4) != 150 || c.Value(5) != 150 {
+		t.Fatalf("values after split: %d %d, want 150 150", c.Value(4), c.Value(5))
+	}
+}
+
+func TestSalsaHalveSplitRequiresMaxMerge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSalsa(16, 8, SumMerge, false).Halve(false, nil, true)
+}
+
+func TestSalsaMergeFromExact(t *testing.T) {
+	const w = 64
+	a := NewSalsa(w, 8, SumMerge, false)
+	b := NewSalsa(w, 8, SumMerge, false)
+	sumsA := make([]uint64, w)
+	sumsB := make([]uint64, w)
+	rng := rand.New(rand.NewSource(17))
+	for op := 0; op < 10000; op++ {
+		i, v := rng.Intn(w), int64(rng.Intn(300))
+		a.Add(i, v)
+		sumsA[i] += uint64(v)
+		j, u := rng.Intn(w), int64(rng.Intn(300))
+		b.Add(j, u)
+		sumsB[j] += uint64(u)
+	}
+	a.MergeFrom(b)
+	combined := make([]uint64, w)
+	for i := range combined {
+		combined[i] = sumsA[i] + sumsB[i]
+	}
+	checkExactSums(t, a, combined)
+	checkAlignment(t, a)
+	// The merged layout must dominate b's layout.
+	for i := 0; i < w; i++ {
+		if a.Level(i) < b.Level(i) {
+			t.Fatalf("slot %d: merged level %d < b level %d", i, a.Level(i), b.Level(i))
+		}
+	}
+}
+
+func TestSalsaSubtractFromExact(t *testing.T) {
+	// B ⊆ A: every slot update to B is also applied to A.
+	const w = 64
+	a := NewSalsa(w, 8, SumMerge, false)
+	b := NewSalsa(w, 8, SumMerge, false)
+	sumsA := make([]uint64, w)
+	sumsB := make([]uint64, w)
+	rng := rand.New(rand.NewSource(18))
+	for op := 0; op < 8000; op++ {
+		i, v := rng.Intn(w), int64(rng.Intn(300))
+		a.Add(i, v)
+		sumsA[i] += uint64(v)
+		if rng.Intn(2) == 0 {
+			b.Add(i, v)
+			sumsB[i] += uint64(v)
+		}
+	}
+	a.SubtractFrom(b)
+	diff := make([]uint64, w)
+	for i := range diff {
+		diff[i] = sumsA[i] - sumsB[i]
+	}
+	// After layout union, A's counters span at least B's ranges; the exact
+	// invariant holds on the union layout.
+	checkExactSums(t, a, diff)
+}
+
+func TestSalsaCompactMatchesSimple(t *testing.T) {
+	// The compact Appendix A encoding must be behaviorally identical to the
+	// simple encoding under any update sequence.
+	for _, s := range []uint{2, 8, 16} {
+		simple := NewSalsa(128, s, SumMerge, false)
+		compact := NewSalsa(128, s, SumMerge, true)
+		rng := rand.New(rand.NewSource(int64(s) * 31))
+		for op := 0; op < 20000; op++ {
+			i := rng.Intn(128)
+			v := int64(rng.Intn(1 << 10))
+			simple.Add(i, v)
+			compact.Add(i, v)
+			if op%500 == 0 {
+				for j := 0; j < 128; j++ {
+					if simple.Value(j) != compact.Value(j) {
+						t.Fatalf("s=%d op %d slot %d: simple %d, compact %d", s, op, j, simple.Value(j), compact.Value(j))
+					}
+					if simple.Level(j) != compact.Level(j) {
+						t.Fatalf("s=%d op %d slot %d: levels differ", s, op, j)
+					}
+				}
+			}
+		}
+		for j := 0; j < 128; j++ {
+			if simple.Value(j) != compact.Value(j) || simple.Level(j) != compact.Level(j) {
+				t.Fatalf("s=%d final slot %d mismatch", s, j)
+			}
+		}
+	}
+}
+
+func TestSalsaCompactOverheadBelowBound(t *testing.T) {
+	// Appendix A: the compact encoding must cost < 0.594 bits per counter;
+	// the simple encoding costs exactly 1.
+	c := NewSalsa(1024, 8, SumMerge, true)
+	overhead := float64(c.SizeBits()-1024*8) / 1024
+	if overhead >= 0.594 {
+		t.Fatalf("compact overhead %f ≥ 0.594 bits/counter", overhead)
+	}
+	s := NewSalsa(1024, 8, SumMerge, false)
+	if s.SizeBits()-1024*8 != 1024 {
+		t.Fatal("simple overhead should be exactly 1 bit/counter")
+	}
+}
+
+func TestSalsaWidthValidation(t *testing.T) {
+	for _, tc := range []struct {
+		w int
+		s uint
+	}{{0, 8}, {-8, 8}, {7, 8}, {12, 8}, {31, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSalsa(%d, %d) did not panic", tc.w, tc.s)
+				}
+			}()
+			NewSalsa(tc.w, tc.s, SumMerge, false)
+		}()
+	}
+}
+
+func TestSalsaMergesCounter(t *testing.T) {
+	c := NewSalsa(64, 8, SumMerge, false)
+	if c.Merges() != 0 {
+		t.Fatal("fresh array has merges")
+	}
+	c.Add(0, 300)
+	if c.Merges() != 1 {
+		t.Fatalf("Merges = %d, want 1", c.Merges())
+	}
+}
+
+func TestMergePolicyString(t *testing.T) {
+	if SumMerge.String() != "sum" || MaxMerge.String() != "max" {
+		t.Fatal("policy names wrong")
+	}
+	if MergePolicy(9).String() == "" {
+		t.Fatal("unknown policy should still format")
+	}
+}

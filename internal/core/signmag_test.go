@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeSM(t *testing.T) {
+	for _, size := range []uint{8, 16, 32, 64} {
+		for _, v := range []int64{0, 1, -1, 100, -100, maxMag(size), -maxMag(size)} {
+			if got := decodeSM(encodeSM(v, size), size); got != v {
+				t.Fatalf("size %d: roundtrip %d -> %d", size, v, got)
+			}
+		}
+	}
+}
+
+func TestQuickEncodeDecodeSM(t *testing.T) {
+	f := func(raw int32) bool {
+		v := int64(raw) % maxMag(32)
+		return decodeSM(encodeSM(v, 32), 32) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkExactSignedSums verifies the signed sum-merge invariant: each counter
+// holds exactly the signed total of the updates applied to its base slots.
+func checkExactSignedSums(t *testing.T, c *SalsaSign, sums []int64) {
+	t.Helper()
+	c.Counters(func(start int, lvl uint, val int64) bool {
+		var want int64
+		for j := start; j < start+1<<lvl; j++ {
+			want += sums[j]
+		}
+		if val != want {
+			t.Fatalf("counter at %d (level %d): got %d, want %d", start, lvl, val, want)
+		}
+		return true
+	})
+}
+
+func TestSalsaSignExact(t *testing.T) {
+	for _, s := range []uint{2, 4, 8, 16, 32} {
+		for _, compact := range []bool{false, true} {
+			w := 128
+			c := NewSalsaSign(w, s, compact)
+			sums := make([]int64, w)
+			rng := rand.New(rand.NewSource(int64(s) * 13))
+			for op := 0; op < 10000; op++ {
+				i := rng.Intn(w)
+				v := int64(rng.Intn(1<<10)) - 1<<9
+				c.Add(i, v)
+				sums[i] += v
+			}
+			checkExactSignedSums(t, c, sums)
+		}
+	}
+}
+
+func TestSalsaSignOverflowBothDirections(t *testing.T) {
+	c := NewSalsaSign(16, 8, false)
+	// 8-bit sign-magnitude holds |v| ≤ 127.
+	c.Add(0, 127)
+	if c.Level(0) != 0 {
+		t.Fatal("127 should fit in 8 bits")
+	}
+	c.Add(0, 1)
+	if c.Level(0) != 1 || c.Value(0) != 128 {
+		t.Fatalf("positive overflow: level %d value %d", c.Level(0), c.Value(0))
+	}
+	c2 := NewSalsaSign(16, 8, false)
+	c2.Add(4, -127)
+	if c2.Level(4) != 0 {
+		t.Fatal("-127 should fit in 8 bits")
+	}
+	c2.Add(4, -1)
+	if c2.Level(4) != 1 || c2.Value(4) != -128 {
+		t.Fatalf("negative overflow: level %d value %d", c2.Level(4), c2.Value(4))
+	}
+}
+
+func TestSalsaSignMergeAbsorbsNeighbor(t *testing.T) {
+	c := NewSalsaSign(16, 8, false)
+	c.Add(0, 100)
+	c.Add(1, -50)
+	c.Add(0, 100) // overflow: merged ⟨0,1⟩ = 100+100-50 = 150
+	if c.Value(0) != 150 || c.Value(1) != 150 {
+		t.Fatalf("merged value = %d / %d, want 150", c.Value(0), c.Value(1))
+	}
+}
+
+func TestSalsaSignSignSymmetricThreshold(t *testing.T) {
+	// The overflow event must be symmetric: |v| = 127 fits, |v| = 128
+	// overflows, for both signs (this is the point of sign-magnitude).
+	pos := NewSalsaSign(16, 8, false)
+	neg := NewSalsaSign(16, 8, false)
+	pos.Add(0, 128)
+	neg.Add(0, -128)
+	if pos.Level(0) != neg.Level(0) {
+		t.Fatalf("asymmetric overflow: +128 level %d, -128 level %d", pos.Level(0), neg.Level(0))
+	}
+	if pos.Level(0) != 1 {
+		t.Fatal("128 should have overflowed an 8-bit sign-magnitude counter")
+	}
+}
+
+func TestSalsaSignMergeFromScale(t *testing.T) {
+	const w = 64
+	a := NewSalsaSign(w, 8, false)
+	b := NewSalsaSign(w, 8, false)
+	sumsA := make([]int64, w)
+	sumsB := make([]int64, w)
+	rng := rand.New(rand.NewSource(23))
+	for op := 0; op < 8000; op++ {
+		i, v := rng.Intn(w), int64(rng.Intn(200))-100
+		a.Add(i, v)
+		sumsA[i] += v
+		j, u := rng.Intn(w), int64(rng.Intn(200))-100
+		b.Add(j, u)
+		sumsB[j] += u
+	}
+	diff := NewSalsaSign(w, 8, false)
+	diff.MergeFrom(a, 1)
+	diff.MergeFrom(b, -1)
+	want := make([]int64, w)
+	for i := range want {
+		want[i] = sumsA[i] - sumsB[i]
+	}
+	checkExactSignedSums(t, diff, want)
+
+	union := NewSalsaSign(w, 8, false)
+	union.MergeFrom(a, 1)
+	union.MergeFrom(b, 1)
+	for i := range want {
+		want[i] = sumsA[i] + sumsB[i]
+	}
+	checkExactSignedSums(t, union, want)
+}
+
+func TestSalsaSignMergeFromBadScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSalsaSign(64, 8, false).MergeFrom(NewSalsaSign(64, 8, false), 2)
+}
+
+func TestSalsaSignCompactMatchesSimple(t *testing.T) {
+	simple := NewSalsaSign(128, 8, false)
+	compact := NewSalsaSign(128, 8, true)
+	rng := rand.New(rand.NewSource(29))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(128)
+		v := int64(rng.Intn(1<<9)) - 1<<8
+		simple.Add(i, v)
+		compact.Add(i, v)
+	}
+	for j := 0; j < 128; j++ {
+		if simple.Value(j) != compact.Value(j) || simple.Level(j) != compact.Level(j) {
+			t.Fatalf("slot %d: simple (%d, l%d) vs compact (%d, l%d)",
+				j, simple.Value(j), simple.Level(j), compact.Value(j), compact.Level(j))
+		}
+	}
+}
+
+func TestSalsaSignInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for s=1 signed")
+		}
+	}()
+	NewSalsaSign(64, 1, false)
+}

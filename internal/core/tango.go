@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"salsa/internal/bitvec"
+)
+
+// Tango is the fine-grained variant of SALSA (§IV, "Fine-grained Counter
+// Merges"): counters grow one s-bit cell at a time instead of doubling.
+// The merge bit m[j] records that cells j and j+1 belong to the same
+// counter, and the merge direction always works toward the smallest
+// enclosing power-of-two-aligned block, so that a Tango counter is at all
+// times contained in the counter SALSA would have built from the same
+// updates. Counter values are capped at 64 bits.
+type Tango struct {
+	s      uint
+	width  int
+	policy MergePolicy
+	link   *bitvec.Vector // link.Get(j): cells j and j+1 are one counter
+	words  []uint64
+	merges uint64
+}
+
+// NewTango returns a Tango array of width base counters of s bits each
+// (s a power of two in {1, .., 32}); width must be a power of two so block
+// alignment is defined across the whole array.
+func NewTango(width int, s uint, policy MergePolicy) *Tango {
+	if !validBits(s, 32) {
+		panic(fmt.Sprintf("core: invalid Tango base counter size %d", s))
+	}
+	if width <= 0 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("core: Tango width %d must be a power of two", width))
+	}
+	return &Tango{
+		s:      s,
+		width:  width,
+		policy: policy,
+		link:   bitvec.New(width), // bit width-1 unused
+		words:  make([]uint64, (uint(width)*s+63)/64),
+	}
+}
+
+// Width returns the number of base counter slots.
+func (t *Tango) Width() int { return t.width }
+
+// BaseBits returns s, the initial per-counter size in bits.
+func (t *Tango) BaseBits() uint { return t.s }
+
+// SizeBits returns the memory footprint in bits including the one merge bit
+// per counter.
+func (t *Tango) SizeBits() int { return t.width*int(t.s) + t.width }
+
+// Merges returns the number of cell-absorptions performed so far.
+func (t *Tango) Merges() uint64 { return t.merges }
+
+// Span returns the base-cell range [lo, hi] of the counter containing cell i
+// by scanning the merge bits outward until unset bits are found (§IV).
+func (t *Tango) Span(i int) (lo, hi int) {
+	lo, hi = i, i
+	for lo > 0 && t.link.Get(lo-1) {
+		lo--
+	}
+	for hi < t.width-1 && t.link.Get(hi) {
+		hi++
+	}
+	return lo, hi
+}
+
+// spanBits returns the bit-size of a span of n cells.
+func (t *Tango) spanBits(n int) uint { return uint(n) * t.s }
+
+// readCounter reads the value of the counter spanning cells [lo, hi]. For
+// spans wider than 64 bits only the low 64 bits hold the (saturating) value.
+func (t *Tango) readCounter(lo, hi int) uint64 {
+	n := t.spanBits(hi - lo + 1)
+	if n > 64 {
+		n = 64
+	}
+	return readSpan(t.words, uint(lo)*t.s, n)
+}
+
+// writeCounter writes v into the counter spanning cells [lo, hi], zeroing
+// any bits of the span beyond 64.
+func (t *Tango) writeCounter(lo, hi int, v uint64) {
+	n := t.spanBits(hi - lo + 1)
+	if n > 64 {
+		zeroSpan(t.words, uint(lo)*t.s+64, n-64)
+		n = 64
+	}
+	writeSpan(t.words, uint(lo)*t.s, n, v)
+}
+
+// fits reports whether v is representable in a span of n cells.
+func (t *Tango) fits(v uint64, cells int) bool {
+	b := t.spanBits(cells)
+	return b >= 64 || v <= maxValue(b)
+}
+
+// Value returns the value of the counter containing cell i.
+func (t *Tango) Value(i int) uint64 {
+	lo, hi := t.Span(i)
+	return t.readCounter(lo, hi)
+}
+
+// Add adds v to the counter containing cell i, absorbing neighbor cells on
+// overflow. Negative v subtracts (SumMerge only), clamping at zero.
+func (t *Tango) Add(i int, v int64) {
+	lo, hi := t.Span(i)
+	cur := t.readCounter(lo, hi)
+	if v < 0 {
+		if t.policy != SumMerge {
+			panic("core: negative update on a max-merge Tango array")
+		}
+		d := uint64(-v)
+		if d >= cur {
+			cur = 0
+		} else {
+			cur -= d
+		}
+		t.writeCounter(lo, hi, cur)
+		return
+	}
+	t.store(lo, hi, satAdd(cur, uint64(v)))
+}
+
+// SetAtLeast raises the counter containing cell i to at least v.
+func (t *Tango) SetAtLeast(i int, v uint64) {
+	lo, hi := t.Span(i)
+	if v <= t.readCounter(lo, hi) {
+		return
+	}
+	t.store(lo, hi, v)
+}
+
+// store places nv in the counter spanning [lo, hi], absorbing neighbor
+// counters one target cell at a time until nv fits.
+func (t *Tango) store(lo, hi int, nv uint64) {
+	for !t.fits(nv, hi-lo+1) {
+		dir, ok := t.growDirection(lo, hi)
+		if !ok {
+			nv = ^uint64(0) // the whole array is one counter; saturate
+			break
+		}
+		var nlo, nhi int
+		if dir < 0 {
+			nlo, nhi = t.Span(lo - 1)
+			t.link.Set(lo - 1)
+		} else {
+			nlo, nhi = t.Span(hi + 1)
+			t.link.Set(hi)
+		}
+		other := t.readCounter(nlo, nhi)
+		if t.policy == SumMerge {
+			nv = satAdd(nv, other)
+		} else if other > nv {
+			nv = other
+		}
+		if dir < 0 {
+			lo = nlo
+		} else {
+			hi = nhi
+		}
+		t.merges++
+	}
+	t.writeCounter(lo, hi, nv)
+}
+
+// growDirection picks which neighbor cell to absorb, mimicking SALSA's
+// alignment (§IV): grow toward completing the smallest power-of-two-aligned
+// block containing the span; once the span is a full block, grow toward the
+// parent block's other half.
+func (t *Tango) growDirection(lo, hi int) (dir int, ok bool) {
+	if lo == 0 && hi == t.width-1 {
+		return 0, false
+	}
+	bSize := 1
+	var bStart int
+	for {
+		bStart = lo &^ (bSize - 1)
+		if hi < bStart+bSize {
+			break
+		}
+		bSize <<= 1
+	}
+	if lo == bStart && hi == bStart+bSize-1 {
+		// Span is exactly the block; grow toward the sibling half of the
+		// parent block.
+		parentStart := bStart &^ (2*bSize - 1)
+		if parentStart == bStart {
+			if hi+1 < t.width {
+				return 1, true
+			}
+			return -1, true
+		}
+		if lo > 0 {
+			return -1, true
+		}
+		return 1, true
+	}
+	// Span is a proper sub-range of the block; finish covering it. The
+	// growth rule keeps the uncovered cells on one side only.
+	if lo > bStart {
+		return -1, true
+	}
+	return 1, true
+}
+
+// Counters calls fn for every counter in cell order with its span and
+// value, stopping early if fn returns false.
+func (t *Tango) Counters(fn func(lo, hi int, val uint64) bool) {
+	for i := 0; i < t.width; {
+		lo, hi := t.Span(i)
+		if !fn(lo, hi, t.readCounter(lo, hi)) {
+			return
+		}
+		i = hi + 1
+	}
+}

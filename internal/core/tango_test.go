@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkTangoExactSums verifies the sum-merge invariant for Tango: the value
+// of each counter is the exact total of updates to its span.
+func checkTangoExactSums(t *testing.T, c *Tango, sums []uint64) {
+	t.Helper()
+	c.Counters(func(lo, hi int, val uint64) bool {
+		var want uint64
+		for j := lo; j <= hi; j++ {
+			want += sums[j]
+		}
+		if val != want {
+			t.Fatalf("counter [%d,%d]: got %d, want %d", lo, hi, val, want)
+		}
+		return true
+	})
+}
+
+func TestTangoSumExact(t *testing.T) {
+	for _, s := range []uint{1, 2, 4, 8, 16} {
+		const w = 128
+		c := NewTango(w, s, SumMerge)
+		sums := make([]uint64, w)
+		rng := rand.New(rand.NewSource(int64(s) * 41))
+		for op := 0; op < 8000; op++ {
+			i := rng.Intn(w)
+			v := int64(rng.Intn(1 << 10))
+			c.Add(i, v)
+			sums[i] += uint64(v)
+		}
+		checkTangoExactSums(t, c, sums)
+	}
+}
+
+func TestTangoPaperGrowthSequence(t *testing.T) {
+	// §IV: "if counter 9 overflows, it merges with 8 ... then 10, then 11,
+	// then 12, 13, 14, 15 ... then 7, 6, ...". Drive counter 9 through
+	// repeated overflows and verify the span follows that exact order.
+	c := NewTango(16, 8, MaxMerge)
+	grow := func() (lo, hi int) {
+		lo, hi = c.Span(9)
+		bits := c.spanBits(hi - lo + 1)
+		// Raise the counter just past the current span's capacity.
+		c.SetAtLeast(9, maxValue(bits)+1)
+		return c.Span(9)
+	}
+	// Values are capped at 64 bits, so growth stops at the full 8-block
+	// ⟨8..15⟩ (the paper's conceptual sequence would continue to 7, 6, …).
+	expect := [][2]int{{8, 9}, {8, 10}, {8, 11}, {8, 12}, {8, 13}, {8, 14}, {8, 15}}
+	for step, want := range expect {
+		lo, hi := grow()
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("step %d: span [%d,%d], want [%d,%d]", step, lo, hi, want[0], want[1])
+		}
+	}
+}
+
+func TestTangoContainedInSalsa(t *testing.T) {
+	// §IV: "at every point in time, the Tango counters are contained in the
+	// corresponding SALSA counters", which is what makes Tango at least as
+	// accurate. Feed both arrays the same stream and check containment and
+	// estimate dominance.
+	const w = 128
+	tango := NewTango(w, 8, SumMerge)
+	salsa := NewSalsa(w, 8, SumMerge, false)
+	rng := rand.New(rand.NewSource(47))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(w)
+		v := int64(rng.Intn(1 << 9))
+		tango.Add(i, v)
+		salsa.Add(i, v)
+		if op%1000 == 0 {
+			for j := 0; j < w; j++ {
+				lo, hi := tango.Span(j)
+				start, count := salsa.CounterRange(j)
+				if lo < start || hi >= start+count {
+					t.Fatalf("op %d slot %d: tango span [%d,%d] outside salsa range [%d,%d)",
+						op, j, lo, hi, start, start+count)
+				}
+				if tango.Value(j) > salsa.Value(j) {
+					t.Fatalf("op %d slot %d: tango estimate %d > salsa %d",
+						op, j, tango.Value(j), salsa.Value(j))
+				}
+			}
+		}
+	}
+}
+
+func TestTangoMaxMergeBounds(t *testing.T) {
+	const w = 64
+	c := NewTango(w, 8, MaxMerge)
+	sums := make([]uint64, w)
+	rng := rand.New(rand.NewSource(53))
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(w)
+		v := uint64(rng.Intn(64))
+		c.Add(i, int64(v))
+		sums[i] += v
+	}
+	for i := 0; i < w; i++ {
+		lo, hi := c.Span(i)
+		var total, max uint64
+		for j := lo; j <= hi; j++ {
+			total += sums[j]
+			if sums[j] > max {
+				max = sums[j]
+			}
+		}
+		got := c.Value(i)
+		if got < max || got > total {
+			t.Fatalf("slot %d: value %d outside [%d, %d]", i, got, max, total)
+		}
+	}
+}
+
+func TestTangoNegativeUpdates(t *testing.T) {
+	c := NewTango(64, 8, SumMerge)
+	c.Add(0, 100)
+	c.Add(0, -30)
+	if c.Value(0) != 70 {
+		t.Fatalf("Value = %d, want 70", c.Value(0))
+	}
+	c.Add(0, -200)
+	if c.Value(0) != 0 {
+		t.Fatal("no clamp at zero")
+	}
+}
+
+func TestTangoNegativeOnMaxMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTango(64, 8, MaxMerge).Add(0, -1)
+}
+
+func TestTangoSetAtLeast(t *testing.T) {
+	c := NewTango(64, 8, MaxMerge)
+	c.SetAtLeast(9, 300)
+	if c.Value(9) != 300 {
+		t.Fatalf("Value = %d, want 300", c.Value(9))
+	}
+	lo, hi := c.Span(9)
+	if lo != 8 || hi != 9 {
+		t.Fatalf("span [%d,%d], want [8,9]", lo, hi)
+	}
+	c.SetAtLeast(9, 10)
+	if c.Value(9) != 300 {
+		t.Fatal("SetAtLeast lowered counter")
+	}
+}
+
+func TestTangoFinerThanSalsa(t *testing.T) {
+	// A counter needing 24 bits should use exactly 3 cells in Tango
+	// (where SALSA would use 4).
+	c := NewTango(64, 8, SumMerge)
+	c.Add(9, 1<<20) // needs 21 bits -> 3 cells
+	lo, hi := c.Span(9)
+	if hi-lo+1 != 3 {
+		t.Fatalf("span size = %d, want 3 cells", hi-lo+1)
+	}
+	if c.Value(9) != 1<<20 {
+		t.Fatalf("value = %d", c.Value(9))
+	}
+}
+
+func TestTangoWholeArraySaturates(t *testing.T) {
+	c := NewTango(4, 8, SumMerge)
+	c.Add(0, 1<<62)
+	c.Add(0, 1<<62)
+	c.Add(1, 1<<62)
+	c.Add(2, 1<<62) // exceeds the whole array's 32-bit capacity
+	lo, hi := c.Span(0)
+	if lo != 0 || hi != 3 {
+		t.Fatalf("span [%d,%d], want whole array", lo, hi)
+	}
+	// Once the span is the entire array there is nowhere left to grow; the
+	// counter saturates at the span's own capacity.
+	if c.Value(0) != 1<<32-1 {
+		t.Fatalf("value = %d, want saturation at 2^32-1", c.Value(0))
+	}
+}
+
+func TestTangoSizeBits(t *testing.T) {
+	c := NewTango(128, 8, SumMerge)
+	if c.SizeBits() != 128*8+128 {
+		t.Fatalf("SizeBits = %d", c.SizeBits())
+	}
+}
+
+func TestTangoWidthMustBePowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTango(100, 8, SumMerge)
+}

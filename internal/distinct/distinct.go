@@ -1,0 +1,37 @@
+// Package distinct implements the Linear Counting estimator of Whang,
+// Vander-Zanden & Taylor that the paper applies to CMS rows for distinct
+// counting (§III): with w buckets of which a fraction p remain zero, the
+// number of distinct items is estimated as −w·ln(p).
+package distinct
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOutOfRange is returned when no buckets are zero, i.e. the load exceeds
+// Linear Counting's operating range of roughly w·ln(w) items.
+var ErrOutOfRange = errors.New("distinct: no zero buckets; linear counting out of range")
+
+// LinearCounting estimates the distinct count from the fraction of zero
+// buckets in a w-bucket array.
+func LinearCounting(w int, zeroFraction float64) (float64, error) {
+	if zeroFraction <= 0 {
+		return 0, ErrOutOfRange
+	}
+	if zeroFraction > 1 {
+		zeroFraction = 1
+	}
+	return -float64(w) * math.Log(zeroFraction), nil
+}
+
+// StdError returns the estimator's relative standard error
+// √w·(e^(F0/w) − F0/w − 1) / F0 for a true distinct count f0, the accuracy
+// expression the paper quotes; it improves as w grows.
+func StdError(w int, f0 float64) float64 {
+	if f0 <= 0 {
+		return 0
+	}
+	t := f0 / float64(w)
+	return math.Sqrt(float64(w)*(math.Exp(t)-t-1)) / f0
+}

@@ -1,0 +1,66 @@
+package distinct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearCountingExactFraction(t *testing.T) {
+	// With p = e^(-1), the estimate is exactly w.
+	got, err := LinearCounting(1000, math.Exp(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("estimate = %f, want 1000", got)
+	}
+}
+
+func TestLinearCountingOutOfRange(t *testing.T) {
+	if _, err := LinearCounting(100, 0); err != ErrOutOfRange {
+		t.Fatal("expected ErrOutOfRange")
+	}
+}
+
+func TestLinearCountingClampsFraction(t *testing.T) {
+	got, err := LinearCounting(100, 1.5)
+	if err != nil || got != 0 {
+		t.Fatalf("got %f, %v", got, err)
+	}
+}
+
+func TestLinearCountingEndToEnd(t *testing.T) {
+	// Simulate the bucket process directly: f0 balls into w buckets.
+	const w = 1 << 14
+	const f0 = 4000
+	rng := rand.New(rand.NewSource(1))
+	buckets := make([]bool, w)
+	for i := 0; i < f0; i++ {
+		buckets[rng.Intn(w)] = true
+	}
+	zero := 0
+	for _, b := range buckets {
+		if !b {
+			zero++
+		}
+	}
+	est, err := LinearCounting(w, float64(zero)/w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-f0)/f0 > 0.05 {
+		t.Fatalf("estimate %f, want within 5%% of %d", est, f0)
+	}
+}
+
+func TestStdErrorShrinksWithWidth(t *testing.T) {
+	small := StdError(1<<10, 500)
+	large := StdError(1<<16, 500)
+	if large >= small {
+		t.Fatalf("standard error did not shrink: %f vs %f", small, large)
+	}
+	if StdError(100, 0) != 0 {
+		t.Fatal("zero f0 should yield 0")
+	}
+}

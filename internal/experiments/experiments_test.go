@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny keeps smoke tests fast: every experiment must run end to end and
+// produce well-formed points even at this scale.
+var tiny = Config{N: 20_000, Trials: 2, Seed: 7}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id || res.Title == "" {
+				t.Fatal("missing metadata")
+			}
+			if len(res.Points) == 0 {
+				t.Fatal("no points produced")
+			}
+			for _, p := range res.Points {
+				if p.Series == "" {
+					t.Fatal("point without series")
+				}
+				if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+					t.Fatalf("series %s x=%v: bad y %v", p.Series, p.X, p.Y)
+				}
+				if p.Y < 0 {
+					t.Fatalf("series %s: negative metric %v", p.Series, p.Y)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tiny); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestWidthForBudget(t *testing.T) {
+	// 4 rows of 32-bit slots in 64KB: 64·1024·8 / (4·32) = 4096 slots.
+	if w := widthForBudget(64*1024*8, 4, 32, 64); w != 4096 {
+		t.Fatalf("w = %d, want 4096", w)
+	}
+	// Never below the minimum.
+	if w := widthForBudget(10, 4, 32, 64); w != 64 {
+		t.Fatalf("w = %d, want the 64 floor", w)
+	}
+	// SALSA at 9 bits/slot gets ~3.5× the slots; with power-of-two
+	// rounding that lands on 2× or 4×.
+	wb := widthForBudget(1<<20, 4, 32, 64)
+	ws := widthForBudget(1<<20, 4, 9, 64)
+	if ws < 2*wb || ws > 4*wb {
+		t.Fatalf("salsa width %d vs baseline %d out of expected band", ws, wb)
+	}
+}
+
+func TestScaledBaseWidth(t *testing.T) {
+	if w := scaledBaseWidth(1_000_000); w != 1024 {
+		t.Fatalf("w = %d, want 1024", w)
+	}
+	if w := scaledBaseWidth(1); w != 256 {
+		t.Fatalf("floor = %d", w)
+	}
+}
+
+func TestMemorySweepCoversRange(t *testing.T) {
+	kbs := memorySweepKB(1_000_000)
+	if len(kbs) < 5 {
+		t.Fatalf("sweep too short: %v", kbs)
+	}
+	for i := 1; i < len(kbs); i++ {
+		if kbs[i] != kbs[i-1]*2 {
+			t.Fatal("sweep not geometric")
+		}
+	}
+}
+
+func TestSalsaBeatsBaselineShape(t *testing.T) {
+	// The reproduction's headline shape (Fig. 10): on the skewed NY18-like
+	// trace, SALSA CMS must beat the Baseline CMS NRMSE at every budget in
+	// a small sweep.
+	res, err := Run("fig8cd", Config{N: 100_000, Trials: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[float64]float64{}
+	sal := map[float64]float64{}
+	for _, p := range res.Points {
+		if strings.HasPrefix(p.Series, "NY18/") {
+			switch strings.TrimPrefix(p.Series, "NY18/") {
+			case "Baseline":
+				base[p.X] = p.Y
+			case "SALSA":
+				sal[p.X] = p.Y
+			}
+		}
+	}
+	if len(base) == 0 || len(sal) == 0 {
+		t.Fatal("missing series")
+	}
+	wins := 0
+	total := 0
+	for x, b := range base {
+		s, ok := sal[x]
+		if !ok {
+			continue
+		}
+		total++
+		if s <= b {
+			wins++
+		}
+	}
+	if total == 0 || wins*2 < total {
+		t.Fatalf("SALSA won only %d of %d budgets", wins, total)
+	}
+}
+
+func TestZeroAlgorithmWinsAllFlowsARE(t *testing.T) {
+	// Appendix B's punchline: with φ→0 (all items), the "0" algorithm has
+	// lower ARE than the 32-bit baseline.
+	res, err := Run("fig19", Config{N: 50_000, Trials: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero, baseline float64
+	found := 0
+	for _, p := range res.Points {
+		if p.X != 1e-8 {
+			continue
+		}
+		switch p.Series {
+		case "0":
+			zero = p.Y
+			found++
+		case "CMS (32-bits)":
+			baseline = p.Y
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatal("missing leftmost points")
+	}
+	if zero >= baseline {
+		t.Fatalf("'0' ARE %f not below baseline %f at φ=1e-8", zero, baseline)
+	}
+}

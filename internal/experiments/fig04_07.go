@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"salsa/internal/core"
+	"salsa/internal/stream"
+)
+
+func init() {
+	register("fig4a", "CMS NRMSE vs Zipf skew, Baseline vs SALSA s∈{1..16} (Fig. 4a)", fig4a)
+	register("fig4b", "Count Sketch NRMSE vs Zipf skew, Baseline vs SALSA s∈{2..16} (Fig. 4b)", fig4b)
+	register("fig5a", "SALSA CMS sum vs max merge, NRMSE vs memory, NY18-like (Fig. 5a)", fig5a)
+	register("fig5b", "SALSA CMS sum vs max merge, NRMSE vs Zipf skew (Fig. 5b)", fig5b)
+	register("fig6a", "Heavy-hitter ARE vs φ: SALSA vs fixed 8/16/32-bit CMS (Fig. 6a)", fig6a)
+	register("fig6b", "Heavy-hitter ARE vs stream length at φ=1e-4 (Fig. 6b)", fig6b)
+	register("fig7a", "Tango vs SALSA CMS, NRMSE vs memory, NY18-like (Fig. 7a)", fig7a)
+	register("fig7b", "Tango vs SALSA CMS, NRMSE vs Zipf skew (Fig. 7b)", fig7b)
+}
+
+// scaledBaseWidth mirrors the paper's w = 2^17 rows for 98M updates: keep
+// the per-counter load comparable at our stream size.
+func scaledBaseWidth(n int) int {
+	w := 256
+	for w*1000 < n {
+		w *= 2
+	}
+	return w
+}
+
+// fig4a compares CMS NRMSE across skews: the baseline with 32-bit counters
+// against SALSA with s-bit counters and w·32/s slots (the paper's
+// equal-counter-memory framing; encoding overhead deliberately excluded
+// from the width choice, as in the paper).
+func fig4a(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	configs := []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"Baseline", baselineCMS(32), baseW},
+		{"SALSA1", salsaCMS(1, core.MaxMerge), baseW * 32},
+		{"SALSA2", salsaCMS(2, core.MaxMerge), baseW * 16},
+		{"SALSA4", salsaCMS(4, core.MaxMerge), baseW * 8},
+		{"SALSA8", salsaCMS(8, core.MaxMerge), baseW * 4},
+		{"SALSA16", salsaCMS(16, core.MaxMerge), baseW * 2},
+	}
+	res := Result{XLabel: "zipf skew", YLabel: "NRMSE"}
+	for _, skew := range skewSweep() {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, 40) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			for _, c := range configs {
+				samples[c.name] = append(samples[c.name], onArrivalNRMSE(c.wm(c.w, seed), data))
+			}
+		}
+		for _, c := range configs {
+			res.Points = append(res.Points, meanPoint(c.name, skew, samples[c.name]))
+		}
+	}
+	return res
+}
+
+// fig4b is the Count Sketch version (d = 5; s = 1 is impossible for signed
+// sign-magnitude counters and is omitted, as it is meaningless there).
+func fig4b(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	configs := []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"Baseline", baselineCS(32), baseW},
+		{"SALSA2", salsaCS(2), baseW * 16},
+		{"SALSA4", salsaCS(4), baseW * 8},
+		{"SALSA8", salsaCS(8), baseW * 4},
+		{"SALSA16", salsaCS(16), baseW * 2},
+	}
+	res := Result{XLabel: "zipf skew", YLabel: "NRMSE"}
+	for _, skew := range skewSweep() {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, 41) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			for _, c := range configs {
+				samples[c.name] = append(samples[c.name], onArrivalNRMSE(c.wm(c.w, seed), data))
+			}
+		}
+		for _, c := range configs {
+			res.Points = append(res.Points, meanPoint(c.name, skew, samples[c.name]))
+		}
+	}
+	return res
+}
+
+// memorySweepNRMSE runs an NRMSE-vs-memory sweep for a fixed set of
+// budgeted algorithms on one dataset.
+func memorySweepNRMSE(cfg Config, ds stream.Dataset, algos []maker, salt uint64) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE"}
+	for _, kb := range memorySweepKB(cfg.N) {
+		memBits := int(kb * bitsPerKB)
+		samples := make(map[string][]float64)
+		names := make([]string, len(algos))
+		for _, seed := range trialSeeds(cfg, salt) {
+			data := cachedStream(ds, cfg.N, seed)
+			for i, mk := range algos {
+				s := mk(memBits, seed)
+				names[i] = s.name
+				samples[s.name] = append(samples[s.name], onArrivalNRMSE(s, data))
+			}
+		}
+		for _, name := range names {
+			res.Points = append(res.Points, meanPoint(name, kb, samples[name]))
+		}
+	}
+	return res
+}
+
+func named(name string, wm widthMaker) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := wm(w, seed)
+		s.name = name
+		return s
+	}
+}
+
+func fig5a(cfg Config) Result {
+	algos := []maker{
+		budgeted(named("SALSA Sum", salsaCMS(8, core.SumMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+		budgeted(named("SALSA Max", salsaCMS(8, core.MaxMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+	return memorySweepNRMSE(cfg, stream.NY18, algos, 50)
+}
+
+func fig5b(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N) * 4 // SALSA8 at the 2MB-equivalent point
+	res := Result{XLabel: "zipf skew", YLabel: "NRMSE"}
+	for _, skew := range skewSweep() {
+		sum := []float64{}
+		max := []float64{}
+		for _, seed := range trialSeeds(cfg, 51) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			sum = append(sum, onArrivalNRMSE(named("SALSA Sum", salsaCMS(8, core.SumMerge))(baseW, seed), data))
+			max = append(max, onArrivalNRMSE(named("SALSA Max", salsaCMS(8, core.MaxMerge))(baseW, seed), data))
+		}
+		res.Points = append(res.Points, meanPoint("SALSA Sum", skew, sum))
+		res.Points = append(res.Points, meanPoint("SALSA Max", skew, max))
+	}
+	return res
+}
+
+// phiSweep is the heavy-hitter threshold range of Fig. 6a/19/20.
+func phiSweep() []float64 {
+	return []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+}
+
+// heavyHitterARE computes the ARE over all items with frequency ≥ φ·N
+// after running the stream through the sketch. It returns NaN when no item
+// qualifies (plotted as a gap, like the paper's truncated curves).
+func heavyHitterARE(s sketchUnderTest, data []uint64, phi float64) float64 {
+	exact := stream.NewExact()
+	for _, x := range data {
+		s.update(x)
+		exact.Observe(x)
+	}
+	threshold := phi * float64(exact.Volume())
+	var sum float64
+	n := 0
+	for x, f := range exact.Counts() {
+		if float64(f) < threshold {
+			continue
+		}
+		d := s.query(x) - float64(f)
+		if d < 0 {
+			d = -d
+		}
+		sum += d / float64(f)
+		n++
+	}
+	if n == 0 {
+		return nan()
+	}
+	return sum / float64(n)
+}
+
+func nan() float64 { var z float64; return 0 / z }
+
+// fig6a: can one simply use small fixed counters? ARE over the φ-heavy
+// hitters for fixed 8/16/32-bit CMS vs SALSA at equal counter memory.
+func fig6a(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	configs := []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"SALSA", salsaCMS(8, core.MaxMerge), baseW * 4},
+		{"CMS (8-bits)", named("CMS (8-bits)", baselineCMS(8)), baseW * 4},
+		{"CMS (16-bits)", named("CMS (16-bits)", baselineCMS(16)), baseW * 2},
+		{"CMS (32-bits)", named("CMS (32-bits)", baselineCMS(32)), baseW},
+	}
+	res := Result{XLabel: "threshold phi", YLabel: "ARE"}
+	for _, phi := range phiSweep() {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, 60) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), 1.0, seed)
+			for _, c := range configs {
+				v := heavyHitterARE(c.wm(c.w, seed), data, phi)
+				if v == v { // skip NaN gaps
+					samples[c.name] = append(samples[c.name], v)
+				}
+			}
+		}
+		for _, c := range configs {
+			if len(samples[c.name]) > 0 {
+				res.Points = append(res.Points, meanPoint(c.name, phi, samples[c.name]))
+			}
+		}
+	}
+	return res
+}
+
+// fig6b: the 16-bit variant degrades as the stream grows past its counting
+// range while SALSA keeps up (φ = 1e-4).
+func fig6b(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	configs := []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"SALSA", salsaCMS(8, core.MaxMerge), baseW * 4},
+		{"CMS (8-bits)", named("CMS (8-bits)", baselineCMS(8)), baseW * 4},
+		{"CMS (16-bits)", named("CMS (16-bits)", baselineCMS(16)), baseW * 2},
+		{"CMS (32-bits)", named("CMS (32-bits)", baselineCMS(32)), baseW},
+	}
+	res := Result{XLabel: "stream length", YLabel: "ARE"}
+	for n := cfg.N / 100; n <= cfg.N; n *= 10 {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, 61) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), 1.0, seed)[:n]
+			for _, c := range configs {
+				v := heavyHitterARE(c.wm(c.w, seed), data, 1e-4)
+				if v == v {
+					samples[c.name] = append(samples[c.name], v)
+				}
+			}
+		}
+		for _, c := range configs {
+			if len(samples[c.name]) > 0 {
+				res.Points = append(res.Points, meanPoint(c.name, float64(n), samples[c.name]))
+			}
+		}
+	}
+	return res
+}
+
+func fig7a(cfg Config) Result {
+	algos := []maker{
+		budgeted(named("Tango1", tangoCMS(1)), cmsDepth, 2, salsaMinWidth),
+		budgeted(named("Tango2", tangoCMS(2)), cmsDepth, 3, salsaMinWidth),
+		budgeted(named("Tango4", tangoCMS(4)), cmsDepth, 5, salsaMinWidth),
+		budgeted(named("Tango8", tangoCMS(8)), cmsDepth, slotBitsTango8, salsaMinWidth),
+		budgeted(named("SALSA", salsaCMS(8, core.MaxMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+	return memorySweepNRMSE(cfg, stream.NY18, algos, 70)
+}
+
+func fig7b(cfg Config) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	configs := []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"Tango1", named("Tango1", tangoCMS(1)), baseW * 32},
+		{"Tango2", named("Tango2", tangoCMS(2)), baseW * 16},
+		{"Tango4", named("Tango4", tangoCMS(4)), baseW * 8},
+		{"Tango8", named("Tango8", tangoCMS(8)), baseW * 4},
+		{"SALSA", named("SALSA", salsaCMS(8, core.MaxMerge)), baseW * 4},
+	}
+	res := Result{XLabel: "zipf skew", YLabel: "NRMSE"}
+	for _, skew := range skewSweep() {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, 71) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			for _, c := range configs {
+				samples[c.name] = append(samples[c.name], onArrivalNRMSE(c.wm(c.w, seed), data))
+			}
+		}
+		for _, c := range configs {
+			res.Points = append(res.Points, meanPoint(c.name, skew, samples[c.name]))
+		}
+	}
+	return res
+}

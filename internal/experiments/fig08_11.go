@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"sort"
+
+	"salsa/internal/core"
+	"salsa/internal/stream"
+)
+
+func init() {
+	register("fig8ab", "Throughput vs memory: Pyramid, ABC, Baseline, SALSA CMS (Fig. 8a,b)", fig8ab)
+	register("fig8cd", "NRMSE vs memory: Pyramid, ABC, Baseline, SALSA CMS (Fig. 8c,d)", fig8cd)
+	register("fig8eh", "AAE and ARE vs memory: Pyramid, ABC, Baseline, SALSA CMS (Fig. 8e–h)", fig8eh)
+	register("fig9", "Per-element error vs frequency for the four algorithms (Fig. 9)", fig9)
+	register("fig10", "CMS and CUS, Baseline vs SALSA: NRMSE and throughput, four datasets (Fig. 10)", fig10)
+	register("fig11", "Count Sketch, Baseline vs SALSA: NRMSE, four datasets (Fig. 11)", fig11)
+}
+
+// competitorSet is the four-way comparison of Fig. 8/9.
+func competitorSet() []maker {
+	return []maker{
+		budgeted(pyramidCMS(), cmsDepth, slotBitsPyramid, 64),
+		budgeted(abcCMS(), cmsDepth, slotBits8, 64),
+		budgeted(named("Baseline", baselineCMS(32)), cmsDepth, slotBits32, 64),
+		budgeted(named("SALSA", salsaCMS(8, core.MaxMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+}
+
+func fig8ab(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "throughput [Mops/s]"}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		for _, kb := range memorySweepKB(cfg.N) {
+			memBits := int(kb * bitsPerKB)
+			samples := make(map[string][]float64)
+			names := []string{}
+			for _, seed := range trialSeeds(cfg, 80) {
+				data := cachedStream(ds, cfg.N, seed)
+				for _, mk := range competitorSet() {
+					s := mk(memBits, seed)
+					if len(samples[s.name]) == 0 {
+						names = append(names, s.name)
+					}
+					samples[s.name] = append(samples[s.name], throughput(s, data))
+				}
+			}
+			for _, name := range dedup(names) {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/"+name, kb, samples[name]))
+			}
+		}
+	}
+	return res
+}
+
+func dedup(names []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func fig8cd(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE"}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		sub := memorySweepNRMSE(cfg, ds, competitorSet(), 81)
+		for _, p := range sub.Points {
+			p.Series = ds.Name + "/" + p.Series
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res
+}
+
+func fig8eh(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "AAE / ARE"}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		for _, kb := range memorySweepKB(cfg.N) {
+			memBits := int(kb * bitsPerKB)
+			aaes := make(map[string][]float64)
+			ares := make(map[string][]float64)
+			var names []string
+			for _, seed := range trialSeeds(cfg, 82) {
+				data := cachedStream(ds, cfg.N, seed)
+				for _, mk := range competitorSet() {
+					s := mk(memBits, seed)
+					names = append(names, s.name)
+					aae, are := finalAAEARE(s, data)
+					aaes[s.name] = append(aaes[s.name], aae)
+					ares[s.name] = append(ares[s.name], are)
+				}
+			}
+			for _, name := range dedup(names) {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/AAE/"+name, kb, aaes[name]))
+				res.Points = append(res.Points, meanPoint(ds.Name+"/ARE/"+name, kb, ares[name]))
+			}
+		}
+	}
+	return res
+}
+
+// fig9 samples one element per observed frequency and reports its absolute
+// error, exposing each algorithm's error distribution: SALSA's is tight,
+// Pyramid's has high variance on overflowed counters, ABC's explodes on
+// heavy hitters (regions A and B of the paper's figure).
+func fig9(cfg Config) Result {
+	res := Result{XLabel: "true frequency", YLabel: "|error|"}
+	seed := cfg.Seed
+	// The paper runs this at 2MB for 98M packets; scale the same way.
+	memBits := int(memorySweepKB(cfg.N)[len(memorySweepKB(cfg.N))-1] * bitsPerKB)
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		data := cachedStream(ds, cfg.N, seed)
+		exact := stream.NewExact()
+		sketches := []sketchUnderTest{}
+		for _, mk := range competitorSet() {
+			sketches = append(sketches, mk(memBits, seed))
+		}
+		for _, x := range data {
+			exact.Observe(x)
+			for _, s := range sketches {
+				s.update(x)
+			}
+		}
+		// One representative item per frequency (the paper's declutter).
+		byFreq := map[uint64]uint64{}
+		for x, f := range exact.Counts() {
+			if _, ok := byFreq[f]; !ok {
+				byFreq[f] = x
+			}
+		}
+		freqs := make([]uint64, 0, len(byFreq))
+		for f := range byFreq {
+			freqs = append(freqs, f)
+		}
+		sort.Slice(freqs, func(i, j int) bool { return freqs[i] < freqs[j] })
+		for _, f := range freqs {
+			x := byFreq[f]
+			for _, s := range sketches {
+				d := s.query(x) - float64(f)
+				if d < 0 {
+					d = -d
+				}
+				res.Points = append(res.Points, Point{Series: ds.Name + "/" + s.name, X: float64(f), Y: d})
+			}
+		}
+	}
+	return res
+}
+
+// l1Set is the Baseline-vs-SALSA comparison for CMS and CUS (Fig. 10).
+func l1Set() []maker {
+	return []maker{
+		budgeted(named("Baseline CMS", baselineCMS(32)), cmsDepth, slotBits32, 64),
+		budgeted(named("Baseline CUS", baselineCUS(32)), cmsDepth, slotBits32, 64),
+		budgeted(named("SALSA CMS", salsaCMS(8, core.MaxMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+		budgeted(named("SALSA CUS", salsaCUS(8)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+}
+
+func fig10(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE / Mops"}
+	for _, ds := range stream.Datasets() {
+		for _, kb := range memorySweepKB(cfg.N) {
+			memBits := int(kb * bitsPerKB)
+			errs := make(map[string][]float64)
+			thrs := make(map[string][]float64)
+			var names []string
+			for _, seed := range trialSeeds(cfg, 100) {
+				data := cachedStream(ds, cfg.N, seed)
+				for _, mk := range l1Set() {
+					s := mk(memBits, seed)
+					names = append(names, s.name)
+					errs[s.name] = append(errs[s.name], onArrivalNRMSE(s, data))
+					fresh := mk(memBits, seed)
+					thrs[s.name] = append(thrs[s.name], throughput(fresh, data))
+				}
+			}
+			for _, name := range dedup(names) {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/NRMSE/"+name, kb, errs[name]))
+				res.Points = append(res.Points, meanPoint(ds.Name+"/Mops/"+name, kb, thrs[name]))
+			}
+		}
+	}
+	return res
+}
+
+func fig11(cfg Config) Result {
+	algos := []maker{
+		budgeted(named("Baseline", baselineCS(32)), csDepth, slotBits32, 64),
+		budgeted(named("SALSA", salsaCS(8)), csDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE"}
+	for _, ds := range stream.Datasets() {
+		sub := memorySweepNRMSE(cfg, ds, algos, 110)
+		for _, p := range sub.Points {
+			p.Series = ds.Name + "/" + p.Series
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res
+}

@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"math"
+
+	"salsa/internal/coldfilter"
+	"salsa/internal/core"
+	"salsa/internal/metrics"
+	"salsa/internal/sketch"
+	"salsa/internal/stream"
+	"salsa/internal/topk"
+	"salsa/internal/univmon"
+)
+
+func init() {
+	register("fig12a", "UnivMon entropy ARE vs memory: Baseline vs SALSA s∈{2,4,8} (Fig. 12a)", fig12a)
+	register("fig12b", "UnivMon Fp-moment ARE vs p: Baseline vs SALSA (Fig. 12b)", fig12b)
+	register("fig13", "Cold Filter AAE/ARE vs memory: Baseline vs SALSA stage 2 (Fig. 13)", fig13)
+	register("fig13n", "Cold Filter NRMSE vs memory (§VI companion to Fig. 13)", fig13n)
+	register("fig14ac", "Count-distinct ARE vs memory and skew: Baseline vs SALSA CMS (Fig. 14a–c)", fig14ac)
+	register("fig14df", "Heavy-hitter ARE vs φ and skew: Baseline vs SALSA CMS (Fig. 14d–f)", fig14df)
+	register("fig15ab", "Top-k accuracy vs k and skew: Baseline vs SALSA CS (Fig. 15a,b)", fig15ab)
+	register("fig15cd", "Change-detection NRMSE vs memory and skew: Baseline vs SALSA CS (Fig. 15c,d)", fig15cd)
+	register("fig16", "AEE comparison: NRMSE and throughput vs memory (Fig. 16)", fig16)
+	register("fig17", "SALSA AEE counter splitting ablation (Fig. 17)", fig17)
+}
+
+// univMonConfigs are the Fig. 12 contenders: the paper's 16-instance
+// UnivMon with baseline 32-bit CS rows versus SALSA rows at s ∈ {2,4,8}.
+func univMonConfigs(memBits int, seed uint64) []struct {
+	name string
+	um   *univmon.Sketch
+} {
+	build := func(name string, perSlot float64, rows sketch.SignedRowSpec) struct {
+		name string
+		um   *univmon.Sketch
+	} {
+		// 16 levels × d=5 rows; find the widest power-of-two fit.
+		w := widthForBudget(memBits/16, csDepth, perSlot, 64)
+		return struct {
+			name string
+			um   *univmon.Sketch
+		}{name, univmon.New(univmon.Config{
+			Levels: 16, Depth: csDepth, Width: w, HeapK: 100, Rows: rows, Seed: seed,
+		})}
+	}
+	return []struct {
+		name string
+		um   *univmon.Sketch
+	}{
+		build("Baseline", slotBits32, sketch.FixedSignRow(32)),
+		build("SALSA2", 3, sketch.SalsaSignRow(2, false)),
+		build("SALSA4", 5, sketch.SalsaSignRow(4, false)),
+		build("SALSA8", slotBitsSalsa8, sketch.SalsaSignRow(8, false)),
+	}
+}
+
+func fig12a(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "entropy ARE"}
+	for _, kb := range memorySweepKB(cfg.N) {
+		memBits := int(kb * bitsPerKB)
+		samples := make(map[string][]float64)
+		var names []string
+		for _, seed := range trialSeeds(cfg, 120) {
+			data := cachedStream(stream.NY18, cfg.N, seed)
+			exact := stream.NewExact()
+			ums := univMonConfigs(memBits, seed)
+			for _, x := range data {
+				exact.Observe(x)
+				for _, c := range ums {
+					c.um.Update(x)
+				}
+			}
+			truth := exact.Entropy()
+			for _, c := range ums {
+				names = append(names, c.name)
+				samples[c.name] = append(samples[c.name], metrics.RelErr(c.um.Entropy(), truth))
+			}
+		}
+		for _, name := range dedup(names) {
+			res.Points = append(res.Points, meanPoint(name, kb, samples[name]))
+		}
+	}
+	return res
+}
+
+func fig12b(cfg Config) Result {
+	res := Result{XLabel: "frequency moment p", YLabel: "ARE"}
+	// The paper fixes 400KB for 98M updates; use the middle of our sweep.
+	sweep := memorySweepKB(cfg.N)
+	memBits := int(sweep[len(sweep)/2] * bitsPerKB)
+	ps := []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 1.75, 2}
+	samples := make(map[string]map[float64][]float64)
+	var names []string
+	for _, seed := range trialSeeds(cfg, 121) {
+		data := cachedStream(stream.NY18, cfg.N, seed)
+		exact := stream.NewExact()
+		ums := univMonConfigs(memBits, seed)
+		for _, x := range data {
+			exact.Observe(x)
+			for _, c := range ums {
+				c.um.Update(x)
+			}
+		}
+		for _, c := range ums {
+			if samples[c.name] == nil {
+				samples[c.name] = make(map[float64][]float64)
+				names = append(names, c.name)
+			}
+			for _, p := range ps {
+				truth := exact.Moment(p)
+				samples[c.name][p] = append(samples[c.name][p], metrics.RelErr(c.um.Moment(p), truth))
+			}
+		}
+	}
+	for _, name := range dedup(names) {
+		for _, p := range ps {
+			res.Points = append(res.Points, meanPoint(name, p, samples[name][p]))
+		}
+	}
+	return res
+}
+
+// coldFilterMaker splits the budget evenly between the two filter layers
+// and the stage-2 sketch, per the framework's guidance.
+func coldFilterMaker(name string, salsaStage2 bool) maker {
+	return func(memBits int, seed uint64) sketchUnderTest {
+		layerBits := memBits / 2
+		w1 := 64
+		for (2*w1)*4+(w1)*8 <= layerBits {
+			w1 *= 2
+		}
+		w2 := w1 / 2
+		var stage2 coldfilter.Stage2
+		var s2bits int
+		if salsaStage2 {
+			cus := sketch.NewCUS(cmsDepth, widthForBudget(memBits/2, cmsDepth, slotBitsSalsa8, salsaMinWidth),
+				sketch.SalsaRow(8, core.MaxMerge, false), seed)
+			stage2, s2bits = cus, cus.SizeBits()
+		} else {
+			cus := sketch.NewCUS(cmsDepth, widthForBudget(memBits/2, cmsDepth, slotBits32, 64),
+				sketch.FixedRow(32), seed)
+			stage2, s2bits = cus, cus.SizeBits()
+		}
+		f := coldfilter.New(coldfilter.Config{W1: w1, W2: w2, D1: 3, D2: 3, Seed: seed}, stage2)
+		return sketchUnderTest{
+			name:   name,
+			update: func(x uint64) { f.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(f.Query(x)) },
+			bits:   w1*4 + w2*8 + s2bits,
+		}
+	}
+}
+
+func fig13(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "AAE / ARE"}
+	algos := []maker{
+		coldFilterMaker("Baseline", false),
+		coldFilterMaker("SALSA", true),
+	}
+	for _, kb := range memorySweepKB(cfg.N) {
+		memBits := int(kb * bitsPerKB)
+		aaes := make(map[string][]float64)
+		ares := make(map[string][]float64)
+		var names []string
+		for _, seed := range trialSeeds(cfg, 130) {
+			data := cachedStream(stream.NY18, cfg.N, seed)
+			for _, mk := range algos {
+				s := mk(memBits, seed)
+				names = append(names, s.name)
+				aae, are := finalAAEARE(s, data)
+				aaes[s.name] = append(aaes[s.name], aae)
+				ares[s.name] = append(ares[s.name], are)
+			}
+		}
+		for _, name := range dedup(names) {
+			res.Points = append(res.Points, meanPoint("AAE/"+name, kb, aaes[name]))
+			res.Points = append(res.Points, meanPoint("ARE/"+name, kb, ares[name]))
+		}
+	}
+	return res
+}
+
+// fig13n is the paper's in-text companion to Fig. 13: under the on-arrival
+// NRMSE metric, the SALSA stage 2 yields larger gains than under AAE/ARE.
+func fig13n(cfg Config) Result {
+	algos := []maker{
+		coldFilterMaker("Baseline", false),
+		coldFilterMaker("SALSA", true),
+	}
+	return memorySweepNRMSE(cfg, stream.NY18, algos, 131)
+}
+
+// distinctARE runs the stream through a CMS and returns the Linear Counting
+// relative error, or NaN when out of range.
+func distinctARE(c *sketch.CMS, data []uint64) float64 {
+	exact := stream.NewExact()
+	for _, x := range data {
+		c.Update(x, 1)
+		exact.Observe(x)
+	}
+	est, err := c.DistinctLinearCounting()
+	if err != nil {
+		return nan()
+	}
+	return metrics.RelErr(est, float64(exact.Distinct()))
+}
+
+func fig14ac(cfg Config) Result {
+	res := Result{XLabel: "memory [KB] (a,b) / skew (c)", YLabel: "distinct ARE"}
+	// (a), (b): memory sweeps on the two CAIDA-like traces. Count distinct
+	// needs larger widths, so extend the sweep upward (paper: 1–16MB).
+	kbs := memorySweepKB(cfg.N)
+	for i := 0; i < 3; i++ {
+		kbs = append(kbs, kbs[len(kbs)-1]*2)
+	}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		for _, kb := range kbs {
+			memBits := int(kb * bitsPerKB)
+			base := []float64{}
+			sal := []float64{}
+			for _, seed := range trialSeeds(cfg, 140) {
+				data := cachedStream(ds, cfg.N, seed)
+				b := sketch.NewCMS(cmsDepth, widthForBudget(memBits, cmsDepth, slotBits32, 64), sketch.FixedRow(32), seed)
+				s := sketch.NewCMS(cmsDepth, widthForBudget(memBits, cmsDepth, slotBitsSalsa8, salsaMinWidth),
+					sketch.SalsaRow(8, core.SumMerge, false), seed)
+				if v := distinctARE(b, data); v == v {
+					base = append(base, v)
+				}
+				if v := distinctARE(s, data); v == v {
+					sal = append(sal, v)
+				}
+			}
+			if len(base) > 0 {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/Baseline", kb, base))
+			}
+			if len(sal) > 0 {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/SALSA", kb, sal))
+			}
+		}
+	}
+	// (c): skew sweep at the top budget.
+	memBits := int(kbs[len(kbs)-1] * bitsPerKB)
+	for _, skew := range skewSweep() {
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 141) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			b := sketch.NewCMS(cmsDepth, widthForBudget(memBits, cmsDepth, slotBits32, 64), sketch.FixedRow(32), seed)
+			s := sketch.NewCMS(cmsDepth, widthForBudget(memBits, cmsDepth, slotBitsSalsa8, salsaMinWidth),
+				sketch.SalsaRow(8, core.SumMerge, false), seed)
+			if v := distinctARE(b, data); v == v {
+				base = append(base, v)
+			}
+			if v := distinctARE(s, data); v == v {
+				sal = append(sal, v)
+			}
+		}
+		if len(base) > 0 {
+			res.Points = append(res.Points, meanPoint("Zipf/Baseline", skew, base))
+		}
+		if len(sal) > 0 {
+			res.Points = append(res.Points, meanPoint("Zipf/SALSA", skew, sal))
+		}
+	}
+	return res
+}
+
+func fig14df(cfg Config) Result {
+	res := Result{XLabel: "phi (d,e) / skew (f)", YLabel: "heavy-hitter ARE"}
+	baseW := scaledBaseWidth(cfg.N)
+	phis := []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		for _, phi := range phis {
+			base := []float64{}
+			sal := []float64{}
+			for _, seed := range trialSeeds(cfg, 142) {
+				data := cachedStream(ds, cfg.N, seed)
+				if v := heavyHitterARE(named("b", baselineCMS(32))(baseW, seed), data, phi); v == v {
+					base = append(base, v)
+				}
+				if v := heavyHitterARE(named("s", salsaCMS(8, core.MaxMerge))(baseW*4, seed), data, phi); v == v {
+					sal = append(sal, v)
+				}
+			}
+			if len(base) > 0 {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/Baseline", phi, base))
+			}
+			if len(sal) > 0 {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/SALSA", phi, sal))
+			}
+		}
+	}
+	for _, skew := range skewSweep() {
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 143) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			if v := heavyHitterARE(named("b", baselineCMS(32))(baseW, seed), data, 1e-4); v == v {
+				base = append(base, v)
+			}
+			if v := heavyHitterARE(named("s", salsaCMS(8, core.MaxMerge))(baseW*4, seed), data, 1e-4); v == v {
+				sal = append(sal, v)
+			}
+		}
+		if len(base) > 0 {
+			res.Points = append(res.Points, meanPoint("Zipf/Baseline", skew, base))
+		}
+		if len(sal) > 0 {
+			res.Points = append(res.Points, meanPoint("Zipf/SALSA", skew, sal))
+		}
+	}
+	return res
+}
+
+// topKAccuracy runs a CS + heap tracker over the stream and scores the
+// tracked top k against the exact top k.
+func topKAccuracy(spec sketch.SignedRowSpec, w, k int, seed uint64, data []uint64) float64 {
+	cs := sketch.NewCountSketch(csDepth, w, spec, seed)
+	heap := topk.New(k)
+	exact := stream.NewExact()
+	for _, x := range data {
+		cs.Update(x, 1)
+		exact.Observe(x)
+		heap.Offer(x, cs.Query(x))
+	}
+	items := heap.Items()
+	est := make([]uint64, len(items))
+	for i, e := range items {
+		est[i] = e.Item
+	}
+	return metrics.TopKAccuracy(est, exact.TopK(k))
+}
+
+func fig15ab(cfg Config) Result {
+	res := Result{XLabel: "k (a) / skew (b)", YLabel: "top-k accuracy"}
+	// (a): constrained memory, NY18-like, k sweep (paper: 640KB, k ≤ 2^10).
+	wBase := scaledBaseWidth(cfg.N) / 4
+	if wBase < 64 {
+		wBase = 64
+	}
+	for _, k := range []int{16, 32, 64, 128, 256} {
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 150) {
+			data := cachedStream(stream.NY18, cfg.N, seed)
+			base = append(base, topKAccuracy(sketch.FixedSignRow(32), wBase, k, seed, data))
+			sal = append(sal, topKAccuracy(sketch.SalsaSignRow(8, false), wBase*4, k, seed, data))
+		}
+		res.Points = append(res.Points, meanPoint("NY18/Baseline", float64(k), base))
+		res.Points = append(res.Points, meanPoint("NY18/SALSA", float64(k), sal))
+	}
+	// (b): k fixed at 256, skew sweep.
+	for _, skew := range skewSweep() {
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 151) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			base = append(base, topKAccuracy(sketch.FixedSignRow(32), wBase, 256, seed, data))
+			sal = append(sal, topKAccuracy(sketch.SalsaSignRow(8, false), wBase*4, 256, seed, data))
+		}
+		res.Points = append(res.Points, meanPoint("Zipf/Baseline", skew, base))
+		res.Points = append(res.Points, meanPoint("Zipf/SALSA", skew, sal))
+	}
+	return res
+}
+
+// changeDetectionNRMSE splits the stream in half, sketches each epoch with
+// shared seeds, subtracts, and scores the estimated frequency changes over
+// the union of items (normalized by the stream length, as in the paper).
+func changeDetectionNRMSE(spec sketch.SignedRowSpec, w int, seed uint64, data []uint64) float64 {
+	half := len(data) / 2
+	a := sketch.NewCountSketch(csDepth, w, spec, seed)
+	b := sketch.NewCountSketch(csDepth, w, spec, seed)
+	truthA := map[uint64]int64{}
+	truthB := map[uint64]int64{}
+	for _, x := range data[:half] {
+		a.Update(x, 1)
+		truthA[x]++
+	}
+	for _, x := range data[half:] {
+		b.Update(x, 1)
+		truthB[x]++
+	}
+	b.MergeFrom(a, -1) // s(B\A): change from the first to the second epoch
+	var sumSq float64
+	n := 0
+	seen := map[uint64]bool{}
+	for _, m := range []map[uint64]int64{truthA, truthB} {
+		for x := range m {
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			truth := truthB[x] - truthA[x]
+			d := float64(b.Query(x) - truth)
+			sumSq += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	rmse := math.Sqrt(sumSq / float64(n))
+	return rmse / float64(len(data))
+}
+
+func fig15cd(cfg Config) Result {
+	res := Result{XLabel: "memory [KB] (c) / skew (d)", YLabel: "change NRMSE"}
+	for _, kb := range memorySweepKB(cfg.N) {
+		memBits := int(kb * bitsPerKB)
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 152) {
+			data := cachedStream(stream.NY18, cfg.N, seed)
+			wb := widthForBudget(memBits, csDepth, slotBits32, 64)
+			ws := widthForBudget(memBits, csDepth, slotBitsSalsa8, salsaMinWidth)
+			base = append(base, changeDetectionNRMSE(sketch.FixedSignRow(32), wb, seed, data))
+			sal = append(sal, changeDetectionNRMSE(sketch.SalsaSignRow(8, false), ws, seed, data))
+		}
+		res.Points = append(res.Points, meanPoint("NY18/Baseline", kb, base))
+		res.Points = append(res.Points, meanPoint("NY18/SALSA", kb, sal))
+	}
+	wb := scaledBaseWidth(cfg.N)
+	for _, skew := range skewSweep() {
+		base := []float64{}
+		sal := []float64{}
+		for _, seed := range trialSeeds(cfg, 153) {
+			data := cachedZipf(cfg.N, zipfUniverse(cfg.N), skew, seed)
+			base = append(base, changeDetectionNRMSE(sketch.FixedSignRow(32), wb, seed, data))
+			sal = append(sal, changeDetectionNRMSE(sketch.SalsaSignRow(8, false), wb*4, seed, data))
+		}
+		res.Points = append(res.Points, meanPoint("Zipf/Baseline", skew, base))
+		res.Points = append(res.Points, meanPoint("Zipf/SALSA", skew, sal))
+	}
+	return res
+}
+
+// estimatorSet is the Fig. 16 lineup.
+func estimatorSet() []maker {
+	return []maker{
+		budgeted(named("Baseline", baselineCMS(32)), cmsDepth, slotBits32, 64),
+		budgeted(aeeMaker("AEE MaxAccuracy", false), cmsDepth, slotBits16, 64),
+		budgeted(aeeMaker("AEE MaxSpeed", true), cmsDepth, slotBits16, 64),
+		budgeted(named("SALSA", salsaCMS(8, core.MaxMerge)), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+		budgeted(salsaAEEMaker("SALSA AEE", 0, false), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+		budgeted(salsaAEEMaker("SALSA AEE10", 10, false), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+}
+
+func fig16(cfg Config) Result {
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE / Mops"}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		for _, kb := range memorySweepKB(cfg.N) {
+			memBits := int(kb * bitsPerKB)
+			errs := make(map[string][]float64)
+			thrs := make(map[string][]float64)
+			var names []string
+			for _, seed := range trialSeeds(cfg, 160) {
+				data := cachedStream(ds, cfg.N, seed)
+				for _, mk := range estimatorSet() {
+					s := mk(memBits, seed)
+					names = append(names, s.name)
+					errs[s.name] = append(errs[s.name], onArrivalNRMSE(s, data))
+					fresh := mk(memBits, seed)
+					thrs[s.name] = append(thrs[s.name], throughput(fresh, data))
+				}
+			}
+			for _, name := range dedup(names) {
+				res.Points = append(res.Points, meanPoint(ds.Name+"/NRMSE/"+name, kb, errs[name]))
+				res.Points = append(res.Points, meanPoint(ds.Name+"/Mops/"+name, kb, thrs[name]))
+			}
+		}
+	}
+	return res
+}
+
+func fig17(cfg Config) Result {
+	// Force a few downsamples so splitting has merged-then-shrunk counters
+	// to operate on; with pure merging the ablation would be vacuous.
+	algos := []maker{
+		budgeted(salsaAEEMaker("SALSA AEE", 4, false), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+		budgeted(salsaAEEMaker("SALSA AEE Split", 4, true), cmsDepth, slotBitsSalsa8, salsaMinWidth),
+	}
+	res := Result{XLabel: "memory [KB]", YLabel: "NRMSE"}
+	for _, ds := range []stream.Dataset{stream.NY18, stream.CH16} {
+		sub := memorySweepNRMSE(cfg, ds, algos, 170)
+		for _, p := range sub.Points {
+			p.Series = ds.Name + "/" + p.Series
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res
+}

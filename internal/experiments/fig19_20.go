@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"salsa/internal/core"
+	"salsa/internal/stream"
+)
+
+func init() {
+	register("fig19", "Heavy-hitter ARE vs φ incl. the '0' algorithm and 4-bit CMS (Fig. 19, App. B)", fig19)
+	register("fig20", "Heavy-hitter AAE vs φ incl. the '0' algorithm and 4-bit CMS (Fig. 20, App. B)", fig20)
+}
+
+// zeroAlgorithm is Appendix B's degenerate contender: estimate every
+// frequency as zero. Under ARE/AAE over all items it beats real sketches,
+// which is the paper's argument that those metrics mislead.
+func zeroAlgorithm() widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		return sketchUnderTest{
+			name:   "0",
+			update: func(uint64) {},
+			query:  func(uint64) float64 { return 0 },
+			bits:   0,
+		}
+	}
+}
+
+// appendixSet is the Fig. 19/20 lineup at equal counter memory.
+func appendixSet(baseW int) []struct {
+	name string
+	wm   widthMaker
+	w    int
+} {
+	return []struct {
+		name string
+		wm   widthMaker
+		w    int
+	}{
+		{"0", zeroAlgorithm(), 1},
+		{"SALSA", named("SALSA", salsaCMS(8, core.MaxMerge)), baseW * 4},
+		{"CMS (4-bits)", named("CMS (4-bits)", baselineCMS(4)), baseW * 8},
+		{"CMS (8-bits)", named("CMS (8-bits)", baselineCMS(8)), baseW * 4},
+		{"CMS (16-bits)", named("CMS (16-bits)", baselineCMS(16)), baseW * 2},
+		{"CMS (32-bits)", named("CMS (32-bits)", baselineCMS(32)), baseW},
+	}
+}
+
+// heavyHitterAAE mirrors heavyHitterARE with absolute errors.
+func heavyHitterAAE(s sketchUnderTest, data []uint64, phi float64) float64 {
+	exact := stream.NewExact()
+	for _, x := range data {
+		s.update(x)
+		exact.Observe(x)
+	}
+	threshold := phi * float64(exact.Volume())
+	var sum float64
+	n := 0
+	for x, f := range exact.Counts() {
+		if float64(f) < threshold {
+			continue
+		}
+		d := s.query(x) - float64(f)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return nan()
+	}
+	return sum / float64(n)
+}
+
+func appendixSweep(cfg Config, salt uint64, metric func(sketchUnderTest, []uint64, float64) float64, ylabel string) Result {
+	baseW := scaledBaseWidth(cfg.N)
+	res := Result{XLabel: "threshold phi", YLabel: ylabel}
+	for _, phi := range phiSweep() {
+		samples := make(map[string][]float64)
+		for _, seed := range trialSeeds(cfg, salt) {
+			data := cachedStream(stream.NY18, cfg.N, seed)
+			for _, c := range appendixSet(baseW) {
+				v := metric(c.wm(c.w, seed), data, phi)
+				if v == v {
+					samples[c.name] = append(samples[c.name], v)
+				}
+			}
+		}
+		for _, c := range appendixSet(baseW) {
+			if len(samples[c.name]) > 0 {
+				res.Points = append(res.Points, meanPoint(c.name, phi, samples[c.name]))
+			}
+		}
+	}
+	return res
+}
+
+func fig19(cfg Config) Result {
+	return appendixSweep(cfg, 190, heavyHitterARE, "ARE")
+}
+
+func fig20(cfg Config) Result {
+	return appendixSweep(cfg, 200, heavyHitterAAE, "AAE")
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"salsa/internal/abc"
+	"salsa/internal/aee"
+	"salsa/internal/core"
+	"salsa/internal/pyramid"
+	"salsa/internal/sketch"
+)
+
+// Default sketch depths, matching the paper's configuration (§VI): CMS and
+// CUS with 4 rows, CS with 5.
+const (
+	cmsDepth = 4
+	csDepth  = 5
+)
+
+// widthMaker builds a sketch-under-test with an explicit row width.
+type widthMaker func(w int, seed uint64) sketchUnderTest
+
+// budgeted converts a widthMaker into a memory-budgeted maker.
+func budgeted(wm widthMaker, d int, perSlot float64, minW int) maker {
+	return func(memBits int, seed uint64) sketchUnderTest {
+		return wm(widthForBudget(memBits, d, perSlot, minW), seed)
+	}
+}
+
+func cmsWidth(name string, spec sketch.RowSpec) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := sketch.NewCMS(cmsDepth, w, spec, seed)
+		return sketchUnderTest{
+			name:   name,
+			update: func(x uint64) { s.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(s.Query(x)) },
+			bits:   s.SizeBits(),
+		}
+	}
+}
+
+func cusWidth(name string, spec sketch.RowSpec) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := sketch.NewCUS(cmsDepth, w, spec, seed)
+		return sketchUnderTest{
+			name:   name,
+			update: func(x uint64) { s.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(s.Query(x)) },
+			bits:   s.SizeBits(),
+		}
+	}
+}
+
+func csWidth(name string, spec sketch.SignedRowSpec) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := sketch.NewCountSketch(csDepth, w, spec, seed)
+		return sketchUnderTest{
+			name:   name,
+			update: func(x uint64) { s.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(s.Query(x)) },
+			bits:   s.SizeBits(),
+		}
+	}
+}
+
+// Baseline and SALSA CMS/CUS/CS width-makers.
+
+func baselineCMS(bits uint) widthMaker {
+	return cmsWidth("Baseline", sketch.FixedRow(bits))
+}
+
+func salsaCMS(s uint, policy core.MergePolicy) widthMaker {
+	return cmsWidth("SALSA", sketch.SalsaRow(s, policy, false))
+}
+
+func tangoCMS(s uint) widthMaker {
+	return cmsWidth("Tango", sketch.TangoRow(s, core.MaxMerge))
+}
+
+func baselineCUS(bits uint) widthMaker {
+	return cusWidth("Baseline CUS", sketch.FixedRow(bits))
+}
+
+func salsaCUS(s uint) widthMaker {
+	return cusWidth("SALSA CUS", sketch.SalsaRow(s, core.MaxMerge, false))
+}
+
+func baselineCS(bits uint) widthMaker {
+	return csWidth("Baseline", sketch.FixedSignRow(bits))
+}
+
+func salsaCS(s uint) widthMaker {
+	return csWidth("SALSA", sketch.SalsaSignRow(s, false))
+}
+
+// Competitors.
+
+func pyramidCMS() widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := pyramid.New(cmsDepth, w, 6, seed)
+		return sketchUnderTest{
+			name:   "Pyramid",
+			update: func(x uint64) { s.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(s.Query(x)) },
+			bits:   s.SizeBits(),
+		}
+	}
+}
+
+func abcCMS() widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		s := abc.New(cmsDepth, w, seed)
+		return sketchUnderTest{
+			name:   "ABC",
+			update: func(x uint64) { s.Update(x, 1) },
+			query:  func(x uint64) float64 { return float64(s.Query(x)) },
+			bits:   s.SizeBits(),
+		}
+	}
+}
+
+// Estimators.
+
+func aeeMaker(name string, maxSpeed bool) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		cfg := aee.Config{Rows: cmsDepth, Width: w, CounterBits: 16, Probabilistic: true, Seed: seed}
+		var e *aee.Estimator
+		if maxSpeed {
+			e = aee.NewMaxSpeed(cfg)
+		} else {
+			e = aee.NewMaxAccuracy(cfg)
+		}
+		return sketchUnderTest{
+			name:   name,
+			update: e.Update,
+			query:  e.Query,
+			bits:   e.SizeBits(),
+		}
+	}
+}
+
+func salsaAEEMaker(name string, forced int, split bool) widthMaker {
+	return func(w int, seed uint64) sketchUnderTest {
+		e := aee.NewSalsa(aee.SalsaConfig{
+			Rows:              cmsDepth,
+			Width:             w,
+			S:                 8,
+			Delta:             0.001,
+			ForcedDownsamples: forced,
+			Split:             split,
+			Seed:              seed,
+		})
+		return sketchUnderTest{
+			name:   name,
+			update: e.Update,
+			query:  e.Query,
+			bits:   e.SizeBits(),
+		}
+	}
+}
+
+// Per-slot budget costs in bits, including encoding overheads.
+const (
+	slotBits32      = 32.0
+	slotBits16      = 16.0
+	slotBits8       = 8.0
+	slotBitsSalsa8  = 9.0  // 8 + 1 merge bit
+	slotBitsTango8  = 9.0  // 8 + 1 merge bit
+	slotBitsPyramid = 16.0 // 8-bit layer 1 + halving upper layers ≈ 2×
+	salsaMinWidth   = 64   // keeps every s ∈ {1..32} block-aligned
+)

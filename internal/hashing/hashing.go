@@ -1,0 +1,176 @@
+// Package hashing provides the hash families used by the sketches: a fast
+// seeded 64-bit finalizer for integer items, Jenkins' lookup3 ("BobHash",
+// the function used by the SALSA paper's implementation) for byte keys, and
+// pairwise sign hashes for the Count Sketch.
+//
+// All functions are deterministic given their seed, so experiments are
+// reproducible bit-for-bit.
+package hashing
+
+import "math/bits"
+
+// Mix64 is a seeded finalizer over 64-bit items based on the splitmix64
+// output permutation. For a fixed seed it is a bijection on uint64, which
+// gives good avalanche behaviour for the sketch index and sign hashes.
+func Mix64(x, seed uint64) uint64 {
+	z := x + seed*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// SplitMix64 advances state and returns the next pseudo-random value.
+// It is used to derive independent per-row seeds from a master seed.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Seeds derives n independent seeds from master.
+func Seeds(master uint64, n int) []uint64 {
+	state := master
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = SplitMix64(&state)
+	}
+	return out
+}
+
+// Index maps item x to a slot in [0, w) using the given seed. w must be a
+// power of two; the caller passes mask = w-1.
+func Index(x, seed, mask uint64) uint64 {
+	return Mix64(x, seed) & mask
+}
+
+// Sign maps item x to +1 or -1 with equal probability, independent of the
+// index hash when given an independent seed.
+func Sign(x, seed uint64) int64 {
+	// Use the top bit of the mixed value; the finalizer's avalanche makes
+	// every output bit unbiased and pairwise uncorrelated across items.
+	if Mix64(x, seed)>>63 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Bob computes Jenkins' lookup3 hashword-style hash over key with the given
+// initial value. It matches the classic "BobHash" used by the reference
+// sketch implementations for byte-string keys such as packet 5-tuples.
+func Bob(key []byte, initval uint32) uint32 {
+	a := uint32(0xdeadbeef) + uint32(len(key)) + initval
+	b, c := a, a
+
+	i := 0
+	for len(key)-i > 12 {
+		a += le32(key[i:])
+		b += le32(key[i+4:])
+		c += le32(key[i+8:])
+		a, b, c = bobMix(a, b, c)
+		i += 12
+	}
+
+	tail := key[i:]
+	switch len(tail) {
+	case 12:
+		c += le32(tail[8:])
+		b += le32(tail[4:])
+		a += le32(tail)
+	case 11:
+		c += uint32(tail[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(tail[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(tail[8])
+		fallthrough
+	case 8:
+		b += le32(tail[4:])
+		a += le32(tail)
+	case 7:
+		b += uint32(tail[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(tail[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(tail[4])
+		fallthrough
+	case 4:
+		a += le32(tail)
+	case 3:
+		a += uint32(tail[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(tail[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(tail[0])
+	case 0:
+		return c
+	}
+	a, b, c = bobFinal(a, b, c)
+	return c
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func bobMix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= bits.RotateLeft32(c, 4)
+	c += b
+	b -= a
+	b ^= bits.RotateLeft32(a, 6)
+	a += c
+	c -= b
+	c ^= bits.RotateLeft32(b, 8)
+	b += a
+	a -= c
+	a ^= bits.RotateLeft32(c, 16)
+	c += b
+	b -= a
+	b ^= bits.RotateLeft32(a, 19)
+	a += c
+	c -= b
+	c ^= bits.RotateLeft32(b, 4)
+	b += a
+	return a, b, c
+}
+
+func bobFinal(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= bits.RotateLeft32(b, 14)
+	a ^= c
+	a -= bits.RotateLeft32(c, 11)
+	b ^= a
+	b -= bits.RotateLeft32(a, 25)
+	c ^= b
+	c -= bits.RotateLeft32(b, 16)
+	a ^= c
+	a -= bits.RotateLeft32(c, 4)
+	b ^= a
+	b -= bits.RotateLeft32(a, 14)
+	c ^= b
+	c -= bits.RotateLeft32(b, 24)
+	return a, b, c
+}
+
+// Bob64 combines two lookup3 passes with different initial values into a
+// 64-bit hash for byte keys.
+func Bob64(key []byte, seed uint64) uint64 {
+	lo := Bob(key, uint32(seed))
+	hi := Bob(key, uint32(seed>>32)^0x9e3779b9)
+	return uint64(hi)<<32 | uint64(lo)
+}

@@ -1,0 +1,178 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(42, 7) != Mix64(42, 7) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(42, 7) == Mix64(42, 8) {
+		t.Fatal("Mix64 ignores seed")
+	}
+	if Mix64(42, 7) == Mix64(43, 7) {
+		t.Fatal("Mix64 ignores input")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// For a fixed seed the finalizer is a bijection; sample-check for
+	// collisions over a contiguous range.
+	seen := make(map[uint64]uint64, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		h := Mix64(x, 12345)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+func TestIndexUniformity(t *testing.T) {
+	const w = 256
+	const n = 1 << 16
+	counts := make([]int, w)
+	for x := uint64(0); x < n; x++ {
+		counts[Index(x, 99, w-1)]++
+	}
+	// Chi-squared test with a loose bound: expected n/w per bucket.
+	expected := float64(n) / w
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 255 dof; mean 255, sd ~22.6. Allow 6 sigma.
+	if chi2 > 255+6*22.6 {
+		t.Fatalf("chi2 = %f, distribution too skewed", chi2)
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	const n = 1 << 16
+	sum := int64(0)
+	for x := uint64(0); x < n; x++ {
+		s := Sign(x, 4242)
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %d", s)
+		}
+		sum += s
+	}
+	// Mean 0, sd sqrt(n)=256. Allow 6 sigma.
+	if math.Abs(float64(sum)) > 6*256 {
+		t.Fatalf("sign sum = %d, biased", sum)
+	}
+}
+
+func TestSignIndependentOfIndex(t *testing.T) {
+	// Correlation between sign and low index bit should be near zero.
+	const n = 1 << 16
+	agree := 0
+	for x := uint64(0); x < n; x++ {
+		i := Index(x, 1, 1) // one bit
+		s := Sign(x, 2)
+		if (i == 1) == (s == 1) {
+			agree++
+		}
+	}
+	if math.Abs(float64(agree)-n/2) > 6*128 {
+		t.Fatalf("agree = %d of %d, sign correlated with index", agree, n)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(1, 8)
+	if len(s) != 8 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate seed")
+		}
+		seen[v] = true
+	}
+	s2 := Seeds(1, 8)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("Seeds not deterministic")
+		}
+	}
+}
+
+func TestBobKnownLengths(t *testing.T) {
+	// lookup3 must consume every tail length 0..13 without panicking and
+	// produce distinct values for distinct inputs of each length.
+	for n := 0; n <= 13; n++ {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(i + 1)
+		}
+		h1 := Bob(key, 0)
+		if n == 0 {
+			continue
+		}
+		key[n-1] ^= 0xff
+		h2 := Bob(key, 0)
+		if h1 == h2 {
+			t.Fatalf("len %d: last-byte flip did not change hash", n)
+		}
+	}
+}
+
+func TestBobSeedSensitivity(t *testing.T) {
+	key := []byte("salsa-sketch")
+	if Bob(key, 1) == Bob(key, 2) {
+		t.Fatal("Bob ignores initval")
+	}
+}
+
+func TestBob64(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	if Bob64(key, 5) == Bob64(key, 6) {
+		t.Fatal("Bob64 ignores seed")
+	}
+	if Bob64(key, 5) != Bob64(key, 5) {
+		t.Fatal("Bob64 not deterministic")
+	}
+}
+
+func TestBobEmptyKey(t *testing.T) {
+	// Must not panic; value defined by lookup3 initialization.
+	got := Bob(nil, 0)
+	want := uint32(0xdeadbeef)
+	if got != want {
+		t.Fatalf("Bob(nil) = %#x, want %#x", got, want)
+	}
+}
+
+func TestQuickBobDeterministic(t *testing.T) {
+	f := func(key []byte, seed uint32) bool {
+		return Bob(key, seed) == Bob(key, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits on
+	// average; check it always flips at least a few.
+	f := func(x, seed uint64, bit uint8) bool {
+		h1 := Mix64(x, seed)
+		h2 := Mix64(x^(1<<(bit%64)), seed)
+		diff := h1 ^ h2
+		n := 0
+		for diff != 0 {
+			diff &= diff - 1
+			n++
+		}
+		return n >= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

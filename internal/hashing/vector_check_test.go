@@ -1,0 +1,24 @@
+package hashing
+
+import "testing"
+
+// TestBobGoldenVectors pins Bob to Jenkins' lookup3.c hashlittle(): these
+// are the official self-test vectors from the reference implementation, so
+// our sketches hash byte keys identically to the paper's C++ code.
+func TestBobGoldenVectors(t *testing.T) {
+	cases := []struct {
+		key     string
+		initval uint32
+		want    uint32
+	}{
+		{"Four score and seven years ago", 0, 0x17770551},
+		{"Four score and seven years ago", 1, 0xcd628161},
+		{"", 0, 0xdeadbeef},
+		{"", 0xdeadbeef, 0xbd5b7dde},
+	}
+	for _, c := range cases {
+		if got := Bob([]byte(c.key), c.initval); got != c.want {
+			t.Errorf("Bob(%q, %#x) = %#x, want %#x", c.key, c.initval, got, c.want)
+		}
+	}
+}

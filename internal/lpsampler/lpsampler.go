@@ -1,0 +1,97 @@
+// Package lpsampler implements an L2 sampler on top of the (SALSA) Count
+// Sketch, the extension direction the paper's conclusion points at ("we
+// believe that SALSA can replace and enhance existing sketches in more
+// complex algorithms, such as Lp-samplers").
+//
+// The construction follows the classic scaling recipe (Jowhari, Sağlam &
+// Tardos): each item x is assigned a uniform t(x) ∈ (0,1] and its updates
+// are scaled by 1/√t(x); items then exceed a fixed threshold of the scaled
+// sketch with probability proportional to f(x)², so the arg-max of the
+// scaled estimates is (approximately) an L2 sample. Scaled updates are
+// kept in fixed-point so they remain integral for the sketch.
+package lpsampler
+
+import (
+	"math"
+
+	"salsa/internal/hashing"
+	"salsa/internal/sketch"
+	"salsa/internal/topk"
+)
+
+// fixedPointScale keeps 1/√t in integer update space.
+const fixedPointScale = 256
+
+// Sampler draws items with probability (approximately) proportional to
+// the square of their frequency.
+type Sampler struct {
+	cs       *sketch.CountSketch
+	heap     *topk.Heap
+	scaleSed uint64
+}
+
+// Config shapes a sampler.
+type Config struct {
+	// Depth and Width shape the underlying Count Sketch.
+	Depth, Width int
+	// Rows picks the row backend (baseline or SALSA sign rows).
+	Rows sketch.SignedRowSpec
+	// Candidates is how many top scaled items to track (the sample is
+	// drawn from these; 32 is plenty for one sample).
+	Candidates int
+	// Seed derives all hashes.
+	Seed uint64
+}
+
+// New returns an empty sampler.
+func New(cfg Config) *Sampler {
+	if cfg.Candidates == 0 {
+		cfg.Candidates = 32
+	}
+	seeds := hashing.Seeds(cfg.Seed, 2)
+	return &Sampler{
+		cs:       sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Rows, seeds[0]),
+		heap:     topk.New(cfg.Candidates),
+		scaleSed: seeds[1],
+	}
+}
+
+// scale returns ⌊fixedPointScale/√t(x)⌋ ≥ fixedPointScale, with t(x)
+// uniform in (0,1] derived deterministically from x.
+func (s *Sampler) scale(x uint64) int64 {
+	u := hashing.Mix64(x, s.scaleSed)
+	t := (float64(u>>11) + 1) / (1 << 53) // uniform in (0, 1]
+	return int64(fixedPointScale / math.Sqrt(t))
+}
+
+// Process records one unit-weight arrival.
+func (s *Sampler) Process(x uint64) {
+	s.cs.Update(x, s.scale(x))
+	s.heap.Offer(x, abs64(s.cs.Query(x)))
+}
+
+// Sample returns the current L2 sample: the item with the largest scaled
+// estimate, together with its unscaled frequency estimate. ok is false
+// when nothing was processed.
+func (s *Sampler) Sample() (item uint64, freq float64, ok bool) {
+	items := s.heap.Items()
+	if len(items) == 0 {
+		return 0, 0, false
+	}
+	best := items[0]
+	return best.Item, float64(s.cs.Query(best.Item)) / float64(s.scale(best.Item)), true
+}
+
+// Candidates returns the tracked candidate items in descending scaled-
+// estimate order, for callers that want several samples.
+func (s *Sampler) Candidates() []topk.Entry { return s.heap.Items() }
+
+// SizeBits returns the sketch footprint in bits.
+func (s *Sampler) SizeBits() int { return s.cs.SizeBits() }
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

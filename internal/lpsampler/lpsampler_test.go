@@ -1,0 +1,83 @@
+package lpsampler
+
+import (
+	"testing"
+
+	"salsa/internal/sketch"
+	"salsa/internal/stream"
+)
+
+func TestSamplerEmpty(t *testing.T) {
+	s := New(Config{Depth: 5, Width: 256, Rows: sketch.SalsaSignRow(8, false), Seed: 1})
+	if _, _, ok := s.Sample(); ok {
+		t.Fatal("empty sampler produced a sample")
+	}
+}
+
+func TestSamplerReturnsRealItem(t *testing.T) {
+	s := New(Config{Depth: 5, Width: 1024, Rows: sketch.SalsaSignRow(8, false), Seed: 2})
+	data := stream.Zipf(30000, 500, 1.1, 3)
+	present := map[uint64]bool{}
+	exact := stream.NewExact()
+	for _, x := range data {
+		s.Process(x)
+		present[x] = true
+		exact.Observe(x)
+	}
+	item, freq, ok := s.Sample()
+	if !ok {
+		t.Fatal("no sample")
+	}
+	if !present[item] {
+		t.Fatalf("sampled item %d never appeared", item)
+	}
+	// The frequency estimate should be within a small factor of the truth.
+	truth := float64(exact.Count(item))
+	if freq < truth/4 || freq > truth*4 {
+		t.Fatalf("sample frequency %f vs truth %f", freq, truth)
+	}
+}
+
+func TestSamplerBiasTowardHeavy(t *testing.T) {
+	// L2 sampling: Pr[x] ∝ f(x)². With one item at frequency 50 and many at
+	// 1, the heavy item (f² share ≈ 2500/(2500+n)) must dominate samples
+	// across independent sampler seeds.
+	const heavy = uint64(7777)
+	hits := 0
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		s := New(Config{Depth: 5, Width: 2048, Rows: sketch.SalsaSignRow(8, false), Seed: seed*31 + 1})
+		for i := 0; i < 50; i++ {
+			s.Process(heavy)
+		}
+		for i := uint64(0); i < 500; i++ {
+			s.Process(1000 + i)
+		}
+		if item, _, ok := s.Sample(); ok && item == heavy {
+			hits++
+		}
+	}
+	// f² share is 2500/3000 ≈ 83%; allow wide slack for scaling noise.
+	if hits < trials/2 {
+		t.Fatalf("heavy item sampled only %d/%d times", hits, trials)
+	}
+}
+
+func TestCandidatesOrdered(t *testing.T) {
+	s := New(Config{Depth: 5, Width: 1024, Rows: sketch.FixedSignRow(32), Candidates: 8, Seed: 5})
+	for i := 0; i < 1000; i++ {
+		s.Process(uint64(i % 20))
+	}
+	cands := s.Candidates()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Count < cands[i].Count {
+			t.Fatal("candidates not sorted")
+		}
+	}
+	if s.SizeBits() == 0 {
+		t.Fatal("no memory accounted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package metrics implements the error metrics of the paper's evaluation
+// (§VI): on-arrival MSE/RMSE/NRMSE, AAE and ARE over the distinct items,
+// and Student-t 95% confidence intervals over repeated trials.
+package metrics
+
+import "math"
+
+// OnArrival accumulates the on-arrival error stream: for each arriving
+// element the sketch is queried and the error against the element's current
+// true frequency is recorded.
+type OnArrival struct {
+	sumSq float64
+	n     uint64
+}
+
+// Observe records one arrival's estimate and truth.
+func (o *OnArrival) Observe(est, truth float64) {
+	d := est - truth
+	o.sumSq += d * d
+	o.n++
+}
+
+// N returns the number of observations.
+func (o *OnArrival) N() uint64 { return o.n }
+
+// MSE returns n⁻¹·Σeᵢ².
+func (o *OnArrival) MSE() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.sumSq / float64(o.n)
+}
+
+// RMSE returns √MSE.
+func (o *OnArrival) RMSE() float64 { return math.Sqrt(o.MSE()) }
+
+// NRMSE returns n⁻¹·RMSE, the paper's normalized error in [0, 1].
+func (o *OnArrival) NRMSE() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.RMSE() / float64(o.n)
+}
+
+// AAEARE computes the Average Absolute Error and Average Relative Error
+// over all items with non-zero frequency (§VI, "Metrics"): the averages of
+// |f̂−f| and |f̂−f|/f over U>0.
+func AAEARE(truth map[uint64]uint64, query func(uint64) float64) (aae, are float64) {
+	if len(truth) == 0 {
+		return 0, 0
+	}
+	for x, f := range truth {
+		d := math.Abs(query(x) - float64(f))
+		aae += d
+		are += d / float64(f)
+	}
+	n := float64(len(truth))
+	return aae / n, are / n
+}
+
+// RelErr returns |est−truth|/truth (truth must be non-zero).
+func RelErr(est, truth float64) float64 {
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal value 1.96 is used.
+var tCritical95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom.
+func TCritical95(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(tCritical95) {
+		return tCritical95[df-1]
+	}
+	return 1.96
+}
+
+// MeanCI95 returns the sample mean and the half-width of its 95% Student-t
+// confidence interval, as the paper reports for its ten-trial data points.
+func MeanCI95(samples []float64) (mean, half float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(n)
+	if n == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, TCritical95(n-1) * sd / math.Sqrt(float64(n))
+}
+
+// TopKAccuracy returns |est ∩ true| / |true|, the paper's Top-k accuracy.
+func TopKAccuracy(estimated, truth []uint64) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[uint64]struct{}, len(estimated))
+	for _, x := range estimated {
+		set[x] = struct{}{}
+	}
+	hits := 0
+	for _, x := range truth {
+		if _, ok := set[x]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnArrival(t *testing.T) {
+	var o OnArrival
+	o.Observe(3, 1) // e=2
+	o.Observe(1, 2) // e=-1
+	o.Observe(5, 5) // e=0
+	if o.N() != 3 {
+		t.Fatalf("N = %d", o.N())
+	}
+	wantMSE := (4.0 + 1.0 + 0.0) / 3
+	if math.Abs(o.MSE()-wantMSE) > 1e-12 {
+		t.Fatalf("MSE = %f, want %f", o.MSE(), wantMSE)
+	}
+	if math.Abs(o.RMSE()-math.Sqrt(wantMSE)) > 1e-12 {
+		t.Fatal("RMSE wrong")
+	}
+	if math.Abs(o.NRMSE()-math.Sqrt(wantMSE)/3) > 1e-12 {
+		t.Fatal("NRMSE wrong")
+	}
+}
+
+func TestOnArrivalEmpty(t *testing.T) {
+	var o OnArrival
+	if o.MSE() != 0 || o.NRMSE() != 0 {
+		t.Fatal("empty accumulator should report zero")
+	}
+}
+
+func TestAAEARE(t *testing.T) {
+	truth := map[uint64]uint64{1: 10, 2: 5}
+	query := func(x uint64) float64 {
+		if x == 1 {
+			return 12 // abs err 2, rel 0.2
+		}
+		return 4 // abs err 1, rel 0.2
+	}
+	aae, are := AAEARE(truth, query)
+	if math.Abs(aae-1.5) > 1e-12 {
+		t.Fatalf("AAE = %f", aae)
+	}
+	if math.Abs(are-0.2) > 1e-12 {
+		t.Fatalf("ARE = %f", are)
+	}
+}
+
+func TestAAEAREEmpty(t *testing.T) {
+	aae, are := AAEARE(nil, func(uint64) float64 { return 0 })
+	if aae != 0 || are != 0 {
+		t.Fatal("empty truth should yield zeros")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatal("RelErr wrong")
+	}
+	if RelErr(9, 10) != 0.1 {
+		t.Fatal("RelErr should be absolute")
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	// The paper's ten-trial experiments use df = 9.
+	if TCritical95(9) != 2.262 {
+		t.Fatalf("t(9) = %f", TCritical95(9))
+	}
+	if TCritical95(1) != 12.706 {
+		t.Fatal("t(1) wrong")
+	}
+	if TCritical95(100) != 1.96 {
+		t.Fatal("large df should use the normal value")
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Fatal("t(0) should be infinite")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{2, 4, 6})
+	if mean != 4 {
+		t.Fatalf("mean = %f", mean)
+	}
+	// sd = 2, se = 2/sqrt(3), t(2) = 4.303.
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(half-want) > 1e-9 {
+		t.Fatalf("half = %f, want %f", half, want)
+	}
+	if m, h := MeanCI95([]float64{5}); m != 5 || h != 0 {
+		t.Fatal("single sample CI wrong")
+	}
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Fatal("empty CI wrong")
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	if got := TopKAccuracy([]uint64{1, 2, 3}, []uint64{2, 3, 4}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %f", got)
+	}
+	if TopKAccuracy(nil, nil) != 1 {
+		t.Fatal("empty truth should score 1")
+	}
+}

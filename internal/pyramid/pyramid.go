@@ -1,0 +1,138 @@
+// Package pyramid reimplements the Pyramid Sketch (Yang et al., VLDB 2017)
+// as the paper's variable-counter-size competitor: pre-allocated layers of
+// halving width, where an overflowing counter carries into its parent at the
+// next layer. Parents are "hybrid" counters — two flag bits marking which
+// children overflowed plus count bits that the two children share, which is
+// the error source the SALSA paper highlights (Fig. 9, region A).
+//
+// Layer-1 counters are pure 8-bit counters; higher layers hold 2 flag bits
+// and 6 count bits per byte. Reading a counter walks the flag chain upward,
+// which is why Pyramid reads may touch several non-adjacent cells.
+package pyramid
+
+import (
+	"fmt"
+
+	"salsa/internal/hashing"
+)
+
+const (
+	countBits = 6
+	countMask = 0x3f
+)
+
+// Sketch is a d-row Pyramid Count-Min sketch: d hash functions index
+// layer-1 counters, and the estimate is the minimum over rows.
+type Sketch struct {
+	rows  []row
+	seeds []uint64
+	mask  uint64
+}
+
+type row struct {
+	layers [][]byte
+}
+
+// New returns a d-row Pyramid sketch with layer-1 width w (a power of two)
+// and the given number of layers. Each higher layer halves the width, so
+// the total footprint is just under 2·w bytes per row.
+func New(d, w, layers int, seed uint64) *Sketch {
+	if d <= 0 || layers < 1 {
+		panic("pyramid: invalid geometry")
+	}
+	if w <= 0 || w&(w-1) != 0 {
+		panic(fmt.Sprintf("pyramid: width %d must be a power of two", w))
+	}
+	rows := make([]row, d)
+	for i := range rows {
+		ls := make([][]byte, 0, layers)
+		width := w
+		for l := 0; l < layers && width >= 1; l++ {
+			ls = append(ls, make([]byte, width))
+			width /= 2
+		}
+		rows[i] = row{layers: ls}
+	}
+	return &Sketch{
+		rows:  rows,
+		seeds: hashing.Seeds(seed, d),
+		mask:  uint64(w - 1),
+	}
+}
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return len(s.rows) }
+
+// Width returns the layer-1 width.
+func (s *Sketch) Width() int { return int(s.mask) + 1 }
+
+// SizeBits returns the total pre-allocated footprint in bits; unlike SALSA,
+// every layer is allocated up front whether or not it is ever used.
+func (s *Sketch) SizeBits() int {
+	total := 0
+	for _, r := range s.rows {
+		for _, l := range r.layers {
+			total += len(l) * 8
+		}
+	}
+	return total
+}
+
+// Update processes ⟨x, v⟩ with v ≥ 0 (Cash Register model).
+func (s *Sketch) Update(x uint64, v int64) {
+	if v < 0 {
+		panic("pyramid: negative update")
+	}
+	for i := range s.rows {
+		s.rows[i].add(int(hashing.Index(x, s.seeds[i], s.mask)), uint64(v))
+	}
+}
+
+// Query returns the min-over-rows estimate, reconstructed by walking each
+// row's flag chain.
+func (s *Sketch) Query(x uint64) uint64 {
+	est := ^uint64(0)
+	for i := range s.rows {
+		if v := s.rows[i].value(int(hashing.Index(x, s.seeds[i], s.mask))); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+func (r *row) add(slot int, v uint64) {
+	c := uint64(r.layers[0][slot]) + v
+	r.layers[0][slot] = byte(c)
+	carry := c >> 8
+	childIdx := slot
+	for layer := 1; carry > 0 && layer < len(r.layers); layer++ {
+		parentIdx := childIdx / 2
+		flag := byte(0x80) >> (childIdx & 1)
+		cell := r.layers[layer][parentIdx]
+		cnt := uint64(cell&countMask) + carry
+		if layer == len(r.layers)-1 && cnt > countMask {
+			cnt = countMask // top layer saturates; no parent to carry into
+		}
+		r.layers[layer][parentIdx] = cell&^countMask | flag | byte(cnt&countMask)
+		carry = cnt >> countBits
+		childIdx = parentIdx
+	}
+}
+
+func (r *row) value(slot int) uint64 {
+	v := uint64(r.layers[0][slot])
+	shift := uint(8)
+	childIdx := slot
+	for layer := 1; layer < len(r.layers); layer++ {
+		parentIdx := childIdx / 2
+		flag := byte(0x80) >> (childIdx & 1)
+		cell := r.layers[layer][parentIdx]
+		if cell&flag == 0 {
+			break
+		}
+		v += uint64(cell&countMask) << shift
+		shift += countBits
+		childIdx = parentIdx
+	}
+	return v
+}

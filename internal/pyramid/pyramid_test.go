@@ -1,0 +1,117 @@
+package pyramid
+
+import (
+	"math/rand"
+	"testing"
+
+	"salsa/internal/hashing"
+)
+
+func TestPyramidSmallValuesExact(t *testing.T) {
+	s := New(4, 4096, 6, 1)
+	s.Update(1, 200) // fits layer 1
+	if got := s.Query(1); got != 200 {
+		t.Fatalf("Query = %d, want 200", got)
+	}
+	if got := s.Query(2); got != 0 {
+		t.Fatalf("absent item = %d", got)
+	}
+}
+
+func TestPyramidCarryChain(t *testing.T) {
+	// 300 needs one carry: layer-1 keeps 300 mod 256 = 44, parent count 1.
+	s := New(1, 4096, 6, 1)
+	s.Update(1, 300)
+	if got := s.Query(1); got != 300 {
+		t.Fatalf("Query = %d, want 300", got)
+	}
+	// Push through several layers: value needing > 14 bits.
+	s.Update(1, 100000)
+	if got := s.Query(1); got != 100300 {
+		t.Fatalf("Query = %d, want 100300", got)
+	}
+}
+
+func TestPyramidOverestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New(4, 256, 6, 7)
+	truth := map[uint64]uint64{}
+	for i := 0; i < 60000; i++ {
+		x := uint64(rng.Intn(400))
+		s.Update(x, 1)
+		truth[x]++
+	}
+	for x, f := range truth {
+		if est := s.Query(x); est < f {
+			t.Fatalf("item %d: %d < truth %d", x, est, f)
+		}
+	}
+}
+
+func TestPyramidSharedParentBleed(t *testing.T) {
+	// Two items on sibling layer-1 counters share parent count bits: each
+	// reconstruction includes the other's carries (the paper's region-A
+	// error). With a single row we can verify the over-count directly by
+	// finding two items whose slots are pair siblings.
+	s := New(1, 1024, 6, 11)
+	var a, b uint64
+	slotOf := func(x uint64) int {
+		// mirror the sketch's hash
+		return int(hashing.Index(x, s.seeds[0], s.mask))
+	}
+	a = 1
+	for x := uint64(2); ; x++ {
+		if slotOf(x) == slotOf(a)^1 {
+			b = x
+			break
+		}
+	}
+	s.Update(a, 400) // one carry for a
+	s.Update(b, 400) // one carry for b
+	// Each sees the parent's two carries: estimate = 400 + 256.
+	if got := s.Query(a); got != 656 {
+		t.Fatalf("Query(a) = %d, want 656 (shared-parent bleed)", got)
+	}
+	if got := s.Query(b); got != 656 {
+		t.Fatalf("Query(b) = %d, want 656", got)
+	}
+}
+
+func TestPyramidTopLayerSaturates(t *testing.T) {
+	s := New(1, 2, 2, 1) // tiny: 8-bit leaf + one 6-bit parent
+	s.Update(1, 1<<20)
+	// Capacity is 255 + 63·256; the estimate must be capped, not wrapped.
+	want := uint64(63)<<8 | 0xff
+	if got := s.Query(1); got > want {
+		t.Fatalf("Query = %d beyond capacity %d", got, want)
+	}
+	if got := s.Query(1); got < want/2 {
+		t.Fatalf("Query = %d suggests a wrapped counter", got)
+	}
+}
+
+func TestPyramidSizeBits(t *testing.T) {
+	s := New(2, 8, 3, 1)
+	// Per row: 8 + 4 + 2 bytes.
+	if got := s.SizeBits(); got != 2*(8+4+2)*8 {
+		t.Fatalf("SizeBits = %d", got)
+	}
+}
+
+func TestPyramidValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 8, 3, 1) },
+		func() { New(1, 12, 3, 1) },
+		func() { New(1, 8, 0, 1) },
+		func() { New(1, 8, 3, 1).Update(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// CountSketch is the Count Sketch of Charikar, Chen & Farach-Colton (§III):
+// each row pairs an index hash with a ±1 sign hash, updates add v·gᵢ(x), and
+// the estimate is the median of the per-row signed readings. It operates in
+// the general Turnstile model and provides an L2 guarantee.
+type CountSketch struct {
+	rows      []SignedRow
+	idxSeeds  []uint64
+	signSeeds []uint64
+	mask      uint64
+	medBuf    []int64
+}
+
+// SignedRowSpec constructs one Count Sketch row of a given width.
+type SignedRowSpec func(width int) SignedRow
+
+// FixedSignRow returns a SignedRowSpec for baseline two's-complement rows.
+func FixedSignRow(bits uint) SignedRowSpec {
+	return func(width int) SignedRow { return core.NewFixedSign(width, bits) }
+}
+
+// SalsaSignRow returns a SignedRowSpec for SALSA sign-magnitude rows.
+func SalsaSignRow(s uint, compact bool) SignedRowSpec {
+	return func(width int) SignedRow { return core.NewSalsaSign(width, s, compact) }
+}
+
+// NewCountSketch returns a d×width Count Sketch built from spec rows.
+func NewCountSketch(d, width int, spec SignedRowSpec, seed uint64) *CountSketch {
+	if d == 0 {
+		panic("sketch: no rows")
+	}
+	if width&(width-1) != 0 {
+		panic(fmt.Sprintf("sketch: width %d must be a power of two", width))
+	}
+	rows := make([]SignedRow, d)
+	for i := range rows {
+		rows[i] = spec(width)
+	}
+	seeds := hashing.Seeds(seed, 2*d)
+	return &CountSketch{
+		rows:      rows,
+		idxSeeds:  seeds[:d],
+		signSeeds: seeds[d:],
+		mask:      uint64(width - 1),
+		medBuf:    make([]int64, d),
+	}
+}
+
+// Depth returns the number of rows d.
+func (c *CountSketch) Depth() int { return len(c.rows) }
+
+// Width returns the row width w.
+func (c *CountSketch) Width() int { return int(c.mask) + 1 }
+
+// SizeBits returns the total memory footprint in bits.
+func (c *CountSketch) SizeBits() int {
+	total := 0
+	for _, r := range c.rows {
+		total += r.SizeBits()
+	}
+	return total
+}
+
+// Update processes the stream update ⟨x, v⟩ (v of either sign).
+func (c *CountSketch) Update(x uint64, v int64) {
+	for i, r := range c.rows {
+		slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
+		r.Add(slot, v*hashing.Sign(x, c.signSeeds[i]))
+	}
+}
+
+// Query returns the estimate f̂(x) = median over rows of C[i,hᵢ(x)]·gᵢ(x).
+func (c *CountSketch) Query(x uint64) int64 {
+	for i, r := range c.rows {
+		slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
+		c.medBuf[i] = r.Value(slot) * hashing.Sign(x, c.signSeeds[i])
+	}
+	return median(c.medBuf)
+}
+
+// median returns the median of buf, mutating its order. For an even number
+// of rows it returns the mean of the two central values, as in the
+// reference implementations.
+func median(buf []int64) int64 {
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	n := len(buf)
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}
+
+// MergeFrom adds scale (±1) times other into c, producing s(A∪B) or s(A\B)
+// (§V): Count Sketch is linear, so change detection between epochs is a
+// subtraction of sketches sharing seeds.
+func (c *CountSketch) MergeFrom(other *CountSketch, scale int64) {
+	if len(c.rows) != len(other.rows) || c.mask != other.mask {
+		panic("sketch: geometry mismatch")
+	}
+	for i := range c.idxSeeds {
+		if c.idxSeeds[i] != other.idxSeeds[i] || c.signSeeds[i] != other.signSeeds[i] {
+			panic("sketch: sketches must share hash seeds")
+		}
+	}
+	for i, r := range c.rows {
+		switch row := r.(type) {
+		case *core.FixedSign:
+			row.MergeFrom(other.rows[i].(*core.FixedSign), scale)
+		case *core.SalsaSign:
+			row.MergeFrom(other.rows[i].(*core.SalsaSign), scale)
+		default:
+			panic(fmt.Sprintf("sketch: merge unsupported for %T", r))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountSketchExactWithoutCollisions(t *testing.T) {
+	for name, spec := range map[string]SignedRowSpec{
+		"baseline": FixedSignRow(32),
+		"salsa":    SalsaSignRow(8, false),
+		"compact":  SalsaSignRow(8, true),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCountSketch(5, 4096, spec, 3)
+			c.Update(1, 500)
+			c.Update(2, 7)
+			c.Update(3, -9) // turnstile: negative frequencies allowed
+			if got := c.Query(1); got != 500 {
+				t.Fatalf("Query(1) = %d, want 500", got)
+			}
+			if got := c.Query(2); got != 7 {
+				t.Fatalf("Query(2) = %d, want 7", got)
+			}
+			if got := c.Query(3); got != -9 {
+				t.Fatalf("Query(3) = %d, want -9", got)
+			}
+			if got := c.Query(4); got != 0 {
+				t.Fatalf("Query(4) = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestCountSketchUnbiasedOverSeeds(t *testing.T) {
+	// Lemma V.4: the per-row SALSA CS estimate is unbiased. Average the
+	// estimate of one heavy item over many independent hash seeds; the mean
+	// must be near the true frequency for both baseline and SALSA rows.
+	stream := zipfish(20000, 500, 21)
+	const target = uint64(1000)
+	truth := exactCounts(stream)[target]
+	for name, spec := range map[string]SignedRowSpec{
+		"baseline": FixedSignRow(32),
+		"salsa":    SalsaSignRow(8, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			const trials = 60
+			var sum float64
+			for seed := uint64(0); seed < trials; seed++ {
+				c := NewCountSketch(1, 128, spec, seed*13+1)
+				for _, x := range stream {
+					c.Update(x, 1)
+				}
+				sum += float64(c.Query(target))
+			}
+			mean := sum / trials
+			// Tolerance: stream noise per counter is roughly
+			// sqrt(F2/w)/sqrt(trials); allow a generous band.
+			if math.Abs(mean-float64(truth)) > float64(truth) {
+				t.Fatalf("mean estimate %f too far from truth %d", mean, truth)
+			}
+		})
+	}
+}
+
+func TestCountSketchMedian(t *testing.T) {
+	if m := median([]int64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd median = %d", m)
+	}
+	if m := median([]int64{4, 2}); m != 3 {
+		t.Fatalf("even median = %d", m)
+	}
+	if m := median([]int64{-10, 0, 10, 20}); m != 5 {
+		t.Fatalf("even median = %d", m)
+	}
+}
+
+func TestCountSketchSubtractChangeDetection(t *testing.T) {
+	// §V: with shared seeds, s(A\B) answers frequency-difference queries.
+	// With no collisions the answers are exact, including negatives.
+	for name, spec := range map[string]SignedRowSpec{
+		"baseline": FixedSignRow(32),
+		"salsa":    SalsaSignRow(8, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			a := NewCountSketch(5, 4096, spec, 42)
+			b := NewCountSketch(5, 4096, spec, 42)
+			// Item 1: 5 in A, 2 in B → +3. Item 2: 2 in A, 3 in B → −1.
+			for i := 0; i < 5; i++ {
+				a.Update(1, 1)
+			}
+			for i := 0; i < 2; i++ {
+				b.Update(1, 1)
+				a.Update(2, 1)
+			}
+			for i := 0; i < 3; i++ {
+				b.Update(2, 1)
+			}
+			a.MergeFrom(b, -1)
+			if got := a.Query(1); got != 3 {
+				t.Fatalf("diff(1) = %d, want 3", got)
+			}
+			if got := a.Query(2); got != -1 {
+				t.Fatalf("diff(2) = %d, want -1", got)
+			}
+		})
+	}
+}
+
+func TestCountSketchMergeUnion(t *testing.T) {
+	a := NewCountSketch(5, 4096, SalsaSignRow(8, false), 42)
+	b := NewCountSketch(5, 4096, SalsaSignRow(8, false), 42)
+	a.Update(7, 300)
+	b.Update(7, 44)
+	b.Update(8, 5)
+	a.MergeFrom(b, 1)
+	if got := a.Query(7); got != 344 {
+		t.Fatalf("union(7) = %d, want 344", got)
+	}
+	if got := a.Query(8); got != 5 {
+		t.Fatalf("union(8) = %d, want 5", got)
+	}
+}
+
+func TestCountSketchErrorShrinksWithWidth(t *testing.T) {
+	// The L2 guarantee: average error must improve markedly with width.
+	stream := zipfish(50000, 5000, 22)
+	truth := exactCounts(stream)
+	errFor := func(width int) float64 {
+		c := NewCountSketch(5, width, SalsaSignRow(8, false), 5)
+		for _, x := range stream {
+			c.Update(x, 1)
+		}
+		var sum float64
+		for x, f := range truth {
+			d := float64(c.Query(x)) - float64(f)
+			sum += d * d
+		}
+		return sum / float64(len(truth))
+	}
+	small, large := errFor(64), errFor(2048)
+	if large*4 > small {
+		t.Fatalf("error did not shrink with width: small %f, large %f", small, large)
+	}
+}
+
+func TestCountSketchSeedMismatchPanics(t *testing.T) {
+	a := NewCountSketch(2, 64, FixedSignRow(32), 1)
+	b := NewCountSketch(2, 64, FixedSignRow(32), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.MergeFrom(b, 1)
+}
+
+func TestCountSketchRandomTurnstileConsistency(t *testing.T) {
+	// Feeding +v then −v for every item must return the sketch to an
+	// all-zero state (linearity), for SALSA rows included.
+	c := NewCountSketch(5, 256, SalsaSignRow(8, false), 31)
+	rng := rand.New(rand.NewSource(32))
+	type upd struct {
+		x uint64
+		v int64
+	}
+	var ups []upd
+	for i := 0; i < 5000; i++ {
+		u := upd{uint64(rng.Intn(500)), int64(rng.Intn(200)) - 100}
+		ups = append(ups, u)
+		c.Update(u.x, u.v)
+	}
+	for _, u := range ups {
+		c.Update(u.x, -u.v)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if got := c.Query(x); got != 0 {
+			t.Fatalf("after cancellation, Query(%d) = %d", x, got)
+		}
+	}
+}

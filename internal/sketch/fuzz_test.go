@@ -1,0 +1,27 @@
+package sketch
+
+import "testing"
+
+// FuzzSketchUnmarshal: sketch decoders must reject arbitrary bytes without
+// panicking.
+func FuzzSketchUnmarshal(f *testing.F) {
+	cms := NewCMS(2, 64, FixedRow(32), 1)
+	cms.Update(5, 10)
+	blob, _ := cms.MarshalBinary()
+	f.Add(blob)
+	cs := NewCountSketch(3, 64, SalsaSignRow(8, false), 2)
+	cs.Update(5, -10)
+	blob2, _ := cs.MarshalBinary()
+	f.Add(blob2)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := UnmarshalCMS(data); err == nil {
+			c.Update(1, 1) // decoded sketches must be operational
+			_ = c.Query(1)
+		}
+		if c, err := UnmarshalCountSketch(data); err == nil {
+			c.Update(1, 1)
+			_ = c.Query(1)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"salsa/internal/core"
+)
+
+// Binary serialization for whole sketches: geometry, hash seeds, and the
+// rows' own payloads. Because the seeds travel with the sketch, a decoded
+// sketch can be merged or subtracted with the original's peers.
+
+const (
+	sketchMagic   = uint32(0x5a15a100)
+	rowKindFixed  = byte(1)
+	rowKindSalsa  = byte(2)
+	csKindFixed   = byte(1)
+	csKindSalsa   = byte(2)
+	kindCMSHeader = byte(10)
+	kindCSHeader  = byte(11)
+)
+
+// ErrBadSketchPayload is returned for payloads that are not sketches.
+var ErrBadSketchPayload = errors.New("sketch: not a sketch payload")
+
+// maxMarshalDepth bounds the decoded row count; no sketch configuration
+// comes close, and it keeps hostile payloads from forcing allocations.
+const maxMarshalDepth = 1024
+
+// validRowWidths reports whether all widths are equal and a power of two.
+func validRowWidths(widths []int) bool {
+	if len(widths) == 0 {
+		return false
+	}
+	w := widths[0]
+	if w <= 0 || w&(w-1) != 0 {
+		return false
+	}
+	for _, v := range widths[1:] {
+		if v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func appendBlock(buf, block []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(block)))
+	return append(buf, block...)
+}
+
+func readBlock(data []byte) (block, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, ErrBadSketchPayload
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) < n {
+		return nil, nil, ErrBadSketchPayload
+	}
+	return data[:n], data[n:], nil
+}
+
+// MarshalBinary encodes the sketch, rows included.
+func (c *CMS) MarshalBinary() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint32(nil, sketchMagic)
+	buf = append(buf, kindCMSHeader)
+	if c.conservative {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.rows)))
+	for _, s := range c.seeds {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	for _, r := range c.rows {
+		switch row := r.(type) {
+		case *core.Fixed:
+			payload, err := row.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, rowKindFixed)
+			buf = appendBlock(buf, payload)
+		case *core.Salsa:
+			payload, err := row.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, rowKindSalsa)
+			buf = appendBlock(buf, payload)
+		default:
+			return nil, fmt.Errorf("sketch: cannot marshal row type %T", r)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalCMS decodes a CMS (or CUS) produced by MarshalBinary.
+func UnmarshalCMS(data []byte) (*CMS, error) {
+	if len(data) < 4+1+1+8 {
+		return nil, ErrBadSketchPayload
+	}
+	if binary.LittleEndian.Uint32(data) != sketchMagic || data[4] != kindCMSHeader {
+		return nil, ErrBadSketchPayload
+	}
+	conservative := data[5] == 1
+	d := int(binary.LittleEndian.Uint64(data[6:]))
+	data = data[14:]
+	if d <= 0 || d > maxMarshalDepth || len(data) < d*8 {
+		return nil, ErrBadSketchPayload
+	}
+	seeds := make([]uint64, d)
+	for i := range seeds {
+		seeds[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	data = data[d*8:]
+	rows := make([]Row, d)
+	for i := 0; i < d; i++ {
+		if len(data) < 1 {
+			return nil, ErrBadSketchPayload
+		}
+		kind := data[0]
+		block, rest, err := readBlock(data[1:])
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		switch kind {
+		case rowKindFixed:
+			rows[i], err = core.UnmarshalFixed(block)
+		case rowKindSalsa:
+			rows[i], err = core.UnmarshalSalsa(block)
+		default:
+			return nil, fmt.Errorf("sketch: unknown row kind %d", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	widths := make([]int, d)
+	for i, r := range rows {
+		widths[i] = r.Width()
+	}
+	if !validRowWidths(widths) {
+		return nil, ErrBadSketchPayload
+	}
+	c := newCMS(rows, 0, conservative)
+	copy(c.seeds, seeds)
+	return c, nil
+}
+
+// MarshalBinary encodes the Count Sketch, rows included.
+func (c *CountSketch) MarshalBinary() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint32(nil, sketchMagic)
+	buf = append(buf, kindCSHeader, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(c.rows)))
+	for _, s := range c.idxSeeds {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	for _, s := range c.signSeeds {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	for _, r := range c.rows {
+		switch row := r.(type) {
+		case *core.FixedSign:
+			payload, err := row.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, csKindFixed)
+			buf = appendBlock(buf, payload)
+		case *core.SalsaSign:
+			payload, err := row.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, csKindSalsa)
+			buf = appendBlock(buf, payload)
+		default:
+			return nil, fmt.Errorf("sketch: cannot marshal row type %T", r)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalCountSketch decodes a Count Sketch produced by MarshalBinary.
+func UnmarshalCountSketch(data []byte) (*CountSketch, error) {
+	if len(data) < 4+2+8 {
+		return nil, ErrBadSketchPayload
+	}
+	if binary.LittleEndian.Uint32(data) != sketchMagic || data[4] != kindCSHeader {
+		return nil, ErrBadSketchPayload
+	}
+	d := int(binary.LittleEndian.Uint64(data[6:]))
+	data = data[14:]
+	if d <= 0 || d > maxMarshalDepth || len(data) < 2*d*8 {
+		return nil, ErrBadSketchPayload
+	}
+	idxSeeds := make([]uint64, d)
+	signSeeds := make([]uint64, d)
+	for i := range idxSeeds {
+		idxSeeds[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	data = data[d*8:]
+	for i := range signSeeds {
+		signSeeds[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	data = data[d*8:]
+	rows := make([]SignedRow, d)
+	var width int
+	for i := 0; i < d; i++ {
+		if len(data) < 1 {
+			return nil, ErrBadSketchPayload
+		}
+		kind := data[0]
+		block, rest, err := readBlock(data[1:])
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		switch kind {
+		case csKindFixed:
+			rows[i], err = core.UnmarshalFixedSign(block)
+		case csKindSalsa:
+			rows[i], err = core.UnmarshalSalsaSign(block)
+		default:
+			return nil, fmt.Errorf("sketch: unknown row kind %d", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		width = rows[i].Width()
+	}
+	widths := make([]int, d)
+	for i, r := range rows {
+		widths[i] = r.Width()
+	}
+	if !validRowWidths(widths) {
+		return nil, ErrBadSketchPayload
+	}
+	return &CountSketch{
+		rows:      rows,
+		idxSeeds:  idxSeeds,
+		signSeeds: signSeeds,
+		mask:      uint64(width - 1),
+		medBuf:    make([]int64, d),
+	}, nil
+}

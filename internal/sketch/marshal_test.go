@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"testing"
+
+	"salsa/internal/core"
+)
+
+func TestCMSMarshalRoundTrip(t *testing.T) {
+	for name, spec := range map[string]RowSpec{
+		"fixed": FixedRow(32),
+		"salsa": SalsaRow(8, core.MaxMerge, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCUS(3, 128, spec, 17)
+			for i := uint64(0); i < 500; i++ {
+				c.Update(i%37, 1)
+			}
+			blob, err := c.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalCMS(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Conservative() {
+				t.Fatal("conservative flag lost")
+			}
+			if back.Depth() != 3 || back.Width() != 128 {
+				t.Fatal("geometry lost")
+			}
+			for i := uint64(0); i < 37; i++ {
+				if back.Query(i) != c.Query(i) {
+					t.Fatalf("query %d changed", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCountSketchMarshalRoundTripRows(t *testing.T) {
+	for name, spec := range map[string]SignedRowSpec{
+		"fixed": FixedSignRow(32),
+		"salsa": SalsaSignRow(8, true),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCountSketch(5, 128, spec, 19)
+			for i := uint64(0); i < 500; i++ {
+				c.Update(i%37, int64(i%5)-2)
+			}
+			blob, err := c.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalCountSketch(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 37; i++ {
+				if back.Query(i) != c.Query(i) {
+					t.Fatalf("query %d changed", i)
+				}
+			}
+			// Decoded sketch must be subtractable from the original.
+			back.MergeFrom(c, -1)
+			for i := uint64(0); i < 37; i++ {
+				if back.Query(i) != 0 {
+					t.Fatalf("self-subtraction left %d at item %d", back.Query(i), i)
+				}
+			}
+		})
+	}
+}
+
+func TestMarshalUnsupportedRows(t *testing.T) {
+	c := NewCMS(2, 128, TangoRow(8, core.MaxMerge), 1)
+	if _, err := c.MarshalBinary(); err == nil {
+		t.Fatal("Tango rows should not marshal")
+	}
+}
+
+func TestUnmarshalCMSRejects(t *testing.T) {
+	good, _ := NewCMS(2, 64, FixedRow(32), 1).MarshalBinary()
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       good[:8],
+		"bad magic":   append([]byte{9, 9, 9, 9}, good[4:]...),
+		"wrong kind":  func() []byte { b := append([]byte{}, good...); b[4] = 99; return b }(),
+		"truncated":   good[:len(good)-10],
+		"cs as cms":   func() []byte { b, _ := NewCountSketch(2, 64, FixedSignRow(32), 1).MarshalBinary(); return b }(),
+		"zero rows":   func() []byte { b := append([]byte{}, good...); b[6] = 0; return b }(),
+		"giant depth": func() []byte { b := append([]byte{}, good...); b[9] = 0xff; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalCMS(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUnmarshalCountSketchRejects(t *testing.T) {
+	good, _ := NewCountSketch(2, 64, FixedSignRow(32), 1).MarshalBinary()
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     good[:6],
+		"truncated": good[:len(good)-10],
+		"cms as cs": func() []byte { b, _ := NewCMS(2, 64, FixedRow(32), 1).MarshalBinary(); return b }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalCountSketch(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidRowWidths(t *testing.T) {
+	if validRowWidths(nil) {
+		t.Fatal("empty accepted")
+	}
+	if validRowWidths([]int{96}) {
+		t.Fatal("non power of two accepted")
+	}
+	if validRowWidths([]int{64, 128}) {
+		t.Fatal("mismatched widths accepted")
+	}
+	if !validRowWidths([]int{64, 64}) {
+		t.Fatal("valid widths rejected")
+	}
+}

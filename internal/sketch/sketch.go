@@ -1,0 +1,250 @@
+// Package sketch implements the frequency sketches the paper builds on —
+// Count-Min Sketch (CMS), Conservative Update Sketch (CUS) and Count Sketch
+// (CS) — parameterized over the counter-array row type, so each sketch runs
+// unchanged over fixed-width baseline rows, SALSA rows, or Tango rows.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// Row is a row of non-negative counters, as used by CMS and CUS.
+// core.Fixed, core.Salsa and core.Tango implement it.
+type Row interface {
+	// Add adds v to the counter addressed by slot (negative v subtracts).
+	Add(slot int, v int64)
+	// SetAtLeast raises the counter addressed by slot to at least v.
+	SetAtLeast(slot int, v uint64)
+	// Value returns the value of the counter addressed by slot.
+	Value(slot int) uint64
+	// Width returns the number of addressable slots.
+	Width() int
+	// SizeBits returns the memory footprint in bits.
+	SizeBits() int
+}
+
+// SignedRow is a row of signed counters, as used by the Count Sketch.
+// core.FixedSign and core.SalsaSign implement it.
+type SignedRow interface {
+	Add(slot int, v int64)
+	Value(slot int) int64
+	Width() int
+	SizeBits() int
+}
+
+// Compile-time interface checks.
+var (
+	_ Row       = (*core.Fixed)(nil)
+	_ Row       = (*core.Salsa)(nil)
+	_ Row       = (*core.Tango)(nil)
+	_ SignedRow = (*core.FixedSign)(nil)
+	_ SignedRow = (*core.SalsaSign)(nil)
+)
+
+// CMS is a Count-Min Sketch (optionally in conservative-update mode, which
+// makes it the CUS of Estan & Varghese). Each item is mapped to one counter
+// per row; the estimate is the minimum over the rows (§III).
+type CMS struct {
+	rows         []Row
+	seeds        []uint64
+	mask         uint64
+	conservative bool
+}
+
+// newCMS wires d pre-built rows with hash seeds derived from seed.
+func newCMS(rows []Row, seed uint64, conservative bool) *CMS {
+	if len(rows) == 0 {
+		panic("sketch: no rows")
+	}
+	w := rows[0].Width()
+	if w&(w-1) != 0 {
+		panic(fmt.Sprintf("sketch: width %d must be a power of two", w))
+	}
+	for _, r := range rows {
+		if r.Width() != w {
+			panic("sketch: rows must share one width")
+		}
+	}
+	return &CMS{
+		rows:         rows,
+		seeds:        hashing.Seeds(seed, len(rows)),
+		mask:         uint64(w - 1),
+		conservative: conservative,
+	}
+}
+
+// RowSpec constructs one sketch row of a given width; it is how callers
+// choose between baseline, SALSA, and Tango rows.
+type RowSpec func(width int) Row
+
+// FixedRow returns a RowSpec for baseline rows with bits-bit counters.
+func FixedRow(bits uint) RowSpec {
+	return func(width int) Row { return core.NewFixed(width, bits) }
+}
+
+// SalsaRow returns a RowSpec for SALSA rows with s-bit base counters.
+func SalsaRow(s uint, policy core.MergePolicy, compact bool) RowSpec {
+	return func(width int) Row { return core.NewSalsa(width, s, policy, compact) }
+}
+
+// TangoRow returns a RowSpec for Tango rows with s-bit base counters.
+func TangoRow(s uint, policy core.MergePolicy) RowSpec {
+	return func(width int) Row { return core.NewTango(width, s, policy) }
+}
+
+// NewCMS returns a d×width Count-Min Sketch built from spec rows.
+func NewCMS(d, width int, spec RowSpec, seed uint64) *CMS {
+	rows := make([]Row, d)
+	for i := range rows {
+		rows[i] = spec(width)
+	}
+	return newCMS(rows, seed, false)
+}
+
+// NewCUS returns a d×width Conservative Update Sketch built from spec rows.
+// Per Theorem V.3, SALSA rows should use core.MaxMerge.
+func NewCUS(d, width int, spec RowSpec, seed uint64) *CMS {
+	rows := make([]Row, d)
+	for i := range rows {
+		rows[i] = spec(width)
+	}
+	return newCMS(rows, seed, true)
+}
+
+// Depth returns the number of rows d.
+func (c *CMS) Depth() int { return len(c.rows) }
+
+// Conservative reports whether updates use the conservative (CUS) rule.
+func (c *CMS) Conservative() bool { return c.conservative }
+
+// Width returns the row width w.
+func (c *CMS) Width() int { return int(c.mask) + 1 }
+
+// SizeBits returns the total memory footprint in bits, including any merge
+// encoding overhead of the rows.
+func (c *CMS) SizeBits() int {
+	total := 0
+	for _, r := range c.rows {
+		total += r.SizeBits()
+	}
+	return total
+}
+
+// Rows exposes the underlying rows (read-mostly; used by the estimator
+// integrations and tests).
+func (c *CMS) Rows() []Row { return c.rows }
+
+// Update processes the stream update ⟨x, v⟩. In conservative mode v must be
+// non-negative (the Cash Register model).
+func (c *CMS) Update(x uint64, v int64) {
+	if !c.conservative {
+		for i, r := range c.rows {
+			r.Add(int(hashing.Index(x, c.seeds[i], c.mask)), v)
+		}
+		return
+	}
+	if v < 0 {
+		panic("sketch: negative update in conservative mode")
+	}
+	// Conservative update: raise each counter to at most v plus the current
+	// estimate, never beyond what the minimum row implies (§III).
+	target := satAddU(c.Query(x), uint64(v))
+	for i, r := range c.rows {
+		r.SetAtLeast(int(hashing.Index(x, c.seeds[i], c.mask)), target)
+	}
+}
+
+// Query returns the estimate f̂(x) = min over rows.
+func (c *CMS) Query(x uint64) uint64 {
+	est := ^uint64(0)
+	for i, r := range c.rows {
+		if v := r.Value(int(hashing.Index(x, c.seeds[i], c.mask))); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// MergeFrom adds other into c counter-wise, producing s(A∪B). Both sketches
+// must have identical geometry, row types, and seed.
+func (c *CMS) MergeFrom(other *CMS) {
+	c.checkCompatible(other)
+	for i, r := range c.rows {
+		switch row := r.(type) {
+		case *core.Fixed:
+			row.MergeFrom(other.rows[i].(*core.Fixed))
+		case *core.Salsa:
+			row.MergeFrom(other.rows[i].(*core.Salsa))
+		default:
+			panic(fmt.Sprintf("sketch: merge unsupported for %T", r))
+		}
+	}
+}
+
+// SubtractFrom subtracts other from c counter-wise, producing s(A\B); valid
+// for Strict Turnstile CMS when the subtrahend is contained in c.
+func (c *CMS) SubtractFrom(other *CMS) {
+	c.checkCompatible(other)
+	for i, r := range c.rows {
+		switch row := r.(type) {
+		case *core.Fixed:
+			row.SubtractFrom(other.rows[i].(*core.Fixed))
+		case *core.Salsa:
+			row.SubtractFrom(other.rows[i].(*core.Salsa))
+		default:
+			panic(fmt.Sprintf("sketch: subtract unsupported for %T", r))
+		}
+	}
+}
+
+func (c *CMS) checkCompatible(other *CMS) {
+	if len(c.rows) != len(other.rows) || c.mask != other.mask {
+		panic("sketch: geometry mismatch")
+	}
+	for i := range c.seeds {
+		if c.seeds[i] != other.seeds[i] {
+			panic("sketch: sketches must share hash seeds")
+		}
+	}
+}
+
+// zeroFractioner is implemented by rows that can report (or estimate) their
+// fraction of zero base counters.
+type zeroFractioner interface {
+	ZeroFraction() float64
+}
+
+// DistinctLinearCounting estimates the number of distinct items with the
+// Linear Counting estimator −w·ln(p) applied to each row's zero-counter
+// fraction, averaged over rows (§III, "Counting Distinct Items"). For SALSA
+// rows p is the paper's optimistic merged-counter estimate. It returns an
+// error when some row has no zero counters, in which case Linear Counting
+// is out of range (the paper's plots likewise start only at sufficient
+// memory).
+func (c *CMS) DistinctLinearCounting() (float64, error) {
+	total := 0.0
+	for _, r := range c.rows {
+		zf, ok := r.(zeroFractioner)
+		if !ok {
+			return 0, fmt.Errorf("sketch: row type %T cannot report zero fractions", r)
+		}
+		p := zf.ZeroFraction()
+		if p <= 0 {
+			return 0, fmt.Errorf("sketch: no zero counters; linear counting out of range")
+		}
+		total += -float64(r.Width()) * math.Log(p)
+	}
+	return total / float64(len(c.rows)), nil
+}
+
+func satAddU(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return ^uint64(0)
+	}
+	return s
+}

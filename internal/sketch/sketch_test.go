@@ -1,0 +1,325 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// zipfish draws a crude heavy-tailed stream: item k with weight ∝ 1/(k+1).
+func zipfish(n, u int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	cdf := make([]float64, u)
+	total := 0.0
+	for k := 0; k < u; k++ {
+		total += 1 / float64(k+1)
+		cdf[k] = total
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		x := rng.Float64() * total
+		lo, hi := 0, u-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = uint64(lo) + 1000
+	}
+	return out
+}
+
+func exactCounts(stream []uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, x := range stream {
+		m[x]++
+	}
+	return m
+}
+
+func TestCMSOverestimates(t *testing.T) {
+	stream := zipfish(50000, 2000, 1)
+	truth := exactCounts(stream)
+	specs := map[string]RowSpec{
+		"baseline32": FixedRow(32),
+		"salsa-sum":  SalsaRow(8, core.SumMerge, false),
+		"salsa-max":  SalsaRow(8, core.MaxMerge, false),
+		"salsa-cpt":  SalsaRow(8, core.SumMerge, true),
+		"tango":      TangoRow(8, core.SumMerge),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			c := NewCMS(4, 512, spec, 42)
+			for _, x := range stream {
+				c.Update(x, 1)
+			}
+			for x, f := range truth {
+				if est := c.Query(x); est < f {
+					t.Fatalf("item %d: estimate %d < truth %d", x, est, f)
+				}
+			}
+		})
+	}
+}
+
+func TestCUSSandwich(t *testing.T) {
+	// truth ≤ CUS ≤ CMS for identical streams, seeds and row geometry.
+	stream := zipfish(50000, 2000, 2)
+	truth := exactCounts(stream)
+	for name, spec := range map[string]RowSpec{
+		"baseline32": FixedRow(32),
+		"salsa-max":  SalsaRow(8, core.MaxMerge, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			cms := NewCMS(4, 512, spec, 42)
+			cus := NewCUS(4, 512, spec, 42)
+			for _, x := range stream {
+				cms.Update(x, 1)
+				cus.Update(x, 1)
+			}
+			for x, f := range truth {
+				ce, ue := cms.Query(x), cus.Query(x)
+				if ue < f {
+					t.Fatalf("item %d: CUS %d < truth %d", x, ue, f)
+				}
+				if ue > ce {
+					t.Fatalf("item %d: CUS %d > CMS %d", x, ue, ce)
+				}
+			}
+		})
+	}
+}
+
+func TestSalsaDominatesUnderlyingCMS(t *testing.T) {
+	// Theorem V.1: the SALSA CMS estimate is at most the estimate of the
+	// underlying CMS whose counters are the max-level blocks with hashes
+	// ⌊hᵢ(x)/2^L⌋. Reconstruct the underlying estimate from per-(row,slot)
+	// exact sums.
+	const d, w = 4, 512
+	const maxLvlBlock = 8 // s=8 → 64-bit counters span 8 slots
+	stream := zipfish(80000, 3000, 3)
+	truth := exactCounts(stream)
+
+	c := NewCMS(d, w, SalsaRow(8, core.SumMerge, false), 42)
+	slotSums := make([][]uint64, d)
+	for i := range slotSums {
+		slotSums[i] = make([]uint64, w)
+	}
+	for _, x := range stream {
+		c.Update(x, 1)
+		for i := range slotSums {
+			slotSums[i][hashing.Index(x, c.seeds[i], c.mask)]++
+		}
+	}
+	for x, f := range truth {
+		underlying := ^uint64(0)
+		for i := 0; i < d; i++ {
+			slot := int(hashing.Index(x, c.seeds[i], c.mask))
+			blockStart := slot &^ (maxLvlBlock - 1)
+			var blockSum uint64
+			for j := blockStart; j < blockStart+maxLvlBlock; j++ {
+				blockSum += slotSums[i][j]
+			}
+			if blockSum < underlying {
+				underlying = blockSum
+			}
+		}
+		est := c.Query(x)
+		if est < f || est > underlying {
+			t.Fatalf("item %d: estimate %d outside [truth %d, underlying %d]", x, est, f, underlying)
+		}
+	}
+}
+
+func TestMaxMergeAtLeastAsAccurate(t *testing.T) {
+	// §VI ("Which Merging Should We Use?"): on cash-register streams the
+	// max-merge estimate is bounded by the sum-merge estimate.
+	stream := zipfish(80000, 3000, 4)
+	sum := NewCMS(4, 256, SalsaRow(8, core.SumMerge, false), 42)
+	max := NewCMS(4, 256, SalsaRow(8, core.MaxMerge, false), 42)
+	for _, x := range stream {
+		sum.Update(x, 1)
+		max.Update(x, 1)
+	}
+	for x := range exactCounts(stream) {
+		if max.Query(x) > sum.Query(x) {
+			t.Fatalf("item %d: max-merge %d > sum-merge %d", x, max.Query(x), sum.Query(x))
+		}
+	}
+}
+
+func TestTangoAtLeastAsAccurateAsSalsa(t *testing.T) {
+	// §IV: Tango counters are contained in SALSA counters, so Tango
+	// estimates are sandwiched between the truth and SALSA's estimates
+	// (Theorem V.1 ordering).
+	stream := zipfish(60000, 3000, 5)
+	truth := exactCounts(stream)
+	salsa := NewCMS(4, 256, SalsaRow(8, core.SumMerge, false), 42)
+	tango := NewCMS(4, 256, TangoRow(8, core.SumMerge), 42)
+	for _, x := range stream {
+		salsa.Update(x, 1)
+		tango.Update(x, 1)
+	}
+	for x, f := range truth {
+		te, se := tango.Query(x), salsa.Query(x)
+		if te < f || te > se {
+			t.Fatalf("item %d: tango %d outside [truth %d, salsa %d]", x, te, f, se)
+		}
+	}
+}
+
+func TestCMSExactWithoutCollisions(t *testing.T) {
+	// With far more slots than items, every estimate is exact.
+	items := []uint64{10, 20, 30, 40}
+	for name, spec := range map[string]RowSpec{
+		"baseline": FixedRow(32),
+		"salsa":    SalsaRow(8, core.SumMerge, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCMS(4, 4096, spec, 7)
+			for i, x := range items {
+				for k := 0; k <= i; k++ {
+					c.Update(x, 1)
+				}
+			}
+			for i, x := range items {
+				if got := c.Query(x); got != uint64(i)+1 {
+					t.Fatalf("item %d: got %d, want %d", x, got, i+1)
+				}
+			}
+			if got := c.Query(999); got != 0 {
+				t.Fatalf("absent item estimated at %d", got)
+			}
+		})
+	}
+}
+
+func TestCMSWeightedAndNegativeUpdates(t *testing.T) {
+	c := NewCMS(4, 1024, SalsaRow(8, core.SumMerge, false), 9)
+	c.Update(5, 1000)
+	c.Update(5, -400)
+	if got := c.Query(5); got != 600 {
+		t.Fatalf("got %d, want 600", got)
+	}
+}
+
+func TestCUSNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCUS(2, 64, FixedRow(32), 1).Update(1, -1)
+}
+
+func TestCMSMergeAndSubtract(t *testing.T) {
+	for name, spec := range map[string]RowSpec{
+		"baseline": FixedRow(32),
+		"salsa":    SalsaRow(8, core.SumMerge, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			streamA := zipfish(20000, 1000, 6)
+			streamB := zipfish(20000, 1000, 7)
+			a := NewCMS(4, 256, spec, 42)
+			b := NewCMS(4, 256, spec, 42)
+			both := NewCMS(4, 256, spec, 42)
+			for _, x := range streamA {
+				a.Update(x, 1)
+				both.Update(x, 1)
+			}
+			for _, x := range streamB {
+				b.Update(x, 1)
+				both.Update(x, 1)
+			}
+			a.MergeFrom(b)
+			truth := exactCounts(append(append([]uint64{}, streamA...), streamB...))
+			for x, f := range truth {
+				if a.Query(x) < f {
+					t.Fatalf("merged sketch underestimates %d", x)
+				}
+			}
+			// Subtracting B back out yields a valid sketch of A alone.
+			a.SubtractFrom(b)
+			truthA := exactCounts(streamA)
+			for x, f := range truthA {
+				if a.Query(x) < f {
+					t.Fatalf("after subtract, item %d: %d < truth %d", x, a.Query(x), f)
+				}
+			}
+		})
+	}
+}
+
+func TestCMSSeedMismatchPanics(t *testing.T) {
+	a := NewCMS(2, 64, FixedRow(32), 1)
+	b := NewCMS(2, 64, FixedRow(32), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on seed mismatch")
+		}
+	}()
+	a.MergeFrom(b)
+}
+
+func TestDistinctLinearCounting(t *testing.T) {
+	const distinct = 3000
+	for name, spec := range map[string]RowSpec{
+		"baseline32": FixedRow(32),
+		"salsa":      SalsaRow(8, core.SumMerge, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCMS(4, 16384, spec, 11)
+			rng := rand.New(rand.NewSource(12))
+			for i := 0; i < distinct; i++ {
+				x := rng.Uint64()
+				reps := 1 + rng.Intn(5)
+				for r := 0; r < reps; r++ {
+					c.Update(x, 1)
+				}
+			}
+			est, err := c.DistinctLinearCounting()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est < distinct*0.9 || est > distinct*1.1 {
+				t.Fatalf("estimate %.0f, want within 10%% of %d", est, distinct)
+			}
+		})
+	}
+}
+
+func TestDistinctLinearCountingOutOfRange(t *testing.T) {
+	c := NewCMS(1, 64, FixedRow(8), 1)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		c.Update(rng.Uint64(), 1)
+	}
+	if _, err := c.DistinctLinearCounting(); err == nil {
+		t.Fatal("expected out-of-range error when no counters are zero")
+	}
+}
+
+func TestCMSSizeBits(t *testing.T) {
+	c := NewCMS(4, 256, FixedRow(32), 1)
+	if c.SizeBits() != 4*256*32 {
+		t.Fatalf("SizeBits = %d", c.SizeBits())
+	}
+	s := NewCMS(4, 256, SalsaRow(8, core.SumMerge, false), 1)
+	if s.SizeBits() != 4*(256*8+256) {
+		t.Fatalf("SALSA SizeBits = %d", s.SizeBits())
+	}
+}
+
+func TestCMSWidthMustBePowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCMS(2, 100, FixedRow(32), 1)
+}

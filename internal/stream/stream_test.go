@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Zipf(1000, 100, 1.0, 7)
+	b := Zipf(1000, 100, 1.0, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Zipf not deterministic")
+		}
+	}
+	c := Zipf(1000, 100, 1.0, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("Zipf ignores seed")
+	}
+}
+
+func TestZipfSkewShapesDistribution(t *testing.T) {
+	// Higher skew must concentrate more mass on the top item.
+	topShare := func(alpha float64) float64 {
+		s := Zipf(50000, 1000, alpha, 3)
+		e := NewExact()
+		for _, x := range s {
+			e.Observe(x)
+		}
+		top := e.TopK(1)
+		return float64(e.Count(top[0])) / float64(e.Volume())
+	}
+	low, high := topShare(0.6), topShare(1.4)
+	if high < 2*low {
+		t.Fatalf("top share did not grow with skew: %f vs %f", low, high)
+	}
+}
+
+func TestZipfMatchesTheory(t *testing.T) {
+	// For alpha=1, u=100, the top item's probability is 1/H_100 ≈ 0.1928.
+	s := Zipf(200000, 100, 1.0, 5)
+	e := NewExact()
+	for _, x := range s {
+		e.Observe(x)
+	}
+	h100 := 0.0
+	for k := 1; k <= 100; k++ {
+		h100 += 1 / float64(k)
+	}
+	want := 1 / h100
+	got := float64(e.Count(e.TopK(1)[0])) / float64(e.Volume())
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("top item share %f, want ≈ %f", got, want)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	if len(Datasets()) != 4 {
+		t.Fatal("expected four trace stand-ins")
+	}
+	for _, d := range Datasets() {
+		s := d.Generate(10000, 1)
+		if len(s) != 10000 {
+			t.Fatalf("%s: wrong length", d.Name)
+		}
+		e := NewExact()
+		for _, x := range s {
+			e.Observe(x)
+		}
+		if e.Distinct() < 100 {
+			t.Fatalf("%s: implausibly few distinct items (%d)", d.Name, e.Distinct())
+		}
+		if _, ok := ByName(d.Name); !ok {
+			t.Fatalf("ByName(%q) failed", d.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted a bogus name")
+	}
+	if YouTube.Universe(1<<30) != 40000 {
+		t.Fatal("YouTube universe should be fixed")
+	}
+}
+
+func TestExactOracle(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 5; i++ {
+		e.Observe(1)
+	}
+	for i := 0; i < 3; i++ {
+		e.Observe(2)
+	}
+	e.Observe(3)
+	if e.Volume() != 9 || e.Distinct() != 3 {
+		t.Fatalf("volume %d distinct %d", e.Volume(), e.Distinct())
+	}
+	if e.Count(1) != 5 || e.Count(99) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if got := e.TopK(2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("TopK wrong: %v", got)
+	}
+	// F1 = N, F2 = 25+9+1 = 35, F0 = 3.
+	if e.Moment(1) != 9 || e.Moment(2) != 35 || e.Moment(0) != 3 {
+		t.Fatalf("moments wrong: %f %f %f", e.Moment(1), e.Moment(2), e.Moment(0))
+	}
+	if math.Abs(e.L2()-math.Sqrt(35)) > 1e-12 {
+		t.Fatal("L2 wrong")
+	}
+	// Entropy of (5/9, 3/9, 1/9).
+	want := 0.0
+	for _, f := range []float64{5, 3, 1} {
+		p := f / 9
+		want -= p * math.Log2(p)
+	}
+	if math.Abs(e.Entropy()-want) > 1e-12 {
+		t.Fatalf("entropy %f, want %f", e.Entropy(), want)
+	}
+	hh := e.HeavyHitters(0.3) // threshold 2.7: only item 1 (5) and item 2 (3)
+	if len(hh) != 2 {
+		t.Fatalf("heavy hitters: %v", hh)
+	}
+}
+
+func TestExactOnArrivalTruth(t *testing.T) {
+	e := NewExact()
+	if e.Observe(7) != 1 || e.Observe(7) != 2 || e.Observe(8) != 1 {
+		t.Fatal("Observe should return the running count")
+	}
+}
+
+func TestScrambleBijective(t *testing.T) {
+	seen := make(map[uint64]bool, 1<<14)
+	for r := uint64(0); r < 1<<14; r++ {
+		v := scramble(r, 9)
+		if seen[v] {
+			t.Fatal("scramble collision")
+		}
+		seen[v] = true
+	}
+}

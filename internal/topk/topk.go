@@ -1,0 +1,135 @@
+// Package topk implements the min-heap of highest-estimate items used for
+// heavy-hitter and top-k tracking alongside a sketch (§III, "Finding Heavy
+// Hitters"): on each arrival the item is queried and the heap is updated if
+// its estimate beats the current minimum.
+package topk
+
+import "sort"
+
+// Entry is an item together with its tracked estimate.
+type Entry struct {
+	Item  uint64
+	Count int64
+}
+
+// Heap is a capacity-bounded min-heap over estimates with O(1) membership
+// lookup. The zero value is not usable; call New.
+type Heap struct {
+	k       int
+	entries []Entry
+	pos     map[uint64]int
+}
+
+// New returns a heap tracking the k items with the largest estimates.
+func New(k int) *Heap {
+	if k <= 0 {
+		panic("topk: non-positive capacity")
+	}
+	return &Heap{k: k, pos: make(map[uint64]int, k)}
+}
+
+// Cap returns the heap capacity k.
+func (h *Heap) Cap() int { return h.k }
+
+// Len returns the number of tracked items.
+func (h *Heap) Len() int { return len(h.entries) }
+
+// Min returns the smallest tracked estimate, or 0 when empty.
+func (h *Heap) Min() int64 {
+	if len(h.entries) == 0 {
+		return 0
+	}
+	return h.entries[0].Count
+}
+
+// Contains reports whether item is currently tracked.
+func (h *Heap) Contains(item uint64) bool {
+	_, ok := h.pos[item]
+	return ok
+}
+
+// Count returns the tracked estimate for item and whether it is tracked.
+func (h *Heap) Count(item uint64) (int64, bool) {
+	i, ok := h.pos[item]
+	if !ok {
+		return 0, false
+	}
+	return h.entries[i].Count, true
+}
+
+// Offer updates the heap with a fresh estimate for item: tracked items are
+// re-keyed, new items displace the minimum once the estimate exceeds it.
+func (h *Heap) Offer(item uint64, count int64) {
+	if i, ok := h.pos[item]; ok {
+		h.entries[i].Count = count
+		h.fix(i)
+		return
+	}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, Entry{item, count})
+		h.pos[item] = len(h.entries) - 1
+		h.up(len(h.entries) - 1)
+		return
+	}
+	if count <= h.entries[0].Count {
+		return
+	}
+	delete(h.pos, h.entries[0].Item)
+	h.entries[0] = Entry{item, count}
+	h.pos[item] = 0
+	h.down(0)
+}
+
+// Items returns the tracked entries in descending estimate order.
+func (h *Heap) Items() []Entry {
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+func (h *Heap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].Count <= h.entries[i].Count {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.entries[l].Count < h.entries[smallest].Count {
+			smallest = l
+		}
+		if r < n && h.entries[r].Count < h.entries[smallest].Count {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].Item] = i
+	h.pos[h.entries[j].Item] = j
+}

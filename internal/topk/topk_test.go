@@ -1,0 +1,101 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapBasics(t *testing.T) {
+	h := New(3)
+	if h.Cap() != 3 || h.Len() != 0 || h.Min() != 0 {
+		t.Fatal("fresh heap wrong")
+	}
+	h.Offer(1, 10)
+	h.Offer(2, 5)
+	h.Offer(3, 7)
+	if h.Len() != 3 || h.Min() != 5 {
+		t.Fatalf("Len %d Min %d", h.Len(), h.Min())
+	}
+	// 4 displaces the minimum (2).
+	h.Offer(4, 6)
+	if h.Contains(2) || !h.Contains(4) {
+		t.Fatal("displacement wrong")
+	}
+	// Too-small estimates are ignored.
+	h.Offer(5, 1)
+	if h.Contains(5) {
+		t.Fatal("small item admitted")
+	}
+	items := h.Items()
+	if items[0].Item != 1 || items[1].Item != 3 || items[2].Item != 4 {
+		t.Fatalf("Items order wrong: %v", items)
+	}
+}
+
+func TestHeapRekey(t *testing.T) {
+	h := New(2)
+	h.Offer(1, 10)
+	h.Offer(2, 20)
+	h.Offer(1, 30) // re-key upward
+	if c, _ := h.Count(1); c != 30 {
+		t.Fatalf("Count(1) = %d", c)
+	}
+	if h.Min() != 20 {
+		t.Fatalf("Min = %d", h.Min())
+	}
+	h.Offer(3, 25) // displaces 2
+	if h.Contains(2) || !h.Contains(3) {
+		t.Fatal("displacement after rekey wrong")
+	}
+}
+
+func TestHeapAgainstSortOracle(t *testing.T) {
+	// Feeding monotone non-decreasing estimates per item (the CMS/CUS heavy
+	// hitter pattern), the heap must end up with the k items of largest
+	// final estimate.
+	const k = 16
+	const universe = 400
+	rng := rand.New(rand.NewSource(77))
+	h := New(k)
+	final := make([]int64, universe)
+	for op := 0; op < 50000; op++ {
+		item := uint64(rng.Intn(universe))
+		final[item] += int64(rng.Intn(5)) + 1
+		h.Offer(item, final[item])
+	}
+	type pair struct {
+		item uint64
+		f    int64
+	}
+	all := make([]pair, universe)
+	for i := range all {
+		all[i] = pair{uint64(i), final[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].f > all[j].f })
+	// Every item strictly above the k-th largest estimate must be present.
+	kth := all[k-1].f
+	for _, p := range all[:k] {
+		if p.f > kth && !h.Contains(p.item) {
+			t.Fatalf("item %d with final %d missing from heap", p.item, p.f)
+		}
+	}
+	items := h.Items()
+	if len(items) != k {
+		t.Fatalf("heap has %d items", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Count < items[i].Count {
+			t.Fatal("Items not sorted descending")
+		}
+	}
+}
+
+func TestHeapZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}

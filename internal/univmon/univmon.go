@@ -1,0 +1,169 @@
+// Package univmon implements the Universal Sketch (UnivMon, Liu et al.
+// SIGCOMM 2016): a stack of Count Sketch instances over geometrically
+// halving substreams, each paired with a top-k heap, from which any G-sum
+// Σ G(f_x) in Stream-PolyLog — entropy, frequency moments, cardinality —
+// is estimated with the Braverman–Ostrovsky recursive estimator.
+//
+// The paper's SALSA UnivMon is this sketch with SALSA Count Sketch rows.
+package univmon
+
+import (
+	"math"
+
+	"salsa/internal/hashing"
+	"salsa/internal/sketch"
+	"salsa/internal/topk"
+)
+
+// Sketch is a UnivMon instance. Configure with the paper's defaults via
+// New: 16 levels, d = 5 rows, heaps of 100.
+type Sketch struct {
+	levels     []level
+	sampleSeed uint64
+	volume     uint64
+}
+
+type level struct {
+	cs   *sketch.CountSketch
+	heap *topk.Heap
+}
+
+// Config sets the UnivMon geometry.
+type Config struct {
+	// Levels is the number of CS instances (16 in the paper's setup).
+	Levels int
+	// Depth and Width shape each Count Sketch (d = 5 in the paper).
+	Depth, Width int
+	// HeapK is the per-level heavy-hitter heap size (100 in the paper).
+	HeapK int
+	// Rows picks the CS row type (baseline or SALSA).
+	Rows sketch.SignedRowSpec
+	// Seed derives every hash seed.
+	Seed uint64
+}
+
+// New returns an empty UnivMon sketch.
+func New(cfg Config) *Sketch {
+	if cfg.Levels <= 0 || cfg.HeapK <= 0 {
+		panic("univmon: invalid geometry")
+	}
+	seeds := hashing.Seeds(cfg.Seed, cfg.Levels+1)
+	levels := make([]level, cfg.Levels)
+	for i := range levels {
+		levels[i] = level{
+			cs:   sketch.NewCountSketch(cfg.Depth, cfg.Width, cfg.Rows, seeds[i]),
+			heap: topk.New(cfg.HeapK),
+		}
+	}
+	return &Sketch{levels: levels, sampleSeed: seeds[cfg.Levels]}
+}
+
+// sampled reports whether x participates in level j: the j lowest bits of
+// its sampling hash must all be one, halving the substream per level.
+func (s *Sketch) sampled(x uint64, j int) bool {
+	if j == 0 {
+		return true
+	}
+	mask := uint64(1)<<uint(j) - 1
+	return hashing.Mix64(x, s.sampleSeed)&mask == mask
+}
+
+// SizeBits returns the total footprint of all levels' sketches (heap
+// bookkeeping excluded, as in the paper's accounting).
+func (s *Sketch) SizeBits() int {
+	total := 0
+	for i := range s.levels {
+		total += s.levels[i].cs.SizeBits()
+	}
+	return total
+}
+
+// Update processes one unit-weight arrival (Cash Register model).
+func (s *Sketch) Update(x uint64) {
+	s.volume++
+	for j := range s.levels {
+		if !s.sampled(x, j) {
+			break
+		}
+		lv := &s.levels[j]
+		lv.cs.Update(x, 1)
+		lv.heap.Offer(x, lv.cs.Query(x))
+	}
+}
+
+// Volume returns the number of processed updates N.
+func (s *Sketch) Volume() uint64 { return s.volume }
+
+// GSum estimates Σ_x G(f_x) using the recursive estimator: the deepest
+// level is summed directly over its heavy hitters, and each level j adds
+// its own heavy hitters with sampling-correction coefficients 1−2·h_{j+1}.
+func (s *Sketch) GSum(g func(float64) float64) float64 {
+	last := len(s.levels) - 1
+	y := 0.0
+	for _, e := range s.levels[last].heap.Items() {
+		y += g(clampPos(e.Count))
+	}
+	for j := last - 1; j >= 0; j-- {
+		sum := 0.0
+		for _, e := range s.levels[j].heap.Items() {
+			coeff := 1.0
+			if s.sampled(e.Item, j+1) {
+				coeff = -1.0
+			}
+			sum += coeff * g(clampPos(e.Count))
+		}
+		y = 2*y + sum
+	}
+	return y
+}
+
+func clampPos(v int64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return float64(v)
+}
+
+// Entropy estimates the empirical entropy H = log2(N) − (Σ f·log2 f)/N.
+func (s *Sketch) Entropy() float64 {
+	if s.volume == 0 {
+		return 0
+	}
+	y := s.GSum(func(f float64) float64 {
+		if f <= 0 {
+			return 0
+		}
+		return f * math.Log2(f)
+	})
+	return math.Log2(float64(s.volume)) - y/float64(s.volume)
+}
+
+// Moment estimates the frequency moment Fp = Σ f^p for p ≥ 0.
+func (s *Sketch) Moment(p float64) float64 {
+	if p == 1 {
+		// F1 is the volume, known exactly.
+		return float64(s.volume)
+	}
+	return s.GSum(func(f float64) float64 {
+		if f <= 0 {
+			return 0
+		}
+		return math.Pow(f, p)
+	})
+}
+
+// Distinct estimates the number of distinct items F0.
+func (s *Sketch) Distinct() float64 {
+	return s.GSum(func(f float64) float64 {
+		if f <= 0 {
+			return 0
+		}
+		return 1
+	})
+}
+
+// HeavyHitters returns the level-0 heap contents: the tracked items with
+// the largest estimates.
+func (s *Sketch) HeavyHitters() []topk.Entry {
+	return s.levels[0].heap.Items()
+}

@@ -1,0 +1,141 @@
+package univmon
+
+import (
+	"math"
+	"testing"
+
+	"salsa/internal/metrics"
+	"salsa/internal/sketch"
+	"salsa/internal/stream"
+)
+
+func build(rows sketch.SignedRowSpec, updates []uint64) *Sketch {
+	s := New(Config{
+		Levels: 12,
+		Depth:  5,
+		Width:  512,
+		HeapK:  100,
+		Rows:   rows,
+		Seed:   17,
+	})
+	for _, x := range updates {
+		s.Update(x)
+	}
+	return s
+}
+
+func TestSamplingHalves(t *testing.T) {
+	s := New(Config{Levels: 8, Depth: 2, Width: 64, HeapK: 4, Rows: sketch.FixedSignRow(32), Seed: 3})
+	counts := make([]int, 8)
+	for x := uint64(0); x < 1<<14; x++ {
+		for j := 0; j < 8; j++ {
+			if s.sampled(x, j) {
+				counts[j]++
+			}
+		}
+	}
+	if counts[0] != 1<<14 {
+		t.Fatal("level 0 must include everything")
+	}
+	for j := 1; j < 8; j++ {
+		want := float64(counts[j-1]) / 2
+		if math.Abs(float64(counts[j])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("level %d kept %d of %d", j, counts[j], counts[j-1])
+		}
+	}
+	// Nesting: level j membership implies level j−1 membership.
+	for x := uint64(0); x < 1000; x++ {
+		for j := 7; j >= 1; j-- {
+			if s.sampled(x, j) && !s.sampled(x, j-1) {
+				t.Fatal("levels are not nested")
+			}
+		}
+	}
+}
+
+func TestEntropyEstimate(t *testing.T) {
+	data := stream.Zipf(120000, 3000, 1.0, 21)
+	exact := stream.NewExact()
+	for _, x := range data {
+		exact.Observe(x)
+	}
+	for name, rows := range map[string]sketch.SignedRowSpec{
+		"baseline": sketch.FixedSignRow(32),
+		"salsa":    sketch.SalsaSignRow(8, false),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := build(rows, data)
+			got := s.Entropy()
+			if rel := metrics.RelErr(got, exact.Entropy()); rel > 0.15 {
+				t.Fatalf("entropy %f vs %f: rel err %f", got, exact.Entropy(), rel)
+			}
+		})
+	}
+}
+
+func TestMomentEstimates(t *testing.T) {
+	data := stream.Zipf(120000, 3000, 1.0, 23)
+	exact := stream.NewExact()
+	for _, x := range data {
+		exact.Observe(x)
+	}
+	s := build(sketch.SalsaSignRow(8, false), data)
+	if got := s.Moment(1); got != float64(exact.Volume()) {
+		t.Fatalf("F1 = %f, want exact %d", got, exact.Volume())
+	}
+	if rel := metrics.RelErr(s.Moment(2), exact.Moment(2)); rel > 0.25 {
+		t.Fatalf("F2 rel err %f", rel)
+	}
+	// F0 and fractional moments are noisier; demand order-of-magnitude
+	// agreement.
+	if rel := metrics.RelErr(s.Distinct(), float64(exact.Distinct())); rel > 0.5 {
+		t.Fatalf("F0 rel err %f (est %f true %d)", rel, s.Distinct(), exact.Distinct())
+	}
+	if rel := metrics.RelErr(s.Moment(0.5), exact.Moment(0.5)); rel > 0.5 {
+		t.Fatalf("F0.5 rel err %f", rel)
+	}
+}
+
+func TestHeavyHittersSurface(t *testing.T) {
+	data := stream.Zipf(50000, 2000, 1.2, 29)
+	exact := stream.NewExact()
+	for _, x := range data {
+		exact.Observe(x)
+	}
+	s := build(sketch.SalsaSignRow(8, false), data)
+	hh := s.HeavyHitters()
+	if len(hh) == 0 {
+		t.Fatal("no heavy hitters tracked")
+	}
+	est := make([]uint64, 0, len(hh))
+	for _, e := range hh {
+		est = append(est, e.Item)
+	}
+	acc := metrics.TopKAccuracy(est, exact.TopK(20))
+	if acc < 0.8 {
+		t.Fatalf("top-20 accuracy %f", acc)
+	}
+}
+
+func TestVolumeTracked(t *testing.T) {
+	s := build(sketch.FixedSignRow(32), []uint64{1, 2, 3})
+	if s.Volume() != 3 {
+		t.Fatalf("Volume = %d", s.Volume())
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	s := New(Config{Levels: 4, Depth: 2, Width: 64, HeapK: 4, Rows: sketch.FixedSignRow(32), Seed: 1})
+	if s.SizeBits() != 4*2*64*32 {
+		t.Fatalf("SizeBits = %d", s.SizeBits())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Levels: 0, Depth: 2, Width: 64, HeapK: 4, Rows: sketch.FixedSignRow(32)})
+}

@@ -1,0 +1,147 @@
+package salsa
+
+import (
+	"sync"
+	"testing"
+
+	"salsa/internal/stream"
+)
+
+func TestCountMinMarshalRoundTrip(t *testing.T) {
+	for _, opt := range []Options{
+		{Width: 512, Seed: 3},
+		{Width: 512, Mode: ModeBaseline, Seed: 3},
+		{Width: 512, CompactEncoding: true, Seed: 3},
+	} {
+		cm := NewCountMin(opt)
+		data := stream.Zipf(20000, 500, 1.0, 4)
+		for _, x := range data {
+			cm.Increment(x)
+		}
+		blob, err := cm.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalCountMin(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := uint64(0); x < 2000; x++ {
+			if back.Query(x) != cm.Query(x) {
+				t.Fatalf("opt %+v: query mismatch for %d", opt, x)
+			}
+		}
+		if back.Options() != cm.Options() {
+			t.Fatal("options lost")
+		}
+		// A decoded sketch must keep working and interoperate with the
+		// original's peers (shared seeds).
+		peer := NewCountMin(opt)
+		peer.Update(99, 7)
+		back.Merge(peer)
+		if back.Query(99) < cm.Query(99)+7 {
+			t.Fatal("decoded sketch cannot merge")
+		}
+	}
+}
+
+func TestConservativeSurvivesMarshal(t *testing.T) {
+	cu := NewConservativeUpdate(Options{Width: 256, Seed: 5})
+	cu.Increment(1)
+	blob, _ := cu.MarshalBinary()
+	back, err := UnmarshalCountMin(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.conservative {
+		t.Fatal("conservative mode lost")
+	}
+}
+
+func TestCountSketchMarshalRoundTrip(t *testing.T) {
+	cs := NewCountSketch(Options{Width: 1024, Seed: 6})
+	cs.Update(1, 300)
+	cs.Update(2, -50)
+	blob, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCountSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Query(1) != cs.Query(1) || back.Query(2) != cs.Query(2) {
+		t.Fatal("queries changed")
+	}
+	// Change detection across the serialization boundary.
+	other := NewCountSketch(Options{Width: 1024, Seed: 6})
+	other.Update(1, 100)
+	back.Subtract(other)
+	if back.Query(1) != 200 {
+		t.Fatalf("diff = %d, want 200", back.Query(1))
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := UnmarshalCountMin([]byte("xx")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := UnmarshalCountSketch(nil); err == nil {
+		t.Fatal("accepted nil")
+	}
+	cm := NewCountMin(Options{Width: 128})
+	blob, _ := cm.MarshalBinary()
+	if _, err := UnmarshalCountSketch(blob); err == nil {
+		t.Fatal("accepted a CountMin payload as CountSketch")
+	}
+}
+
+func TestTangoMarshalRejected(t *testing.T) {
+	cm := NewCountMin(Options{Width: 128, Mode: ModeTango})
+	if _, err := cm.MarshalBinary(); err == nil {
+		t.Fatal("Tango marshal should fail (unsupported row type)")
+	}
+}
+
+func TestShardedCountMinConcurrent(t *testing.T) {
+	s := NewShardedCountMin(Options{Width: 1024, Seed: 7}, 4)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	const perG = 5000
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Increment(uint64(i % 100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for x := uint64(0); x < 100; x++ {
+		truth := uint64(goroutines * perG / 100)
+		if got := s.Query(x); got < truth {
+			t.Fatalf("item %d: %d < truth %d", x, got, truth)
+		}
+	}
+	if s.MemoryBits() == 0 {
+		t.Fatal("no memory accounted")
+	}
+}
+
+func TestShardedRoutesConsistently(t *testing.T) {
+	s := NewShardedCountMin(Options{Width: 256, Seed: 8}, 3) // rounds to 4
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want rounding to 4", s.Shards())
+	}
+	s.Update(42, 10)
+	if s.Query(42) != 10 {
+		t.Fatalf("Query = %d", s.Query(42))
+	}
+	if s.Query(43) != 0 {
+		t.Fatal("cross-shard contamination")
+	}
+}

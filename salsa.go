@@ -1,0 +1,148 @@
+// Package salsa is a Go implementation of SALSA (Self-Adjusting Lean
+// Streaming Analytics, ICDE 2021): sketching with dynamically re-sized
+// counters. Counters start small (8 bits by default) and merge with their
+// neighbors when they overflow, so a given memory budget holds far more
+// counters without limiting the counting range.
+//
+// The package offers the three classic frequency sketches — CountMin,
+// ConservativeUpdate and CountSketch — over three counter backends
+// selectable per sketch: the fixed-width Baseline, SALSA, and the
+// fine-grained Tango variant. On top of them it provides the paper's
+// derived machinery: heavy-hitter/top-k tracking, Linear Counting distinct
+// estimation, change detection via sketch subtraction, the UnivMon
+// universal sketch, the Cold Filter framework, and the AEE sampling
+// estimators with SALSA's merge-or-downsample overflow policy.
+//
+// Quick start:
+//
+//	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 16})
+//	cm.Increment(item)
+//	estimate := cm.Query(item)
+//
+// All sketches are deterministic given Options.Seed and are not safe for
+// concurrent mutation; wrap with a mutex or shard per goroutine and Merge.
+package salsa
+
+import (
+	"fmt"
+
+	"salsa/internal/core"
+	"salsa/internal/hashing"
+)
+
+// Mode selects the counter backend of a sketch.
+type Mode int
+
+const (
+	// ModeSALSA is the paper's scheme: small counters that merge with
+	// their power-of-two-aligned neighbors on overflow. The default.
+	ModeSALSA Mode = iota
+	// ModeBaseline uses fixed-width counters (32 bits unless overridden),
+	// the configuration the paper's baselines use.
+	ModeBaseline
+	// ModeTango grows counters one cell at a time instead of doubling
+	// (§IV, "Fine-grained Counter Merges"); slightly more accurate,
+	// slower to decode. Not available for CountSketch.
+	ModeTango
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSALSA:
+		return "salsa"
+	case ModeBaseline:
+		return "baseline"
+	case ModeTango:
+		return "tango"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Merge selects how merged counters combine their values.
+type Merge int
+
+const (
+	// MergeDefault lets the sketch pick the correct policy: max for
+	// cash-register CountMin and ConservativeUpdate, sum elsewhere.
+	MergeDefault Merge = iota
+	// MergeSum sets a merged counter to the sum of its parts; correct in
+	// the Strict Turnstile model (negative updates allowed).
+	MergeSum
+	// MergeMax sets a merged counter to the max of its parts; more
+	// accurate, but only correct in the Cash Register model.
+	MergeMax
+)
+
+// Options configures a sketch. The zero value plus a Width is usable: a
+// SALSA sketch with 8-bit base counters, 4 rows (5 for CountSketch), and
+// the model-appropriate merge policy.
+type Options struct {
+	// Depth is the number of rows d; 0 means the paper's defaults
+	// (4 for CountMin/ConservativeUpdate, 5 for CountSketch).
+	Depth int
+	// Width is the number of base counter slots per row; required, and
+	// must be a power of two.
+	Width int
+	// Mode picks the counter backend; ModeSALSA if unset.
+	Mode Mode
+	// CounterBits is the base counter size in bits: for ModeBaseline the
+	// fixed width (default 32), for SALSA/Tango the initial size s
+	// (default 8).
+	CounterBits uint
+	// Merge picks the merged-counter combine rule (SALSA/Tango only).
+	Merge Merge
+	// CompactEncoding replaces the simple one-bit-per-counter merge
+	// encoding with the near-optimal < 0.594 bits/counter encoding of
+	// Appendix A (SALSA only; slightly slower, smaller).
+	CompactEncoding bool
+	// Seed makes hashing deterministic; sketches that will be merged or
+	// subtracted must share it.
+	Seed uint64
+}
+
+func (o Options) withDefaults(defaultDepth int, defaultMerge Merge) Options {
+	if o.Depth == 0 {
+		o.Depth = defaultDepth
+	}
+	if o.CounterBits == 0 {
+		if o.Mode == ModeBaseline {
+			o.CounterBits = 32
+		} else {
+			o.CounterBits = 8
+		}
+	}
+	if o.Merge == MergeDefault {
+		o.Merge = defaultMerge
+	}
+	return o
+}
+
+func (o Options) validate() {
+	if o.Width <= 0 || o.Width&(o.Width-1) != 0 {
+		panic(fmt.Sprintf("salsa: Width %d must be a positive power of two", o.Width))
+	}
+	if o.Depth < 0 {
+		panic("salsa: negative Depth")
+	}
+}
+
+func (o Options) policy() core.MergePolicy {
+	if o.Merge == MergeMax {
+		return core.MaxMerge
+	}
+	return core.SumMerge
+}
+
+// KeyBytes hashes an arbitrary byte key (such as a packet 5-tuple) to the
+// uint64 item space the sketches consume, using BobHash as in the paper's
+// reference implementation. It is deterministic and seed-free; use distinct
+// logical namespaces by prefixing the key.
+func KeyBytes(key []byte) uint64 {
+	return hashing.Bob64(key, 0x5a15a0b0b)
+}
+
+// KeyString is KeyBytes for strings.
+func KeyString(key string) uint64 {
+	return KeyBytes([]byte(key))
+}

@@ -1,0 +1,82 @@
+package salsa
+
+import (
+	"sync"
+
+	"salsa/internal/hashing"
+)
+
+// ShardedCountMin is a concurrency-safe CountMin: items are routed to one
+// of several independently-locked shard sketches by a hash of the item, so
+// updates from many goroutines proceed in parallel while every query still
+// consults exactly one shard (each shard is a complete sketch of its
+// substream, so estimates keep the CountMin overestimate guarantee).
+//
+// Memory is Options.Width per shard; size the width accordingly. Merging
+// the shards into one sketch is not needed for point queries.
+type ShardedCountMin struct {
+	shards []shard
+	mask   uint64
+	seed   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	cm *CountMin
+	_  [40]byte // pad to its own cache line to avoid false sharing
+}
+
+// NewShardedCountMin returns a sketch with the given number of shards
+// (rounded up to a power of two, minimum 1).
+func NewShardedCountMin(opt Options, shards int) *ShardedCountMin {
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	s := &ShardedCountMin{
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		seed:   opt.Seed ^ 0x5a15ac0c0,
+	}
+	for i := range s.shards {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)*0x9e37
+		s.shards[i].cm = NewCountMin(o)
+	}
+	return s
+}
+
+func (s *ShardedCountMin) route(item uint64) *shard {
+	return &s.shards[hashing.Index(item, s.seed, s.mask)]
+}
+
+// Update adds count occurrences of item; safe for concurrent use.
+func (s *ShardedCountMin) Update(item uint64, count int64) {
+	sh := s.route(item)
+	sh.mu.Lock()
+	sh.cm.Update(item, count)
+	sh.mu.Unlock()
+}
+
+// Increment adds one occurrence of item; safe for concurrent use.
+func (s *ShardedCountMin) Increment(item uint64) { s.Update(item, 1) }
+
+// Query returns the frequency estimate; safe for concurrent use.
+func (s *ShardedCountMin) Query(item uint64) uint64 {
+	sh := s.route(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cm.Query(item)
+}
+
+// Shards returns the number of shards.
+func (s *ShardedCountMin) Shards() int { return len(s.shards) }
+
+// MemoryBits returns the total footprint across shards.
+func (s *ShardedCountMin) MemoryBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].cm.MemoryBits()
+	}
+	return total
+}
