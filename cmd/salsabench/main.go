@@ -8,6 +8,7 @@
 //	salsabench -experiment fig8cd                # one figure
 //	salsabench -all -n 1000000 -trials 5         # everything, paper-style
 //	salsabench -list                             # what exists
+//	salsabench -throughput -procs 8 -batch 4096  # multi-core ingestion rate
 //
 // The paper runs 98M-update traces; -n scales the streams (and the harness
 // scales sketch widths to match the paper's operating points). Shapes are
@@ -31,8 +32,17 @@ func main() {
 		n          = flag.Int("n", 400_000, "stream length (paper: 98M)")
 		trials     = flag.Int("trials", 3, "trials per data point (paper: 10)")
 		seed       = flag.Uint64("seed", 42, "master seed")
+		throughput = flag.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
+		procs      = flag.Int("procs", 0, "ingesting goroutines for -throughput (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "shard count for -throughput (0 = procs)")
+		batch      = flag.Int("batch", 4096, "batch / Writer buffer size for -throughput")
 	)
 	flag.Parse()
+
+	if *throughput {
+		runThroughput(throughputConfig{n: *n, procs: *procs, shards: *shards, batch: *batch, seed: *seed})
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

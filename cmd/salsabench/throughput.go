@@ -1,0 +1,121 @@
+// Multi-core ingestion throughput mode (-throughput): streams a Zipf trace
+// into the Sharded concurrency layer from -procs goroutines and reports
+// million-updates-per-second for every backend and ingestion path — per-item
+// locking, whole batches (-batch items at a time), and per-goroutine Writer
+// buffers. This is the operational counterpart of the BenchmarkSharded*
+// microbenchmarks: one number per (backend, path) on this machine's cores.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+type throughputConfig struct {
+	n      int
+	procs  int
+	shards int
+	batch  int
+	seed   uint64
+}
+
+var ingestPaths = []string{"item", "batch", "writer"}
+
+func runThroughput(cfg throughputConfig) {
+	if cfg.procs <= 0 {
+		cfg.procs = runtime.GOMAXPROCS(0)
+	} else {
+		runtime.GOMAXPROCS(cfg.procs)
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = cfg.procs
+	}
+	// NewSharded rounds the shard count up to a power of two; mirror that
+	// here so the header reports the real configuration.
+	for n := 1; ; n *= 2 {
+		if n >= cfg.shards {
+			cfg.shards = n
+			break
+		}
+	}
+	if cfg.batch <= 0 {
+		cfg.batch = 4096
+	}
+	data := stream.Zipf(cfg.n, cfg.n/16, 1.0, cfg.seed)
+	opt := salsa.Options{Width: 1 << 14, Seed: cfg.seed}
+
+	backends := []struct {
+		name string
+		run  func(path string) time.Duration
+	}{
+		{"countmin", func(path string) time.Duration {
+			return ingest(salsa.NewShardedCountMin(opt, cfg.shards).Sharded, path, cfg, data)
+		}},
+		{"countmin-baseline", func(path string) time.Duration {
+			o := opt
+			o.Mode = salsa.ModeBaseline
+			return ingest(salsa.NewShardedCountMin(o, cfg.shards).Sharded, path, cfg, data)
+		}},
+		{"conservative", func(path string) time.Duration {
+			return ingest(salsa.NewShardedConservativeUpdate(opt, cfg.shards).Sharded, path, cfg, data)
+		}},
+		{"countsketch", func(path string) time.Duration {
+			return ingest(salsa.NewShardedCountSketch(opt, cfg.shards).Sharded, path, cfg, data)
+		}},
+	}
+
+	fmt.Println("# concurrent ingestion throughput (Sharded layer)")
+	fmt.Printf("# n=%d, procs=%d, shards=%d, batch=%d, width=%d\n",
+		cfg.n, cfg.procs, cfg.shards, cfg.batch, opt.Width)
+	fmt.Println("backend,path,mops")
+	for _, b := range backends {
+		for _, path := range ingestPaths {
+			elapsed := b.run(path)
+			mops := float64(cfg.n) / elapsed.Seconds() / 1e6
+			fmt.Printf("%s,%s,%.2f\n", b.name, path, mops)
+		}
+	}
+}
+
+// ingest streams data into s from cfg.procs goroutines over the chosen path
+// and returns the wall-clock time for the whole stream.
+func ingest[S salsa.Sketch](s *salsa.Sharded[S], path string, cfg throughputConfig, data []uint64) time.Duration {
+	procs := cfg.procs
+	chunk := (len(data) + procs - 1) / procs
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		lo := g * chunk
+		hi := min(lo+chunk, len(data))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []uint64) {
+			defer wg.Done()
+			switch path {
+			case "item":
+				for _, x := range part {
+					s.Increment(x)
+				}
+			case "batch":
+				for off := 0; off < len(part); off += cfg.batch {
+					s.IncrementBatch(part[off:min(off+cfg.batch, len(part))])
+				}
+			case "writer":
+				w := s.NewWriter(cfg.batch)
+				for _, x := range part {
+					w.Increment(x)
+				}
+				w.Flush()
+			}
+		}(data[lo:hi])
+	}
+	wg.Wait()
+	return time.Since(start)
+}

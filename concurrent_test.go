@@ -1,0 +1,403 @@
+package salsa
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"salsa/internal/stream"
+)
+
+// --- batch/sequential equivalence -----------------------------------------
+
+// TestBatchEqualsSequential pins the public batch contract on Zipf streams:
+// UpdateBatch leaves a sketch answering identically to per-item Updates, for
+// every backend mode and both CountMin rules.
+func TestBatchEqualsSequential(t *testing.T) {
+	data := stream.Zipf(80000, 4000, 1.0, 21)
+	builds := map[string]func() Sketch{
+		"CountMinSALSA":      func() Sketch { return NewCountMin(Options{Width: 1 << 10, Seed: 9}) },
+		"CountMinBaseline":   func() Sketch { return NewCountMin(Options{Width: 1 << 10, Mode: ModeBaseline, Seed: 9}) },
+		"CountMinTango":      func() Sketch { return NewCountMin(Options{Width: 1 << 10, Mode: ModeTango, Seed: 9}) },
+		"CountMinCompact":    func() Sketch { return NewCountMin(Options{Width: 1 << 10, CompactEncoding: true, Seed: 9}) },
+		"ConservativeUpdate": func() Sketch { return NewConservativeUpdate(Options{Width: 1 << 10, Seed: 9}) },
+		"CountSketch":        func() Sketch { return NewCountSketch(Options{Width: 1 << 10, Seed: 9}) },
+		"Monitor":            func() Sketch { return NewMonitor(Options{Width: 1 << 10, Seed: 9}, 32) },
+	}
+	type pointQuery interface{ Query(uint64) uint64 }
+	type signedQuery interface{ Query(uint64) int64 }
+	for name, build := range builds {
+		seq, bat := build(), build()
+		for _, x := range data {
+			seq.Update(x, 1)
+		}
+		for off := 0; off < len(data); off += 777 {
+			end := off + 777
+			if end > len(data) {
+				end = len(data)
+			}
+			bat.UpdateBatch(data[off:end], 1)
+		}
+		for x := uint64(0); x < 4000; x++ {
+			switch s := seq.(type) {
+			case pointQuery:
+				if a, b := s.Query(x), bat.(pointQuery).Query(x); a != b {
+					t.Fatalf("%s: item %d: sequential %d != batch %d", name, x, a, b)
+				}
+			case signedQuery:
+				if a, b := s.Query(x), bat.(signedQuery).Query(x); a != b {
+					t.Fatalf("%s: item %d: sequential %d != batch %d", name, x, a, b)
+				}
+			case *Monitor:
+				if a, b := s.Sketch().Query(x), bat.(*Monitor).Sketch().Query(x); a != b {
+					t.Fatalf("%s: item %d: sequential %d != batch %d", name, x, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBatchEqualsSequential pins the sharded batch contract: for a
+// fixed seed, IncrementBatch routes and applies exactly like a sequential
+// loop of single Increments, so both Sharded instances answer identically
+// (and QueryBatch agrees with Query).
+func TestShardedBatchEqualsSequential(t *testing.T) {
+	data := stream.Zipf(100000, 5000, 1.0, 33)
+	opt := Options{Width: 1 << 10, Seed: 12}
+	seq := NewShardedCountMin(opt, 8)
+	bat := NewShardedCountMin(opt, 8)
+	for _, x := range data {
+		seq.Increment(x)
+	}
+	for off := 0; off < len(data); off += 4096 {
+		end := off + 4096
+		if end > len(data) {
+			end = len(data)
+		}
+		bat.IncrementBatch(data[off:end])
+	}
+	items := make([]uint64, 5000)
+	for i := range items {
+		items[i] = uint64(i)
+	}
+	est := bat.QueryBatch(items, nil)
+	for _, x := range items {
+		if a, b := seq.Query(x), bat.Query(x); a != b {
+			t.Fatalf("item %d: sequential %d != batch %d", x, a, b)
+		}
+		if est[x] != bat.Query(x) {
+			t.Fatalf("item %d: QueryBatch %d != Query %d", x, est[x], bat.Query(x))
+		}
+	}
+}
+
+// TestShardedMergeEqualsSequential: shards built with one shared seed and
+// sum-merge are mergeable, and because every item lives in exactly one
+// shard, folding all shards into a single sketch reproduces the sequential
+// single-update sketch's estimates exactly — in Baseline and SALSA modes.
+func TestShardedMergeEqualsSequential(t *testing.T) {
+	data := stream.Zipf(120000, 5000, 1.0, 29)
+	for _, mode := range []Mode{ModeBaseline, ModeSALSA} {
+		opt := Options{Width: 1 << 10, Mode: mode, Merge: MergeSum, Seed: 5}
+		seq := NewCountMin(opt)
+		for _, x := range data {
+			seq.Increment(x)
+		}
+		sh := NewSharded(8, 999, func(int) *CountMin { return NewCountMin(opt) })
+		sh.IncrementBatch(data)
+		merged := NewCountMin(opt)
+		for i := 0; i < sh.Shards(); i++ {
+			merged.Merge(sh.Shard(i))
+		}
+		for x := uint64(0); x < 5000; x++ {
+			if a, b := seq.Query(x), merged.Query(x); a != b {
+				t.Fatalf("mode %v: item %d: sequential %d != merged shards %d", mode, x, a, b)
+			}
+		}
+	}
+}
+
+// TestWriterEqualsUnbuffered: per-goroutine write buffers reorder across
+// shards but preserve per-shard arrival order, so after Flush the sketch
+// answers identically to unbuffered ingestion.
+func TestWriterEqualsUnbuffered(t *testing.T) {
+	data := stream.Zipf(60000, 3000, 1.0, 41)
+	opt := Options{Width: 1 << 10, Seed: 17}
+	direct := NewShardedCountMin(opt, 4)
+	buffered := NewShardedCountMin(opt, 4)
+	w := buffered.NewWriter(64)
+	for i, x := range data {
+		direct.Increment(x)
+		if i%97 == 0 {
+			w.Update(x, 1) // count==1 goes through the buffer
+		} else {
+			w.Increment(x)
+		}
+	}
+	w.Flush()
+	for x := uint64(0); x < 3000; x++ {
+		if a, b := direct.Query(x), buffered.Query(x); a != b {
+			t.Fatalf("item %d: direct %d != buffered %d", x, a, b)
+		}
+	}
+}
+
+// --- race hammer tests (run with -race) ------------------------------------
+
+// hammer fires fn from 8 goroutines with disjoint worker ids.
+func hammer(t *testing.T, fn func(worker int)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fn(g)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestShardedCountMinHammer mixes single updates, batches, point queries
+// and batch queries from 8 goroutines; afterwards every estimate must hold
+// the CountMin overestimate guarantee against the known truth. perG is a
+// multiple of universe so every item's exact count is at least
+// 8·perG/universe regardless of where each goroutine's loop ends.
+func TestShardedCountMinHammer(t *testing.T) {
+	const perG, universe = 4096, 64
+	for name, s := range map[string]*ShardedCountMin{
+		"CountMin":     NewShardedCountMin(Options{Width: 1 << 10, Seed: 7}, 8),
+		"Conservative": NewShardedConservativeUpdate(Options{Width: 1 << 10, Seed: 7}, 8),
+	} {
+		hammer(t, func(g int) {
+			batch := make([]uint64, 0, 128)
+			qbuf := make([]uint64, 0, 16)
+			for i := 0; i < perG; i++ {
+				x := uint64(i % universe)
+				// universe divides 4 evenly, so i%4 alone would pin each
+				// item to one op; adding the cycle number rotates the op
+				// mix across occurrences of every item.
+				switch (i + i/universe) % 4 {
+				case 0:
+					s.Increment(x)
+				case 1:
+					batch = append(batch, x)
+					if len(batch) == cap(batch) {
+						s.IncrementBatch(batch)
+						batch = batch[:0]
+					} else {
+						s.Update(x, 1) // keep the per-item tally exact
+					}
+				case 2:
+					s.Update(x, 1)
+					_ = s.Query(x)
+				default:
+					s.Increment(x)
+					qbuf = s.QueryBatch([]uint64{x, x + 1}, qbuf[:0])
+				}
+			}
+			s.IncrementBatch(batch)
+		})
+		truth := uint64(8 * perG / universe)
+		for x := uint64(0); x < universe; x++ {
+			if got := s.Query(x); got < truth {
+				t.Fatalf("%s: item %d: estimate %d < truth %d", name, x, got, truth)
+			}
+		}
+		if s.MemoryBits() == 0 {
+			t.Fatalf("%s: no memory accounted", name)
+		}
+	}
+}
+
+// TestShardedCountSketchHammer checks the signed path races clean and stays
+// plausibly near truth (Count Sketch is unbiased, not an overestimate).
+func TestShardedCountSketchHammer(t *testing.T) {
+	s := NewShardedCountSketch(Options{Width: 1 << 12, Seed: 13}, 8)
+	const perG, universe = 4096, 64
+	hammer(t, func(g int) {
+		batch := make([]uint64, 0, 256)
+		for i := 0; i < perG; i++ {
+			batch = append(batch, uint64(i%universe))
+			if len(batch) == cap(batch) {
+				s.IncrementBatch(batch)
+				batch = batch[:0]
+			}
+			if i%16 == 0 {
+				_ = s.Query(uint64(i % universe))
+			}
+		}
+		s.IncrementBatch(batch)
+	})
+	truth := int64(8 * perG / universe)
+	for x := uint64(0); x < universe; x++ {
+		got := s.Query(x)
+		if got < truth/2 || got > truth*2 {
+			t.Fatalf("item %d: estimate %d implausible for truth %d", x, got, truth)
+		}
+	}
+}
+
+// TestShardedMonitorHammer runs the heavy-hitter tracker concurrently and
+// checks the merged top-k surfaces the planted heavy item.
+func TestShardedMonitorHammer(t *testing.T) {
+	s := NewShardedMonitor(Options{Width: 1 << 10, Seed: 23}, 16, 8)
+	const heavy = uint64(424242)
+	hammer(t, func(g int) {
+		for i := 0; i < 3000; i++ {
+			if i%3 == 0 {
+				s.Increment(heavy)
+			} else {
+				s.Increment(uint64(g*10000 + i))
+			}
+			if i%64 == 0 {
+				_ = s.Top()
+			}
+		}
+	})
+	top := s.Top()
+	if len(top) == 0 || top[0].Item != heavy {
+		t.Fatalf("heavy item not at top: %+v", top[:min(len(top), 3)])
+	}
+	if hh := s.HeavyHitters(0.2, 8*3000); len(hh) != 1 || hh[0].Item != heavy {
+		t.Fatalf("HeavyHitters = %+v, want only %d", hh, heavy)
+	}
+	if q := s.Query(heavy); q < 8*1000 {
+		t.Fatalf("Query(heavy) = %d, want >= %d", q, 8*1000)
+	}
+}
+
+// TestShardedMonitorHeavyHittersBeyondK: HeavyHitters draws from the full
+// k·shards candidate set, so it can surface more than k qualifying items
+// (Top() alone truncates to k).
+func TestShardedMonitorHeavyHittersBeyondK(t *testing.T) {
+	const k, items, reps = 4, 20, 100
+	s := NewShardedMonitor(Options{Width: 1 << 10, Seed: 3}, k, 8)
+	for x := uint64(1); x <= items; x++ {
+		for c := 0; c < reps; c++ {
+			s.Increment(x)
+		}
+	}
+	if top := s.Top(); len(top) != k {
+		t.Fatalf("Top() returned %d items, want %d", len(top), k)
+	}
+	// Every item clears the threshold; all that are tracked (per-shard
+	// heaps hold k each, far above the ~2.5 items routed per shard) must
+	// be returned, not just the global top k.
+	hh := s.HeavyHitters(float64(reps)/(2*items*reps), items*reps)
+	if len(hh) <= k {
+		t.Fatalf("HeavyHitters returned %d items, want > k=%d (truncated to Top?)", len(hh), k)
+	}
+	for _, e := range hh {
+		if e.Count < reps {
+			t.Fatalf("item %d: estimate %d < truth %d", e.Item, e.Count, reps)
+		}
+	}
+}
+
+// TestWriterHammer gives each goroutine its own Writer over one shared
+// Sharded sketch — the intended amortized-flush ingestion topology.
+func TestWriterHammer(t *testing.T) {
+	s := NewShardedCountMin(Options{Width: 1 << 10, Seed: 31}, runtime.GOMAXPROCS(0))
+	const perG, universe = 5000, 100
+	hammer(t, func(g int) {
+		w := s.NewWriter(128)
+		for i := 0; i < perG; i++ {
+			w.Increment(uint64(i % universe))
+		}
+		w.Flush()
+	})
+	truth := uint64(8 * perG / universe)
+	for x := uint64(0); x < universe; x++ {
+		if got := s.Query(x); got < truth {
+			t.Fatalf("item %d: estimate %d < truth %d", x, got, truth)
+		}
+	}
+}
+
+// --- marshal round-trips over the batch path --------------------------------
+
+// TestBatchIngestedMarshalRoundTrip mirrors marshal_test.go's golden checks
+// for sketches filled via UpdateBatch: decode must answer identically and
+// keep interoperating (Merge with a seed-sharing peer).
+func TestBatchIngestedMarshalRoundTrip(t *testing.T) {
+	data := stream.Zipf(30000, 1500, 1.0, 51)
+	for _, opt := range []Options{
+		{Width: 512, Seed: 3},
+		{Width: 512, Mode: ModeBaseline, Seed: 3},
+		{Width: 512, CompactEncoding: true, Seed: 3},
+	} {
+		cm := NewCountMin(opt)
+		cm.IncrementBatch(data)
+		blob, err := cm.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalCountMin(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := uint64(0); x < 1500; x++ {
+			if back.Query(x) != cm.Query(x) {
+				t.Fatalf("opt %+v: query mismatch for %d", opt, x)
+			}
+		}
+		peer := NewCountMin(opt)
+		peer.UpdateBatch([]uint64{99, 99, 99}, 1)
+		back.Merge(peer)
+		if back.Query(99) < cm.Query(99)+3 {
+			t.Fatal("decoded sketch cannot merge batch-built peer")
+		}
+	}
+
+	cs := NewCountSketch(Options{Width: 1024, Seed: 6})
+	cs.UpdateBatch(data, 2)
+	blob, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backCS, err := UnmarshalCountSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 1500; x++ {
+		if backCS.Query(x) != cs.Query(x) {
+			t.Fatalf("CountSketch query mismatch for %d", x)
+		}
+	}
+}
+
+// TestShardedMarshalRoundTrip ships each shard separately — the distributed
+// use case — and reassembles a Sharded sketch from the decoded shards,
+// which must answer exactly like the original.
+func TestShardedMarshalRoundTrip(t *testing.T) {
+	opt := Options{Width: 512, Seed: 61}
+	s := NewShardedCountMin(opt, 4)
+	data := stream.Zipf(40000, 2000, 1.0, 71)
+	s.IncrementBatch(data)
+
+	blobs := make([][]byte, s.Shards())
+	for i := range blobs {
+		var err error
+		if blobs[i], err = s.Shard(i).MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt := &ShardedCountMin{NewSharded(len(blobs), routeSeed(opt), func(i int) *CountMin {
+		cm, err := UnmarshalCountMin(blobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	})}
+	for x := uint64(0); x < 2000; x++ {
+		if a, b := s.Query(x), rebuilt.Query(x); a != b {
+			t.Fatalf("item %d: original %d != rebuilt %d", x, a, b)
+		}
+	}
+	// The rebuilt sketch must remain live for further (batch) ingestion.
+	rebuilt.IncrementBatch(data[:1000])
+	if rebuilt.Query(data[0]) < s.Query(data[0]) {
+		t.Fatal("rebuilt sketch not live")
+	}
+}

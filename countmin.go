@@ -60,6 +60,20 @@ func (c *CountMin) Increment(item uint64) { c.sk.Update(item, 1) }
 // Query returns the frequency estimate for item (an overestimate).
 func (c *CountMin) Query(item uint64) uint64 { return c.sk.Query(item) }
 
+// UpdateBatch adds count occurrences of every item, in order. It leaves the
+// sketch in the identical state as single Updates but hashes and updates
+// row-at-a-time, the fast path for bulk ingestion.
+func (c *CountMin) UpdateBatch(items []uint64, count int64) { c.sk.UpdateBatch(items, count) }
+
+// IncrementBatch adds one occurrence of every item, in order.
+func (c *CountMin) IncrementBatch(items []uint64) { c.sk.UpdateBatch(items, 1) }
+
+// QueryBatch writes the estimate of items[j] into dst[j] and returns dst,
+// appending if dst is short (pass nil to allocate).
+func (c *CountMin) QueryBatch(items []uint64, dst []uint64) []uint64 {
+	return c.sk.QueryBatch(items, dst)
+}
+
 // UpdateBytes and QueryBytes are Update/Query for byte-slice keys.
 func (c *CountMin) UpdateBytes(key []byte, count int64) { c.sk.Update(KeyBytes(key), count) }
 
@@ -112,6 +126,25 @@ func (m *Monitor) Process(item uint64) {
 	m.cm.Increment(item)
 	m.heap.Offer(item, int64(m.cm.Query(item)))
 }
+
+// Update records count occurrences of item and refreshes its heap entry;
+// with it Monitor satisfies Sketch and can back a Sharded tracker.
+func (m *Monitor) Update(item uint64, count int64) {
+	m.cm.Update(item, count)
+	m.heap.Offer(item, int64(m.cm.Query(item)))
+}
+
+// UpdateBatch records count occurrences of every item, in order. The heap
+// refresh couples items, so this is a per-item loop kept for the Sketch
+// interface; identical to sequential Updates.
+func (m *Monitor) UpdateBatch(items []uint64, count int64) {
+	for _, x := range items {
+		m.Update(x, count)
+	}
+}
+
+// MemoryBits returns the underlying sketch footprint in bits.
+func (m *Monitor) MemoryBits() int { return m.cm.MemoryBits() }
 
 // Sketch exposes the underlying CountMin for point queries.
 func (m *Monitor) Sketch() *CountMin { return m.cm }

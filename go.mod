@@ -1,0 +1,3 @@
+module salsa
+
+go 1.24

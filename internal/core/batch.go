@@ -1,0 +1,99 @@
+package core
+
+// Batch slot updates. The sketches address rows through interfaces, so a
+// per-item Add costs an interface dispatch per row; the AddSlots variants
+// take a whole batch of pre-hashed slots (row widths fit easily in uint32)
+// and amortize that dispatch — and let each row type keep its hot fields in
+// registers across the batch.
+
+// AddSlots adds v to every addressed counter, in slot order.
+func (f *Fixed) AddSlots(slots []uint32, v int64) {
+	words, bits, maxV := f.words, f.bits, f.maxV
+	if v >= 0 {
+		d := uint64(v)
+		for _, i := range slots {
+			cur := readAligned(words, uint(i)*bits, bits)
+			nv := satAdd(cur, d)
+			if nv > maxV {
+				nv = maxV
+			}
+			writeAligned(words, uint(i)*bits, bits, nv)
+		}
+		return
+	}
+	for _, i := range slots {
+		f.Add(int(i), v)
+	}
+}
+
+// AddSlots adds v to every addressed counter, in slot order. Order matters
+// for SALSA rows: counter merges fire exactly as they would under the same
+// sequence of single Adds, so batch and sequential ingestion agree
+// bit-for-bit. Unmerged counters that do not overflow — the common case on
+// all but the heaviest slots — are updated inline with the array fields held
+// in registers; merged or overflowing slots fall back to the general Add,
+// which leaves the counter in the identical state the fast path would have.
+func (s *Salsa) AddSlots(slots []uint32, v int64) {
+	bl := s.blWords
+	if v < 0 || bl == nil {
+		for _, i := range slots {
+			s.Add(int(i), v)
+		}
+		return
+	}
+	words, sb, maxLvl, d := s.words, s.s, s.maxLvl, uint64(v)
+	for _, u := range slots {
+		i := uint(u)
+		// All merge bits this slot can probe lie in its 2^maxLvl-slot
+		// block, and 2^maxLvl divides 64, so one merge-bit word load
+		// replaces the level-by-level dependent loads of level(). The
+		// probe itself is branchless — a fixed maxLvl-trip loop whose
+		// data-dependent branches would otherwise mispredict on the mixed
+		// merged/unmerged slot populations batches sweep over.
+		wbits := bl[i>>6]
+		lvl, t := uint(0), uint(1)
+		for l := uint(0); l < maxLvl; l++ {
+			pos := i&^(1<<(l+1)-1) + 1<<l - 1
+			t &= uint(wbits>>(pos&63)) & 1
+			lvl += t
+		}
+		start := i &^ (1<<lvl - 1)
+		size := sb << lvl
+		off := start * sb
+		w, sh := off>>6, off&63
+		if size == 64 {
+			words[w] = satAdd(words[w], d)
+			continue
+		}
+		mask := (uint64(1) << size) - 1
+		if nv := (words[w]>>sh)&mask + d; nv <= mask {
+			words[w] = words[w]&^(mask<<sh) | nv<<sh
+		} else {
+			s.Add(int(u), v) // overflow: merge via the general path
+		}
+	}
+}
+
+// AddSlots adds v to every addressed counter, in slot order.
+func (t *Tango) AddSlots(slots []uint32, v int64) {
+	for _, i := range slots {
+		t.Add(int(i), v)
+	}
+}
+
+// AddSignedSlots adds signs[j]*v to the counter addressed by slots[j], the
+// Count Sketch batch primitive.
+func (f *FixedSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
+	_ = signs[len(slots)-1]
+	for j, i := range slots {
+		f.Add(int(i), int64(signs[j])*v)
+	}
+}
+
+// AddSignedSlots adds signs[j]*v to the counter addressed by slots[j].
+func (s *SalsaSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
+	_ = signs[len(slots)-1]
+	for j, i := range slots {
+		s.Add(int(i), int64(signs[j])*v)
+	}
+}

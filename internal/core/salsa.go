@@ -105,16 +105,21 @@ func (c *Salsa) Merges() uint64 { return c.merges }
 func (c *Salsa) Level(i int) uint { return c.level(i) }
 
 // level avoids the layout interface dispatch on the update/query hot path
-// for the simple encoding, probing the merge-bit words directly.
+// for the simple encoding, probing the merge-bit words directly. Every
+// merge bit slot i can probe lies in its 2^maxLvl-slot block, and 2^maxLvl
+// divides 64, so a single word load covers all probes; the early-out loop
+// beats a branchless probe here because single-item callers see highly
+// predictable levels (AddSlots makes the opposite choice — see batch.go).
 func (c *Salsa) level(i int) uint {
 	words := c.blWords
 	if words == nil {
 		return c.lay.level(i)
 	}
+	wbits := words[i>>6]
 	lvl := uint(0)
 	for lvl < c.maxLvl {
 		pos := i&^(1<<(lvl+1)-1) + 1<<lvl - 1
-		if words[pos>>6]&(1<<(uint(pos)&63)) == 0 {
+		if wbits&(1<<(uint(pos)&63)) == 0 {
 			break
 		}
 		lvl++

@@ -1,0 +1,32 @@
+package hashing
+
+// Bulk variants of the per-item hash functions. Batch ingestion hashes a
+// whole slice of items per sketch row in one call, so the seed and mask stay
+// in registers and the loop body is branch-free — the per-item call overhead
+// (and, for sketches with d rows, d interface dispatches per item) is paid
+// once per batch instead.
+
+// IndexVec writes Index(items[j], seed, mask) into dst[j] for every item.
+// dst must be at least as long as items.
+func IndexVec(items []uint64, seed, mask uint64, dst []uint32) {
+	_ = dst[len(items)-1]
+	for j, x := range items {
+		z := x + seed*0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		dst[j] = uint32(z & mask)
+	}
+}
+
+// SignVec writes Sign(items[j], seed) into dst[j] for every item.
+// dst must be at least as long as items.
+func SignVec(items []uint64, seed uint64, dst []int8) {
+	_ = dst[len(items)-1]
+	for j, x := range items {
+		// 1 - 2*topbit maps the unbiased top bit to ±1 without a branch.
+		dst[j] = int8(1 - 2*int8(Mix64(x, seed)>>63))
+	}
+}

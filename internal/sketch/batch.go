@@ -1,0 +1,194 @@
+package sketch
+
+import (
+	"salsa/internal/hashing"
+)
+
+// Batch ingestion and queries. A batch is processed in fixed-size chunks;
+// within a chunk each row hashes all items in one hashing.IndexVec call and
+// applies them in one AddSlots call, so the per-item interface-dispatch and
+// hash-call overhead is paid once per row per chunk. Items are applied in
+// slice order within every row, which keeps batch ingestion bit-for-bit
+// identical to the equivalent sequence of single Updates (SALSA counter
+// merges fire at exactly the same points).
+
+// batchChunk bounds the scratch buffers; 256 slots keep them L1-resident
+// and stack-allocatable.
+const batchChunk = 256
+
+// slotAdder is the fast batch path of a Row; every core row implements it.
+type slotAdder interface {
+	AddSlots(slots []uint32, v int64)
+}
+
+// signedSlotAdder is the fast batch path of a SignedRow.
+type signedSlotAdder interface {
+	AddSignedSlots(slots []uint32, signs []int8, v int64)
+}
+
+// UpdateBatch processes the stream updates ⟨items[j], v⟩ for every j, in
+// order. It is equivalent to calling Update(items[j], v) for each item and
+// leaves the sketch in the identical state, only faster. In conservative
+// mode v must be non-negative.
+func (c *CMS) UpdateBatch(items []uint64, v int64) {
+	if len(items) == 0 {
+		return
+	}
+	if c.conservative {
+		if v < 0 {
+			panic("sketch: negative update in conservative mode")
+		}
+		c.conservativeBatch(items, uint64(v))
+		return
+	}
+	var slots [batchChunk]uint32
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		for i, r := range c.rows {
+			hashing.IndexVec(chunk, c.seeds[i], c.mask, slots[:])
+			if sa, ok := r.(slotAdder); ok {
+				sa.AddSlots(slots[:len(chunk)], v)
+			} else {
+				for _, s := range slots[:len(chunk)] {
+					r.Add(int(s), v)
+				}
+			}
+		}
+		items = items[len(chunk):]
+	}
+}
+
+// conservativeBatch is the conservative-update rule over a batch: the rows
+// are coupled through the per-item estimate, so items are applied one at a
+// time, but each row's slots are hashed once per chunk (the sequential path
+// hashes every row twice per item: once to query, once to raise).
+func (c *CMS) conservativeBatch(items []uint64, v uint64) {
+	if c.slotScratch == nil {
+		c.slotScratch = make([][]uint32, len(c.rows))
+		for i := range c.slotScratch {
+			c.slotScratch[i] = make([]uint32, batchChunk)
+		}
+	}
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		for i := range c.rows {
+			hashing.IndexVec(chunk, c.seeds[i], c.mask, c.slotScratch[i])
+		}
+		for j := range chunk {
+			est := ^uint64(0)
+			for i, r := range c.rows {
+				if cur := r.Value(int(c.slotScratch[i][j])); cur < est {
+					est = cur
+				}
+			}
+			target := satAddU(est, v)
+			for i, r := range c.rows {
+				r.SetAtLeast(int(c.slotScratch[i][j]), target)
+			}
+		}
+		items = items[len(chunk):]
+	}
+}
+
+// QueryBatch writes the estimate f̂(items[j]) into dst[j] for every item and
+// returns dst, appending if dst is short (pass nil to allocate). Each row is
+// hashed once per chunk.
+func (c *CMS) QueryBatch(items []uint64, dst []uint64) []uint64 {
+	for len(dst) < len(items) {
+		dst = append(dst, 0)
+	}
+	var slots [batchChunk]uint32
+	done := 0
+	for done < len(items) {
+		chunk := items[done:]
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		out := dst[done : done+len(chunk)]
+		for j := range out {
+			out[j] = ^uint64(0)
+		}
+		for i, r := range c.rows {
+			hashing.IndexVec(chunk, c.seeds[i], c.mask, slots[:])
+			for j := range chunk {
+				if v := r.Value(int(slots[j])); v < out[j] {
+					out[j] = v
+				}
+			}
+		}
+		done += len(chunk)
+	}
+	return dst[:len(items)]
+}
+
+// UpdateBatch processes the stream updates ⟨items[j], v⟩ for every j, in
+// order; equivalent to (but faster than) single Updates.
+func (c *CountSketch) UpdateBatch(items []uint64, v int64) {
+	var (
+		slots [batchChunk]uint32
+		signs [batchChunk]int8
+	)
+	for len(items) > 0 {
+		chunk := items
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		for i, r := range c.rows {
+			hashing.IndexVec(chunk, c.idxSeeds[i], c.mask, slots[:])
+			hashing.SignVec(chunk, c.signSeeds[i], signs[:])
+			if sa, ok := r.(signedSlotAdder); ok {
+				sa.AddSignedSlots(slots[:len(chunk)], signs[:len(chunk)], v)
+			} else {
+				for j := range chunk {
+					r.Add(int(slots[j]), int64(signs[j])*v)
+				}
+			}
+		}
+		items = items[len(chunk):]
+	}
+}
+
+// QueryBatch writes the estimate of items[j] into dst[j] for every item and
+// returns dst, appending if dst is short (pass nil to allocate). Like Query,
+// it shares the sketch's scratch buffers and must not run concurrently with
+// other operations on c.
+func (c *CountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
+	for len(dst) < len(items) {
+		dst = append(dst, 0)
+	}
+	d := len(c.rows)
+	if c.batchScratch == nil {
+		c.batchScratch = make([]int64, d*batchChunk)
+	}
+	var (
+		slots [batchChunk]uint32
+		signs [batchChunk]int8
+	)
+	done := 0
+	for done < len(items) {
+		chunk := items[done:]
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		for i, r := range c.rows {
+			hashing.IndexVec(chunk, c.idxSeeds[i], c.mask, slots[:])
+			hashing.SignVec(chunk, c.signSeeds[i], signs[:])
+			for j := range chunk {
+				c.batchScratch[j*d+i] = int64(signs[j]) * r.Value(int(slots[j]))
+			}
+		}
+		out := dst[done : done+len(chunk)]
+		for j := range chunk {
+			copy(c.medBuf, c.batchScratch[j*d:(j+1)*d])
+			out[j] = median(c.medBuf)
+		}
+		done += len(chunk)
+	}
+	return dst[:len(items)]
+}

@@ -13,11 +13,12 @@ import (
 // the estimate is the median of the per-row signed readings. It operates in
 // the general Turnstile model and provides an L2 guarantee.
 type CountSketch struct {
-	rows      []SignedRow
-	idxSeeds  []uint64
-	signSeeds []uint64
-	mask      uint64
-	medBuf    []int64
+	rows         []SignedRow
+	idxSeeds     []uint64
+	signSeeds    []uint64
+	mask         uint64
+	medBuf       []int64
+	batchScratch []int64 // d×batchChunk signed readings for QueryBatch
 }
 
 // SignedRowSpec constructs one Count Sketch row of a given width.

@@ -53,6 +53,7 @@ type CMS struct {
 	seeds        []uint64
 	mask         uint64
 	conservative bool
+	slotScratch  [][]uint32 // per-row slot buffers for conservative batches
 }
 
 // newCMS wires d pre-built rows with hash seeds derived from seed.

@@ -20,7 +20,10 @@
 //	estimate := cm.Query(item)
 //
 // All sketches are deterministic given Options.Seed and are not safe for
-// concurrent mutation; wrap with a mutex or shard per goroutine and Merge.
+// concurrent mutation; for multi-goroutine ingestion wrap them in the
+// Sharded concurrency layer (see concurrent.go and the typed
+// ShardedCountMin/ShardedCountSketch/ShardedMonitor constructors), and use
+// the batch APIs (UpdateBatch/IncrementBatch/QueryBatch) for bulk streams.
 package salsa
 
 import (
@@ -28,6 +31,26 @@ import (
 
 	"salsa/internal/core"
 	"salsa/internal/hashing"
+)
+
+// Sketch is the ingestion surface shared by the package's frequency
+// sketches and trackers; it is the backend constraint of the Sharded
+// concurrency layer. UpdateBatch must be equivalent to calling Update on
+// each item in slice order.
+type Sketch interface {
+	// Update adds count occurrences of item.
+	Update(item uint64, count int64)
+	// UpdateBatch adds count occurrences of every item, in order.
+	UpdateBatch(items []uint64, count int64)
+	// MemoryBits returns the backend footprint in bits.
+	MemoryBits() int
+}
+
+// Compile-time checks that every shardable backend satisfies Sketch.
+var (
+	_ Sketch = (*CountMin)(nil)
+	_ Sketch = (*CountSketch)(nil)
+	_ Sketch = (*Monitor)(nil)
 )
 
 // Mode selects the counter backend of a sketch.

@@ -1,82 +1,149 @@
 package salsa
 
-import (
-	"sync"
+import "sort"
 
-	"salsa/internal/hashing"
-)
+// Typed Sharded constructors and query wrappers. Sharded[S] itself is
+// query-agnostic (CountMin estimates are uint64, CountSketch's int64, a
+// Monitor answers top-k), so each backend gets a thin wrapper adding its
+// query surface. Shard sketch seeds are derived per shard, so distinct
+// shards never share hash functions with each other.
 
-// ShardedCountMin is a concurrency-safe CountMin: items are routed to one
-// of several independently-locked shard sketches by a hash of the item, so
-// updates from many goroutines proceed in parallel while every query still
-// consults exactly one shard (each shard is a complete sketch of its
-// substream, so estimates keep the CountMin overestimate guarantee).
-//
-// Memory is Options.Width per shard; size the width accordingly. Merging
-// the shards into one sketch is not needed for point queries.
+// ShardedCountMin is a concurrency-safe CountMin (or, via
+// NewShardedConservativeUpdate, Conservative Update) sketch. Estimates keep
+// the CountMin overestimate guarantee: each shard is a complete sketch of
+// its substream. Merging the shards into one sketch is not needed for
+// point queries.
 type ShardedCountMin struct {
-	shards []shard
-	mask   uint64
-	seed   uint64
+	*Sharded[*CountMin]
 }
 
-type shard struct {
-	mu sync.Mutex
-	cm *CountMin
-	_  [40]byte // pad to its own cache line to avoid false sharing
-}
-
-// NewShardedCountMin returns a sketch with the given number of shards
-// (rounded up to a power of two, minimum 1).
+// NewShardedCountMin returns a sharded CountMin with the given number of
+// shards (rounded up to a power of two, minimum 1).
 func NewShardedCountMin(opt Options, shards int) *ShardedCountMin {
-	n := 1
-	for n < shards {
-		n *= 2
-	}
-	s := &ShardedCountMin{
-		shards: make([]shard, n),
-		mask:   uint64(n - 1),
-		seed:   opt.Seed ^ 0x5a15ac0c0,
-	}
-	for i := range s.shards {
-		o := opt
-		o.Seed = opt.Seed + uint64(i)*0x9e37
-		s.shards[i].cm = NewCountMin(o)
-	}
-	return s
+	return &ShardedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *CountMin {
+		return NewCountMin(shardOptions(opt, i))
+	})}
 }
 
-func (s *ShardedCountMin) route(item uint64) *shard {
-	return &s.shards[hashing.Index(item, s.seed, s.mask)]
+// NewShardedConservativeUpdate is NewShardedCountMin over Conservative
+// Update shards.
+func NewShardedConservativeUpdate(opt Options, shards int) *ShardedCountMin {
+	return &ShardedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *CountMin {
+		return NewConservativeUpdate(shardOptions(opt, i))
+	})}
 }
-
-// Update adds count occurrences of item; safe for concurrent use.
-func (s *ShardedCountMin) Update(item uint64, count int64) {
-	sh := s.route(item)
-	sh.mu.Lock()
-	sh.cm.Update(item, count)
-	sh.mu.Unlock()
-}
-
-// Increment adds one occurrence of item; safe for concurrent use.
-func (s *ShardedCountMin) Increment(item uint64) { s.Update(item, 1) }
 
 // Query returns the frequency estimate; safe for concurrent use.
 func (s *ShardedCountMin) Query(item uint64) uint64 {
-	sh := s.route(item)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.cm.Query(item)
+	return query(s.Sharded, item, (*CountMin).Query)
 }
 
-// Shards returns the number of shards.
-func (s *ShardedCountMin) Shards() int { return len(s.shards) }
+// QueryBatch writes the estimate of items[j] into dst[j] and returns dst,
+// appending if dst is short (pass nil to allocate); safe for concurrent
+// use. Each shard is locked once per batch.
+func (s *ShardedCountMin) QueryBatch(items []uint64, dst []uint64) []uint64 {
+	return queryBatch(s.Sharded, items, dst, (*CountMin).QueryBatch)
+}
 
-// MemoryBits returns the total footprint across shards.
-func (s *ShardedCountMin) MemoryBits() int {
-	total := 0
-	for i := range s.shards {
-		total += s.shards[i].cm.MemoryBits()
+// ShardedCountSketch is a concurrency-safe CountSketch.
+type ShardedCountSketch struct {
+	*Sharded[*CountSketch]
+}
+
+// NewShardedCountSketch returns a sharded CountSketch with the given number
+// of shards (rounded up to a power of two, minimum 1).
+func NewShardedCountSketch(opt Options, shards int) *ShardedCountSketch {
+	return &ShardedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *CountSketch {
+		return NewCountSketch(shardOptions(opt, i))
+	})}
+}
+
+// Query returns the (unbiased) frequency estimate; safe for concurrent use.
+func (s *ShardedCountSketch) Query(item uint64) int64 {
+	return query(s.Sharded, item, (*CountSketch).Query)
+}
+
+// QueryBatch writes the estimate of items[j] into dst[j] and returns dst,
+// appending if dst is short (pass nil to allocate); safe for concurrent
+// use.
+func (s *ShardedCountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
+	return queryBatch(s.Sharded, items, dst, (*CountSketch).QueryBatch)
+}
+
+// ShardedMonitor is a concurrency-safe heavy-hitter tracker: each shard
+// runs a Monitor over its substream, and Top/HeavyHitters merge the
+// per-shard heaps. Since an item lives in exactly one shard, the merged
+// view tracks (up to) k·shards candidates with per-item estimates from the
+// owning shard.
+type ShardedMonitor struct {
+	*Sharded[*Monitor]
+	k int
+}
+
+// NewShardedMonitor returns a sharded Monitor tracking the k largest items
+// per shard.
+func NewShardedMonitor(opt Options, k, shards int) *ShardedMonitor {
+	return &ShardedMonitor{
+		Sharded: NewSharded(shards, routeSeed(opt), func(i int) *Monitor {
+			return NewMonitor(shardOptions(opt, i), k)
+		}),
+		k: k,
 	}
-	return total
+}
+
+// Query returns the frequency estimate from the owning shard's sketch.
+func (s *ShardedMonitor) Query(item uint64) uint64 {
+	return query(s.Sharded, item, func(m *Monitor, x uint64) uint64 { return m.Sketch().Query(x) })
+}
+
+// candidates returns every tracked item across all shards (up to k·shards
+// of them), sorted by descending estimate.
+func (s *ShardedMonitor) candidates() []ItemCount {
+	var all []ItemCount
+	for i := 0; i < s.Shards(); i++ {
+		sh := &s.Sharded.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.sk.Top()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Count > all[j].Count })
+	return all
+}
+
+// Top returns the k tracked items with the largest estimates across all
+// shards, in descending order.
+func (s *ShardedMonitor) Top() []ItemCount {
+	all := s.candidates()
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	return all
+}
+
+// HeavyHitters returns the tracked items whose estimate is at least phi
+// times volume, in descending order — drawn from the full k·shards
+// candidate set, so it can return more than k items.
+func (s *ShardedMonitor) HeavyHitters(phi float64, volume uint64) []ItemCount {
+	threshold := phi * float64(volume)
+	var out []ItemCount
+	for _, e := range s.candidates() {
+		if float64(e.Count) >= threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// routeSeed derives the item-to-shard routing seed; it differs from every
+// shard sketch seed so routing stays independent of in-sketch hashing.
+func routeSeed(opt Options) uint64 { return opt.Seed ^ 0x5a15ac0c0 }
+
+// shardOptions gives shard i its own sketch seed. Shards of one Sharded
+// must not share hash functions, or their substreams' error terms would
+// correlate; use NewSharded directly with a fixed seed if you need
+// mergeable shards instead.
+func shardOptions(opt Options, i int) Options {
+	o := opt
+	o.Seed = opt.Seed + uint64(i)*0x9e37
+	return o
 }
