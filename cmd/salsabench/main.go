@@ -1,7 +1,7 @@
 // Command salsabench regenerates the paper's evaluation figures
-// (DESIGN.md §3 maps ids to figures). Each run prints one CSV block per
-// experiment: series, x, y-mean, and the 95% Student-t half-width over the
-// trials.
+// (DESIGN.md §3 maps ids to figures) and measures the operational layers.
+// Each figure run prints one CSV block per experiment: series, x, y-mean,
+// and the 95% Student-t half-width over the trials.
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	salsabench -all -n 1000000 -trials 5         # everything, paper-style
 //	salsabench -list                             # what exists
 //	salsabench -throughput -procs 8 -batch 4096  # multi-core ingestion rate
+//	salsabench -window -buckets 8                # sliding-window rotation/query cost
 //
 // The paper runs 98M-update traces; -n scales the streams (and the harness
 // scales sketch widths to match the paper's operating points). Shapes are
@@ -16,8 +17,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,30 +28,51 @@ import (
 )
 
 func main() {
-	var (
-		experiment = flag.String("experiment", "", "experiment id to run (see -list)")
-		all        = flag.Bool("all", false, "run every experiment")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		n          = flag.Int("n", 400_000, "stream length (paper: 98M)")
-		trials     = flag.Int("trials", 3, "trials per data point (paper: 10)")
-		seed       = flag.Uint64("seed", 42, "master seed")
-		throughput = flag.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
-		procs      = flag.Int("procs", 0, "ingesting goroutines for -throughput (0 = GOMAXPROCS)")
-		shards     = flag.Int("shards", 0, "shard count for -throughput (0 = procs)")
-		batch      = flag.Int("batch", 4096, "batch / Writer buffer size for -throughput")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "salsabench:", err)
+		os.Exit(1)
+	}
+}
 
-	if *throughput {
-		runThroughput(throughputConfig{n: *n, procs: *procs, shards: *shards, batch: *batch, seed: *seed})
-		return
+// run executes one salsabench invocation, writing results to out; main is
+// only the exit-code shim so tests can drive the tool in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("salsabench", flag.ContinueOnError)
+	var (
+		experiment  = fs.String("experiment", "", "experiment id to run (see -list)")
+		all         = fs.Bool("all", false, "run every experiment")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		n           = fs.Int("n", 400_000, "stream length (paper: 98M)")
+		trials      = fs.Int("trials", 3, "trials per data point (paper: 10)")
+		seed        = fs.Uint64("seed", 42, "master seed")
+		throughput  = fs.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
+		procs       = fs.Int("procs", 0, "ingesting goroutines for -throughput (0 = GOMAXPROCS)")
+		shards      = fs.Int("shards", 0, "shard count for -throughput (0 = procs)")
+		batch       = fs.Int("batch", 4096, "batch / Writer buffer size for -throughput")
+		window      = fs.Bool("window", false, "measure sliding-window ingestion, rotation and query cost")
+		buckets     = fs.Int("buckets", 8, "ring buckets for -window")
+		bucketItems = fs.Int("bucketitems", 0, "rotation interval for -window (0 = n/(8*buckets))")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		// The FlagSet has already reported the problem on stderr.
+		return errors.New("invalid arguments")
 	}
 
-	if *list {
+	switch {
+	case *throughput:
+		runThroughput(throughputConfig{n: *n, procs: *procs, shards: *shards, batch: *batch, seed: *seed}, out)
+		return nil
+	case *window:
+		runWindow(windowConfig{n: *n, buckets: *buckets, bucketItems: *bucketItems, seed: *seed}, out)
+		return nil
+	case *list:
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-9s %s\n", id, experiments.Title(id))
+			fmt.Fprintf(out, "%-9s %s\n", id, experiments.Title(id))
 		}
-		return
+		return nil
 	}
 
 	cfg := experiments.Config{N: *n, Trials: *trials, Seed: *seed}
@@ -59,25 +83,24 @@ func main() {
 	case *experiment != "":
 		ids = []string{*experiment}
 	default:
-		fmt.Fprintln(os.Stderr, "salsabench: need -experiment <id>, -all, or -list")
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, or -window")
 	}
 
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "salsabench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("# %s: %s\n", res.ID, res.Title)
-		fmt.Printf("# x=%s, y=%s, n=%d, trials=%d, elapsed=%s\n",
+		fmt.Fprintf(out, "# %s: %s\n", res.ID, res.Title)
+		fmt.Fprintf(out, "# x=%s, y=%s, n=%d, trials=%d, elapsed=%s\n",
 			res.XLabel, res.YLabel, cfg.N, cfg.Trials, time.Since(start).Round(time.Millisecond))
-		fmt.Println("series,x,y,ci95")
+		fmt.Fprintln(out, "series,x,y,ci95")
 		for _, p := range res.Points {
-			fmt.Printf("%s,%g,%g,%g\n", p.Series, p.X, p.Y, p.CI)
+			fmt.Fprintf(out, "%s,%g,%g,%g\n", p.Series, p.X, p.Y, p.CI)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }

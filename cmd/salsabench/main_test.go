@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunList: -list prints every experiment id with a title.
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"fig4a", "fig8cd"} {
+		if !strings.Contains(got, id) {
+			t.Fatalf("-list output missing %q:\n%s", id, got)
+		}
+	}
+}
+
+// TestRunExperiment: a tiny single-figure run emits the CSV block shape.
+func TestRunExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiment", "fig4a", "-n", "20000", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "series,x,y,ci95") {
+		t.Fatalf("missing CSV header:\n%s", got)
+	}
+	if strings.Count(got, ",") < 8 {
+		t.Fatalf("suspiciously few data points:\n%s", got)
+	}
+}
+
+// TestRunWindow: -window reports rotation cost and windowed-query
+// throughput for every windowed backend.
+func TestRunWindow(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-window", "-n", "30000", "-buckets", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "backend,ingest_mops,rotation_us,query_mops,rotations") {
+		t.Fatalf("missing window CSV header:\n%s", got)
+	}
+	for _, backend := range []string{"windowed-countmin", "windowed-conservative", "windowed-countsketch"} {
+		if !strings.Contains(got, backend+",") {
+			t.Fatalf("missing backend %s:\n%s", backend, got)
+		}
+	}
+}
+
+// TestRunThroughput: the multi-core mode reports one row per backend/path.
+func TestRunThroughput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-throughput", "-n", "20000", "-procs", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "backend,path,mops") || !strings.Contains(got, "countmin,writer,") {
+		t.Fatalf("unexpected throughput output:\n%s", got)
+	}
+}
+
+// TestRunErrors: bad invocations return errors instead of exiting.
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no arguments: want usage error")
+	}
+	if err := run([]string{"-experiment", "nope", "-n", "1000"}, &out); err == nil {
+		t.Fatal("unknown experiment: want error")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Fatal("unknown flag: want error")
+	}
+}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -26,7 +27,7 @@ type throughputConfig struct {
 
 var ingestPaths = []string{"item", "batch", "writer"}
 
-func runThroughput(cfg throughputConfig) {
+func runThroughput(cfg throughputConfig, out io.Writer) {
 	if cfg.procs <= 0 {
 		cfg.procs = runtime.GOMAXPROCS(0)
 	} else {
@@ -69,15 +70,15 @@ func runThroughput(cfg throughputConfig) {
 		}},
 	}
 
-	fmt.Println("# concurrent ingestion throughput (Sharded layer)")
-	fmt.Printf("# n=%d, procs=%d, shards=%d, batch=%d, width=%d\n",
+	fmt.Fprintln(out, "# concurrent ingestion throughput (Sharded layer)")
+	fmt.Fprintf(out, "# n=%d, procs=%d, shards=%d, batch=%d, width=%d\n",
 		cfg.n, cfg.procs, cfg.shards, cfg.batch, opt.Width)
-	fmt.Println("backend,path,mops")
+	fmt.Fprintln(out, "backend,path,mops")
 	for _, b := range backends {
 		for _, path := range ingestPaths {
 			elapsed := b.run(path)
 			mops := float64(cfg.n) / elapsed.Seconds() / 1e6
-			fmt.Printf("%s,%s,%.2f\n", b.name, path, mops)
+			fmt.Fprintf(out, "%s,%s,%.2f\n", b.name, path, mops)
 		}
 	}
 }

@@ -1,0 +1,113 @@
+// Sliding-window mode (-window): streams a Zipf trace through the windowed
+// sketches and reports, per backend, the ingestion rate with rotation
+// enabled, the cost of a single rotation (the closed-bucket merge rebuild),
+// and the windowed-query rate — the three numbers that size a windowed
+// deployment: rotation cost amortizes over the bucket interval, query cost
+// over the run of queries between writes.
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+type windowConfig struct {
+	n           int
+	buckets     int
+	bucketItems int
+	seed        uint64
+}
+
+func runWindow(cfg windowConfig, out io.Writer) {
+	if cfg.buckets <= 0 {
+		cfg.buckets = 8
+	}
+	if cfg.bucketItems <= 0 {
+		cfg.bucketItems = cfg.n / (8 * cfg.buckets) // ~8 full window turnovers
+		if cfg.bucketItems < 1 {
+			cfg.bucketItems = 1
+		}
+	}
+	data := stream.Zipf(cfg.n, cfg.n/16, 1.0, cfg.seed)
+	queries := data[:min(1<<16, len(data))]
+	opt := salsa.Options{Width: 1 << 14, Seed: cfg.seed}
+
+	fmt.Fprintln(out, "# sliding-window ingestion / rotation / query cost")
+	fmt.Fprintf(out, "# n=%d, buckets=%d, bucketitems=%d, width=%d\n",
+		cfg.n, cfg.buckets, cfg.bucketItems, opt.Width)
+	fmt.Fprintln(out, "backend,ingest_mops,rotation_us,query_mops,rotations")
+
+	type windowed interface {
+		IncrementBatch([]uint64)
+		Tick()
+		Rotations() uint64
+	}
+	queryCMS := func(w windowed) time.Duration {
+		cm := w.(*salsa.WindowedCountMin)
+		buf := make([]uint64, len(queries))
+		start := time.Now()
+		cm.QueryBatch(queries, buf)
+		return time.Since(start)
+	}
+	querySigned := func(w windowed) time.Duration {
+		cs := w.(*salsa.WindowedCountSketch)
+		buf := make([]int64, len(queries))
+		start := time.Now()
+		cs.QueryBatch(queries, buf)
+		return time.Since(start)
+	}
+	backends := []struct {
+		name  string
+		build func() windowed
+		query func(w windowed) time.Duration
+	}{
+		{
+			"windowed-countmin",
+			func() windowed { return salsa.NewWindowedCountMin(opt, cfg.buckets, cfg.bucketItems) },
+			queryCMS,
+		},
+		{
+			"windowed-conservative",
+			func() windowed { return salsa.NewWindowedConservativeUpdate(opt, cfg.buckets, cfg.bucketItems) },
+			queryCMS,
+		},
+		{
+			"windowed-countsketch",
+			func() windowed { return salsa.NewWindowedCountSketch(opt, cfg.buckets, cfg.bucketItems) },
+			querySigned,
+		},
+	}
+
+	for _, b := range backends {
+		w := b.build()
+		start := time.Now()
+		for off := 0; off < len(data); off += 4096 {
+			w.IncrementBatch(data[off:min(off+4096, len(data))])
+		}
+		ingest := time.Since(start)
+
+		// Rotation cost on the filled window: explicit ticks, averaged.
+		const ticks = 16
+		start = time.Now()
+		for i := 0; i < ticks; i++ {
+			w.Tick()
+		}
+		perRotation := time.Since(start) / ticks
+
+		// Re-warm the window so queries hit a realistic view, then time a
+		// batch of point queries against the (cached) merged view.
+		w.IncrementBatch(data[:min(4*cfg.bucketItems, len(data))])
+		qElapsed := b.query(w)
+
+		fmt.Fprintf(out, "%s,%.2f,%.1f,%.2f,%d\n",
+			b.name,
+			float64(len(data))/ingest.Seconds()/1e6,
+			float64(perRotation.Nanoseconds())/1e3,
+			float64(len(queries))/qElapsed.Seconds()/1e6,
+			w.Rotations())
+	}
+}

@@ -2,17 +2,22 @@
 // Conservative Update sketch plus a top-k heap — the paper's heavy-hitter
 // pipeline as a CLI. It reads one item per line from stdin (any string;
 // hashed with BobHash), or generates a synthetic trace with -dataset.
+// With -window it tracks heavy hitters over a sliding window of the last
+// -buckets × -bucketitems items instead of the whole stream.
 //
 // Usage:
 //
 //	salsatop -dataset NY18 -n 1000000 -k 10
 //	cut -d' ' -f1 access.log | salsatop -k 20 -width 65536
+//	tail -f access.log | salsatop -window -bucketitems 100000
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"salsa"
@@ -20,48 +25,86 @@ import (
 )
 
 func main() {
-	var (
-		dataset = flag.String("dataset", "", "generate this trace stand-in instead of reading stdin")
-		n       = flag.Int("n", 1_000_000, "generated stream length")
-		seed    = flag.Uint64("seed", 1, "generator/sketch seed")
-		k       = flag.Int("k", 10, "number of top items to report")
-		width   = flag.Int("width", 1<<14, "sketch row width (power of two)")
-		mode    = flag.String("mode", "salsa", "counter backend: salsa, baseline, tango")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "salsatop:", err)
+		os.Exit(1)
+	}
+}
 
-	var m Mode = salsaMode(*mode)
-	monitor := salsa.NewMonitor(salsa.Options{Width: *width, Mode: m.mode, Seed: *seed}, *k)
+// run executes one salsatop invocation against the given stdin/stdout;
+// main is only the exit-code shim so tests can drive the tool in-process.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("salsatop", flag.ContinueOnError)
+	var (
+		dataset     = fs.String("dataset", "", "generate this trace stand-in instead of reading stdin")
+		n           = fs.Int("n", 1_000_000, "generated stream length")
+		seed        = fs.Uint64("seed", 1, "generator/sketch seed")
+		k           = fs.Int("k", 10, "number of top items to report")
+		width       = fs.Int("width", 1<<14, "sketch row width (power of two)")
+		mode        = fs.String("mode", "salsa", "counter backend: salsa, baseline, tango")
+		window      = fs.Bool("window", false, "track a sliding window instead of the whole stream")
+		buckets     = fs.Int("buckets", 4, "ring buckets for -window")
+		bucketItems = fs.Int("bucketitems", 250_000, "items per bucket for -window")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		// The FlagSet has already reported the problem on stderr.
+		return errors.New("invalid arguments")
+	}
+
+	m, err := salsaMode(*mode)
+	if err != nil {
+		return err
+	}
+	opt := salsa.Options{Width: *width, Mode: m.mode, Seed: *seed}
+
+	// The two trackers share the Process/Top/memory surface.
+	type tracker interface {
+		Process(uint64)
+		Top() []salsa.ItemCount
+		MemoryBits() int
+	}
+	var monitor tracker
+	if *window {
+		monitor = salsa.NewWindowedMonitor(opt, *k, *buckets, *bucketItems)
+	} else {
+		monitor = salsa.NewMonitor(opt, *k)
+	}
 
 	var volume uint64
 	if *dataset != "" {
 		ds, ok := stream.ByName(*dataset)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "salsatop: unknown dataset %q\n", *dataset)
-			os.Exit(2)
+			return fmt.Errorf("unknown dataset %q", *dataset)
 		}
 		for _, x := range ds.Generate(*n, *seed) {
 			monitor.Process(x)
 			volume++
 		}
 	} else {
-		sc := bufio.NewScanner(os.Stdin)
+		sc := bufio.NewScanner(stdin)
 		sc.Buffer(make([]byte, 1<<16), 1<<20)
 		for sc.Scan() {
 			monitor.Process(salsa.KeyBytes(sc.Bytes()))
 			volume++
 		}
 		if err := sc.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "salsatop:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
-	fmt.Printf("processed %d items; sketch memory %d KB (%s mode)\n",
-		volume, monitor.Sketch().MemoryBits()/8/1024, m.name)
-	for i, e := range monitor.Top() {
-		fmt.Printf("%2d. item %-20d estimate %d\n", i+1, e.Item, e.Count)
+	scope := "whole stream"
+	if wm, ok := monitor.(*salsa.WindowedMonitor); ok {
+		scope = fmt.Sprintf("window of last %d items (%d rotations)", wm.WindowVolume(), wm.Rotations())
 	}
+	fmt.Fprintf(stdout, "processed %d items; sketch memory %d KB (%s mode, %s)\n",
+		volume, monitor.MemoryBits()/8/1024, m.name, scope)
+	for i, e := range monitor.Top() {
+		fmt.Fprintf(stdout, "%2d. item %-20d estimate %d\n", i+1, e.Item, e.Count)
+	}
+	return nil
 }
 
 // Mode pairs the flag spelling with the API mode.
@@ -70,16 +113,14 @@ type Mode struct {
 	mode salsa.Mode
 }
 
-func salsaMode(s string) Mode {
+func salsaMode(s string) (Mode, error) {
 	switch s {
 	case "baseline":
-		return Mode{s, salsa.ModeBaseline}
+		return Mode{s, salsa.ModeBaseline}, nil
 	case "tango":
-		return Mode{s, salsa.ModeTango}
+		return Mode{s, salsa.ModeTango}, nil
 	case "salsa":
-		return Mode{s, salsa.ModeSALSA}
+		return Mode{s, salsa.ModeSALSA}, nil
 	}
-	fmt.Fprintf(os.Stderr, "salsatop: unknown mode %q\n", s)
-	os.Exit(2)
-	return Mode{}
+	return Mode{}, fmt.Errorf("unknown mode %q", s)
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunStdin: items are read line by line; the planted heavy item must
+// top the report.
+func TestRunStdin(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 50; i++ {
+		in.WriteString("heavy\n")
+		in.WriteString("light-")
+		in.WriteByte(byte('a' + i%26))
+		in.WriteString("\n")
+	}
+	var out strings.Builder
+	if err := run([]string{"-k", "3", "-width", "1024"}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "processed 100 items") {
+		t.Fatalf("wrong volume:\n%s", got)
+	}
+	if !strings.Contains(got, " 1. item") || !strings.Contains(got, "estimate 50") {
+		t.Fatalf("heavy item not reported on top:\n%s", got)
+	}
+}
+
+// TestRunDataset: the synthetic-trace path reports k items for each mode.
+func TestRunDataset(t *testing.T) {
+	for _, mode := range []string{"salsa", "baseline", "tango"} {
+		var out strings.Builder
+		args := []string{"-dataset", "NY18", "-n", "20000", "-k", "5", "-width", "4096", "-mode", mode}
+		if err := run(args, strings.NewReader(""), &out); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, mode+" mode") || strings.Count(got, ". item") != 5 {
+			t.Fatalf("mode %s: unexpected output:\n%s", mode, got)
+		}
+	}
+}
+
+// TestRunWindowed: -window tracks the live window and reports rotations.
+func TestRunWindowed(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-dataset", "NY18", "-n", "30000", "-k", "5", "-width", "4096",
+		"-window", "-buckets", "3", "-bucketitems", "5000"}
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "window of last") || !strings.Contains(got, "rotations)") {
+		t.Fatalf("windowed scope line missing:\n%s", got)
+	}
+}
+
+// TestRunBadArgs: unknown modes, datasets, and flags error out.
+func TestRunBadArgs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown mode":    {"-mode", "nope"},
+		"unknown dataset": {"-dataset", "nope"},
+		"unknown flag":    {"-bogus"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

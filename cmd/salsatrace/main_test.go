@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunSummary: the summary path reports the exact trace statistics.
+func TestRunSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dataset", "NY18", "-n", "20000", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace:     NY18", "volume:    20000", "distinct:", "entropy:", "top 3 items:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "% of volume)") != 3 {
+		t.Fatalf("want 3 top items:\n%s", got)
+	}
+}
+
+// TestRunEmit: -emit streams exactly n parseable item ids.
+func TestRunEmit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-zipf", "1.1", "-n", "500", "-emit"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("emitted %d lines, want 500", len(lines))
+	}
+	for _, l := range lines[:10] {
+		if _, err := strconv.ParseUint(l, 10, 64); err != nil {
+			t.Fatalf("non-numeric item id %q", l)
+		}
+	}
+}
+
+// TestRunBadArgs: missing source, unknown dataset, unknown flag.
+func TestRunBadArgs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no source":       nil,
+		"unknown dataset": {"-dataset", "nope"},
+		"unknown flag":    {"-bogus"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

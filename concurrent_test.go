@@ -19,10 +19,29 @@ func TestBatchEqualsSequential(t *testing.T) {
 		"CountMinSALSA":      func() Sketch { return NewCountMin(Options{Width: 1 << 10, Seed: 9}) },
 		"CountMinBaseline":   func() Sketch { return NewCountMin(Options{Width: 1 << 10, Mode: ModeBaseline, Seed: 9}) },
 		"CountMinTango":      func() Sketch { return NewCountMin(Options{Width: 1 << 10, Mode: ModeTango, Seed: 9}) },
+		"CountMinTangoSum":   func() Sketch { return NewCountMin(Options{Width: 1 << 10, Mode: ModeTango, Merge: MergeSum, Seed: 9}) },
 		"CountMinCompact":    func() Sketch { return NewCountMin(Options{Width: 1 << 10, CompactEncoding: true, Seed: 9}) },
 		"ConservativeUpdate": func() Sketch { return NewConservativeUpdate(Options{Width: 1 << 10, Seed: 9}) },
+		"ConservativeTango":  func() Sketch { return NewConservativeUpdate(Options{Width: 1 << 10, Mode: ModeTango, Seed: 9}) },
 		"CountSketch":        func() Sketch { return NewCountSketch(Options{Width: 1 << 10, Seed: 9}) },
 		"Monitor":            func() Sketch { return NewMonitor(Options{Width: 1 << 10, Seed: 9}, 32) },
+		// Windowed types: the 777-item test batches straddle the 2000-item
+		// rotation boundaries, so this also pins the batch-splitting path.
+		"WindowedCountMin": func() Sketch {
+			return NewWindowedCountMin(Options{Width: 1 << 10, Seed: 9}, 4, 2000)
+		},
+		"WindowedTango": func() Sketch {
+			return NewWindowedCountMin(Options{Width: 1 << 10, Mode: ModeTango, Seed: 9}, 4, 2000)
+		},
+		"WindowedConservative": func() Sketch {
+			return NewWindowedConservativeUpdate(Options{Width: 1 << 10, Seed: 9}, 4, 2000)
+		},
+		"WindowedCountSketch": func() Sketch {
+			return NewWindowedCountSketch(Options{Width: 1 << 10, Seed: 9}, 4, 2000)
+		},
+		"WindowedMonitor": func() Sketch {
+			return NewWindowedMonitor(Options{Width: 1 << 10, Seed: 9}, 32, 4, 2000)
+		},
 	}
 	type pointQuery interface{ Query(uint64) uint64 }
 	type signedQuery interface{ Query(uint64) int64 }
@@ -63,31 +82,54 @@ func TestBatchEqualsSequential(t *testing.T) {
 // (and QueryBatch agrees with Query).
 func TestShardedBatchEqualsSequential(t *testing.T) {
 	data := stream.Zipf(100000, 5000, 1.0, 33)
-	opt := Options{Width: 1 << 10, Seed: 12}
-	seq := NewShardedCountMin(opt, 8)
-	bat := NewShardedCountMin(opt, 8)
-	for _, x := range data {
-		seq.Increment(x)
-	}
-	for off := 0; off < len(data); off += 4096 {
-		end := off + 4096
-		if end > len(data) {
-			end = len(data)
-		}
-		bat.IncrementBatch(data[off:end])
-	}
-	items := make([]uint64, 5000)
-	for i := range items {
-		items[i] = uint64(i)
-	}
-	est := bat.QueryBatch(items, nil)
-	for _, x := range items {
-		if a, b := seq.Query(x), bat.Query(x); a != b {
-			t.Fatalf("item %d: sequential %d != batch %d", x, a, b)
-		}
-		if est[x] != bat.Query(x) {
-			t.Fatalf("item %d: QueryBatch %d != Query %d", x, est[x], bat.Query(x))
-		}
+	for name, build := range map[string]func() *ShardedCountMin{
+		"SALSA": func() *ShardedCountMin { return NewShardedCountMin(Options{Width: 1 << 10, Seed: 12}, 8) },
+		"Tango": func() *ShardedCountMin {
+			return NewShardedCountMin(Options{Width: 1 << 10, Mode: ModeTango, Seed: 12}, 8)
+		},
+		"Windowed": nil, // handled below; keeps the subtest names aligned
+	} {
+		t.Run(name, func(t *testing.T) {
+			type queryable interface {
+				Increment(uint64)
+				IncrementBatch([]uint64)
+				Query(uint64) uint64
+				QueryBatch([]uint64, []uint64) []uint64
+			}
+			var seq, bat queryable
+			if build != nil {
+				seq, bat = build(), build()
+			} else {
+				opt := Options{Width: 1 << 10, Seed: 12}
+				// Per-shard rotation every 3000 substream items: batches
+				// straddle rotation boundaries shard by shard.
+				seq = NewShardedWindowedCountMin(opt, 3, 3000, 8)
+				bat = NewShardedWindowedCountMin(opt, 3, 3000, 8)
+			}
+			for _, x := range data {
+				seq.Increment(x)
+			}
+			for off := 0; off < len(data); off += 4096 {
+				end := off + 4096
+				if end > len(data) {
+					end = len(data)
+				}
+				bat.IncrementBatch(data[off:end])
+			}
+			items := make([]uint64, 5000)
+			for i := range items {
+				items[i] = uint64(i)
+			}
+			est := bat.QueryBatch(items, nil)
+			for _, x := range items {
+				if a, b := seq.Query(x), bat.Query(x); a != b {
+					t.Fatalf("item %d: sequential %d != batch %d", x, a, b)
+				}
+				if est[x] != bat.Query(x) {
+					t.Fatalf("item %d: QueryBatch %d != Query %d", x, est[x], bat.Query(x))
+				}
+			}
+		})
 	}
 }
 

@@ -122,10 +122,7 @@ func NewMonitor(opt Options, k int) *Monitor {
 }
 
 // Process records one occurrence of item and refreshes its heap entry.
-func (m *Monitor) Process(item uint64) {
-	m.cm.Increment(item)
-	m.heap.Offer(item, int64(m.cm.Query(item)))
-}
+func (m *Monitor) Process(item uint64) { m.Update(item, 1) }
 
 // Update records count occurrences of item and refreshes its heap entry;
 // with it Monitor satisfies Sketch and can back a Sharded tracker.

@@ -21,22 +21,25 @@ type CountSketch struct {
 func NewCountSketch(opt Options) *CountSketch {
 	opt = opt.withDefaults(5, MergeSum)
 	opt.validate()
+	return &CountSketch{sk: sketch.NewCountSketch(opt.Depth, opt.Width, signedRowSpec(opt), opt.Seed), opt: opt}
+}
+
+// signedRowSpec maps validated Options to the Count Sketch row constructor.
+func signedRowSpec(opt Options) sketch.SignedRowSpec {
 	if opt.Merge == MergeMax {
 		panic("salsa: CountSketch requires MergeSum (signed counters)")
 	}
-	var spec sketch.SignedRowSpec
 	switch opt.Mode {
 	case ModeBaseline:
-		spec = sketch.FixedSignRow(opt.CounterBits)
+		return sketch.FixedSignRow(opt.CounterBits)
 	case ModeTango:
 		panic("salsa: CountSketch does not support ModeTango")
 	default:
 		if opt.CounterBits < 2 {
 			panic(fmt.Sprintf("salsa: CountSketch needs at least 2-bit counters, got %d", opt.CounterBits))
 		}
-		spec = sketch.SalsaSignRow(opt.CounterBits, opt.CompactEncoding)
+		return sketch.SalsaSignRow(opt.CounterBits, opt.CompactEncoding)
 	}
-	return &CountSketch{sk: sketch.NewCountSketch(opt.Depth, opt.Width, spec, opt.Seed), opt: opt}
 }
 
 // Update adds count occurrences of item (count of either sign).

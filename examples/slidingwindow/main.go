@@ -1,0 +1,70 @@
+// Sliding-window analytics: the time-scoped queries every production
+// deployment asks — "heavy hitters in the last minute", "how often did
+// this flow appear over the last N packets" — answered by the windowed
+// sketches. A ring of B bucket sketches slides over the stream at bucket
+// granularity: each update lands in the current bucket, a rotation retires
+// the oldest bucket wholesale, and queries merge the live buckets.
+//
+// The walkthrough simulates a traffic shift: an early heavy flow goes
+// quiet, a new one takes over. A whole-stream Monitor stays pinned to the
+// historical flow forever; the WindowedMonitor follows the live traffic.
+package main
+
+import (
+	"fmt"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+func main() {
+	const (
+		buckets     = 4      // ring size B
+		bucketItems = 50_000 // rotation interval: window ≈ last 200k packets
+		phase       = 300_000
+	)
+	opt := salsa.Options{Width: 1 << 14, Seed: 7}
+
+	windowed := salsa.NewWindowedMonitor(opt, 8, buckets, bucketItems)
+	whole := salsa.NewMonitor(opt, 8)
+
+	// Phase 1: flow A dominates. Phase 2: A vanishes, flow B takes over.
+	flowA, flowB := salsa.KeyString("10.0.0.1:443"), salsa.KeyString("10.9.9.9:80")
+	feed := func(heavy uint64, seed uint64) {
+		for i, pkt := range stream.NY18.Generate(phase, seed) {
+			if i%5 == 0 {
+				windowed.Process(heavy)
+				whole.Process(heavy)
+			}
+			windowed.Process(pkt)
+			whole.Process(pkt)
+		}
+	}
+	feed(flowA, 1)
+	fmt.Printf("after phase 1 (flow A hot, %d rotations):\n", windowed.Rotations())
+	report(windowed, whole, flowA, flowB)
+
+	feed(flowB, 2)
+	fmt.Printf("\nafter phase 2 (flow A quiet, flow B hot, %d rotations):\n", windowed.Rotations())
+	report(windowed, whole, flowA, flowB)
+
+	fmt.Printf("\nwindow: last %d–%d packets in %d buckets; memory %d KB (B+2 sketches)\n",
+		(buckets-1)*bucketItems, buckets*bucketItems, buckets, windowed.MemoryBits()/8192)
+
+	// Windowed heavy hitters: share-of-window threshold, drawn from the
+	// union of per-bucket candidate sets.
+	fmt.Println("\nflows ≥ 2% of the live window:")
+	for i, hh := range windowed.HeavyHitters(0.02) {
+		fmt.Printf("%4d. flow %-20d windowed estimate %d\n", i+1, hh.Item, hh.Count)
+	}
+}
+
+func report(windowed *salsa.WindowedMonitor, whole *salsa.Monitor, flowA, flowB uint64) {
+	fmt.Printf("  flow A: windowed %-8d whole-stream %d\n",
+		windowed.Query(flowA), whole.Sketch().Query(flowA))
+	fmt.Printf("  flow B: windowed %-8d whole-stream %d\n",
+		windowed.Query(flowB), whole.Sketch().Query(flowB))
+	if top := windowed.Top(); len(top) > 0 {
+		fmt.Printf("  top windowed flow: %d (estimate %d)\n", top[0].Item, top[0].Count)
+	}
+}

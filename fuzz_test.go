@@ -1,0 +1,109 @@
+package salsa
+
+import "testing"
+
+// Fuzz targets for the public decoders: corrupted or truncated sketch
+// bytes must come back as an error — never a panic, and never an
+// allocation disproportionate to the payload (the decoders length-check
+// every declared geometry against the remaining bytes before allocating).
+// The corpus is seeded with valid Marshal outputs of every serializable
+// mode, so mutations explore near-valid payloads rather than random noise.
+
+// fuzzSeedsCountMin marshals one CountMin per serializable configuration.
+func fuzzSeedsCountMin(f *testing.F) {
+	data := []uint64{1, 2, 3, 3, 3, 7, 1 << 40}
+	for _, opt := range []Options{
+		{Width: 64, Seed: 5},
+		{Width: 64, Mode: ModeBaseline, Seed: 5},
+		{Width: 64, CompactEncoding: true, Seed: 5},
+		{Width: 64, Merge: MergeSum, Depth: 2, Seed: 5},
+	} {
+		cm := NewCountMin(opt)
+		cm.IncrementBatch(data)
+		blob, err := cm.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	cu := NewConservativeUpdate(Options{Width: 64, Seed: 6})
+	cu.IncrementBatch(data)
+	blob, err := cu.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("not a sketch"))
+}
+
+// FuzzUnmarshalCountMin: UnmarshalCountMin must reject arbitrary bytes
+// with an error, and anything it accepts must be a live, bounded sketch.
+func FuzzUnmarshalCountMin(f *testing.F) {
+	fuzzSeedsCountMin(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cm, err := UnmarshalCountMin(data)
+		if err != nil {
+			return
+		}
+		// A decoded sketch's backing memory is bounded by the payload: the
+		// decoder length-checks declared geometry against the bytes.
+		if cm.MemoryBits() > 64*len(data)+1024 {
+			t.Fatalf("decoded sketch claims %d bits from a %d-byte payload", cm.MemoryBits(), len(data))
+		}
+		cm.Increment(1) // decoded sketches must be operational
+		if cm.Query(1) == 0 {
+			t.Fatal("decoded sketch dropped an update")
+		}
+		if _, err := cm.MarshalBinary(); err != nil {
+			t.Fatalf("decoded sketch cannot re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalCountSketch is FuzzUnmarshalCountMin for the signed decoder.
+func FuzzUnmarshalCountSketch(f *testing.F) {
+	data := []uint64{1, 2, 3, 3, 3, 7, 1 << 40}
+	for _, opt := range []Options{
+		{Width: 64, Seed: 5},
+		{Width: 64, Mode: ModeBaseline, Seed: 5},
+		{Width: 64, CompactEncoding: true, Seed: 5},
+		{Width: 64, Depth: 3, Seed: 5},
+	} {
+		cs := NewCountSketch(opt)
+		cs.UpdateBatch(data, -2)
+		blob, err := cs.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a sketch"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := UnmarshalCountSketch(data)
+		if err != nil {
+			return
+		}
+		if cs.MemoryBits() > 64*len(data)+1024 {
+			t.Fatalf("decoded sketch claims %d bits from a %d-byte payload", cs.MemoryBits(), len(data))
+		}
+		cs.Update(1, -1)
+		_ = cs.Query(1)
+		if _, err := cs.MarshalBinary(); err != nil {
+			t.Fatalf("decoded sketch cannot re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzKeyBytes pins the byte-key hash path (the stdin ingestion surface of
+// salsatop) against panics on arbitrary input.
+func FuzzKeyBytes(f *testing.F) {
+	f.Add([]byte("10.0.0.1:443"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, key []byte) {
+		if KeyBytes(key) != KeyBytes(key) {
+			t.Fatal("KeyBytes not deterministic")
+		}
+	})
+}

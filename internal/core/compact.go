@@ -131,3 +131,10 @@ func (l *compactLayout) clone() layout {
 	copy(c.words, l.words)
 	return &c
 }
+
+// reset restores the all-unmerged state: X = 0 encodes level 0 everywhere.
+func (l *compactLayout) reset() {
+	for i := range l.words {
+		l.words[i] = 0
+	}
+}

@@ -75,6 +75,14 @@ func (f *Fixed) SetAtLeast(i int, v uint64) {
 	}
 }
 
+// Reset zeroes every counter, restoring the freshly-constructed state; the
+// backing memory is reused (the sliding-window bucket-rotation primitive).
+func (f *Fixed) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+}
+
 // ZeroCount returns the number of zero-valued counters (used by the Linear
 // Counting distinct-count estimator).
 func (f *Fixed) ZeroCount() int {
@@ -188,6 +196,14 @@ func (f *FixedSign) Add(i int, v int64) {
 		nv = -f.maxV
 	}
 	writeAligned(f.words, uint(i)*f.bits, f.bits, uint64(nv)&maxValue(f.bits))
+}
+
+// Reset zeroes every counter, restoring the freshly-constructed state; the
+// backing memory is reused.
+func (f *FixedSign) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
 }
 
 // MergeFrom adds scale times every counter of other into f (scale is +1 for

@@ -23,6 +23,8 @@ type layout interface {
 	overheadBits() int
 	// clone returns a deep copy.
 	clone() layout
+	// reset restores the pristine all-unmerged state.
+	reset()
 }
 
 // bitLayout is the simple SALSA encoding: merge bit m[i] per base counter.
@@ -79,3 +81,5 @@ func (l *bitLayout) overheadBits() int { return l.bits.Len() }
 func (l *bitLayout) clone() layout {
 	return &bitLayout{bits: l.bits.Clone(), maxLvl: l.maxLvl}
 }
+
+func (l *bitLayout) reset() { l.bits.Reset() }

@@ -127,6 +127,17 @@ func (c *Salsa) level(i int) uint {
 	return lvl
 }
 
+// Reset zeroes every counter and un-merges the layout, restoring the
+// freshly-constructed state; the backing memory is reused (the
+// sliding-window bucket-rotation primitive).
+func (c *Salsa) Reset() {
+	for i := range c.words {
+		c.words[i] = 0
+	}
+	c.lay.reset()
+	c.merges = 0
+}
+
 // CounterRange returns the base-slot range [start, start+count) of the
 // counter containing slot i.
 func (c *Salsa) CounterRange(i int) (start, count int) {

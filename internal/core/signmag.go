@@ -61,6 +61,16 @@ func (c *SalsaSign) Merges() uint64 { return c.merges }
 // Level returns the merge level of the counter containing base slot i.
 func (c *SalsaSign) Level(i int) uint { return c.lay.level(i) }
 
+// Reset zeroes every counter and un-merges the layout, restoring the
+// freshly-constructed state; the backing memory is reused.
+func (c *SalsaSign) Reset() {
+	for i := range c.words {
+		c.words[i] = 0
+	}
+	c.lay.reset()
+	c.merges = 0
+}
+
 // maxMag returns the largest representable magnitude at the given size.
 func maxMag(size uint) int64 { return int64(maxValue(size) >> 1) }
 

@@ -206,6 +206,76 @@ func (t *Tango) growDirection(lo, hi int) (dir int, ok bool) {
 	return 1, true
 }
 
+// Reset zeroes every counter and clears the merge links, restoring the
+// freshly-constructed state; the backing memory is reused (the
+// sliding-window bucket-rotation primitive).
+func (t *Tango) Reset() {
+	for i := range t.words {
+		t.words[i] = 0
+	}
+	t.link.Reset()
+	t.merges = 0
+}
+
+// MergeFrom adds other into t counter-wise, producing the sketch-union row
+// s(A∪B) with the policy's combine semantics. For every counter of other, t
+// first grows its own counter until the span is covered — absorbing
+// neighbors with the same deterministic direction rule overflow merges use,
+// so merged layouts stay reachable Tango states — then folds the value in,
+// triggering further growth if the combined value overflows the span.
+func (t *Tango) MergeFrom(other *Tango) {
+	if t.width != other.width || t.s != other.s || t.policy != other.policy {
+		panic("core: Tango geometry/policy mismatch")
+	}
+	other.Counters(func(lo, hi int, val uint64) bool {
+		mlo, mhi := t.coverSpan(lo, hi)
+		cur := t.readCounter(mlo, mhi)
+		if t.policy == SumMerge {
+			cur = satAdd(cur, val)
+		} else if val > cur {
+			cur = val
+		}
+		t.store(mlo, mhi, cur)
+		return true
+	})
+}
+
+// coverSpan grows the counter containing lo until its span covers [lo, hi]
+// and returns the resulting span. Absorbed neighbor values combine with the
+// policy's semantics, exactly as overflow growth in store does.
+func (t *Tango) coverSpan(lo, hi int) (int, int) {
+	mlo, mhi := t.Span(lo)
+	for mhi < hi {
+		dir, ok := t.growDirection(mlo, mhi)
+		if !ok {
+			break
+		}
+		cur := t.readCounter(mlo, mhi)
+		var nlo, nhi int
+		if dir < 0 {
+			nlo, nhi = t.Span(mlo - 1)
+			t.link.Set(mlo - 1)
+		} else {
+			nlo, nhi = t.Span(mhi + 1)
+			t.link.Set(mhi)
+		}
+		nb := t.readCounter(nlo, nhi)
+		if t.policy == SumMerge {
+			cur = satAdd(cur, nb)
+		} else if nb > cur {
+			cur = nb
+		}
+		if dir < 0 {
+			mlo = nlo
+		} else {
+			mhi = nhi
+		}
+		t.merges++
+		t.writeCounter(mlo, mhi, cur)
+	}
+	return mlo, mhi
+}
+
 // Counters calls fn for every counter in cell order with its span and
 // value, stopping early if fn returns false.
 func (t *Tango) Counters(fn func(lo, hi int, val uint64) bool) {

@@ -100,6 +100,15 @@ func median(buf []int64) int64 {
 	return (buf[n/2-1] + buf[n/2]) / 2
 }
 
+// Reset restores every row to its freshly-constructed state, reusing the
+// backing memory. Hash seeds are unchanged, so a reset sketch keeps merging
+// with its seed-sharing peers.
+func (c *CountSketch) Reset() {
+	for _, r := range c.rows {
+		r.(resettableRow).Reset()
+	}
+}
+
 // MergeFrom adds scale (±1) times other into c, producing s(A∪B) or s(A\B)
 // (§V): Count Sketch is linear, so change detection between epochs is a
 // subtraction of sketches sharing seeds.

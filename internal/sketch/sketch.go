@@ -180,9 +180,25 @@ func (c *CMS) MergeFrom(other *CMS) {
 			row.MergeFrom(other.rows[i].(*core.Fixed))
 		case *core.Salsa:
 			row.MergeFrom(other.rows[i].(*core.Salsa))
+		case *core.Tango:
+			row.MergeFrom(other.rows[i].(*core.Tango))
 		default:
 			panic(fmt.Sprintf("sketch: merge unsupported for %T", r))
 		}
+	}
+}
+
+// resettableRow is implemented by every core row; Reset restores the
+// pristine state while reusing the backing memory.
+type resettableRow interface{ Reset() }
+
+// Reset restores every row to its freshly-constructed state, reusing the
+// backing memory. Hash seeds are unchanged, so a reset sketch keeps merging
+// with its seed-sharing peers — the sliding-window bucket-rotation
+// primitive.
+func (c *CMS) Reset() {
+	for _, r := range c.rows {
+		r.(resettableRow).Reset()
 	}
 }
 

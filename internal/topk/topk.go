@@ -31,6 +31,13 @@ func New(k int) *Heap {
 // Cap returns the heap capacity k.
 func (h *Heap) Cap() int { return h.k }
 
+// Reset drops every tracked item, reusing the backing storage (used when a
+// sliding-window bucket rotates out).
+func (h *Heap) Reset() {
+	h.entries = h.entries[:0]
+	clear(h.pos)
+}
+
 // Len returns the number of tracked items.
 func (h *Heap) Len() int { return len(h.entries) }
 

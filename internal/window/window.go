@@ -1,0 +1,172 @@
+// Package window implements the sliding-window machinery shared by the
+// public Windowed* sketches: a ring of B bucket sketches rotated by item
+// count or caller-driven ticks, answering window queries from an
+// incrementally-maintained merged view.
+//
+// The live window is the B most recent buckets; every update lands in the
+// current bucket and a rotation retires the oldest bucket wholesale (its
+// memory is Reset and reused as the new current bucket), so the window
+// slides at bucket granularity. Two auxiliary sketches keep queries cheap:
+//
+//   - closed: the merge of every live bucket except the current one. It only
+//     changes at rotation, where it is rebuilt with B−1 merges — amortized
+//     over the bucket interval this is O(1) per update.
+//   - view: closed merged with the current bucket, rebuilt lazily on the
+//     first query after a write. Consecutive queries reuse it, so a query is
+//     O(1) amortized instead of O(B·rows) bucket merges per call.
+//
+// Because every rebuild merges pristine sketches in oldest-to-newest bucket
+// order, the view is bit-for-bit identical to a from-scratch merge of the
+// live buckets — windowed queries inherit the exact guarantees of the
+// backend's merge (Theorems V.1–V.3 for SALSA rows).
+package window
+
+// Ops supplies the sketch operations a Ring needs from its bucket type S;
+// the public wrappers bind them to *sketch.CMS and *sketch.CountSketch.
+type Ops[S any] struct {
+	// New returns a fresh, empty bucket sketch. All buckets of one ring
+	// must share hash seeds, or they could not merge.
+	New func() S
+	// Reset restores a bucket to its freshly-constructed state in place.
+	Reset func(S)
+	// Merge folds src into dst (dst ← dst ∪ src).
+	Merge func(dst, src S)
+}
+
+// Ring is a rotating ring of B bucket sketches with a lazily-maintained
+// merged view of the live window. It is not safe for concurrent use; wrap
+// the public windowed types in the Sharded layer for that.
+type Ring[S any] struct {
+	ops     Ops[S]
+	buckets []S
+	counts  []uint64 // items recorded per bucket
+	cur     int      // index of the current (newest, writable) bucket
+	closed  S        // merge of live buckets except buckets[cur]
+	view    S        // merge of all live buckets; valid iff viewOK
+	viewOK  bool
+
+	interval  uint64 // items per bucket; 0 = caller-driven ticks only
+	rotations uint64
+	onRotate  func(cur int) // optional rotation hook (new current index)
+}
+
+// NewRing returns a ring of buckets bucket sketches. interval > 0 rotates
+// automatically every interval recorded items; interval == 0 leaves
+// rotation to explicit Tick calls.
+func NewRing[S any](buckets int, interval uint64, ops Ops[S]) *Ring[S] {
+	if buckets <= 0 {
+		panic("window: non-positive bucket count")
+	}
+	r := &Ring[S]{
+		ops:      ops,
+		buckets:  make([]S, buckets),
+		counts:   make([]uint64, buckets),
+		closed:   ops.New(),
+		view:     ops.New(),
+		interval: interval,
+	}
+	for i := range r.buckets {
+		r.buckets[i] = ops.New()
+	}
+	return r
+}
+
+// Cur returns the current bucket; the wrapper applies updates to it
+// directly and must follow every write with Wrote.
+func (r *Ring[S]) Cur() S { return r.buckets[r.cur] }
+
+// CurIndex returns the ring position of the current bucket (the index
+// OnRotate reports).
+func (r *Ring[S]) CurIndex() int { return r.cur }
+
+// Buckets returns the number of buckets B.
+func (r *Ring[S]) Buckets() int { return len(r.buckets) }
+
+// Interval returns the automatic rotation interval (0 = manual).
+func (r *Ring[S]) Interval() uint64 { return r.interval }
+
+// Rotations returns the number of rotations performed so far.
+func (r *Ring[S]) Rotations() uint64 { return r.rotations }
+
+// Volume returns the number of items recorded in the live window.
+func (r *Ring[S]) Volume() uint64 {
+	var total uint64
+	for _, c := range r.counts {
+		total += c
+	}
+	return total
+}
+
+// CurCount returns the number of items recorded in the current bucket.
+func (r *Ring[S]) CurCount() uint64 { return r.counts[r.cur] }
+
+// Room returns how many more items the current bucket accepts before the
+// ring auto-rotates; ^uint64(0) when rotation is caller-driven. Batch
+// writers use it to split batches at rotation boundaries so batched and
+// per-item ingestion stay bit-for-bit identical.
+func (r *Ring[S]) Room() uint64 {
+	if r.interval == 0 {
+		return ^uint64(0)
+	}
+	return r.interval - r.counts[r.cur]
+}
+
+// OnRotate registers fn to run after every rotation with the index of the
+// new current bucket (already Reset). The windowed heavy-hitter tracker
+// uses it to retire the rotated bucket's candidate set.
+func (r *Ring[S]) OnRotate(fn func(cur int)) { r.onRotate = fn }
+
+// Wrote records that n items were just applied to the current bucket,
+// invalidating the view and auto-rotating when the bucket interval fills.
+// n must not overshoot Room.
+func (r *Ring[S]) Wrote(n uint64) {
+	r.viewOK = false
+	r.counts[r.cur] += n
+	if r.interval != 0 && r.counts[r.cur] >= r.interval {
+		r.Rotate()
+	}
+}
+
+// Rotate slides the window one bucket: the oldest bucket is retired (its
+// sketch Reset for reuse as the new current bucket) and the closed-bucket
+// merge is rebuilt from the remaining live buckets in oldest-to-newest
+// order.
+func (r *Ring[S]) Rotate() {
+	b := len(r.buckets)
+	r.cur = (r.cur + 1) % b
+	r.ops.Reset(r.buckets[r.cur])
+	r.counts[r.cur] = 0
+	r.ops.Reset(r.closed)
+	for i := 1; i < b; i++ {
+		r.ops.Merge(r.closed, r.buckets[(r.cur+i)%b])
+	}
+	r.viewOK = false
+	r.rotations++
+	if r.onRotate != nil {
+		r.onRotate(r.cur)
+	}
+}
+
+// View returns the merge of every live bucket, rebuilding it if any write
+// or rotation happened since the last call: one Reset plus two merges
+// (closed, then the current bucket), regardless of B.
+func (r *Ring[S]) View() S {
+	if !r.viewOK {
+		r.ops.Reset(r.view)
+		r.ops.Merge(r.view, r.closed)
+		r.ops.Merge(r.view, r.buckets[r.cur])
+		r.viewOK = true
+	}
+	return r.view
+}
+
+// LiveBuckets calls fn for every live bucket in oldest-to-newest order;
+// the index is the bucket's ring position (as passed to OnRotate for the
+// current bucket). Used by tests and the heavy-hitter candidate union.
+func (r *Ring[S]) LiveBuckets(fn func(i int, b S)) {
+	b := len(r.buckets)
+	for off := 1; off <= b; off++ {
+		i := (r.cur + off) % b
+		fn(i, r.buckets[i])
+	}
+}

@@ -1,0 +1,120 @@
+package window
+
+import (
+	"reflect"
+	"testing"
+)
+
+// bag is a trivial exact "sketch" for exercising ring mechanics: a multiset
+// with sum-merge.
+type bag struct {
+	counts map[uint64]int
+}
+
+func bagOps() Ops[*bag] {
+	return Ops[*bag]{
+		New:   func() *bag { return &bag{counts: map[uint64]int{}} },
+		Reset: func(b *bag) { clear(b.counts) },
+		Merge: func(dst, src *bag) {
+			for k, v := range src.counts {
+				dst.counts[k] += v
+			}
+		},
+	}
+}
+
+func (b *bag) add(x uint64) { b.counts[x]++ }
+
+// fromScratch merges the live buckets into a fresh bag, the reference the
+// incremental view must match.
+func fromScratch(r *Ring[*bag]) map[uint64]int {
+	out := map[uint64]int{}
+	r.LiveBuckets(func(_ int, b *bag) {
+		for k, v := range b.counts {
+			out[k] += v
+		}
+	})
+	return out
+}
+
+// TestRingViewMatchesFromScratch drives a ring through several rotations
+// and checks the lazily-rebuilt view always equals a from-scratch merge of
+// the live buckets, and that retired buckets' items leave the window.
+func TestRingViewMatchesFromScratch(t *testing.T) {
+	r := NewRing(3, 4, bagOps())
+	for i := 0; i < 40; i++ {
+		r.Cur().add(uint64(i))
+		r.Wrote(1)
+		if got, want := r.View().counts, fromScratch(r); !reflect.DeepEqual(got, want) {
+			t.Fatalf("after %d items: view %v != from-scratch %v", i+1, got, want)
+		}
+	}
+	// 40 items at 4 per bucket = 10 rotations; the live window holds the
+	// last 2 full buckets plus the (empty) current one.
+	if r.Rotations() != 10 {
+		t.Fatalf("rotations = %d, want 10", r.Rotations())
+	}
+	if r.Volume() != 8 {
+		t.Fatalf("window volume = %d, want 8", r.Volume())
+	}
+	view := r.View()
+	if view.counts[0] != 0 {
+		t.Fatal("item 0 should have rotated out of the window")
+	}
+	for x := uint64(32); x < 40; x++ {
+		if view.counts[x] != 1 {
+			t.Fatalf("item %d missing from the live window", x)
+		}
+	}
+}
+
+// TestRingManualTick pins caller-driven rotation: no auto-rotation happens
+// regardless of volume, Room is unbounded, and Rotate slides the window.
+func TestRingManualTick(t *testing.T) {
+	r := NewRing(2, 0, bagOps())
+	if r.Room() != ^uint64(0) {
+		t.Fatal("manual ring must report unbounded room")
+	}
+	for i := 0; i < 100; i++ {
+		r.Cur().add(7)
+		r.Wrote(1)
+	}
+	if r.Rotations() != 0 {
+		t.Fatal("manual ring rotated on its own")
+	}
+	if r.View().counts[7] != 100 {
+		t.Fatalf("view count = %d, want 100", r.View().counts[7])
+	}
+	r.Rotate()
+	if r.View().counts[7] != 100 { // still live: previous bucket is in-window
+		t.Fatalf("after 1 tick count = %d, want 100", r.View().counts[7])
+	}
+	r.Rotate()
+	if r.View().counts[7] != 0 { // retired after B ticks
+		t.Fatalf("after 2 ticks count = %d, want 0", r.View().counts[7])
+	}
+}
+
+// TestRingOnRotate checks the rotation hook fires with the new current
+// index and that the ring walks positions oldest-to-newest in LiveBuckets.
+func TestRingOnRotate(t *testing.T) {
+	r := NewRing(3, 2, bagOps())
+	var hooks []int
+	r.OnRotate(func(cur int) { hooks = append(hooks, cur) })
+	for i := 0; i < 7; i++ {
+		r.Cur().add(uint64(i))
+		r.Wrote(1)
+	}
+	if want := []int{1, 2, 0}; !reflect.DeepEqual(hooks, want) {
+		t.Fatalf("rotation hooks %v, want %v", hooks, want)
+	}
+	var order []int
+	r.LiveBuckets(func(i int, _ *bag) { order = append(order, i) })
+	// Current bucket is 0 (after 3 rotations); oldest-to-newest is 1, 2, 0.
+	if want := []int{1, 2, 0}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("live bucket order %v, want %v", order, want)
+	}
+	if r.CurIndex() != 0 {
+		t.Fatalf("current index = %d, want 0", r.CurIndex())
+	}
+}

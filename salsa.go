@@ -19,11 +19,18 @@
 //	cm.Increment(item)
 //	estimate := cm.Query(item)
 //
+// Time-scoped queries — "heavy hitters in the last minute", "volume over
+// the last N packets" — are served by the sliding-window variants
+// (WindowedCountMin, WindowedCountSketch, WindowedMonitor; see window.go):
+// a ring of bucket sketches rotated by item count or caller-driven ticks,
+// answering from an incrementally-maintained merge of the live buckets.
+//
 // All sketches are deterministic given Options.Seed and are not safe for
 // concurrent mutation; for multi-goroutine ingestion wrap them in the
 // Sharded concurrency layer (see concurrent.go and the typed
-// ShardedCountMin/ShardedCountSketch/ShardedMonitor constructors), and use
-// the batch APIs (UpdateBatch/IncrementBatch/QueryBatch) for bulk streams.
+// ShardedCountMin/ShardedCountSketch/ShardedMonitor constructors — the
+// windowed types shard too), and use the batch APIs
+// (UpdateBatch/IncrementBatch/QueryBatch) for bulk streams.
 package salsa
 
 import (

@@ -134,6 +134,92 @@ func (s *ShardedMonitor) HeavyHitters(phi float64, volume uint64) []ItemCount {
 	return out
 }
 
+// ShardedWindowedCountMin is a concurrency-safe sliding-window CountMin
+// (or, via NewShardedWindowedConservativeUpdate, Conservative Update)
+// sketch: each shard runs a complete WindowedCountMin over its substream.
+// With count-based rotation every shard rotates on its own substream count,
+// so shard windows slide independently at roughly the global rate divided
+// by the shard count; size bucketItems per shard, or use Tick to rotate all
+// shards together from one timer.
+type ShardedWindowedCountMin struct {
+	*Sharded[*WindowedCountMin]
+}
+
+// NewShardedWindowedCountMin returns a sharded windowed CountMin with the
+// given number of shards (rounded up to a power of two, minimum 1);
+// bucketItems counts each shard's own substream (0 = Tick-driven).
+func NewShardedWindowedCountMin(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountMin {
+	return &ShardedWindowedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountMin {
+		return NewWindowedCountMin(shardOptions(opt, i), buckets, bucketItems)
+	})}
+}
+
+// NewShardedWindowedConservativeUpdate is NewShardedWindowedCountMin over
+// Conservative Update shards.
+func NewShardedWindowedConservativeUpdate(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountMin {
+	return &ShardedWindowedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountMin {
+		return NewWindowedConservativeUpdate(shardOptions(opt, i), buckets, bucketItems)
+	})}
+}
+
+// Query returns the windowed frequency estimate; safe for concurrent use.
+func (s *ShardedWindowedCountMin) Query(item uint64) uint64 {
+	return query(s.Sharded, item, (*WindowedCountMin).Query)
+}
+
+// QueryBatch writes the windowed estimate of items[j] into dst[j] and
+// returns dst, appending if dst is short (pass nil to allocate); safe for
+// concurrent use.
+func (s *ShardedWindowedCountMin) QueryBatch(items []uint64, dst []uint64) []uint64 {
+	return queryBatch(s.Sharded, items, dst, (*WindowedCountMin).QueryBatch)
+}
+
+// Tick rotates every shard's window by one bucket; safe for concurrent use.
+func (s *ShardedWindowedCountMin) Tick() {
+	tickShards(s.Sharded, (*WindowedCountMin).Tick)
+}
+
+// ShardedWindowedCountSketch is a concurrency-safe sliding-window
+// CountSketch; rotation semantics are as for ShardedWindowedCountMin.
+type ShardedWindowedCountSketch struct {
+	*Sharded[*WindowedCountSketch]
+}
+
+// NewShardedWindowedCountSketch returns a sharded windowed CountSketch with
+// the given number of shards (rounded up to a power of two, minimum 1).
+func NewShardedWindowedCountSketch(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountSketch {
+	return &ShardedWindowedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountSketch {
+		return NewWindowedCountSketch(shardOptions(opt, i), buckets, bucketItems)
+	})}
+}
+
+// Query returns the (unbiased) windowed estimate; safe for concurrent use.
+func (s *ShardedWindowedCountSketch) Query(item uint64) int64 {
+	return query(s.Sharded, item, (*WindowedCountSketch).Query)
+}
+
+// QueryBatch writes the windowed estimate of items[j] into dst[j] and
+// returns dst, appending if dst is short (pass nil to allocate); safe for
+// concurrent use.
+func (s *ShardedWindowedCountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
+	return queryBatch(s.Sharded, items, dst, (*WindowedCountSketch).QueryBatch)
+}
+
+// Tick rotates every shard's window by one bucket; safe for concurrent use.
+func (s *ShardedWindowedCountSketch) Tick() {
+	tickShards(s.Sharded, (*WindowedCountSketch).Tick)
+}
+
+// tickShards rotates every shard's window under its lock.
+func tickShards[S Sketch](s *Sharded[S], tick func(S)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		tick(sh.sk)
+		sh.mu.Unlock()
+	}
+}
+
 // routeSeed derives the item-to-shard routing seed; it differs from every
 // shard sketch seed so routing stays independent of in-sketch hashing.
 func routeSeed(opt Options) uint64 { return opt.Seed ^ 0x5a15ac0c0 }
