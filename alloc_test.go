@@ -1,0 +1,130 @@
+package salsa
+
+// Zero-allocation regression suite: every steady-state ingestion and query
+// path must run without heap allocation — the hot loops are the product's
+// whole point, and a single boxed value per op would dominate the ns/op
+// budget. Each case warms the op first so lazily-built scratch (batch
+// buffers, windowed merge views) is in place, then asserts
+// testing.AllocsPerRun == 0. CI runs these without -race (the race
+// detector's instrumentation allocates).
+
+import (
+	"fmt"
+	"testing"
+)
+
+// assertZeroAllocs runs op once to warm lazy scratch, then asserts the
+// steady state allocates nothing.
+func assertZeroAllocs(t *testing.T, name string, op func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	op()
+	if avg := testing.AllocsPerRun(100, op); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+var allocItems = func() []uint64 {
+	items := make([]uint64, 512)
+	for i := range items {
+		items[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return items
+}()
+
+func TestZeroAllocCountMin(t *testing.T) {
+	for _, mode := range []Mode{ModeSALSA, ModeBaseline, ModeTango} {
+		for _, conservative := range []bool{false, true} {
+			opt := Options{Width: 1 << 10, Mode: mode, Seed: 1}
+			var cm *CountMin
+			if conservative {
+				cm = NewConservativeUpdate(opt)
+			} else {
+				cm = NewCountMin(opt)
+			}
+			tag := fmt.Sprintf("%s/conservative=%v", mode, conservative)
+			cm.IncrementBatch(allocItems)
+			dst := make([]uint64, len(allocItems))
+			i := 0
+			assertZeroAllocs(t, tag+"/Update", func() { cm.Update(allocItems[i%512], 1); i++ })
+			assertZeroAllocs(t, tag+"/Query", func() { _ = cm.Query(allocItems[i%512]); i++ })
+			assertZeroAllocs(t, tag+"/UpdateBatch", func() { cm.UpdateBatch(allocItems, 1) })
+			assertZeroAllocs(t, tag+"/QueryBatch", func() { cm.QueryBatch(allocItems, dst) })
+		}
+	}
+}
+
+func TestZeroAllocCountMinCompact(t *testing.T) {
+	cm := NewCountMin(Options{Width: 1 << 10, CompactEncoding: true, Seed: 1})
+	cm.IncrementBatch(allocItems)
+	i := 0
+	assertZeroAllocs(t, "compact/Update", func() { cm.Update(allocItems[i%512], 1); i++ })
+	assertZeroAllocs(t, "compact/Query", func() { _ = cm.Query(allocItems[i%512]); i++ })
+}
+
+func TestZeroAllocCountSketch(t *testing.T) {
+	for _, mode := range []Mode{ModeSALSA, ModeBaseline} {
+		cs := NewCountSketch(Options{Width: 1 << 10, Mode: mode, Seed: 1})
+		tag := mode.String()
+		cs.IncrementBatch(allocItems)
+		dst := make([]int64, len(allocItems))
+		i := 0
+		assertZeroAllocs(t, tag+"/Update", func() { cs.Update(allocItems[i%512], 1); i++ })
+		assertZeroAllocs(t, tag+"/Query", func() { _ = cs.Query(allocItems[i%512]); i++ })
+		assertZeroAllocs(t, tag+"/UpdateBatch", func() { cs.UpdateBatch(allocItems, 1) })
+		assertZeroAllocs(t, tag+"/QueryBatch", func() { cs.QueryBatch(allocItems, dst) })
+	}
+}
+
+func TestZeroAllocWindowed(t *testing.T) {
+	// Rotation interval small enough that the steady state crosses bucket
+	// boundaries: rotations themselves must not allocate either.
+	wcm := NewWindowedCountMin(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
+	wcu := NewWindowedConservativeUpdate(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
+	wcs := NewWindowedCountSketch(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
+	udst := make([]uint64, len(allocItems))
+	sdst := make([]int64, len(allocItems))
+	for _, w := range []struct {
+		tag         string
+		update      func(uint64)
+		query       func(uint64)
+		updateBatch func()
+		queryBatch  func()
+		tick        func()
+	}{
+		{"countmin",
+			wcm.Increment, func(x uint64) { _ = wcm.Query(x) },
+			func() { wcm.IncrementBatch(allocItems) }, func() { wcm.QueryBatch(allocItems, udst) },
+			wcm.Tick},
+		{"conservative",
+			wcu.Increment, func(x uint64) { _ = wcu.Query(x) },
+			func() { wcu.IncrementBatch(allocItems) }, func() { wcu.QueryBatch(allocItems, udst) },
+			wcu.Tick},
+		{"countsketch",
+			wcs.Increment, func(x uint64) { _ = wcs.Query(x) },
+			func() { wcs.IncrementBatch(allocItems) }, func() { wcs.QueryBatch(allocItems, sdst) },
+			wcs.Tick},
+	} {
+		w.updateBatch()
+		i := 0
+		assertZeroAllocs(t, "windowed/"+w.tag+"/Update", func() { w.update(allocItems[i%512]); i++ })
+		assertZeroAllocs(t, "windowed/"+w.tag+"/Query", func() { w.query(allocItems[i%512]); i++ })
+		assertZeroAllocs(t, "windowed/"+w.tag+"/UpdateBatch", w.updateBatch)
+		assertZeroAllocs(t, "windowed/"+w.tag+"/QueryBatch", w.queryBatch)
+		assertZeroAllocs(t, "windowed/"+w.tag+"/Tick", w.tick)
+	}
+}
+
+func TestZeroAllocSharded(t *testing.T) {
+	cm := NewShardedCountMin(Options{Width: 1 << 10, Seed: 1}, 4)
+	cs := NewShardedCountSketch(Options{Width: 1 << 10, Seed: 1}, 4)
+	cm.IncrementBatch(allocItems)
+	cs.IncrementBatch(allocItems)
+	i := 0
+	assertZeroAllocs(t, "sharded/countmin/Increment", func() { cm.Increment(allocItems[i%512]); i++ })
+	assertZeroAllocs(t, "sharded/countmin/Query", func() { _ = cm.Query(allocItems[i%512]); i++ })
+	assertZeroAllocs(t, "sharded/countsketch/Increment", func() { cs.Increment(allocItems[i%512]); i++ })
+	assertZeroAllocs(t, "sharded/countsketch/Query", func() { _ = cs.Query(allocItems[i%512]); i++ })
+}

@@ -10,6 +10,8 @@
 //	salsabench -list                             # what exists
 //	salsabench -throughput -procs 8 -batch 4096  # multi-core ingestion rate
 //	salsabench -window -buckets 8                # sliding-window rotation/query cost
+//	salsabench -perf -json BENCH_pr3.json        # hot-path items/s + JSON report
+//	salsabench -perf -cpuprofile cpu.pprof       # profile any mode
 //
 // The paper runs 98M-update traces; -n scales the streams (and the harness
 // scales sketch widths to match the paper's operating points). Shapes are
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"salsa/internal/experiments"
@@ -52,6 +56,11 @@ func run(args []string, out io.Writer) error {
 		window      = fs.Bool("window", false, "measure sliding-window ingestion, rotation and query cost")
 		buckets     = fs.Int("buckets", 8, "ring buckets for -window")
 		bucketItems = fs.Int("bucketitems", 0, "rotation interval for -window (0 = n/(8*buckets))")
+		perf        = fs.Bool("perf", false, "measure single-item and batch hot-path throughput per backend")
+		jsonOut     = fs.String("json", "", "with -perf: also write the results as a BENCH_*.json report to this path")
+		label       = fs.String("label", "", "label recorded in the -json report (e.g. pr3)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile  = fs.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,7 +70,35 @@ func run(args []string, out io.Writer) error {
 		return errors.New("invalid arguments")
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "salsabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle steady-state live objects before the snapshot
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "salsabench: memprofile:", err)
+			}
+		}()
+	}
+
 	switch {
+	case *perf:
+		return runPerf(perfConfig{n: *n, batch: *batch, seed: *seed, json: *jsonOut, label: *label}, out)
 	case *throughput:
 		runThroughput(throughputConfig{n: *n, procs: *procs, shards: *shards, batch: *batch, seed: *seed}, out)
 		return nil
@@ -84,7 +121,7 @@ func run(args []string, out io.Writer) error {
 		ids = []string{*experiment}
 	default:
 		fs.Usage()
-		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, or -window")
+		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, -window, or -perf")
 	}
 
 	for _, id := range ids {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,6 +64,63 @@ func TestRunThroughput(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "backend,path,mops") || !strings.Contains(got, "countmin,writer,") {
 		t.Fatalf("unexpected throughput output:\n%s", got)
+	}
+}
+
+// TestRunPerf: -perf reports every backend/path pair and, with -json,
+// writes a well-formed BENCH report whose items/s are positive.
+func TestRunPerf(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out strings.Builder
+	if err := run([]string{"-perf", "-n", "20000", "-label", "test", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "backend,path,ns_per_op,mops") {
+		t.Fatalf("missing perf CSV header:\n%s", got)
+	}
+	for _, backend := range []string{"countmin-salsa", "countmin-tango", "conservative-salsa", "countsketch-salsa"} {
+		for _, path := range []string{"update", "update-batch", "query", "query-batch"} {
+			if !strings.Contains(got, backend+","+path+",") {
+				t.Fatalf("missing %s/%s row:\n%s", backend, path, got)
+			}
+		}
+	}
+	payload, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report perfReport
+	if err := json.Unmarshal(payload, &report); err != nil {
+		t.Fatalf("BENCH json does not parse: %v", err)
+	}
+	if report.Schema != "salsabench-perf/v1" || report.Label != "test" || len(report.Points) == 0 {
+		t.Fatalf("unexpected report header: %+v", report)
+	}
+	for _, p := range report.Points {
+		if p.ItemsPerSec <= 0 || p.NsPerOp <= 0 {
+			t.Fatalf("non-positive measurement: %+v", p)
+		}
+	}
+}
+
+// TestRunProfiles: the pprof flags produce non-empty profile files.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	if err := run([]string{"-perf", "-n", "5000", "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("empty profile %s", p)
+		}
 	}
 }
 

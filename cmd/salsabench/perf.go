@@ -1,0 +1,186 @@
+// Single-item and batch hot-path throughput mode (-perf): times Update,
+// Query and their batch counterparts for every sketch backend over a Zipf
+// trace and reports items/s per (backend, path). With -json the results are
+// also written as a machine-readable BENCH_*.json, the repo's perf
+// trajectory: CI uploads one per run, so hot-path regressions show up as a
+// number, not an anecdote. Combine with -cpuprofile/-memprofile for
+// flame-graph-backed investigations.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"salsa"
+	"salsa/internal/stream"
+)
+
+type perfConfig struct {
+	n     int
+	batch int
+	seed  uint64
+	json  string // output path for the JSON report ("" = stdout CSV only)
+	label string // report label, e.g. "pr3"
+}
+
+// perfPoint is one (backend, path) measurement.
+type perfPoint struct {
+	Name        string  `json:"name"` // backend/path, e.g. "countmin-salsa/update"
+	NsPerOp     float64 `json:"ns_per_op"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+// perfReport is the BENCH_*.json schema.
+type perfReport struct {
+	Schema    string      `json:"schema"` // "salsabench-perf/v1"
+	Label     string      `json:"label"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Timestamp string      `json:"timestamp"`
+	N         int         `json:"n"`
+	Batch     int         `json:"batch"`
+	Points    []perfPoint `json:"benchmarks"`
+}
+
+// perfBackend bundles the four timed paths of one sketch configuration.
+type perfBackend struct {
+	name        string
+	update      func(x uint64)
+	updateBatch func(items []uint64)
+	query       func(x uint64)
+	queryBatch  func(items []uint64)
+}
+
+func perfBackends(seed uint64) []perfBackend {
+	opts := func(mode salsa.Mode) salsa.Options {
+		// Iso-memory-ish: baseline 32-bit rows get 1/4 the slots of 8-bit
+		// SALSA rows, as in the paper's figures.
+		w := 1 << 14
+		if mode == salsa.ModeBaseline {
+			w = 1 << 12
+		}
+		return salsa.Options{Width: w, Mode: mode, Seed: seed}
+	}
+	var out []perfBackend
+	addCM := func(name string, cm *salsa.CountMin) {
+		udst := []uint64(nil)
+		out = append(out, perfBackend{
+			name:        name,
+			update:      cm.Increment,
+			updateBatch: cm.IncrementBatch,
+			query:       func(x uint64) { _ = cm.Query(x) },
+			queryBatch:  func(items []uint64) { udst = cm.QueryBatch(items, udst) },
+		})
+	}
+	addCM("countmin-salsa", salsa.NewCountMin(opts(salsa.ModeSALSA)))
+	addCM("countmin-baseline", salsa.NewCountMin(opts(salsa.ModeBaseline)))
+	addCM("countmin-tango", salsa.NewCountMin(opts(salsa.ModeTango)))
+	addCM("conservative-salsa", salsa.NewConservativeUpdate(opts(salsa.ModeSALSA)))
+	addCM("conservative-baseline", salsa.NewConservativeUpdate(opts(salsa.ModeBaseline)))
+	addCS := func(name string, cs *salsa.CountSketch) {
+		sdst := []int64(nil)
+		out = append(out, perfBackend{
+			name:        name,
+			update:      cs.Increment,
+			updateBatch: cs.IncrementBatch,
+			query:       func(x uint64) { _ = cs.Query(x) },
+			queryBatch:  func(items []uint64) { sdst = cs.QueryBatch(items, sdst) },
+		})
+	}
+	addCS("countsketch-salsa", salsa.NewCountSketch(opts(salsa.ModeSALSA)))
+	addCS("countsketch-baseline", salsa.NewCountSketch(opts(salsa.ModeBaseline)))
+	return out
+}
+
+// timePerf runs fn over the trace trials times and returns the best
+// wall-clock duration (the least-noise estimator on shared machines).
+func timePerf(trials int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func runPerf(cfg perfConfig, out io.Writer) error {
+	if cfg.batch <= 0 {
+		cfg.batch = 4096
+	}
+	data := stream.Zipf(cfg.n, cfg.n/16, 1.0, cfg.seed)
+	const trials = 3
+
+	fmt.Fprintln(out, "# single-item and batch hot-path throughput")
+	fmt.Fprintf(out, "# n=%d, batch=%d, trials=%d (best), %s %s/%s cpus=%d\n",
+		cfg.n, cfg.batch, trials, runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+	fmt.Fprintln(out, "backend,path,ns_per_op,mops")
+
+	report := perfReport{
+		Schema:    "salsabench-perf/v1",
+		Label:     cfg.label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		N:         cfg.n,
+		Batch:     cfg.batch,
+	}
+	record := func(backend, path string, d time.Duration, ops int) {
+		ns := float64(d.Nanoseconds()) / float64(ops)
+		mops := float64(ops) / d.Seconds() / 1e6
+		fmt.Fprintf(out, "%s,%s,%.2f,%.2f\n", backend, path, ns, mops)
+		report.Points = append(report.Points, perfPoint{
+			Name:        backend + "/" + path,
+			NsPerOp:     ns,
+			ItemsPerSec: mops * 1e6,
+		})
+	}
+
+	for _, b := range perfBackends(cfg.seed) {
+		// Warm the sketch (and any lazy scratch) before timing.
+		b.updateBatch(data[:min(cfg.batch, len(data))])
+		record(b.name, "update", timePerf(trials, func() {
+			for _, x := range data {
+				b.update(x)
+			}
+		}), len(data))
+		record(b.name, "update-batch", timePerf(trials, func() {
+			for off := 0; off < len(data); off += cfg.batch {
+				b.updateBatch(data[off:min(off+cfg.batch, len(data))])
+			}
+		}), len(data))
+		record(b.name, "query", timePerf(trials, func() {
+			for _, x := range data {
+				b.query(x)
+			}
+		}), len(data))
+		record(b.name, "query-batch", timePerf(trials, func() {
+			for off := 0; off < len(data); off += cfg.batch {
+				b.queryBatch(data[off:min(off+cfg.batch, len(data))])
+			}
+		}), len(data))
+	}
+
+	if cfg.json != "" {
+		payload, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		payload = append(payload, '\n')
+		if err := os.WriteFile(cfg.json, payload, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# wrote %s\n", cfg.json)
+	}
+	return nil
+}

@@ -19,6 +19,22 @@ func New(n int) *Vector {
 	return &Vector{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// WordsFor returns the number of backing words an n-bit vector needs.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// NewIn returns a Vector of n bits backed by the caller-provided words,
+// which must hold exactly WordsFor(n) zeroed words. It lets several vectors
+// (and their owning counter arrays) share one contiguous allocation.
+func NewIn(n int, words []uint64) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	if len(words) != WordsFor(n) {
+		panic("bitvec: backing storage length mismatch")
+	}
+	return &Vector{words: words, n: n}
+}
+
 // Len returns the number of bits in the vector.
 func (v *Vector) Len() int { return v.n }
 

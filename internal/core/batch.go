@@ -34,32 +34,43 @@ func (f *Fixed) AddSlots(slots []uint32, v int64) {
 // in registers; merged or overflowing slots fall back to the general Add,
 // which leaves the counter in the identical state the fast path would have.
 func (s *Salsa) AddSlots(slots []uint32, v int64) {
-	bl := s.blWords
-	if v < 0 || bl == nil {
+	if v < 0 || s.blWords == nil {
 		for _, i := range slots {
 			s.Add(int(i), v)
 		}
 		return
 	}
-	words, sb, maxLvl, d := s.words, s.s, s.maxLvl, uint64(v)
+	// The per-slot body is the branchless probe of fastLevel/AddFast: one
+	// merge-bit word load replaces the level-by-level dependent loads of
+	// level(), and the branchless probe avoids the data-dependent branches
+	// that would mispredict on the mixed merged/unmerged slot populations
+	// batches sweep over. 8-bit rows use the parallel three-bit probe.
+	if s.s == 8 {
+		bl, words, d := s.blWords, s.words, uint64(v)
+		for _, u := range slots {
+			i := uint(u)
+			lvl := probeLevel8(bl[i>>6], i)
+			off := (i &^ (1<<lvl - 1)) << 3
+			w, sh := off>>6, off&63
+			if lvl == 3 {
+				words[w] = satAdd(words[w], d)
+				continue
+			}
+			mask := (uint64(1) << (8 << lvl)) - 1
+			if nv := (words[w]>>sh)&mask + d; nv <= mask {
+				words[w] = words[w]&^(mask<<sh) | nv<<sh
+			} else {
+				s.Add(int(u), v) // overflow: merge via the general path
+			}
+		}
+		return
+	}
+	words, sb, d := s.words, s.s, uint64(v)
 	for _, u := range slots {
 		i := uint(u)
-		// All merge bits this slot can probe lie in its 2^maxLvl-slot
-		// block, and 2^maxLvl divides 64, so one merge-bit word load
-		// replaces the level-by-level dependent loads of level(). The
-		// probe itself is branchless — a fixed maxLvl-trip loop whose
-		// data-dependent branches would otherwise mispredict on the mixed
-		// merged/unmerged slot populations batches sweep over.
-		wbits := bl[i>>6]
-		lvl, t := uint(0), uint(1)
-		for l := uint(0); l < maxLvl; l++ {
-			pos := i&^(1<<(l+1)-1) + 1<<l - 1
-			t &= uint(wbits>>(pos&63)) & 1
-			lvl += t
-		}
-		start := i &^ (1<<lvl - 1)
+		lvl := s.fastLevel(i)
 		size := sb << lvl
-		off := start * sb
+		off := (i &^ (1<<lvl - 1)) * sb
 		w, sh := off>>6, off&63
 		if size == 64 {
 			words[w] = satAdd(words[w], d)
@@ -74,26 +85,78 @@ func (s *Salsa) AddSlots(slots []uint32, v int64) {
 	}
 }
 
-// AddSlots adds v to every addressed counter, in slot order.
+// AddSlots adds v to every addressed counter, in slot order. Unmerged cells
+// that do not overflow are updated with one aligned read-modify-write and
+// the link words held in registers; merged spans and overflows fall back to
+// the general Add, whose span growth fires exactly as it would under the
+// same sequence of single Adds.
 func (t *Tango) AddSlots(slots []uint32, v int64) {
-	for _, i := range slots {
-		t.Add(int(i), v)
+	if v < 0 {
+		for _, i := range slots {
+			t.Add(int(i), v)
+		}
+		return
+	}
+	words, link, sb, d := t.words, t.link.Words(), t.s, uint64(v)
+	mask := (uint64(1) << sb) - 1
+	for _, u := range slots {
+		i := uint(u)
+		merged := link[i>>6] >> (i & 63) & 1
+		if i > 0 {
+			merged |= link[(i-1)>>6] >> ((i - 1) & 63) & 1
+		}
+		if merged != 0 {
+			t.Add(int(u), v) // merged span: general path scans and grows it
+			continue
+		}
+		off := i * sb
+		w, sh := off>>6, off&63
+		if nv := (words[w]>>sh)&mask + d; nv <= mask {
+			words[w] = words[w]&^(mask<<sh) | nv<<sh
+		} else {
+			t.Add(int(u), v) // overflow: absorb neighbors via the general path
+		}
 	}
 }
 
 // AddSignedSlots adds signs[j]*v to the counter addressed by slots[j], the
-// Count Sketch batch primitive.
+// Count Sketch batch primitive. The two's-complement read-modify-write runs
+// with the array fields held in registers; saturation matches Add exactly.
 func (f *FixedSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
 	_ = signs[len(slots)-1]
-	for j, i := range slots {
-		f.Add(int(i), int64(signs[j])*v)
+	words, bits, maxV := f.words, f.bits, f.maxV
+	mask := maxValue(bits)
+	shift := 64 - bits
+	for j, u := range slots {
+		off := uint(u) * bits
+		w, sh := off>>6, off&63
+		cur := int64((words[w]>>sh&mask)<<shift) >> shift
+		nv := satAddSigned(cur, int64(signs[j])*v)
+		if nv > maxV {
+			nv = maxV
+		} else if nv < -maxV {
+			nv = -maxV
+		}
+		words[w] = words[w]&^(mask<<sh) | (uint64(nv)&mask)<<sh
 	}
 }
 
-// AddSignedSlots adds signs[j]*v to the counter addressed by slots[j].
+// AddSignedSlots adds signs[j]*v to the counter addressed by slots[j], in
+// slot order. Counters whose updated magnitude still fits are updated inline
+// through the branchless merge-bit probe of AddSignedFast; overflows fall
+// back to the general Add, so merges fire exactly as under sequential Adds.
 func (s *SalsaSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
 	_ = signs[len(slots)-1]
-	for j, i := range slots {
-		s.Add(int(i), int64(signs[j])*v)
+	if s.blWords == nil {
+		for j, i := range slots {
+			s.Add(int(i), int64(signs[j])*v)
+		}
+		return
+	}
+	for j, u := range slots {
+		sv := int64(signs[j]) * v
+		if !s.AddSignedFast(u, sv) {
+			s.Add(int(u), sv)
+		}
 	}
 }

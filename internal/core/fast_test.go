@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The single-item fast primitives must leave an array bit-for-bit as the
+// general methods would, falling back (returning false) in every case they
+// cannot handle. Small base counters force constant merging, so the
+// fallback routes are exercised heavily.
+
+func salsaWordsEqual(t *testing.T, name string, a, b *Salsa) {
+	t.Helper()
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			t.Fatalf("%s: counter words diverge at %d", name, i)
+		}
+	}
+	for i := 0; i < a.width; i++ {
+		if a.Level(i) != b.Level(i) {
+			t.Fatalf("%s: level(%d): %d != %d", name, i, a.Level(i), b.Level(i))
+		}
+	}
+}
+
+func TestSalsaAddFastEquivalence(t *testing.T) {
+	for _, s := range []uint{2, 8} {
+		rng := rand.New(rand.NewSource(int64(s)))
+		fast := NewSalsa(256, s, MaxMerge, false)
+		gen := NewSalsa(256, s, MaxMerge, false)
+		for step := 0; step < 40000; step++ {
+			slot := uint32(rng.Intn(256))
+			v := int64(1 + rng.Intn(9))
+			if !fast.AddFast(slot, v) {
+				fast.Add(int(slot), v)
+			}
+			gen.Add(int(slot), v)
+		}
+		salsaWordsEqual(t, "AddFast", fast, gen)
+	}
+}
+
+func TestSalsaSetAtLeastFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fast := NewSalsa(256, 2, MaxMerge, false)
+	gen := NewSalsa(256, 2, MaxMerge, false)
+	target := uint64(0)
+	for step := 0; step < 40000; step++ {
+		slot := uint32(rng.Intn(256))
+		if step%97 == 0 {
+			target += uint64(rng.Intn(50)) // occasionally jump past the size
+		}
+		v := target + uint64(rng.Intn(4))
+		if !fast.SetAtLeastFast(slot, v) {
+			fast.SetAtLeast(int(slot), v)
+		}
+		gen.SetAtLeast(int(slot), v)
+	}
+	salsaWordsEqual(t, "SetAtLeastFast", fast, gen)
+}
+
+func TestSalsaValueFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	arr := NewSalsa(256, 2, MaxMerge, false)
+	for step := 0; step < 30000; step++ {
+		arr.Add(rng.Intn(256), int64(1+rng.Intn(5)))
+	}
+	for i := 0; i < 256; i++ {
+		v, ok := arr.ValueFast(uint32(i))
+		if !ok {
+			t.Fatalf("ValueFast declined on the simple encoding at %d", i)
+		}
+		if want := arr.Value(i); v != want {
+			t.Fatalf("ValueFast(%d) = %d, want %d", i, v, want)
+		}
+	}
+	// Compact encoding must decline, never lie.
+	compact := NewSalsa(256, 8, MaxMerge, true)
+	if _, ok := compact.ValueFast(0); ok {
+		t.Fatal("ValueFast accepted a compact-encoding array")
+	}
+	if compact.AddFast(0, 1) {
+		t.Fatal("AddFast accepted a compact-encoding array")
+	}
+	if compact.SetAtLeastFast(0, 1) {
+		t.Fatal("SetAtLeastFast accepted a compact-encoding array")
+	}
+}
+
+func TestSalsaSignAddSignedFastEquivalence(t *testing.T) {
+	for _, s := range []uint{2, 8} {
+		rng := rand.New(rand.NewSource(int64(s)))
+		fast := NewSalsaSign(256, s, false)
+		gen := NewSalsaSign(256, s, false)
+		for step := 0; step < 40000; step++ {
+			slot := uint32(rng.Intn(256))
+			v := int64(rng.Intn(9) - 4)
+			if !fast.AddSignedFast(slot, v) {
+				fast.Add(int(slot), v)
+			}
+			gen.Add(int(slot), v)
+		}
+		for i := range fast.words {
+			if fast.words[i] != gen.words[i] {
+				t.Fatalf("s=%d: counter words diverge at %d", s, i)
+			}
+		}
+		for i := 0; i < 256; i++ {
+			v, ok := fast.ValueFast(uint32(i))
+			if !ok || v != gen.Value(i) {
+				t.Fatalf("s=%d: ValueFast(%d) = (%d,%v), want %d", s, i, v, ok, gen.Value(i))
+			}
+		}
+	}
+}
+
+// TestSalsaSignMinInt64Clamp pins the negative-zero regression: a sum
+// landing exactly on MinInt64 passes satAddSigned unsaturated, and an
+// unclamped sign-magnitude encode at size 64 would fold it to 0 instead of
+// the general path's -maxMag(64) saturation.
+func TestSalsaSignMinInt64Clamp(t *testing.T) {
+	const minI64 = -1 << 63
+	build := func() *SalsaSign {
+		c := NewSalsaSign(64, 8, false)
+		c.raiseTo(0, 3) // one fully-merged 64-bit counter over slots 0..7
+		return c
+	}
+	want := build()
+	want.Add(0, minI64)
+	fast := build()
+	if !fast.AddSignedFast(0, minI64) {
+		fast.Add(0, minI64)
+	}
+	if fast.Value(0) != want.Value(0) || want.Value(0) != -maxMag(64) {
+		t.Fatalf("AddSignedFast: got %d, general %d, want %d", fast.Value(0), want.Value(0), -maxMag(64))
+	}
+	rows := []*SalsaSign{build()}
+	// Mask 0 routes the item to slot 0; ±1·MinInt64 is MinInt64 either way
+	// (two's-complement negation wraps), so the sign hash drops out.
+	SalsaSignUpdateEach(rows, []uint64{0}, []uint64{0}, 0, 1, minI64)
+	gen := build()
+	gen.Add(0, minI64)
+	if rows[0].Value(0) != gen.Value(0) {
+		t.Fatalf("SalsaSignUpdateEach: got %d, general %d", rows[0].Value(0), gen.Value(0))
+	}
+}
+
+func TestTangoFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fast := NewTango(256, 2, MaxMerge)
+	gen := NewTango(256, 2, MaxMerge)
+	for step := 0; step < 40000; step++ {
+		slot := uint32(rng.Intn(256))
+		v := int64(1 + rng.Intn(5))
+		if !fast.AddFast(slot, v) {
+			fast.Add(int(slot), v)
+		}
+		gen.Add(int(slot), v)
+	}
+	for i := range fast.words {
+		if fast.words[i] != gen.words[i] {
+			t.Fatalf("counter words diverge at %d", i)
+		}
+	}
+	if !fast.link.Equal(gen.link) {
+		t.Fatal("link bits diverge")
+	}
+	for i := 0; i < 256; i++ {
+		if v, ok := fast.ValueFast(uint32(i)); ok && v != gen.Value(i) {
+			t.Fatalf("ValueFast(%d) = %d, want %d", i, v, gen.Value(i))
+		}
+	}
+}
+
+// TestProbeLevel8 pins the parallel three-bit probe against the layout's
+// authoritative level over every state the benchmark regime reaches.
+func TestProbeLevel8(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	arr := NewSalsa(512, 8, MaxMerge, false)
+	check := func() {
+		for i := 0; i < 512; i++ {
+			if got, want := probeLevel8(arr.blWords[i>>6], uint(i)), arr.lay.level(i); got != want {
+				t.Fatalf("probeLevel8(%d) = %d, want %d", i, got, want)
+			}
+		}
+	}
+	check()
+	for step := 0; step < 60000; step++ {
+		arr.Add(rng.Intn(512), int64(1+rng.Intn(200)))
+		if step%5000 == 0 {
+			check()
+		}
+	}
+	check()
+	// Split back down (the AEE downsampling route) and re-check.
+	arr.Halve(false, nil, true)
+	check()
+}
+
+// TestArenaRows pins the arena constructors: identical geometry and
+// behaviour to loose rows, contiguous backing, and cache-line alignment.
+func TestArenaRows(t *testing.T) {
+	rows := NewSalsaRows(4, 256, 8, MaxMerge, false)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Width() != 256 || r.BaseBits() != 8 {
+			t.Fatal("arena row geometry mismatch")
+		}
+	}
+	// Rows must be independent: writing one must not affect the others.
+	rows[0].Add(0, 200)
+	rows[1].Add(0, 1)
+	if rows[0].Value(0) != 200 || rows[1].Value(0) != 1 || rows[2].Value(0) != 0 {
+		t.Fatal("arena rows are not independent")
+	}
+	tango := NewTangoRows(3, 128, 8, MaxMerge)
+	tango[1].Add(5, 300) // forces a link-bit write
+	if tango[0].Value(5) != 0 || tango[2].Value(5) != 0 {
+		t.Fatal("tango arena rows are not independent")
+	}
+	signed := NewSalsaSignRows(5, 128, 8, false)
+	signed[2].Add(7, -3)
+	if signed[2].Value(7) != -3 || signed[3].Value(7) != 0 {
+		t.Fatal("signed arena rows are not independent")
+	}
+	fixed := NewFixedRows(4, 100, 32)
+	fixed[3].Add(99, 7)
+	if fixed[3].Value(99) != 7 || fixed[0].Value(99) != 0 {
+		t.Fatal("fixed arena rows are not independent")
+	}
+	fs := NewFixedSignRows(4, 100, 32)
+	fs[0].Add(1, -9)
+	if fs[0].Value(1) != -9 || fs[1].Value(1) != 0 {
+		t.Fatal("fixed-sign arena rows are not independent")
+	}
+}

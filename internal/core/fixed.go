@@ -14,18 +14,26 @@ type Fixed struct {
 }
 
 // NewFixed returns a Fixed array of width counters of bits bits each.
-func NewFixed(width int, bits uint) *Fixed {
+func NewFixed(width int, bits uint) *Fixed { return newFixedIn(width, bits, nil) }
+
+// newFixedIn is NewFixed over caller-provided backing words (nil allocates);
+// the arena row constructors use it to pack all rows of a sketch into one
+// contiguous allocation.
+func newFixedIn(width int, bits uint, words []uint64) *Fixed {
 	if !validBits(bits, 64) {
 		panic(fmt.Sprintf("core: invalid fixed counter size %d", bits))
 	}
 	if width <= 0 {
 		panic("core: non-positive width")
 	}
+	if words == nil {
+		words = make([]uint64, counterWords(width, bits))
+	}
 	return &Fixed{
 		bits:  bits,
 		width: width,
 		maxV:  maxValue(bits),
-		words: make([]uint64, (uint(width)*bits+63)/64),
+		words: words,
 	}
 }
 
@@ -160,18 +168,25 @@ type FixedSign struct {
 
 // NewFixedSign returns a FixedSign array of width counters of bits bits each
 // (bits a power of two in {2, ..., 64}).
-func NewFixedSign(width int, bits uint) *FixedSign {
+func NewFixedSign(width int, bits uint) *FixedSign { return newFixedSignIn(width, bits, nil) }
+
+// newFixedSignIn is NewFixedSign over caller-provided backing words (nil
+// allocates).
+func newFixedSignIn(width int, bits uint, words []uint64) *FixedSign {
 	if !validBits(bits, 64) || bits < 2 {
 		panic(fmt.Sprintf("core: invalid signed counter size %d", bits))
 	}
 	if width <= 0 {
 		panic("core: non-positive width")
 	}
+	if words == nil {
+		words = make([]uint64, counterWords(width, bits))
+	}
 	return &FixedSign{
 		bits:  bits,
 		width: width,
 		maxV:  int64(maxValue(bits) >> 1),
-		words: make([]uint64, (uint(width)*bits+63)/64),
+		words: words,
 	}
 }
 

@@ -40,6 +40,13 @@ func newBitLayout(width int, maxLvl uint) *bitLayout {
 	return &bitLayout{bits: bitvec.New(width), maxLvl: maxLvl}
 }
 
+// newBitLayoutIn is newBitLayout over caller-provided (zeroed) backing words;
+// the arena row constructors use it to co-locate a row's merge bits with its
+// counter words.
+func newBitLayoutIn(width int, maxLvl uint, words []uint64) *bitLayout {
+	return &bitLayout{bits: bitvec.NewIn(width, words), maxLvl: maxLvl}
+}
+
 func (l *bitLayout) level(i int) uint {
 	lvl := uint(0)
 	for lvl < l.maxLvl {

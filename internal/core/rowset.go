@@ -1,0 +1,717 @@
+package core
+
+import "salsa/internal/hashing"
+
+// Monomorphic row-set operations: the whole d-row per-item hot path of a
+// sketch in one call. The sketches' single-item Update/Query used to pay,
+// per item, d interface dispatches plus d hash-call boundaries; the XxxEach
+// functions below take the concrete row slice, hash inline (hashing.Index
+// is inlinable), and run the branchless single-word merge-bit probe of the
+// single-item fast paths (fast.go) with everything in registers — one
+// function-call boundary per item for the whole sketch.
+//
+// The probe/update bodies deliberately repeat the AddFast/ValueFast/
+// SetAtLeastFast logic instead of calling them: those methods exceed the
+// inline budget, and a call per row is exactly the cost this file exists to
+// remove. Every body must stay bit-for-bit equivalent to the corresponding
+// general method; merged or overflowing slots fall back to it outright.
+
+// probeLevel8 returns the merge level of base slot u for 8-bit rows
+// (maxLvl = 3) given the slot's merge-bit word. The three probe bits are
+// independent shifts of wbits, so unlike the fastLevel loop there is no
+// loop-carried dependency and no data-dependent branch: the counter address
+// is ready a few cycles after the merge-bit word arrives. tₗ is the AND of
+// the path bits through level ℓ+1, exactly as the loop computes it.
+func probeLevel8(wbits uint64, u uint) uint {
+	t0 := uint(wbits>>((u&^1)&63)) & 1
+	t1 := t0 & uint(wbits>>(((u&^3)+1)&63)) & 1
+	t2 := t1 & uint(wbits>>(((u&^7)+3)&63)) & 1
+	return t0 + t1 + t2
+}
+
+// SalsaUpdateEach applies the stream update ⟨x, v⟩ to every row: row i adds
+// v at slot Index(x, seeds[i], mask). Equivalent to calling rows[i].Add on
+// each row in order.
+func SalsaUpdateEach(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
+	if v >= 0 && len(rows) > 0 && rows[0].s == 8 {
+		salsaUpdateEach8(rows, seeds, mask, x, v)
+		return
+	}
+	if v < 0 {
+		for i, r := range rows {
+			r.Add(int(hashing.Index(x, seeds[i], mask)), v)
+		}
+		return
+	}
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		bl := r.blWords
+		if bl == nil {
+			r.Add(int(u), v) // compact encoding: general path
+			continue
+		}
+		wbits := bl[u>>6]
+		sb, maxLvl := r.s, r.maxLvl
+		lvl, t := uint(0), uint(1)
+		for l := uint(0); l < maxLvl; l++ {
+			pos := u&^(1<<(l+1)-1) + 1<<l - 1
+			t &= uint(wbits>>(pos&63)) & 1
+			lvl += t
+		}
+		size := sb << lvl
+		off := (u &^ (1<<lvl - 1)) * sb
+		w, sh := off>>6, off&63
+		if size == 64 {
+			r.words[w] = satAdd(r.words[w], uint64(v))
+			continue
+		}
+		cmask := (uint64(1) << size) - 1
+		if nv := (r.words[w]>>sh)&cmask + uint64(v); nv <= cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | nv<<sh
+		} else {
+			r.Add(int(u), v) // overflow: merge via the general path
+		}
+	}
+}
+
+// salsaUpdateEach8 is SalsaUpdateEach specialized to the default 8-bit rows
+// via the parallel probe; rows that are not simple-encoding 8-bit fall back
+// to the general Add.
+func salsaUpdateEach8(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		bl := r.blWords
+		if bl == nil || r.s != 8 {
+			r.Add(int(u), v)
+			continue
+		}
+		lvl := probeLevel8(bl[u>>6], u)
+		off := (u &^ (1<<lvl - 1)) << 3
+		w, sh := off>>6, off&63
+		if lvl == 3 {
+			r.words[w] = satAdd(r.words[w], uint64(v))
+			continue
+		}
+		cmask := (uint64(1) << (8 << lvl)) - 1
+		if nv := (r.words[w]>>sh)&cmask + uint64(v); nv <= cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | nv<<sh
+		} else {
+			r.Add(int(u), v) // overflow: merge via the general path
+		}
+	}
+}
+
+// SalsaMinEach returns the minimum over rows of the counter value at
+// slots[i] — the CMS estimate over pre-hashed slots.
+func SalsaMinEach(rows []*Salsa, slots []uint32) uint64 {
+	if len(rows) > 0 && rows[0].s == 8 {
+		return salsaMinEach8(rows, slots)
+	}
+	est := ^uint64(0)
+	for i, r := range rows {
+		u := uint(slots[i])
+		var v uint64
+		if bl := r.blWords; bl != nil {
+			wbits := bl[u>>6]
+			lvl, t := uint(0), uint(1)
+			for l := uint(0); l < r.maxLvl; l++ {
+				pos := u&^(1<<(l+1)-1) + 1<<l - 1
+				t &= uint(wbits>>(pos&63)) & 1
+				lvl += t
+			}
+			size := r.s << lvl
+			off := (u &^ (1<<lvl - 1)) * r.s
+			w, sh := off>>6, off&63
+			if size == 64 {
+				v = r.words[w]
+			} else {
+				v = (r.words[w] >> sh) & ((uint64(1) << size) - 1)
+			}
+		} else {
+			v = r.Value(int(u))
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// salsaMinEach8 is SalsaMinEach specialized to 8-bit rows via the parallel
+// probe.
+func salsaMinEach8(rows []*Salsa, slots []uint32) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		u := uint(slots[i])
+		bl := r.blWords
+		if bl == nil || r.s != 8 {
+			if v := r.Value(int(u)); v < est {
+				est = v
+			}
+			continue
+		}
+		lvl := probeLevel8(bl[u>>6], u)
+		off := (u &^ (1<<lvl - 1)) << 3
+		v := r.words[off>>6]
+		if lvl != 3 {
+			v = (v >> (off & 63)) & ((uint64(1) << (8 << lvl)) - 1)
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// SalsaQueryEach returns the CMS estimate min over rows of the counter at
+// Index(x, seeds[i], mask), hashing inline — the whole point query in one
+// call, with no slot scratch (conservative updates, which reuse their
+// hashes for the raise pass, go through SalsaConservativeEach instead).
+func SalsaQueryEach(rows []*Salsa, seeds []uint64, mask, x uint64) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		var v uint64
+		if bl := r.blWords; bl == nil {
+			v = r.Value(int(u))
+		} else if r.s == 8 {
+			lvl := probeLevel8(bl[u>>6], u)
+			off := (u &^ (1<<lvl - 1)) << 3
+			v = r.words[off>>6]
+			if lvl != 3 {
+				v = (v >> (off & 63)) & ((uint64(1) << (8 << lvl)) - 1)
+			}
+		} else {
+			wbits := bl[u>>6]
+			lvl, t := uint(0), uint(1)
+			for l := uint(0); l < r.maxLvl; l++ {
+				pos := u&^(1<<(l+1)-1) + 1<<l - 1
+				t &= uint(wbits>>(pos&63)) & 1
+				lvl += t
+			}
+			size := r.s << lvl
+			off := (u &^ (1<<lvl - 1)) * r.s
+			if size == 64 {
+				v = r.words[off>>6]
+			} else {
+				v = (r.words[off>>6] >> (off & 63)) & ((uint64(1) << size) - 1)
+			}
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// SalsaConservativeEach applies the conservative update ⟨x, v⟩: each row is
+// hashed once into scratch, the estimate is the min over rows, and every
+// row's counter is raised to at least est+v. Equivalent to a Query followed
+// by per-row SetAtLeast at the same slots.
+func SalsaConservativeEach(rows []*Salsa, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
+	for i := range rows {
+		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
+	}
+	slots := scratch[:len(rows)]
+	target := satAdd(SalsaMinEach(rows, slots), v)
+	SalsaRaiseEach(rows, slots, target)
+}
+
+// SalsaRaiseEach raises row i's counter at slots[i] to at least target — the
+// conservative raise pass over pre-hashed slots.
+func SalsaRaiseEach(rows []*Salsa, slots []uint32, target uint64) {
+	if len(rows) > 0 && rows[0].s == 8 {
+		salsaRaiseEach8(rows, slots, target)
+		return
+	}
+	for i, r := range rows {
+		u := uint(slots[i])
+		bl := r.blWords
+		if bl == nil {
+			r.SetAtLeast(int(u), target)
+			continue
+		}
+		wbits := bl[u>>6]
+		lvl, t := uint(0), uint(1)
+		for l := uint(0); l < r.maxLvl; l++ {
+			pos := u&^(1<<(l+1)-1) + 1<<l - 1
+			t &= uint(wbits>>(pos&63)) & 1
+			lvl += t
+		}
+		size := r.s << lvl
+		off := (u &^ (1<<lvl - 1)) * r.s
+		w, sh := off>>6, off&63
+		if size == 64 {
+			if target > r.words[w] {
+				r.words[w] = target
+			}
+			continue
+		}
+		cmask := (uint64(1) << size) - 1
+		cur := (r.words[w] >> sh) & cmask
+		if target <= cur {
+			continue
+		}
+		if target <= cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | target<<sh
+		} else {
+			r.SetAtLeast(int(u), target) // overflow: merge via the general path
+		}
+	}
+}
+
+// salsaRaiseEach8 is SalsaRaiseEach specialized to 8-bit rows via the
+// parallel probe.
+func salsaRaiseEach8(rows []*Salsa, slots []uint32, target uint64) {
+	for i, r := range rows {
+		u := uint(slots[i])
+		bl := r.blWords
+		if bl == nil || r.s != 8 {
+			r.SetAtLeast(int(u), target)
+			continue
+		}
+		lvl := probeLevel8(bl[u>>6], u)
+		off := (u &^ (1<<lvl - 1)) << 3
+		w, sh := off>>6, off&63
+		if lvl == 3 {
+			if target > r.words[w] {
+				r.words[w] = target
+			}
+			continue
+		}
+		cmask := (uint64(1) << (8 << lvl)) - 1
+		if target <= (r.words[w]>>sh)&cmask {
+			continue
+		}
+		if target <= cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | target<<sh
+		} else {
+			r.SetAtLeast(int(u), target) // overflow: merge via the general path
+		}
+	}
+}
+
+// FixedUpdateEach applies the stream update ⟨x, v⟩ to every baseline row.
+func FixedUpdateEach(rows []*Fixed, seeds []uint64, mask, x uint64, v int64) {
+	if v < 0 {
+		for i, r := range rows {
+			r.Add(int(hashing.Index(x, seeds[i], mask)), v)
+		}
+		return
+	}
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		off := u * r.bits
+		w, sh := off>>6, off&63
+		cmask := maxValue(r.bits)
+		nv := satAdd((r.words[w]>>sh)&cmask, uint64(v))
+		if nv > r.maxV {
+			nv = r.maxV
+		}
+		r.words[w] = r.words[w]&^(cmask<<sh) | nv<<sh
+	}
+}
+
+// FixedMinEach returns the minimum over rows of the counter at slots[i].
+func FixedMinEach(rows []*Fixed, slots []uint32) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		off := uint(slots[i]) * r.bits
+		if v := (r.words[off>>6] >> (off & 63)) & maxValue(r.bits); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// FixedQueryEach returns the CMS estimate over baseline rows, hashing
+// inline with no slot scratch.
+func FixedQueryEach(rows []*Fixed, seeds []uint64, mask, x uint64) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		off := uint(hashing.Index(x, seeds[i], mask)) * r.bits
+		if v := (r.words[off>>6] >> (off & 63)) & maxValue(r.bits); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// FixedConservativeEach applies the conservative update ⟨x, v⟩ over baseline
+// rows, hashing each row once.
+func FixedConservativeEach(rows []*Fixed, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
+	for i := range rows {
+		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
+	}
+	slots := scratch[:len(rows)]
+	target := satAdd(FixedMinEach(rows, slots), v)
+	FixedRaiseEach(rows, slots, target)
+}
+
+// FixedRaiseEach raises row i's counter at slots[i] to at least target.
+func FixedRaiseEach(rows []*Fixed, slots []uint32, target uint64) {
+	for i, r := range rows {
+		off := uint(slots[i]) * r.bits
+		w, sh := off>>6, off&63
+		cmask := maxValue(r.bits)
+		t := target
+		if t > r.maxV {
+			t = r.maxV
+		}
+		if t > (r.words[w]>>sh)&cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | t<<sh
+		}
+	}
+}
+
+// TangoUpdateEach applies the stream update ⟨x, v⟩ to every Tango row:
+// unmerged non-overflowing cells inline, everything else via the general
+// Add.
+func TangoUpdateEach(rows []*Tango, seeds []uint64, mask, x uint64, v int64) {
+	if v < 0 {
+		for i, r := range rows {
+			r.Add(int(hashing.Index(x, seeds[i], mask)), v)
+		}
+		return
+	}
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		link := r.link.Words()
+		merged := link[u>>6] >> (u & 63) & 1
+		if u > 0 {
+			merged |= link[(u-1)>>6] >> ((u - 1) & 63) & 1
+		}
+		if merged != 0 {
+			r.Add(int(u), v)
+			continue
+		}
+		off := u * r.s
+		w, sh := off>>6, off&63
+		cmask := (uint64(1) << r.s) - 1
+		if nv := (r.words[w]>>sh)&cmask + uint64(v); nv <= cmask {
+			r.words[w] = r.words[w]&^(cmask<<sh) | nv<<sh
+		} else {
+			r.Add(int(u), v)
+		}
+	}
+}
+
+// TangoMinEach returns the minimum over rows of the counter at slots[i].
+func TangoMinEach(rows []*Tango, slots []uint32) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		u := uint(slots[i])
+		var v uint64
+		link := r.link.Words()
+		merged := link[u>>6] >> (u & 63) & 1
+		if u > 0 {
+			merged |= link[(u-1)>>6] >> ((u - 1) & 63) & 1
+		}
+		if merged == 0 {
+			off := u * r.s
+			v = (r.words[off>>6] >> (off & 63)) & ((uint64(1) << r.s) - 1)
+		} else {
+			v = r.Value(int(u))
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// TangoQueryEach returns the CMS estimate over Tango rows, hashing inline
+// with no slot scratch.
+func TangoQueryEach(rows []*Tango, seeds []uint64, mask, x uint64) uint64 {
+	est := ^uint64(0)
+	for i, r := range rows {
+		u := uint(hashing.Index(x, seeds[i], mask))
+		link := r.link.Words()
+		merged := link[u>>6] >> (u & 63) & 1
+		if u > 0 {
+			merged |= link[(u-1)>>6] >> ((u - 1) & 63) & 1
+		}
+		var v uint64
+		if merged == 0 {
+			off := u * r.s
+			v = (r.words[off>>6] >> (off & 63)) & ((uint64(1) << r.s) - 1)
+		} else {
+			v = r.Value(int(u))
+		}
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// TangoConservativeEach applies the conservative update ⟨x, v⟩ over Tango
+// rows, hashing each row once.
+func TangoConservativeEach(rows []*Tango, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
+	for i := range rows {
+		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
+	}
+	slots := scratch[:len(rows)]
+	target := satAdd(TangoMinEach(rows, slots), v)
+	TangoRaiseEach(rows, slots, target)
+}
+
+// TangoRaiseEach raises row i's counter at slots[i] to at least target.
+func TangoRaiseEach(rows []*Tango, slots []uint32, target uint64) {
+	for i, r := range rows {
+		if !r.SetAtLeastFast(slots[i], target) {
+			r.SetAtLeast(int(slots[i]), target)
+		}
+	}
+}
+
+// SalsaMinSlots folds the counter values at slots[j] into out[j]:
+// out[j] = min(out[j], value at slots[j]) — the QueryBatch inner loop, one
+// call per row per chunk with the probe in registers.
+func SalsaMinSlots(r *Salsa, slots []uint32, out []uint64) {
+	bl := r.blWords
+	if bl == nil {
+		for j, slot := range slots {
+			if v := r.Value(int(slot)); v < out[j] {
+				out[j] = v
+			}
+		}
+		return
+	}
+	if r.s == 8 {
+		words := r.words
+		for j, slot := range slots {
+			u := uint(slot)
+			lvl := probeLevel8(bl[u>>6], u)
+			off := (u &^ (1<<lvl - 1)) << 3
+			v := words[off>>6]
+			if lvl != 3 {
+				v = (v >> (off & 63)) & ((uint64(1) << (8 << lvl)) - 1)
+			}
+			if v < out[j] {
+				out[j] = v
+			}
+		}
+		return
+	}
+	words, sb, maxLvl := r.words, r.s, r.maxLvl
+	for j, slot := range slots {
+		u := uint(slot)
+		wbits := bl[u>>6]
+		lvl, t := uint(0), uint(1)
+		for l := uint(0); l < maxLvl; l++ {
+			pos := u&^(1<<(l+1)-1) + 1<<l - 1
+			t &= uint(wbits>>(pos&63)) & 1
+			lvl += t
+		}
+		size := sb << lvl
+		off := (u &^ (1<<lvl - 1)) * sb
+		w, sh := off>>6, off&63
+		v := words[w]
+		if size != 64 {
+			v = (v >> sh) & ((uint64(1) << size) - 1)
+		}
+		if v < out[j] {
+			out[j] = v
+		}
+	}
+}
+
+// FixedMinSlots folds the counter values at slots[j] into out[j].
+func FixedMinSlots(r *Fixed, slots []uint32, out []uint64) {
+	words, bits := r.words, r.bits
+	cmask := maxValue(bits)
+	for j, slot := range slots {
+		off := uint(slot) * bits
+		if v := (words[off>>6] >> (off & 63)) & cmask; v < out[j] {
+			out[j] = v
+		}
+	}
+}
+
+// TangoMinSlots folds the counter values at slots[j] into out[j].
+func TangoMinSlots(r *Tango, slots []uint32, out []uint64) {
+	words, link, sb := r.words, r.link.Words(), r.s
+	cmask := (uint64(1) << sb) - 1
+	for j, slot := range slots {
+		u := uint(slot)
+		merged := link[u>>6] >> (u & 63) & 1
+		if u > 0 {
+			merged |= link[(u-1)>>6] >> ((u - 1) & 63) & 1
+		}
+		var v uint64
+		if merged == 0 {
+			off := u * sb
+			v = (words[off>>6] >> (off & 63)) & cmask
+		} else {
+			v = r.Value(int(u))
+		}
+		if v < out[j] {
+			out[j] = v
+		}
+	}
+}
+
+// SalsaSignReadSlots writes signs[j]·value(slots[j]) into out[j*stride+col]
+// — the Count Sketch QueryBatch gather into its strided scratch.
+func SalsaSignReadSlots(r *SalsaSign, slots []uint32, signs []int8, out []int64, stride, col int) {
+	bl := r.blWords
+	if bl == nil {
+		for j, slot := range slots {
+			out[j*stride+col] = int64(signs[j]) * r.Value(int(slot))
+		}
+		return
+	}
+	words, sb, maxLvl := r.words, r.s, r.maxLvl
+	for j, slot := range slots {
+		u := uint(slot)
+		var lvl uint
+		if sb == 8 {
+			lvl = probeLevel8(bl[u>>6], u)
+		} else {
+			wbits := bl[u>>6]
+			t := uint(1)
+			for l := uint(0); l < maxLvl; l++ {
+				pos := u&^(1<<(l+1)-1) + 1<<l - 1
+				t &= uint(wbits>>(pos&63)) & 1
+				lvl += t
+			}
+		}
+		size := sb << lvl
+		off := (u &^ (1<<lvl - 1)) * sb
+		w, sh := off>>6, off&63
+		var v int64
+		if size == 64 {
+			v = decodeSM(words[w], 64)
+		} else {
+			v = decodeSM((words[w]>>sh)&((uint64(1)<<size)-1), size)
+		}
+		out[j*stride+col] = int64(signs[j]) * v
+	}
+}
+
+// FixedSignReadSlots writes signs[j]·value(slots[j]) into out[j*stride+col].
+func FixedSignReadSlots(r *FixedSign, slots []uint32, signs []int8, out []int64, stride, col int) {
+	words, bits := r.words, r.bits
+	cmask := maxValue(bits)
+	shift := 64 - bits
+	for j, slot := range slots {
+		off := uint(slot) * bits
+		raw := (words[off>>6] >> (off & 63)) & cmask
+		out[j*stride+col] = (int64(raw<<shift) >> shift) * int64(signs[j])
+	}
+}
+
+// SalsaSignUpdateEach applies the Count Sketch update ⟨x, v⟩ to every
+// sign-magnitude row: row i adds v·gᵢ(x) at its slot, inline while the
+// magnitude fits, via the general Add (which merges) otherwise.
+func SalsaSignUpdateEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, x uint64, v int64) {
+	for i, r := range rows {
+		u := uint(hashing.Index(x, idxSeeds[i], mask))
+		sv := v * hashing.Sign(x, signSeeds[i])
+		bl := r.blWords
+		if bl == nil {
+			r.Add(int(u), sv)
+			continue
+		}
+		var lvl uint
+		if r.s == 8 {
+			lvl = probeLevel8(bl[u>>6], u)
+		} else {
+			wbits := bl[u>>6]
+			t := uint(1)
+			for l := uint(0); l < r.maxLvl; l++ {
+				pos := u&^(1<<(l+1)-1) + 1<<l - 1
+				t &= uint(wbits>>(pos&63)) & 1
+				lvl += t
+			}
+		}
+		size := r.s << lvl
+		off := (u &^ (1<<lvl - 1)) * r.s
+		w, sh := off>>6, off&63
+		if size == 64 {
+			nv := satAddSigned(decodeSM(r.words[w], 64), sv)
+			// A sum landing exactly on MinInt64 passes satAddSigned
+			// unsaturated and would encode as negative zero; clamp as
+			// store does (see AddSignedFast).
+			if nv < -maxMag(64) {
+				nv = -maxMag(64)
+			}
+			r.words[w] = encodeSM(nv, 64)
+			continue
+		}
+		cmask := (uint64(1) << size) - 1
+		nv := satAddSigned(decodeSM((r.words[w]>>sh)&cmask, size), sv)
+		if nv <= maxMag(size) && nv >= -maxMag(size) {
+			r.words[w] = r.words[w]&^(cmask<<sh) | encodeSM(nv, size)<<sh
+		} else {
+			r.Add(int(u), sv) // overflow: merge via the general path
+		}
+	}
+}
+
+// SalsaSignReadEach writes row i's signed reading gᵢ(x)·C[i, hᵢ(x)] into
+// out[i] — the Count Sketch query gather; the caller takes the median.
+func SalsaSignReadEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, x uint64, out []int64) {
+	for i, r := range rows {
+		u := uint(hashing.Index(x, idxSeeds[i], mask))
+		var v int64
+		if bl := r.blWords; bl != nil {
+			var lvl uint
+			if r.s == 8 {
+				lvl = probeLevel8(bl[u>>6], u)
+			} else {
+				wbits := bl[u>>6]
+				t := uint(1)
+				for l := uint(0); l < r.maxLvl; l++ {
+					pos := u&^(1<<(l+1)-1) + 1<<l - 1
+					t &= uint(wbits>>(pos&63)) & 1
+					lvl += t
+				}
+			}
+			size := r.s << lvl
+			off := (u &^ (1<<lvl - 1)) * r.s
+			w, sh := off>>6, off&63
+			if size == 64 {
+				v = decodeSM(r.words[w], 64)
+			} else {
+				v = decodeSM((r.words[w]>>sh)&((uint64(1)<<size)-1), size)
+			}
+		} else {
+			v = r.Value(int(u))
+		}
+		out[i] = v * hashing.Sign(x, signSeeds[i])
+	}
+}
+
+// FixedSignUpdateEach applies the Count Sketch update ⟨x, v⟩ to every
+// baseline two's-complement row.
+func FixedSignUpdateEach(rows []*FixedSign, idxSeeds, signSeeds []uint64, mask, x uint64, v int64) {
+	for i, r := range rows {
+		u := uint(hashing.Index(x, idxSeeds[i], mask))
+		sv := v * hashing.Sign(x, signSeeds[i])
+		off := u * r.bits
+		w, sh := off>>6, off&63
+		cmask := maxValue(r.bits)
+		shift := 64 - r.bits
+		cur := int64((r.words[w]>>sh&cmask)<<shift) >> shift
+		nv := satAddSigned(cur, sv)
+		if nv > r.maxV {
+			nv = r.maxV
+		} else if nv < -r.maxV {
+			nv = -r.maxV
+		}
+		r.words[w] = r.words[w]&^(cmask<<sh) | (uint64(nv)&cmask)<<sh
+	}
+}
+
+// FixedSignReadEach writes row i's signed reading into out[i].
+func FixedSignReadEach(rows []*FixedSign, idxSeeds, signSeeds []uint64, mask, x uint64, out []int64) {
+	for i, r := range rows {
+		u := uint(hashing.Index(x, idxSeeds[i], mask))
+		off := u * r.bits
+		shift := 64 - r.bits
+		raw := (r.words[off>>6] >> (off & 63)) & maxValue(r.bits)
+		out[i] = (int64(raw<<shift) >> shift) * hashing.Sign(x, signSeeds[i])
+	}
+}

@@ -57,6 +57,14 @@ type Salsa struct {
 // place of the simple one-bit-per-counter encoding; width must then be a
 // multiple of 32 (64 for s = 1).
 func NewSalsa(width int, s uint, policy MergePolicy, compact bool) *Salsa {
+	return newSalsaIn(width, s, policy, compact, nil, nil)
+}
+
+// newSalsaIn is NewSalsa over caller-provided backing storage: words holds
+// the counters and layWords the simple encoding's merge bits (both nil
+// allocates; layWords is ignored under the compact encoding, whose layout
+// owns its storage).
+func newSalsaIn(width int, s uint, policy MergePolicy, compact bool, words, layWords []uint64) *Salsa {
 	if !validBits(s, 32) {
 		panic(fmt.Sprintf("core: invalid SALSA base counter size %d", s))
 	}
@@ -69,9 +77,17 @@ func NewSalsa(width int, s uint, policy MergePolicy, compact bool) *Salsa {
 	if compact {
 		lay = newCompactLayout(width, maxLvl)
 	} else {
-		bl := newBitLayout(width, maxLvl)
+		var bl *bitLayout
+		if layWords == nil {
+			bl = newBitLayout(width, maxLvl)
+		} else {
+			bl = newBitLayoutIn(width, maxLvl, layWords)
+		}
 		lay = bl
 		blWords = bl.bits.Words()
+	}
+	if words == nil {
+		words = make([]uint64, counterWords(width, s))
 	}
 	return &Salsa{
 		s:       s,
@@ -80,7 +96,7 @@ func NewSalsa(width int, s uint, policy MergePolicy, compact bool) *Salsa {
 		policy:  policy,
 		lay:     lay,
 		blWords: blWords,
-		words:   make([]uint64, (uint(width)*s+63)/64),
+		words:   words,
 	}
 }
 

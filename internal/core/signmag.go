@@ -17,13 +17,23 @@ type SalsaSign struct {
 	width  int
 	maxLvl uint
 	lay    layout
-	words  []uint64
-	merges uint64
+	// blWords is the simple encoding's merge-bit words, kept for a
+	// devirtualized level() fast path; nil under the compact encoding.
+	blWords []uint64
+	words   []uint64
+	merges  uint64
 }
 
 // NewSalsaSign returns a signed SALSA array of width base counters of s bits
 // each (s a power of two in {2, ..., 32}; one bit is the sign).
 func NewSalsaSign(width int, s uint, compact bool) *SalsaSign {
+	return newSalsaSignIn(width, s, compact, nil, nil)
+}
+
+// newSalsaSignIn is NewSalsaSign over caller-provided backing storage: words
+// holds the counters and layWords the simple encoding's merge bits (both nil
+// allocates; layWords is ignored under the compact encoding).
+func newSalsaSignIn(width int, s uint, compact bool, words, layWords []uint64) *SalsaSign {
 	if !validBits(s, 32) || s < 2 {
 		panic(fmt.Sprintf("core: invalid signed SALSA base counter size %d", s))
 	}
@@ -32,18 +42,50 @@ func NewSalsaSign(width int, s uint, compact bool) *SalsaSign {
 		panic(fmt.Sprintf("core: SALSA width %d must be a positive multiple of %d", width, 1<<maxLvl))
 	}
 	var lay layout
+	var blWords []uint64
 	if compact {
 		lay = newCompactLayout(width, maxLvl)
 	} else {
-		lay = newBitLayout(width, maxLvl)
+		var bl *bitLayout
+		if layWords == nil {
+			bl = newBitLayout(width, maxLvl)
+		} else {
+			bl = newBitLayoutIn(width, maxLvl, layWords)
+		}
+		lay = bl
+		blWords = bl.bits.Words()
+	}
+	if words == nil {
+		words = make([]uint64, counterWords(width, s))
 	}
 	return &SalsaSign{
-		s:      s,
-		width:  width,
-		maxLvl: maxLvl,
-		lay:    lay,
-		words:  make([]uint64, (uint(width)*s+63)/64),
+		s:       s,
+		width:   width,
+		maxLvl:  maxLvl,
+		lay:     lay,
+		blWords: blWords,
+		words:   words,
 	}
+}
+
+// level avoids the layout interface dispatch on the update/query hot path
+// for the simple encoding, probing the merge-bit words directly; the probe
+// is identical to (*Salsa).level.
+func (c *SalsaSign) level(i int) uint {
+	words := c.blWords
+	if words == nil {
+		return c.lay.level(i)
+	}
+	wbits := words[i>>6]
+	lvl := uint(0)
+	for lvl < c.maxLvl {
+		pos := i&^(1<<(lvl+1)-1) + 1<<lvl - 1
+		if wbits&(1<<(uint(pos)&63)) == 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
 }
 
 // Width returns the number of base counter slots.
@@ -93,7 +135,7 @@ func encodeSM(v int64, size uint) uint64 {
 
 // Value returns the value of the counter containing base slot i.
 func (c *SalsaSign) Value(i int) int64 {
-	lvl := c.lay.level(i)
+	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
 	size := c.s << lvl
 	return decodeSM(readAligned(c.words, uint(start)*c.s, size), size)
@@ -102,7 +144,7 @@ func (c *SalsaSign) Value(i int) int64 {
 // Add adds v (of either sign) to the counter containing base slot i,
 // merging when the magnitude overflows.
 func (c *SalsaSign) Add(i int, v int64) {
-	lvl := c.lay.level(i)
+	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
 	size := c.s << lvl
 	cur := decodeSM(readAligned(c.words, uint(start)*c.s, size), size)

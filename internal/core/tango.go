@@ -26,18 +26,31 @@ type Tango struct {
 // (s a power of two in {1, .., 32}); width must be a power of two so block
 // alignment is defined across the whole array.
 func NewTango(width int, s uint, policy MergePolicy) *Tango {
+	return newTangoIn(width, s, policy, nil, nil)
+}
+
+// newTangoIn is NewTango over caller-provided backing storage: words holds
+// the counter cells and linkWords the merge-link bits (both nil allocates).
+func newTangoIn(width int, s uint, policy MergePolicy, words, linkWords []uint64) *Tango {
 	if !validBits(s, 32) {
 		panic(fmt.Sprintf("core: invalid Tango base counter size %d", s))
 	}
 	if width <= 0 || width&(width-1) != 0 {
 		panic(fmt.Sprintf("core: Tango width %d must be a power of two", width))
 	}
+	link := bitvec.New(width) // bit width-1 unused
+	if linkWords != nil {
+		link = bitvec.NewIn(width, linkWords)
+	}
+	if words == nil {
+		words = make([]uint64, counterWords(width, s))
+	}
 	return &Tango{
 		s:      s,
 		width:  width,
 		policy: policy,
-		link:   bitvec.New(width), // bit width-1 unused
-		words:  make([]uint64, (uint(width)*s+63)/64),
+		link:   link,
+		words:  words,
 	}
 }
 

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"salsa/internal/core"
 	"salsa/internal/hashing"
 )
 
@@ -41,14 +42,17 @@ func (c *CMS) UpdateBatch(items []uint64, v int64) {
 		c.conservativeBatch(items, uint64(v))
 		return
 	}
-	var slots [batchChunk]uint32
+	if c.chunkSlots == nil {
+		c.chunkSlots = make([]uint32, batchChunk)
+	}
+	slots := c.chunkSlots
 	for len(items) > 0 {
 		chunk := items
 		if len(chunk) > batchChunk {
 			chunk = chunk[:batchChunk]
 		}
 		for i, r := range c.rows {
-			hashing.IndexVec(chunk, c.seeds[i], c.mask, slots[:])
+			hashing.IndexVec(chunk, c.seeds[i], c.mask, slots)
 			if sa, ok := r.(slotAdder); ok {
 				sa.AddSlots(slots[:len(chunk)], v)
 			} else {
@@ -64,7 +68,9 @@ func (c *CMS) UpdateBatch(items []uint64, v int64) {
 // conservativeBatch is the conservative-update rule over a batch: the rows
 // are coupled through the per-item estimate, so items are applied one at a
 // time, but each row's slots are hashed once per chunk (the sequential path
-// hashes every row twice per item: once to query, once to raise).
+// likewise hashes once per row, feeding both the min and the raise pass).
+// The per-item passes run through the monomorphic cores of fast.go when the
+// sketch is homogeneous.
 func (c *CMS) conservativeBatch(items []uint64, v uint64) {
 	if c.slotScratch == nil {
 		c.slotScratch = make([][]uint32, len(c.rows))
@@ -81,16 +87,7 @@ func (c *CMS) conservativeBatch(items []uint64, v uint64) {
 			hashing.IndexVec(chunk, c.seeds[i], c.mask, c.slotScratch[i])
 		}
 		for j := range chunk {
-			est := ^uint64(0)
-			for i, r := range c.rows {
-				if cur := r.Value(int(c.slotScratch[i][j])); cur < est {
-					est = cur
-				}
-			}
-			target := satAddU(est, v)
-			for i, r := range c.rows {
-				r.SetAtLeast(int(c.slotScratch[i][j]), target)
-			}
+			c.conservativeItem(c.slotScratch, j, v)
 		}
 		items = items[len(chunk):]
 	}
@@ -116,11 +113,7 @@ func (c *CMS) QueryBatch(items []uint64, dst []uint64) []uint64 {
 		}
 		for i, r := range c.rows {
 			hashing.IndexVec(chunk, c.seeds[i], c.mask, slots[:])
-			for j := range chunk {
-				if v := r.Value(int(slots[j])); v < out[j] {
-					out[j] = v
-				}
-			}
+			minInto(r, slots[:len(chunk)], out)
 		}
 		done += len(chunk)
 	}
@@ -128,20 +121,23 @@ func (c *CMS) QueryBatch(items []uint64, dst []uint64) []uint64 {
 }
 
 // UpdateBatch processes the stream updates ⟨items[j], v⟩ for every j, in
-// order; equivalent to (but faster than) single Updates.
+// order; equivalent to (but faster than) single Updates. The slot and sign
+// buffers live on the sketch: stack buffers would escape through the
+// row-interface AddSignedSlots call and allocate per batch.
 func (c *CountSketch) UpdateBatch(items []uint64, v int64) {
-	var (
-		slots [batchChunk]uint32
-		signs [batchChunk]int8
-	)
+	if c.chunkSlots == nil {
+		c.chunkSlots = make([]uint32, batchChunk)
+		c.chunkSigns = make([]int8, batchChunk)
+	}
+	slots, signs := c.chunkSlots, c.chunkSigns
 	for len(items) > 0 {
 		chunk := items
 		if len(chunk) > batchChunk {
 			chunk = chunk[:batchChunk]
 		}
 		for i, r := range c.rows {
-			hashing.IndexVec(chunk, c.idxSeeds[i], c.mask, slots[:])
-			hashing.SignVec(chunk, c.signSeeds[i], signs[:])
+			hashing.IndexVec(chunk, c.idxSeeds[i], c.mask, slots)
+			hashing.SignVec(chunk, c.signSeeds[i], signs)
 			if sa, ok := r.(signedSlotAdder); ok {
 				sa.AddSignedSlots(slots[:len(chunk)], signs[:len(chunk)], v)
 			} else {
@@ -151,6 +147,22 @@ func (c *CountSketch) UpdateBatch(items []uint64, v int64) {
 			}
 		}
 		items = items[len(chunk):]
+	}
+}
+
+// readSigned writes signs[j]·row-value-at-slots[j] into the strided scratch
+// column i (the CountSketch QueryBatch inner loop), devirtualized per
+// concrete row type.
+func readSigned(r SignedRow, slots []uint32, signs []int8, scratch []int64, i, d int) {
+	switch row := r.(type) {
+	case *core.SalsaSign:
+		core.SalsaSignReadSlots(row, slots, signs, scratch, d, i)
+	case *core.FixedSign:
+		core.FixedSignReadSlots(row, slots, signs, scratch, d, i)
+	default:
+		for j, slot := range slots {
+			scratch[j*d+i] = int64(signs[j]) * r.Value(int(slot))
+		}
 	}
 }
 
@@ -179,9 +191,7 @@ func (c *CountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
 		for i, r := range c.rows {
 			hashing.IndexVec(chunk, c.idxSeeds[i], c.mask, slots[:])
 			hashing.SignVec(chunk, c.signSeeds[i], signs[:])
-			for j := range chunk {
-				c.batchScratch[j*d+i] = int64(signs[j]) * r.Value(int(slots[j]))
-			}
+			readSigned(r, slots[:len(chunk)], signs[:len(chunk)], c.batchScratch, i, d)
 		}
 		out := dst[done : done+len(chunk)]
 		for j := range chunk {

@@ -2,7 +2,6 @@ package sketch
 
 import (
 	"fmt"
-	"sort"
 
 	"salsa/internal/core"
 	"salsa/internal/hashing"
@@ -12,26 +11,59 @@ import (
 // each row pairs an index hash with a ±1 sign hash, updates add v·gᵢ(x), and
 // the estimate is the median of the per-row signed readings. It operates in
 // the general Turnstile model and provides an L2 guarantee.
+//
+// Like CMS, homogeneous sketches carry a monomorphic view of the rows
+// (fixed/salsa) and the per-item paths run over it with direct calls into
+// internal/core; the interface rows remain the source of truth for merge
+// and marshal.
 type CountSketch struct {
 	rows         []SignedRow
+	fixed        []*core.FixedSign // one of these two is non-nil for
+	salsa        []*core.SalsaSign // homogeneous sketches
 	idxSeeds     []uint64
 	signSeeds    []uint64
 	mask         uint64
 	medBuf       []int64
-	batchScratch []int64 // d×batchChunk signed readings for QueryBatch
+	batchScratch []int64  // d×batchChunk signed readings for QueryBatch
+	chunkSlots   []uint32 // per-chunk slot/sign buffers for UpdateBatch
+	chunkSigns   []int8
 }
 
-// SignedRowSpec constructs one Count Sketch row of a given width.
-type SignedRowSpec func(width int) SignedRow
+// SignedRowSpec constructs the rows of a Count Sketch; New builds one
+// standalone row, NewRows all d rows backed by one contiguous cache-line-
+// aligned arena (the default used by NewCountSketch).
+type SignedRowSpec struct {
+	New     func(width int) SignedRow
+	NewRows func(d, width int) []SignedRow
+}
 
 // FixedSignRow returns a SignedRowSpec for baseline two's-complement rows.
 func FixedSignRow(bits uint) SignedRowSpec {
-	return func(width int) SignedRow { return core.NewFixedSign(width, bits) }
+	return SignedRowSpec{
+		New: func(width int) SignedRow { return core.NewFixedSign(width, bits) },
+		NewRows: func(d, width int) []SignedRow {
+			return asSignedRows(core.NewFixedSignRows(d, width, bits))
+		},
+	}
 }
 
 // SalsaSignRow returns a SignedRowSpec for SALSA sign-magnitude rows.
 func SalsaSignRow(s uint, compact bool) SignedRowSpec {
-	return func(width int) SignedRow { return core.NewSalsaSign(width, s, compact) }
+	return SignedRowSpec{
+		New: func(width int) SignedRow { return core.NewSalsaSign(width, s, compact) },
+		NewRows: func(d, width int) []SignedRow {
+			return asSignedRows(core.NewSalsaSignRows(d, width, s, compact))
+		},
+	}
+}
+
+// asSignedRows widens a concrete row slice to []SignedRow.
+func asSignedRows[R SignedRow](rows []R) []SignedRow {
+	out := make([]SignedRow, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
 }
 
 // NewCountSketch returns a d×width Count Sketch built from spec rows.
@@ -42,19 +74,63 @@ func NewCountSketch(d, width int, spec SignedRowSpec, seed uint64) *CountSketch 
 	if width&(width-1) != 0 {
 		panic(fmt.Sprintf("sketch: width %d must be a power of two", width))
 	}
-	rows := make([]SignedRow, d)
-	for i := range rows {
-		rows[i] = spec(width)
+	var rows []SignedRow
+	if spec.NewRows != nil {
+		rows = spec.NewRows(d, width)
+	} else {
+		rows = make([]SignedRow, d)
+		for i := range rows {
+			rows[i] = spec.New(width)
+		}
 	}
 	seeds := hashing.Seeds(seed, 2*d)
-	return &CountSketch{
+	return newCountSketch(rows, seeds[:d], seeds[d:], uint64(width-1))
+}
+
+// newCountSketch wires pre-built rows; Unmarshal shares it so decoded
+// sketches get the monomorphic fast paths too.
+func newCountSketch(rows []SignedRow, idxSeeds, signSeeds []uint64, mask uint64) *CountSketch {
+	c := &CountSketch{
 		rows:      rows,
-		idxSeeds:  seeds[:d],
-		signSeeds: seeds[d:],
-		mask:      uint64(width - 1),
-		medBuf:    make([]int64, d),
+		idxSeeds:  idxSeeds,
+		signSeeds: signSeeds,
+		mask:      mask,
+		medBuf:    make([]int64, len(rows)),
+	}
+	c.classifyRows()
+	return c
+}
+
+// classifyRows populates the monomorphic row view when every row shares one
+// concrete core type.
+func (c *CountSketch) classifyRows() {
+	switch c.rows[0].(type) {
+	case *core.FixedSign:
+		rows := make([]*core.FixedSign, 0, len(c.rows))
+		for _, r := range c.rows {
+			f, ok := r.(*core.FixedSign)
+			if !ok {
+				return
+			}
+			rows = append(rows, f)
+		}
+		c.fixed = rows
+	case *core.SalsaSign:
+		rows := make([]*core.SalsaSign, 0, len(c.rows))
+		for _, r := range c.rows {
+			s, ok := r.(*core.SalsaSign)
+			if !ok {
+				return
+			}
+			rows = append(rows, s)
+		}
+		c.salsa = rows
 	}
 }
+
+// disableFast drops the monomorphic row view, forcing the generic interface
+// path; test-only (the fast/general equivalence tests).
+func (c *CountSketch) disableFast() { c.fixed, c.salsa = nil, nil }
 
 // Depth returns the number of rows d.
 func (c *CountSketch) Depth() int { return len(c.rows) }
@@ -71,28 +147,54 @@ func (c *CountSketch) SizeBits() int {
 	return total
 }
 
-// Update processes the stream update ⟨x, v⟩ (v of either sign).
+// Update processes the stream update ⟨x, v⟩ (v of either sign). Homogeneous
+// sketches run the whole d-row update in one monomorphic row-set call
+// (core/rowset.go).
 func (c *CountSketch) Update(x uint64, v int64) {
-	for i, r := range c.rows {
-		slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
-		r.Add(slot, v*hashing.Sign(x, c.signSeeds[i]))
+	switch {
+	case c.salsa != nil:
+		core.SalsaSignUpdateEach(c.salsa, c.idxSeeds, c.signSeeds, c.mask, x, v)
+	case c.fixed != nil:
+		core.FixedSignUpdateEach(c.fixed, c.idxSeeds, c.signSeeds, c.mask, x, v)
+	default:
+		for i, r := range c.rows {
+			slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
+			r.Add(slot, v*hashing.Sign(x, c.signSeeds[i]))
+		}
 	}
 }
 
 // Query returns the estimate f̂(x) = median over rows of C[i,hᵢ(x)]·gᵢ(x).
 func (c *CountSketch) Query(x uint64) int64 {
-	for i, r := range c.rows {
-		slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
-		c.medBuf[i] = r.Value(slot) * hashing.Sign(x, c.signSeeds[i])
+	switch {
+	case c.salsa != nil:
+		core.SalsaSignReadEach(c.salsa, c.idxSeeds, c.signSeeds, c.mask, x, c.medBuf)
+	case c.fixed != nil:
+		core.FixedSignReadEach(c.fixed, c.idxSeeds, c.signSeeds, c.mask, x, c.medBuf)
+	default:
+		for i, r := range c.rows {
+			slot := int(hashing.Index(x, c.idxSeeds[i], c.mask))
+			c.medBuf[i] = r.Value(slot) * hashing.Sign(x, c.signSeeds[i])
+		}
 	}
 	return median(c.medBuf)
 }
 
 // median returns the median of buf, mutating its order. For an even number
 // of rows it returns the mean of the two central values, as in the
-// reference implementations.
+// reference implementations. Insertion sort keeps the query path
+// allocation-free (sort.Slice boxes the slice header) and beats the
+// general-purpose sort at the handful of rows sketches have.
 func median(buf []int64) int64 {
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	for i := 1; i < len(buf); i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
 	n := len(buf)
 	if n%2 == 1 {
 		return buf[n/2]

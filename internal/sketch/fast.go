@@ -1,0 +1,102 @@
+package sketch
+
+import (
+	"salsa/internal/core"
+)
+
+// Monomorphic CMS hot paths: each homogeneous row backend dispatches to its
+// core row-set operation (core/rowset.go), which hashes inline and runs the
+// branchless merge-bit probe over the concrete rows — one function-call
+// boundary per item for the whole sketch, no interface dispatch. The
+// backends are hand-specialized rather than generic: Go's gcshape
+// stenciling would route type-parameter method calls through a dictionary —
+// an indirect call again — which is exactly the cost being removed.
+//
+// Every path here must stay bit-for-bit equivalent to updateGeneric and the
+// interface Query; fast_test.go pins that with marshal-byte-identical runs
+// against a fast-path-disabled twin.
+
+func (c *CMS) updateSalsa(x uint64, v int64) {
+	if c.conservative {
+		core.SalsaConservativeEach(c.salsa, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
+		return
+	}
+	core.SalsaUpdateEach(c.salsa, c.seeds, c.mask, x, v)
+}
+
+func (c *CMS) querySalsa(x uint64) uint64 {
+	return core.SalsaQueryEach(c.salsa, c.seeds, c.mask, x)
+}
+
+func (c *CMS) updateFixed(x uint64, v int64) {
+	if c.conservative {
+		core.FixedConservativeEach(c.fixed, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
+		return
+	}
+	core.FixedUpdateEach(c.fixed, c.seeds, c.mask, x, v)
+}
+
+func (c *CMS) queryFixed(x uint64) uint64 {
+	return core.FixedQueryEach(c.fixed, c.seeds, c.mask, x)
+}
+
+func (c *CMS) updateTango(x uint64, v int64) {
+	if c.conservative {
+		core.TangoConservativeEach(c.tango, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
+		return
+	}
+	core.TangoUpdateEach(c.tango, c.seeds, c.mask, x, v)
+}
+
+func (c *CMS) queryTango(x uint64) uint64 {
+	return core.TangoQueryEach(c.tango, c.seeds, c.mask, x)
+}
+
+// minInto dispatches one row's QueryBatch inner loop to its concrete
+// row-set loop, falling back to the interface loop for foreign row
+// implementations.
+func minInto(r Row, slots []uint32, out []uint64) {
+	switch row := r.(type) {
+	case *core.Salsa:
+		core.SalsaMinSlots(row, slots, out)
+	case *core.Fixed:
+		core.FixedMinSlots(row, slots, out)
+	case *core.Tango:
+		core.TangoMinSlots(row, slots, out)
+	default:
+		for j, slot := range slots {
+			if v := r.Value(int(slot)); v < out[j] {
+				out[j] = v
+			}
+		}
+	}
+}
+
+// conservativeItem applies the conservative rule for one item whose per-row
+// slots are scratch[i][j] — the batch counterpart of the single-item
+// conservative paths, sharing their min and raise row-set loops.
+func (c *CMS) conservativeItem(scratch [][]uint32, j int, v uint64) {
+	slots := c.slots
+	for i := range scratch {
+		slots[i] = scratch[i][j]
+	}
+	switch {
+	case c.salsa != nil:
+		core.SalsaRaiseEach(c.salsa, slots, satAddU(core.SalsaMinEach(c.salsa, slots), v))
+	case c.fixed != nil:
+		core.FixedRaiseEach(c.fixed, slots, satAddU(core.FixedMinEach(c.fixed, slots), v))
+	case c.tango != nil:
+		core.TangoRaiseEach(c.tango, slots, satAddU(core.TangoMinEach(c.tango, slots), v))
+	default:
+		est := ^uint64(0)
+		for i, r := range c.rows {
+			if cur := r.Value(int(slots[i])); cur < est {
+				est = cur
+			}
+		}
+		target := satAddU(est, v)
+		for i, r := range c.rows {
+			r.SetAtLeast(int(slots[i]), target)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"salsa/internal/core"
+	"salsa/internal/stream"
+)
+
+// The fast/general equivalence suite: every monomorphic hot path must leave
+// the sketch bit-for-bit identical to the generic interface path fed the
+// same stream. Marshalable backends are compared marshal-byte-exact; Tango
+// (no marshal format) is compared counter-by-counter including spans.
+
+// runPair drives a fast-path sketch and a fast-path-disabled twin through
+// the identical op sequence.
+func runPair(t *testing.T, build func() *CMS, drive func(c *CMS)) (fast, generic *CMS) {
+	t.Helper()
+	fast = build()
+	generic = build()
+	generic.disableFast()
+	if generic.fixed != nil || generic.salsa != nil || generic.tango != nil {
+		t.Fatal("disableFast left a monomorphic view")
+	}
+	drive(fast)
+	drive(generic)
+	return fast, generic
+}
+
+// checkCMSEqual asserts bit-for-bit equality: marshal bytes when the
+// backend marshals, per-slot values (and Tango spans) otherwise.
+func checkCMSEqual(t *testing.T, name string, fast, generic *CMS) {
+	t.Helper()
+	if _, tango := fast.rows[0].(*core.Tango); !tango {
+		fb, err1 := fast.MarshalBinary()
+		gb, err2 := generic.MarshalBinary()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: marshal: %v / %v", name, err1, err2)
+		}
+		if !bytes.Equal(fb, gb) {
+			t.Fatalf("%s: fast and generic paths diverged (marshal bytes differ)", name)
+		}
+		return
+	}
+	for i := range fast.rows {
+		ft, gt := fast.rows[i].(*core.Tango), generic.rows[i].(*core.Tango)
+		for slot := 0; slot < ft.Width(); slot++ {
+			flo, fhi := ft.Span(slot)
+			glo, ghi := gt.Span(slot)
+			if flo != glo || fhi != ghi {
+				t.Fatalf("%s: row %d slot %d: span (%d,%d) != (%d,%d)",
+					name, i, slot, flo, fhi, glo, ghi)
+			}
+			if fv, gv := ft.Value(slot), gt.Value(slot); fv != gv {
+				t.Fatalf("%s: row %d slot %d: value %d != %d", name, i, slot, fv, gv)
+			}
+		}
+	}
+}
+
+// fastSpecs is batchSpecs plus an 8-bit fixed baseline; every monomorphic
+// CMS backend appears.
+func fastSpecs() map[string]RowSpec {
+	return map[string]RowSpec{
+		"Fixed32":      FixedRow(32),
+		"Fixed8":       FixedRow(8),
+		"SalsaMax":     SalsaRow(8, core.MaxMerge, false),
+		"SalsaSum":     SalsaRow(8, core.SumMerge, false),
+		"SalsaMax4":    SalsaRow(4, core.MaxMerge, false),
+		"SalsaCompact": SalsaRow(8, core.MaxMerge, true),
+		"Tango":        TangoRow(8, core.MaxMerge),
+	}
+}
+
+func TestFastPathEquivalenceCMS(t *testing.T) {
+	data := stream.Zipf(80000, 4000, 1.0, 21)
+	for name, spec := range fastSpecs() {
+		for _, conservative := range []bool{false, true} {
+			build := func() *CMS {
+				if conservative {
+					return NewCUS(4, 1<<10, spec, 33)
+				}
+				return NewCMS(4, 1<<10, spec, 33)
+			}
+			// Heavy counts force overflows and merges, so the fast paths'
+			// general-path fallbacks fire too.
+			fast, generic := runPair(t, build, func(c *CMS) {
+				for j, x := range data {
+					c.Update(x, int64(1+j%7))
+				}
+			})
+			tag := name
+			if conservative {
+				tag += "/conservative"
+			}
+			checkCMSEqual(t, tag, fast, generic)
+			for _, x := range data[:2000] {
+				if fv, gv := fast.Query(x), generic.Query(x); fv != gv {
+					t.Fatalf("%s: query(%d): fast %d != generic %d", tag, x, fv, gv)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathEquivalenceCMSNegative covers the Strict Turnstile decrement
+// route of the sum-merge backends.
+func TestFastPathEquivalenceCMSNegative(t *testing.T) {
+	data := stream.Zipf(50000, 2500, 1.0, 5)
+	for name, spec := range map[string]RowSpec{
+		"Fixed32":  FixedRow(32),
+		"SalsaSum": SalsaRow(8, core.SumMerge, false),
+		"TangoSum": TangoRow(8, core.SumMerge),
+	} {
+		build := func() *CMS { return NewCMS(4, 1<<10, spec, 17) }
+		fast, generic := runPair(t, build, func(c *CMS) {
+			for j, x := range data {
+				if j%5 == 4 {
+					c.Update(x, -2)
+				} else {
+					c.Update(x, 3)
+				}
+			}
+		})
+		checkCMSEqual(t, name, fast, generic)
+	}
+}
+
+// TestFastPathEquivalenceBatch pins the batch routes (UpdateBatch and the
+// conservative batch) against the generic per-item path.
+func TestFastPathEquivalenceBatch(t *testing.T) {
+	data := stream.Zipf(60000, 3000, 1.0, 41)
+	for name, spec := range fastSpecs() {
+		for _, conservative := range []bool{false, true} {
+			build := func() *CMS {
+				if conservative {
+					return NewCUS(4, 1<<10, spec, 9)
+				}
+				return NewCMS(4, 1<<10, spec, 9)
+			}
+			fast := build()
+			generic := build()
+			generic.disableFast()
+			for off := 0; off < len(data); off += 1777 {
+				end := min(off+1777, len(data))
+				fast.UpdateBatch(data[off:end], 2)
+			}
+			for _, x := range data {
+				generic.Update(x, 2)
+			}
+			tag := name + "/batch"
+			if conservative {
+				tag += "/conservative"
+			}
+			checkCMSEqual(t, tag, fast, generic)
+			// QueryBatch against the generic single-item Query.
+			items := data[:1500]
+			got := fast.QueryBatch(items, nil)
+			for i, x := range items {
+				if want := generic.Query(x); got[i] != want {
+					t.Fatalf("%s: QueryBatch(%d) = %d, want %d", tag, x, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestFastPathEquivalenceCountSketch(t *testing.T) {
+	data := stream.Zipf(60000, 3000, 1.0, 29)
+	for name, spec := range map[string]SignedRowSpec{
+		"FixedSign32":      FixedSignRow(32),
+		"FixedSign8":       FixedSignRow(8),
+		"SalsaSign":        SalsaSignRow(8, false),
+		"SalsaSign4":       SalsaSignRow(4, false),
+		"SalsaSignCompact": SalsaSignRow(8, true),
+	} {
+		build := func() *CountSketch { return NewCountSketch(5, 1<<10, spec, 13) }
+		fast := build()
+		generic := build()
+		generic.disableFast()
+		drive := func(c *CountSketch) {
+			for j, x := range data {
+				v := int64(1 + j%6)
+				if j%3 == 2 {
+					v = -v // mixed signs exercise both overflow directions
+				}
+				c.Update(x, v)
+			}
+		}
+		drive(fast)
+		drive(generic)
+		fb, err1 := fast.MarshalBinary()
+		gb, err2 := generic.MarshalBinary()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: marshal: %v / %v", name, err1, err2)
+		}
+		if !bytes.Equal(fb, gb) {
+			t.Fatalf("%s: fast and generic paths diverged (marshal bytes differ)", name)
+		}
+		for _, x := range data[:2000] {
+			if fv, gv := fast.Query(x), generic.Query(x); fv != gv {
+				t.Fatalf("%s: query(%d): fast %d != generic %d", name, x, fv, gv)
+			}
+		}
+	}
+}
+
+// TestUnmarshalKeepsFastPath pins that decoded sketches classify their rows
+// and keep the monomorphic view.
+func TestUnmarshalKeepsFastPath(t *testing.T) {
+	cms := NewCMS(4, 1<<8, SalsaRow(8, core.MaxMerge, false), 3)
+	cms.Update(42, 9)
+	payload, err := cms.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCMS(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.salsa == nil {
+		t.Fatal("unmarshaled CMS lost the monomorphic salsa view")
+	}
+	cs := NewCountSketch(5, 1<<8, SalsaSignRow(8, false), 3)
+	cs.Update(42, 9)
+	payload, err = cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csBack, err := UnmarshalCountSketch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csBack.salsa == nil {
+		t.Fatal("unmarshaled CountSketch lost the monomorphic salsa view")
+	}
+}
+
+// TestArenaRowsShareGeometry pins that arena-built rows behave exactly like
+// individually-allocated rows (same marshal bytes after the same stream).
+func TestArenaRowsShareGeometry(t *testing.T) {
+	data := stream.Zipf(30000, 1500, 1.0, 77)
+	for name, pair := range map[string][2]RowSpec{
+		"fixed": {FixedRow(32), {New: FixedRow(32).New}},
+		"salsa": {SalsaRow(8, core.MaxMerge, false), {New: SalsaRow(8, core.MaxMerge, false).New}},
+	} {
+		arena := NewCMS(4, 1<<10, pair[0], 7)
+		loose := NewCMS(4, 1<<10, pair[1], 7)
+		for _, x := range data {
+			arena.Update(x, 1)
+			loose.Update(x, 1)
+		}
+		ab, err1 := arena.MarshalBinary()
+		lb, err2 := loose.MarshalBinary()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: marshal: %v / %v", name, err1, err2)
+		}
+		if !bytes.Equal(ab, lb) {
+			t.Fatalf("%s: arena-backed rows diverged from loose rows", name)
+		}
+	}
+}

@@ -242,11 +242,5 @@ func UnmarshalCountSketch(data []byte) (*CountSketch, error) {
 	if !validRowWidths(widths) {
 		return nil, ErrBadSketchPayload
 	}
-	return &CountSketch{
-		rows:      rows,
-		idxSeeds:  idxSeeds,
-		signSeeds: signSeeds,
-		mask:      uint64(width - 1),
-		medBuf:    make([]int64, d),
-	}, nil
+	return newCountSketch(rows, idxSeeds, signSeeds, uint64(width-1)), nil
 }

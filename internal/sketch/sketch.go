@@ -48,12 +48,27 @@ var (
 // CMS is a Count-Min Sketch (optionally in conservative-update mode, which
 // makes it the CUS of Estan & Varghese). Each item is mapped to one counter
 // per row; the estimate is the minimum over the rows (§III).
+//
+// Homogeneous sketches — every row the same concrete core type, which is
+// what the RowSpec constructors build — additionally carry a monomorphic
+// view of the rows (fixed/salsa/tango below), and the hot paths run over it
+// with direct, devirtualized calls into internal/core; see fast.go. The
+// interface rows remain the source of truth for merge, marshal, and the
+// estimator integrations.
 type CMS struct {
 	rows         []Row
+	fixed        []*core.Fixed // exactly one of these three is non-nil for
+	salsa        []*core.Salsa // homogeneous sketches; all nil falls back to
+	tango        []*core.Tango // the generic interface path
 	seeds        []uint64
 	mask         uint64
 	conservative bool
-	slotScratch  [][]uint32 // per-row slot buffers for conservative batches
+	slots        []uint32 // d pre-hashed slots: single-item ops hash once
+	// chunkSlots is the per-chunk slot buffer of UpdateBatch; it lives on
+	// the sketch because a stack buffer would escape through the
+	// row-interface AddSlots call and allocate per batch.
+	chunkSlots  []uint32
+	slotScratch [][]uint32 // per-row slot buffers for conservative batches
 }
 
 // newCMS wires d pre-built rows with hash seeds derived from seed.
@@ -70,50 +85,130 @@ func newCMS(rows []Row, seed uint64, conservative bool) *CMS {
 			panic("sketch: rows must share one width")
 		}
 	}
-	return &CMS{
+	c := &CMS{
 		rows:         rows,
 		seeds:        hashing.Seeds(seed, len(rows)),
 		mask:         uint64(w - 1),
 		conservative: conservative,
+		slots:        make([]uint32, len(rows)),
+	}
+	c.classifyRows()
+	return c
+}
+
+// classifyRows populates the monomorphic row view when every row shares one
+// concrete core type. Mixed-type sketches (possible only through Unmarshal
+// of hand-built payloads) keep all three views nil and use the generic path.
+func (c *CMS) classifyRows() {
+	switch c.rows[0].(type) {
+	case *core.Fixed:
+		rows := make([]*core.Fixed, 0, len(c.rows))
+		for _, r := range c.rows {
+			f, ok := r.(*core.Fixed)
+			if !ok {
+				return
+			}
+			rows = append(rows, f)
+		}
+		c.fixed = rows
+	case *core.Salsa:
+		rows := make([]*core.Salsa, 0, len(c.rows))
+		for _, r := range c.rows {
+			s, ok := r.(*core.Salsa)
+			if !ok {
+				return
+			}
+			rows = append(rows, s)
+		}
+		c.salsa = rows
+	case *core.Tango:
+		rows := make([]*core.Tango, 0, len(c.rows))
+		for _, r := range c.rows {
+			t, ok := r.(*core.Tango)
+			if !ok {
+				return
+			}
+			rows = append(rows, t)
+		}
+		c.tango = rows
 	}
 }
 
-// RowSpec constructs one sketch row of a given width; it is how callers
-// choose between baseline, SALSA, and Tango rows.
-type RowSpec func(width int) Row
+// disableFast drops the monomorphic row view, forcing every operation
+// through the generic interface path. It exists for the fast/general
+// bit-for-bit equivalence tests.
+func (c *CMS) disableFast() { c.fixed, c.salsa, c.tango = nil, nil, nil }
+
+// RowSpec constructs the rows of a sketch; it is how callers choose between
+// baseline, SALSA, and Tango rows. New builds one standalone row; NewRows
+// builds all d rows of a sketch backed by one contiguous cache-line-aligned
+// arena (the default used by NewCMS/NewCUS — the merged allocation removes
+// per-row pointer chasing from every probe).
+type RowSpec struct {
+	New     func(width int) Row
+	NewRows func(d, width int) []Row
+}
 
 // FixedRow returns a RowSpec for baseline rows with bits-bit counters.
 func FixedRow(bits uint) RowSpec {
-	return func(width int) Row { return core.NewFixed(width, bits) }
+	return RowSpec{
+		New: func(width int) Row { return core.NewFixed(width, bits) },
+		NewRows: func(d, width int) []Row {
+			return asRows(core.NewFixedRows(d, width, bits))
+		},
+	}
 }
 
 // SalsaRow returns a RowSpec for SALSA rows with s-bit base counters.
 func SalsaRow(s uint, policy core.MergePolicy, compact bool) RowSpec {
-	return func(width int) Row { return core.NewSalsa(width, s, policy, compact) }
+	return RowSpec{
+		New: func(width int) Row { return core.NewSalsa(width, s, policy, compact) },
+		NewRows: func(d, width int) []Row {
+			return asRows(core.NewSalsaRows(d, width, s, policy, compact))
+		},
+	}
 }
 
 // TangoRow returns a RowSpec for Tango rows with s-bit base counters.
 func TangoRow(s uint, policy core.MergePolicy) RowSpec {
-	return func(width int) Row { return core.NewTango(width, s, policy) }
+	return RowSpec{
+		New: func(width int) Row { return core.NewTango(width, s, policy) },
+		NewRows: func(d, width int) []Row {
+			return asRows(core.NewTangoRows(d, width, s, policy))
+		},
+	}
+}
+
+// asRows widens a concrete row slice to []Row.
+func asRows[R Row](rows []R) []Row {
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// buildRows realizes d spec rows, preferring the contiguous arena.
+func (spec RowSpec) buildRows(d, width int) []Row {
+	if spec.NewRows != nil {
+		return spec.NewRows(d, width)
+	}
+	rows := make([]Row, d)
+	for i := range rows {
+		rows[i] = spec.New(width)
+	}
+	return rows
 }
 
 // NewCMS returns a d×width Count-Min Sketch built from spec rows.
 func NewCMS(d, width int, spec RowSpec, seed uint64) *CMS {
-	rows := make([]Row, d)
-	for i := range rows {
-		rows[i] = spec(width)
-	}
-	return newCMS(rows, seed, false)
+	return newCMS(spec.buildRows(d, width), seed, false)
 }
 
 // NewCUS returns a d×width Conservative Update Sketch built from spec rows.
 // Per Theorem V.3, SALSA rows should use core.MaxMerge.
 func NewCUS(d, width int, spec RowSpec, seed uint64) *CMS {
-	rows := make([]Row, d)
-	for i := range rows {
-		rows[i] = spec(width)
-	}
-	return newCMS(rows, seed, true)
+	return newCMS(spec.buildRows(d, width), seed, true)
 }
 
 // Depth returns the number of rows d.
@@ -142,25 +237,74 @@ func (c *CMS) Rows() []Row { return c.rows }
 // Update processes the stream update ⟨x, v⟩. In conservative mode v must be
 // non-negative (the Cash Register model).
 func (c *CMS) Update(x uint64, v int64) {
+	switch {
+	case c.salsa != nil:
+		c.updateSalsa(x, v)
+	case c.fixed != nil:
+		c.updateFixed(x, v)
+	case c.tango != nil:
+		c.updateTango(x, v)
+	default:
+		c.updateGeneric(x, v)
+	}
+}
+
+// updateGeneric is Update over the interface rows: the fallback for
+// mixed-row sketches, and the oracle the monomorphic paths are equivalence-
+// tested against.
+func (c *CMS) updateGeneric(x uint64, v int64) {
 	if !c.conservative {
 		for i, r := range c.rows {
 			r.Add(int(hashing.Index(x, c.seeds[i], c.mask)), v)
 		}
 		return
 	}
+	// Conservative update: raise each counter to at most v plus the current
+	// estimate, never beyond what the minimum row implies (§III). Each row
+	// is hashed once, feeding both the min pass and the raise pass.
+	slots := c.hashOnce(x)
+	est := ^uint64(0)
+	for i, r := range c.rows {
+		if cur := r.Value(int(slots[i])); cur < est {
+			est = cur
+		}
+	}
+	target := satAddU(est, uint64(mustNonNegative(v)))
+	for i, r := range c.rows {
+		r.SetAtLeast(int(slots[i]), target)
+	}
+}
+
+// hashOnce fills the per-sketch slot scratch with x's slot in every row.
+// The scratch makes single-item ops allocation-free; like the query scratch
+// of CountSketch, it means a sketch must not be mutated concurrently.
+func (c *CMS) hashOnce(x uint64) []uint32 {
+	slots := c.slots
+	for i := range slots {
+		slots[i] = uint32(hashing.Index(x, c.seeds[i], c.mask))
+	}
+	return slots
+}
+
+// mustNonNegative guards the Cash Register precondition of conservative
+// updates, returning v unchanged.
+func mustNonNegative(v int64) int64 {
 	if v < 0 {
 		panic("sketch: negative update in conservative mode")
 	}
-	// Conservative update: raise each counter to at most v plus the current
-	// estimate, never beyond what the minimum row implies (§III).
-	target := satAddU(c.Query(x), uint64(v))
-	for i, r := range c.rows {
-		r.SetAtLeast(int(hashing.Index(x, c.seeds[i], c.mask)), target)
-	}
+	return v
 }
 
 // Query returns the estimate f̂(x) = min over rows.
 func (c *CMS) Query(x uint64) uint64 {
+	switch {
+	case c.salsa != nil:
+		return c.querySalsa(x)
+	case c.fixed != nil:
+		return c.queryFixed(x)
+	case c.tango != nil:
+		return c.queryTango(x)
+	}
 	est := ^uint64(0)
 	for i, r := range c.rows {
 		if v := r.Value(int(hashing.Index(x, c.seeds[i], c.mask))); v < est {

@@ -1,0 +1,7 @@
+//go:build race
+
+package salsa
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation allocates; the zero-allocation assertions skip.
+const raceEnabled = true
