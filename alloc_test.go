@@ -7,6 +7,11 @@ package salsa
 // buffers, windowed merge views) is in place, then asserts
 // testing.AllocsPerRun == 0. CI runs these without -race (the race
 // detector's instrumentation allocates).
+//
+// Every sketch here is constructed through the Spec algebra and
+// salsa.Build — the suite doubles as the guarantee that the composable
+// facade returns the same concrete monomorphic types underneath and costs
+// nothing on the devirtualized hot paths of PR 3.
 
 import (
 	"fmt"
@@ -38,12 +43,11 @@ func TestZeroAllocCountMin(t *testing.T) {
 	for _, mode := range []Mode{ModeSALSA, ModeBaseline, ModeTango} {
 		for _, conservative := range []bool{false, true} {
 			opt := Options{Width: 1 << 10, Mode: mode, Seed: 1}
-			var cm *CountMin
+			spec := CountMinOf(opt)
 			if conservative {
-				cm = NewConservativeUpdate(opt)
-			} else {
-				cm = NewCountMin(opt)
+				spec = ConservativeOf(opt)
 			}
+			cm := MustBuild(spec).(*CountMin)
 			tag := fmt.Sprintf("%s/conservative=%v", mode, conservative)
 			cm.IncrementBatch(allocItems)
 			dst := make([]uint64, len(allocItems))
@@ -57,7 +61,7 @@ func TestZeroAllocCountMin(t *testing.T) {
 }
 
 func TestZeroAllocCountMinCompact(t *testing.T) {
-	cm := NewCountMin(Options{Width: 1 << 10, CompactEncoding: true, Seed: 1})
+	cm := MustBuild(CountMinOf(Options{Width: 1 << 10, CompactEncoding: true, Seed: 1})).(*CountMin)
 	cm.IncrementBatch(allocItems)
 	i := 0
 	assertZeroAllocs(t, "compact/Update", func() { cm.Update(allocItems[i%512], 1); i++ })
@@ -66,7 +70,7 @@ func TestZeroAllocCountMinCompact(t *testing.T) {
 
 func TestZeroAllocCountSketch(t *testing.T) {
 	for _, mode := range []Mode{ModeSALSA, ModeBaseline} {
-		cs := NewCountSketch(Options{Width: 1 << 10, Mode: mode, Seed: 1})
+		cs := MustBuild(CountSketchOf(Options{Width: 1 << 10, Mode: mode, Seed: 1})).(*CountSketch)
 		tag := mode.String()
 		cs.IncrementBatch(allocItems)
 		dst := make([]int64, len(allocItems))
@@ -81,9 +85,9 @@ func TestZeroAllocCountSketch(t *testing.T) {
 func TestZeroAllocWindowed(t *testing.T) {
 	// Rotation interval small enough that the steady state crosses bucket
 	// boundaries: rotations themselves must not allocate either.
-	wcm := NewWindowedCountMin(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
-	wcu := NewWindowedConservativeUpdate(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
-	wcs := NewWindowedCountSketch(Options{Width: 1 << 10, Seed: 1}, 4, 1<<12)
+	wcm := MustBuild(Windowed(CountMinOf(Options{Width: 1 << 10, Seed: 1}), 4, 1<<12)).(*WindowedCountMin)
+	wcu := MustBuild(Windowed(ConservativeOf(Options{Width: 1 << 10, Seed: 1}), 4, 1<<12)).(*WindowedCountMin)
+	wcs := MustBuild(Windowed(CountSketchOf(Options{Width: 1 << 10, Seed: 1}), 4, 1<<12)).(*WindowedCountSketch)
 	udst := make([]uint64, len(allocItems))
 	sdst := make([]int64, len(allocItems))
 	for _, w := range []struct {
@@ -118,8 +122,8 @@ func TestZeroAllocWindowed(t *testing.T) {
 }
 
 func TestZeroAllocSharded(t *testing.T) {
-	cm := NewShardedCountMin(Options{Width: 1 << 10, Seed: 1}, 4)
-	cs := NewShardedCountSketch(Options{Width: 1 << 10, Seed: 1}, 4)
+	cm := MustBuild(ShardedBy(CountMinOf(Options{Width: 1 << 10, Seed: 1}), 4)).(*ShardedCountMin)
+	cs := MustBuild(ShardedBy(CountSketchOf(Options{Width: 1 << 10, Seed: 1}), 4)).(*ShardedCountSketch)
 	cm.IncrementBatch(allocItems)
 	cs.IncrementBatch(allocItems)
 	i := 0

@@ -9,9 +9,15 @@
 //	salsabench -all -n 1000000 -trials 5         # everything, paper-style
 //	salsabench -list                             # what exists
 //	salsabench -throughput -procs 8 -batch 4096  # multi-core ingestion rate
-//	salsabench -window -buckets 8                # sliding-window rotation/query cost
-//	salsabench -perf -json BENCH_pr3.json        # hot-path items/s + JSON report
+//	salsabench -topology 'windowed(8,65536,cms)' # any composed topology,
+//	salsabench -topology 'sharded(8,windowed(4,65536,cms))' -procs 8
+//	salsabench -perf -json BENCH_pr4.json        # hot-path items/s + JSON report
 //	salsabench -perf -cpuprofile cpu.pprof       # profile any mode
+//
+// The -topology flag accepts any spec expression of the salsa package's
+// composable topology algebra (see salsa.ParseSpec) and benchmarks it
+// end to end through salsa.Build, including its universal-envelope
+// serialization size.
 //
 // The paper runs 98M-update traces; -n scales the streams (and the harness
 // scales sketch widths to match the paper's operating points). Shapes are
@@ -43,24 +49,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("salsabench", flag.ContinueOnError)
 	var (
-		experiment  = fs.String("experiment", "", "experiment id to run (see -list)")
-		all         = fs.Bool("all", false, "run every experiment")
-		list        = fs.Bool("list", false, "list experiment ids and exit")
-		n           = fs.Int("n", 400_000, "stream length (paper: 98M)")
-		trials      = fs.Int("trials", 3, "trials per data point (paper: 10)")
-		seed        = fs.Uint64("seed", 42, "master seed")
-		throughput  = fs.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
-		procs       = fs.Int("procs", 0, "ingesting goroutines for -throughput (0 = GOMAXPROCS)")
-		shards      = fs.Int("shards", 0, "shard count for -throughput (0 = procs)")
-		batch       = fs.Int("batch", 4096, "batch / Writer buffer size for -throughput")
-		window      = fs.Bool("window", false, "measure sliding-window ingestion, rotation and query cost")
-		buckets     = fs.Int("buckets", 8, "ring buckets for -window")
-		bucketItems = fs.Int("bucketitems", 0, "rotation interval for -window (0 = n/(8*buckets))")
-		perf        = fs.Bool("perf", false, "measure single-item and batch hot-path throughput per backend")
-		jsonOut     = fs.String("json", "", "with -perf: also write the results as a BENCH_*.json report to this path")
-		label       = fs.String("label", "", "label recorded in the -json report (e.g. pr3)")
-		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
-		memprofile  = fs.String("memprofile", "", "write a heap profile at exit to this path")
+		experiment = fs.String("experiment", "", "experiment id to run (see -list)")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		n          = fs.Int("n", 400_000, "stream length (paper: 98M)")
+		trials     = fs.Int("trials", 3, "trials per data point (paper: 10)")
+		seed       = fs.Uint64("seed", 42, "master seed")
+		throughput = fs.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
+		procs      = fs.Int("procs", 0, "ingesting goroutines for -throughput/-topology (0 = GOMAXPROCS)")
+		batch      = fs.Int("batch", 4096, "batch / Writer buffer size for -throughput/-topology")
+		topology   = fs.String("topology", "", "benchmark a composed topology spec, e.g. 'sharded(8,windowed(4,65536,cms))'")
+		perf       = fs.Bool("perf", false, "measure single-item and batch hot-path throughput per backend")
+		jsonOut    = fs.String("json", "", "with -perf: also write the results as a BENCH_*.json report to this path")
+		label      = fs.String("label", "", "label recorded in the -json report (e.g. pr3)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -100,11 +103,10 @@ func run(args []string, out io.Writer) error {
 	case *perf:
 		return runPerf(perfConfig{n: *n, batch: *batch, seed: *seed, json: *jsonOut, label: *label}, out)
 	case *throughput:
-		runThroughput(throughputConfig{n: *n, procs: *procs, shards: *shards, batch: *batch, seed: *seed}, out)
+		runThroughput(throughputConfig{n: *n, procs: *procs, batch: *batch, seed: *seed}, out)
 		return nil
-	case *window:
-		runWindow(windowConfig{n: *n, buckets: *buckets, bucketItems: *bucketItems, seed: *seed}, out)
-		return nil
+	case *topology != "":
+		return runTopology(topologyConfig{expr: *topology, n: *n, procs: *procs, batch: *batch, seed: *seed}, out)
 	case *list:
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(out, "%-9s %s\n", id, experiments.Title(id))
@@ -121,7 +123,7 @@ func run(args []string, out io.Writer) error {
 		ids = []string{*experiment}
 	default:
 		fs.Usage()
-		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, -window, or -perf")
+		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, -topology <spec>, or -perf")
 	}
 
 	for _, id := range ids {

@@ -37,21 +37,41 @@ func TestRunExperiment(t *testing.T) {
 	}
 }
 
-// TestRunWindow: -window reports rotation cost and windowed-query
-// throughput for every windowed backend.
-func TestRunWindow(t *testing.T) {
-	var out strings.Builder
-	if err := run([]string{"-window", "-n", "30000", "-buckets", "3"}, &out); err != nil {
-		t.Fatal(err)
-	}
-	got := out.String()
-	if !strings.Contains(got, "backend,ingest_mops,rotation_us,query_mops,rotations") {
-		t.Fatalf("missing window CSV header:\n%s", got)
-	}
-	for _, backend := range []string{"windowed-countmin", "windowed-conservative", "windowed-countsketch"} {
-		if !strings.Contains(got, backend+",") {
-			t.Fatalf("missing backend %s:\n%s", backend, got)
+// TestRunTopology: -topology builds the spec through the public algebra
+// and reports ingest/query rates; windowed topologies add rotation cost,
+// and every run proves the universal-envelope round trip.
+func TestRunTopology(t *testing.T) {
+	for _, expr := range []string{
+		"cms",
+		"windowed(3,2500,cus)",
+		"sharded(2,windowed(3,2500,cms))",
+		"monitor(8)",
+	} {
+		var out strings.Builder
+		if err := run([]string{"-topology", expr, "-n", "30000"}, &out); err != nil {
+			t.Fatalf("-topology %s: %v", expr, err)
 		}
+		got := out.String()
+		for _, metric := range []string{"metric,value", "ingest_mops,", "query_mops,", "memory_kib,", "envelope_kib,"} {
+			if !strings.Contains(got, metric) {
+				t.Fatalf("-topology %s missing %q:\n%s", expr, metric, got)
+			}
+		}
+		if strings.Contains(expr, "windowed") && !strings.Contains(got, "rotation_us,") {
+			t.Fatalf("-topology %s missing rotation cost:\n%s", expr, got)
+		}
+	}
+}
+
+// TestRunTopologyErrors: malformed specs and invalid compositions are
+// reported as errors, not panics.
+func TestRunTopologyErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-topology", "bogus(3)"}, &out); err == nil {
+		t.Fatal("bogus spec: want error")
+	}
+	if err := run([]string{"-topology", "sharded(2,sharded(2,cms))"}, &out); err == nil {
+		t.Fatal("invalid composition: want error")
 	}
 }
 

@@ -78,11 +78,15 @@ func perfBackends(seed uint64) []perfBackend {
 			queryBatch:  func(items []uint64) { udst = cm.QueryBatch(items, udst) },
 		})
 	}
-	addCM("countmin-salsa", salsa.NewCountMin(opts(salsa.ModeSALSA)))
-	addCM("countmin-baseline", salsa.NewCountMin(opts(salsa.ModeBaseline)))
-	addCM("countmin-tango", salsa.NewCountMin(opts(salsa.ModeTango)))
-	addCM("conservative-salsa", salsa.NewConservativeUpdate(opts(salsa.ModeSALSA)))
-	addCM("conservative-baseline", salsa.NewConservativeUpdate(opts(salsa.ModeBaseline)))
+	// Everything is constructed through the composable facade: the perf
+	// trajectory measures Build-produced sketches, pinning the redesigned
+	// API to the same ns/op as the PR 3 constructors (same concrete
+	// monomorphic types underneath).
+	addCM("countmin-salsa", salsa.MustBuild(salsa.CountMinOf(opts(salsa.ModeSALSA))).(*salsa.CountMin))
+	addCM("countmin-baseline", salsa.MustBuild(salsa.CountMinOf(opts(salsa.ModeBaseline))).(*salsa.CountMin))
+	addCM("countmin-tango", salsa.MustBuild(salsa.CountMinOf(opts(salsa.ModeTango))).(*salsa.CountMin))
+	addCM("conservative-salsa", salsa.MustBuild(salsa.ConservativeOf(opts(salsa.ModeSALSA))).(*salsa.CountMin))
+	addCM("conservative-baseline", salsa.MustBuild(salsa.ConservativeOf(opts(salsa.ModeBaseline))).(*salsa.CountMin))
 	addCS := func(name string, cs *salsa.CountSketch) {
 		sdst := []int64(nil)
 		out = append(out, perfBackend{
@@ -93,8 +97,8 @@ func perfBackends(seed uint64) []perfBackend {
 			queryBatch:  func(items []uint64) { sdst = cs.QueryBatch(items, sdst) },
 		})
 	}
-	addCS("countsketch-salsa", salsa.NewCountSketch(opts(salsa.ModeSALSA)))
-	addCS("countsketch-baseline", salsa.NewCountSketch(opts(salsa.ModeBaseline)))
+	addCS("countsketch-salsa", salsa.MustBuild(salsa.CountSketchOf(opts(salsa.ModeSALSA))).(*salsa.CountSketch))
+	addCS("countsketch-baseline", salsa.MustBuild(salsa.CountSketchOf(opts(salsa.ModeBaseline))).(*salsa.CountSketch))
 	return out
 }
 

@@ -2,8 +2,10 @@
 // into the Sharded concurrency layer from -procs goroutines and reports
 // million-updates-per-second for every backend and ingestion path — per-item
 // locking, whole batches (-batch items at a time), and per-goroutine Writer
-// buffers. This is the operational counterpart of the BenchmarkSharded*
-// microbenchmarks: one number per (backend, path) on this machine's cores.
+// buffers. Backends are declared as spec expressions ("sharded(N,cms)") and
+// built through salsa.Build, so this mode exercises the public composable
+// API end to end; the shard count follows -procs (one shard per ingesting
+// goroutine, rounded up to a power of two).
 package main
 
 import (
@@ -18,11 +20,10 @@ import (
 )
 
 type throughputConfig struct {
-	n      int
-	procs  int
-	shards int
-	batch  int
-	seed   uint64
+	n     int
+	procs int
+	batch int
+	seed  uint64
 }
 
 var ingestPaths = []string{"item", "batch", "writer"}
@@ -33,16 +34,11 @@ func runThroughput(cfg throughputConfig, out io.Writer) {
 	} else {
 		runtime.GOMAXPROCS(cfg.procs)
 	}
-	if cfg.shards <= 0 {
-		cfg.shards = cfg.procs
-	}
-	// NewSharded rounds the shard count up to a power of two; mirror that
-	// here so the header reports the real configuration.
-	for n := 1; ; n *= 2 {
-		if n >= cfg.shards {
-			cfg.shards = n
-			break
-		}
+	// One shard per ingesting goroutine; ShardedBy rounds up to a power of
+	// two, mirrored here so the header reports the real configuration.
+	shards := 1
+	for shards < cfg.procs {
+		shards *= 2
 	}
 	if cfg.batch <= 0 {
 		cfg.batch = 4096
@@ -52,35 +48,44 @@ func runThroughput(cfg throughputConfig, out io.Writer) {
 
 	backends := []struct {
 		name string
-		run  func(path string) time.Duration
+		opt  salsa.Options
+		expr string
 	}{
-		{"countmin", func(path string) time.Duration {
-			return ingest(salsa.NewShardedCountMin(opt, cfg.shards).Sharded, path, cfg, data)
-		}},
-		{"countmin-baseline", func(path string) time.Duration {
-			o := opt
-			o.Mode = salsa.ModeBaseline
-			return ingest(salsa.NewShardedCountMin(o, cfg.shards).Sharded, path, cfg, data)
-		}},
-		{"conservative", func(path string) time.Duration {
-			return ingest(salsa.NewShardedConservativeUpdate(opt, cfg.shards).Sharded, path, cfg, data)
-		}},
-		{"countsketch", func(path string) time.Duration {
-			return ingest(salsa.NewShardedCountSketch(opt, cfg.shards).Sharded, path, cfg, data)
-		}},
+		{"countmin", opt, fmt.Sprintf("sharded(%d,cms)", shards)},
+		{"countmin-baseline", salsa.Options{Width: 1 << 14, Mode: salsa.ModeBaseline, Seed: cfg.seed}, fmt.Sprintf("sharded(%d,cms)", shards)},
+		{"conservative", opt, fmt.Sprintf("sharded(%d,cus)", shards)},
+		{"countsketch", opt, fmt.Sprintf("sharded(%d,cs)", shards)},
 	}
 
 	fmt.Fprintln(out, "# concurrent ingestion throughput (Sharded layer)")
 	fmt.Fprintf(out, "# n=%d, procs=%d, shards=%d, batch=%d, width=%d\n",
-		cfg.n, cfg.procs, cfg.shards, cfg.batch, opt.Width)
+		cfg.n, cfg.procs, shards, cfg.batch, opt.Width)
 	fmt.Fprintln(out, "backend,path,mops")
 	for _, b := range backends {
 		for _, path := range ingestPaths {
-			elapsed := b.run(path)
+			spec, err := salsa.ParseSpec(b.expr, b.opt)
+			if err != nil {
+				panic(err) // static exprs above; cannot fail
+			}
+			elapsed := ingestTopology(salsa.MustBuild(spec), path, cfg, data)
 			mops := float64(cfg.n) / elapsed.Seconds() / 1e6
 			fmt.Fprintf(out, "%s,%s,%.2f\n", b.name, path, mops)
 		}
 	}
+}
+
+// ingestTopology unwraps the typed sharded wrapper Build returned and
+// streams data through the chosen path.
+func ingestTopology(s salsa.Sketch, path string, cfg throughputConfig, data []uint64) time.Duration {
+	switch x := s.(type) {
+	case *salsa.ShardedCountMin:
+		return ingest(x.Sharded, path, cfg, data)
+	case *salsa.ShardedCountSketch:
+		return ingest(x.Sharded, path, cfg, data)
+	case *salsa.ShardedMonitor:
+		return ingest(x.Sharded, path, cfg, data)
+	}
+	panic(fmt.Sprintf("throughput: unshardable topology %T", s))
 }
 
 // ingest streams data into s from cfg.procs goroutines over the chosen path

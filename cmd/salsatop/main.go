@@ -60,18 +60,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	opt := salsa.Options{Width: *width, Mode: m.mode, Seed: *seed}
 
+	// Both tracker shapes are one spec away from each other: the window
+	// is a decorator, not a different constructor.
+	spec := salsa.MonitorOf(opt, *k)
+	if *window {
+		spec = salsa.Windowed(spec, *buckets, *bucketItems)
+	}
+	built, err := salsa.Build(spec)
+	if err != nil {
+		return err
+	}
 	// The two trackers share the Process/Top/memory surface.
-	type tracker interface {
+	monitor := built.(interface {
 		Process(uint64)
 		Top() []salsa.ItemCount
 		MemoryBits() int
-	}
-	var monitor tracker
-	if *window {
-		monitor = salsa.NewWindowedMonitor(opt, *k, *buckets, *bucketItems)
-	} else {
-		monitor = salsa.NewMonitor(opt, *k)
-	}
+	})
 
 	var volume uint64
 	if *dataset != "" {

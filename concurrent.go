@@ -61,6 +61,23 @@ func NewSharded[S Sketch](shards int, routeSeed uint64, factory func(shard int) 
 	return s
 }
 
+// newShardedFromShards wires pre-built shard sketches into a Sharded with
+// the given routing seed; the envelope decoder uses it to reconstruct
+// sharded topologies shard for shard. len(sks) must be a power of two.
+func newShardedFromShards[S Sketch](routeSeed uint64, sks []S) *Sharded[S] {
+	n := len(sks)
+	s := &Sharded[S]{
+		shards: make([]shard[S], n),
+		mask:   uint64(n - 1),
+		seed:   routeSeed,
+	}
+	s.parts.New = func() any { return newPartition(n) }
+	for i := range s.shards {
+		s.shards[i].sk = sks[i]
+	}
+	return s
+}
+
 func (s *Sharded[S]) route(item uint64) *shard[S] {
 	return &s.shards[hashing.Index(item, s.seed, s.mask)]
 }

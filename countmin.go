@@ -1,6 +1,8 @@
 package salsa
 
 import (
+	"fmt"
+
 	"salsa/internal/sketch"
 	"salsa/internal/topk"
 )
@@ -15,28 +17,45 @@ type CountMin struct {
 	conservative bool
 }
 
-// NewCountMin returns a Count-Min Sketch. By default SALSA mode uses
-// max-merge, which is correct for the Cash Register streams (non-negative
-// updates) most callers have; set Merge: MergeSum for Strict Turnstile
-// streams with decrements, and for sketches that will be merged/subtracted.
-func NewCountMin(opt Options) *CountMin {
+// buildCountMin realizes a CountMinOf/ConservativeOf leaf. By default
+// SALSA mode uses max-merge, which is correct for the Cash Register
+// streams (non-negative updates) most callers have; set Merge: MergeSum
+// for Strict Turnstile streams with decrements, and for sketches that will
+// be merged/subtracted.
+func buildCountMin(opt Options, conservative bool) (*CountMin, error) {
+	kind := kindCountMin
+	if conservative {
+		kind = kindConservative
+	}
+	if err := opt.validateFor(kind); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(4, MergeMax)
-	opt.validate()
-	return &CountMin{sk: sketch.NewCMS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed), opt: opt}
+	var sk *sketch.CMS
+	if conservative {
+		sk = sketch.NewCUS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
+	} else {
+		sk = sketch.NewCMS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
+	}
+	return &CountMin{sk: sk, opt: opt, conservative: conservative}, nil
+}
+
+// NewCountMin returns a Count-Min Sketch, panicking on invalid Options.
+//
+// Deprecated: Use Build(CountMinOf(opt)), which returns construction
+// errors instead of panicking and composes with Windowed/ShardedBy.
+func NewCountMin(opt Options) *CountMin {
+	return mustSketch(buildCountMin(opt, false))
 }
 
 // NewConservativeUpdate returns a Conservative Update Sketch: CMS accuracy
 // improved by only raising the counters that constrain the estimate (§III).
 // Restricted to the Cash Register model; SALSA rows use max-merge
 // (Theorem V.3).
+//
+// Deprecated: Use Build(ConservativeOf(opt)).
 func NewConservativeUpdate(opt Options) *CountMin {
-	opt = opt.withDefaults(4, MergeMax)
-	opt.validate()
-	return &CountMin{
-		sk:           sketch.NewCUS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed),
-		opt:          opt,
-		conservative: true,
-	}
+	return mustSketch(buildCountMin(opt, true))
 }
 
 func rowSpec(opt Options) sketch.RowSpec {
@@ -115,10 +134,24 @@ type Monitor struct {
 	heap *topk.Heap
 }
 
+// buildMonitor realizes a MonitorOf leaf.
+func buildMonitor(opt Options, k int) (*Monitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	}
+	cm, err := buildCountMin(opt, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{cm: cm, heap: topk.New(k)}, nil
+}
+
 // NewMonitor returns a Monitor tracking the k items with the largest
 // estimates over the given sketch options.
+//
+// Deprecated: Use Build(MonitorOf(opt, k)).
 func NewMonitor(opt Options, k int) *Monitor {
-	return &Monitor{cm: NewConservativeUpdate(opt), heap: topk.New(k)}
+	return mustSketch(buildMonitor(opt, k))
 }
 
 // Process records one occurrence of item and refreshes its heap entry.

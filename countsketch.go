@@ -17,29 +17,30 @@ type CountSketch struct {
 	opt Options
 }
 
-// NewCountSketch returns a Count Sketch. Merge policy is always sum.
-func NewCountSketch(opt Options) *CountSketch {
+// buildCountSketch realizes a CountSketchOf leaf. Merge policy is always
+// sum; ModeTango and MergeMax are composition errors.
+func buildCountSketch(opt Options) (*CountSketch, error) {
+	if err := opt.validateFor(kindCountSketch); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(5, MergeSum)
-	opt.validate()
-	return &CountSketch{sk: sketch.NewCountSketch(opt.Depth, opt.Width, signedRowSpec(opt), opt.Seed), opt: opt}
+	return &CountSketch{sk: sketch.NewCountSketch(opt.Depth, opt.Width, signedRowSpec(opt), opt.Seed), opt: opt}, nil
+}
+
+// NewCountSketch returns a Count Sketch, panicking on invalid Options.
+//
+// Deprecated: Use Build(CountSketchOf(opt)), which returns construction
+// errors instead of panicking and composes with Windowed/ShardedBy.
+func NewCountSketch(opt Options) *CountSketch {
+	return mustSketch(buildCountSketch(opt))
 }
 
 // signedRowSpec maps validated Options to the Count Sketch row constructor.
 func signedRowSpec(opt Options) sketch.SignedRowSpec {
-	if opt.Merge == MergeMax {
-		panic("salsa: CountSketch requires MergeSum (signed counters)")
-	}
-	switch opt.Mode {
-	case ModeBaseline:
+	if opt.Mode == ModeBaseline {
 		return sketch.FixedSignRow(opt.CounterBits)
-	case ModeTango:
-		panic("salsa: CountSketch does not support ModeTango")
-	default:
-		if opt.CounterBits < 2 {
-			panic(fmt.Sprintf("salsa: CountSketch needs at least 2-bit counters, got %d", opt.CounterBits))
-		}
-		return sketch.SalsaSignRow(opt.CounterBits, opt.CompactEncoding)
 	}
+	return sketch.SalsaSignRow(opt.CounterBits, opt.CompactEncoding)
 }
 
 // Update adds count occurrences of item (count of either sign).
@@ -91,16 +92,46 @@ type TopK struct {
 	heap *topk.Heap
 }
 
+// buildTopK realizes a TopKOf leaf.
+func buildTopK(opt Options, k int) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("salsa: topk needs a positive k, got %d", k)
+	}
+	cs, err := buildCountSketch(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{cs: cs, heap: topk.New(k)}, nil
+}
+
 // NewTopK returns a Count Sketch top-k tracker.
+//
+// Deprecated: Use Build(TopKOf(opt, k)).
 func NewTopK(opt Options, k int) *TopK {
-	return &TopK{cs: NewCountSketch(opt), heap: topk.New(k)}
+	return mustSketch(buildTopK(opt, k))
 }
 
 // Process records one occurrence of item and refreshes its heap entry.
-func (t *TopK) Process(item uint64) {
-	t.cs.Increment(item)
+func (t *TopK) Process(item uint64) { t.Update(item, 1) }
+
+// Update records count occurrences of item (count of either sign) and
+// refreshes its heap entry; with it TopK satisfies Sketch.
+func (t *TopK) Update(item uint64, count int64) {
+	t.cs.Update(item, count)
 	t.heap.Offer(item, t.cs.Query(item))
 }
+
+// UpdateBatch records count occurrences of every item, in order. The heap
+// refresh couples items, so this is a per-item loop kept for the Sketch
+// interface; identical to sequential Updates.
+func (t *TopK) UpdateBatch(items []uint64, count int64) {
+	for _, x := range items {
+		t.Update(x, count)
+	}
+}
+
+// MemoryBits returns the underlying sketch footprint in bits.
+func (t *TopK) MemoryBits() int { return t.cs.MemoryBits() }
 
 // Sketch exposes the underlying CountSketch.
 func (t *TopK) Sketch() *CountSketch { return t.cs }
@@ -124,7 +155,10 @@ type ChangeDetector struct {
 
 // NewChangeDetector returns a detector; opt.Merge must be sum (default).
 func NewChangeDetector(opt Options) *ChangeDetector {
-	return &ChangeDetector{before: NewCountSketch(opt), after: NewCountSketch(opt)}
+	return &ChangeDetector{
+		before: mustSketch(buildCountSketch(opt)),
+		after:  mustSketch(buildCountSketch(opt)),
+	}
 }
 
 // ObserveBefore records an item in the first epoch.

@@ -1,0 +1,688 @@
+package salsa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"salsa/internal/sketch"
+	"salsa/internal/topk"
+	"salsa/internal/window"
+)
+
+// The universal envelope: one self-describing binary format for every
+// topology the Spec algebra can express. A payload is
+//
+//	magic(4) | version(1) | type tag(1) | type-specific payload
+//
+// and composite topologies nest recursively — a sharded payload carries
+// one complete envelope per shard, a windowed payload one bucket sketch
+// per ring position plus the ring odometer, and the tracker types carry
+// their heaps. Marshal(x) followed by Unmarshal therefore round-trips any
+// sketch this package can build, and the decoded sketch is fully
+// operational: windowed rings resume rotating mid-bucket, sharded
+// topologies keep routing items to the shard that sketched them, and —
+// since hash seeds travel with every layer — decoded sketches Merge with
+// their seed-sharing peers from other processes, the paper's distributed
+// use case (§V) at full generality. Re-marshaling a decoded sketch
+// reproduces the payload byte for byte.
+//
+// Decoding is hardened against hostile bytes: every declared geometry is
+// length-checked against the remaining payload before allocation, bucket
+// sketches are verified merge-compatible with their ring's declared
+// configuration before any merge runs, and all failures are errors, never
+// panics.
+
+const (
+	envMagic   = uint32(0x5a15ae9e)
+	envVersion = byte(1)
+
+	tagCountMin            = byte(1)
+	tagCountSketch         = byte(2)
+	tagMonitor             = byte(3)
+	tagTopK                = byte(4)
+	tagWindowedCountMin    = byte(5)
+	tagWindowedCountSketch = byte(6)
+	tagWindowedMonitor     = byte(7)
+	tagSharded             = byte(8)
+)
+
+// Decoder bounds for hostile payloads; canonical payloads respect them by
+// construction (maxWindowBuckets also bounds the builders).
+const (
+	maxShards = 1 << 16
+	maxHeapK  = 1 << 32
+)
+
+// ErrUnsupportedTopology is returned by Marshal for sketches outside the
+// envelope's type set.
+var ErrUnsupportedTopology = errors.New("salsa: topology does not support the universal envelope")
+
+func envHeader(tag byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(make([]byte, 0, 64), envMagic)
+	return append(buf, envVersion, tag)
+}
+
+func appendBlock(buf, block []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(block)))
+	return append(buf, block...)
+}
+
+func readBlock(data []byte) (block, rest []byte, err error) {
+	if len(data) < 8 {
+		return nil, nil, ErrBadPayload
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if uint64(len(data)) < n {
+		return nil, nil, ErrBadPayload
+	}
+	return data[:n], data[n:], nil
+}
+
+// Marshal encodes any supported sketch topology into the universal
+// envelope. Sharded topologies are snapshotted consistently: every shard
+// lock is held for the duration, so the payload is a point-in-time image
+// even under concurrent ingestion.
+func Marshal(s Sketch) ([]byte, error) {
+	switch x := s.(type) {
+	case *CountMin:
+		payload, err := x.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return appendBlock(envHeader(tagCountMin), payload), nil
+	case *CountSketch:
+		payload, err := x.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return appendBlock(envHeader(tagCountSketch), payload), nil
+	case *Monitor:
+		payload, err := x.cm.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf := binary.LittleEndian.AppendUint64(envHeader(tagMonitor), uint64(x.heap.Cap()))
+		buf = appendBlock(buf, payload)
+		return appendHeap(buf, x.heap), nil
+	case *TopK:
+		payload, err := x.cs.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf := binary.LittleEndian.AppendUint64(envHeader(tagTopK), uint64(x.heap.Cap()))
+		buf = appendBlock(buf, payload)
+		return appendHeap(buf, x.heap), nil
+	case *WindowedCountMin:
+		payload, err := marshalWindowedCMS(x)
+		if err != nil {
+			return nil, err
+		}
+		return append(envHeader(tagWindowedCountMin), payload...), nil
+	case *WindowedCountSketch:
+		payload, err := marshalWindowedCS(x)
+		if err != nil {
+			return nil, err
+		}
+		return append(envHeader(tagWindowedCountSketch), payload...), nil
+	case *WindowedMonitor:
+		payload, err := marshalWindowedCMS(x.w)
+		if err != nil {
+			return nil, err
+		}
+		buf := binary.LittleEndian.AppendUint64(envHeader(tagWindowedMonitor), uint64(x.k))
+		buf = appendBlock(buf, payload)
+		for _, h := range x.heaps {
+			buf = appendHeap(buf, h)
+		}
+		return buf, nil
+	case *ShardedCountMin:
+		return marshalShards(x.Sharded)
+	case *ShardedCountSketch:
+		return marshalShards(x.Sharded)
+	case *ShardedMonitor:
+		return marshalShards(x.Sharded)
+	case *ShardedWindowedCountMin:
+		return marshalShards(x.Sharded)
+	case *ShardedWindowedCountSketch:
+		return marshalShards(x.Sharded)
+	case *Sharded[*CountMin]:
+		return marshalShards(x)
+	case *Sharded[*CountSketch]:
+		return marshalShards(x)
+	case *Sharded[*Monitor]:
+		return marshalShards(x)
+	case *Sharded[*WindowedCountMin]:
+		return marshalShards(x)
+	case *Sharded[*WindowedCountSketch]:
+		return marshalShards(x)
+	}
+	return nil, fmt.Errorf("%w: %T", ErrUnsupportedTopology, s)
+}
+
+// Unmarshal decodes a universal-envelope payload into its topology's
+// concrete type behind the Sketch interface; type-assert for the query
+// surface (sharded topologies come back as their typed wrappers, e.g.
+// *ShardedWindowedCountMin). Arbitrary or corrupted bytes are rejected
+// with an error, never a panic, and decoder allocation is bounded by the
+// payload length.
+func Unmarshal(data []byte) (Sketch, error) {
+	return unmarshalEnvelope(data, true)
+}
+
+// unmarshalEnvelope decodes one envelope; allowSharded is false for the
+// nested per-shard envelopes, so hostile payloads cannot nest sharded
+// layers the Spec algebra cannot express (and recursion stays bounded).
+func unmarshalEnvelope(data []byte, allowSharded bool) (Sketch, error) {
+	if len(data) < 6 {
+		return nil, ErrBadPayload
+	}
+	if binary.LittleEndian.Uint32(data) != envMagic {
+		return nil, ErrBadPayload
+	}
+	if data[4] != envVersion {
+		return nil, fmt.Errorf("salsa: unknown envelope version %d", data[4])
+	}
+	tag := data[5]
+	payload := data[6:]
+	switch tag {
+	case tagCountMin:
+		block, rest, err := readBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return UnmarshalCountMin(block)
+	case tagCountSketch:
+		block, rest, err := readBlock(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return UnmarshalCountSketch(block)
+	case tagMonitor:
+		k, block, rest, err := readTrackerHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := UnmarshalCountMin(block)
+		if err != nil {
+			return nil, err
+		}
+		// A Monitor is always CU-backed (buildMonitor); reject hostile
+		// payloads claiming otherwise, as the windowed decoder does.
+		if !cm.conservative {
+			return nil, ErrBadPayload
+		}
+		heap, rest, err := readHeap(rest, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return &Monitor{cm: cm, heap: heap}, nil
+	case tagTopK:
+		k, block, rest, err := readTrackerHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := UnmarshalCountSketch(block)
+		if err != nil {
+			return nil, err
+		}
+		heap, rest, err := readHeap(rest, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return &TopK{cs: cs, heap: heap}, nil
+	case tagWindowedCountMin:
+		w, rest, err := unmarshalWindowedCMS(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return w, nil
+	case tagWindowedCountSketch:
+		w, rest, err := unmarshalWindowedCS(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadPayload
+		}
+		return w, nil
+	case tagWindowedMonitor:
+		return unmarshalWindowedMonitor(payload)
+	case tagSharded:
+		if !allowSharded {
+			return nil, errors.New("salsa: nested sharded envelope")
+		}
+		return unmarshalSharded(payload)
+	}
+	return nil, fmt.Errorf("salsa: unknown envelope tag %d", tag)
+}
+
+// readTrackerHeader reads the k + sketch-block prefix shared by the
+// Monitor and TopK payloads.
+func readTrackerHeader(data []byte) (k int, block, rest []byte, err error) {
+	if len(data) < 8 {
+		return 0, nil, nil, ErrBadPayload
+	}
+	kk := binary.LittleEndian.Uint64(data)
+	if kk == 0 || kk > maxHeapK {
+		return 0, nil, nil, fmt.Errorf("salsa: heap capacity %d out of range", kk)
+	}
+	block, rest, err = readBlock(data[8:])
+	return int(kk), block, rest, err
+}
+
+// appendHeap encodes a candidate heap: the entry count followed by the
+// entries in internal heap-array order, so a decoded heap re-marshals
+// byte-identically.
+func appendHeap(buf []byte, h *topk.Heap) []byte {
+	entries := h.Snapshot()
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Item)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Count))
+	}
+	return buf
+}
+
+// readHeap decodes a heap of capacity k. The entry count is length-checked
+// against the remaining payload before allocating, and topk.Restore
+// allocates proportionally to the entries, not k.
+func readHeap(data []byte, k int) (*topk.Heap, []byte, error) {
+	if len(data) < 8 {
+		return nil, nil, ErrBadPayload
+	}
+	n := binary.LittleEndian.Uint64(data)
+	data = data[8:]
+	if n > uint64(len(data))/16 {
+		return nil, nil, ErrBadPayload
+	}
+	entries := make([]topk.Entry, n)
+	for i := range entries {
+		entries[i].Item = binary.LittleEndian.Uint64(data)
+		entries[i].Count = int64(binary.LittleEndian.Uint64(data[8:]))
+		data = data[16:]
+	}
+	h, err := topk.Restore(k, entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, data, nil
+}
+
+// marshalWindowedCMS encodes a windowed CMS ring: the Options, the ring
+// odometer (current position, per-bucket counts, rotations), and every
+// bucket sketch in ring-storage order. The derived closed/view merges are
+// not serialized; the decoder rebuilds them with the same merge order
+// rotation uses, so decoded query answers are bit-for-bit identical.
+func marshalWindowedCMS(w *WindowedCountMin) ([]byte, error) {
+	buf := appendOptions(nil, w.opt)
+	buf = append(buf, boolByte(w.conservative))
+	buf = appendRingHeader(buf, w.ring.Buckets(), w.ring.Interval(), w.ring.CurIndex(), w.ring.Rotations())
+	for i := 0; i < w.ring.Buckets(); i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, w.ring.CountAt(i))
+	}
+	for i := 0; i < w.ring.Buckets(); i++ {
+		payload, err := w.ring.BucketAt(i).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = appendBlock(buf, payload)
+	}
+	return buf, nil
+}
+
+// marshalWindowedCS is marshalWindowedCMS for the Count Sketch ring.
+func marshalWindowedCS(w *WindowedCountSketch) ([]byte, error) {
+	buf := appendOptions(nil, w.opt)
+	buf = append(buf, 0) // layout parity with the CMS ring (no CU flag)
+	buf = appendRingHeader(buf, w.ring.Buckets(), w.ring.Interval(), w.ring.CurIndex(), w.ring.Rotations())
+	for i := 0; i < w.ring.Buckets(); i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, w.ring.CountAt(i))
+	}
+	for i := 0; i < w.ring.Buckets(); i++ {
+		payload, err := w.ring.BucketAt(i).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = appendBlock(buf, payload)
+	}
+	return buf, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendRingHeader(buf []byte, buckets int, interval uint64, cur int, rotations uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(buckets))
+	buf = binary.LittleEndian.AppendUint64(buf, interval)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cur))
+	return binary.LittleEndian.AppendUint64(buf, rotations)
+}
+
+// ringHeader is the decoded fixed-size prefix of a windowed payload.
+type ringHeader struct {
+	opt          Options
+	conservative bool
+	buckets      int
+	interval     uint64
+	cur          int
+	rotations    uint64
+	counts       []uint64
+}
+
+// readRingHeader decodes and bounds-checks the windowed prefix shared by
+// both ring flavors. The bucket count is checked against both the
+// builders' limit and the remaining payload (each bucket needs its count
+// word and block length at minimum) before any allocation.
+func readRingHeader(data []byte) (ringHeader, []byte, error) {
+	var h ringHeader
+	opt, rest, err := readOptions(data)
+	if err != nil {
+		return h, nil, err
+	}
+	if len(rest) < 1+4*8 {
+		return h, nil, ErrBadPayload
+	}
+	h.opt = opt
+	h.conservative = rest[0] == 1
+	rest = rest[1:]
+	buckets := binary.LittleEndian.Uint64(rest)
+	h.interval = binary.LittleEndian.Uint64(rest[8:])
+	cur := binary.LittleEndian.Uint64(rest[16:])
+	h.rotations = binary.LittleEndian.Uint64(rest[24:])
+	rest = rest[32:]
+	if buckets == 0 || buckets > maxWindowBuckets || cur >= buckets {
+		return h, nil, ErrBadPayload
+	}
+	if h.interval > 1<<62 {
+		return h, nil, ErrBadPayload
+	}
+	if uint64(len(rest)) < buckets*16 {
+		return h, nil, ErrBadPayload
+	}
+	h.buckets, h.cur = int(buckets), int(cur)
+	h.counts = make([]uint64, h.buckets)
+	for i := range h.counts {
+		h.counts[i] = binary.LittleEndian.Uint64(rest[i*8:])
+	}
+	return h, rest[h.buckets*8:], nil
+}
+
+// boundRingGeometry rejects declared (defaults-applied) ring Options whose
+// reference-sketch construction alone would allocate far beyond anything
+// the remaining payload can justify. Every canonical bucket payload
+// carries at least one bit per base counter per row (CounterBits ≥ 1), so
+// a ring's payload holds ≥ Depth×Width/8 bytes; a hostile header claiming
+// a huge geometry over a tiny payload must fail here, before ops.New
+// builds the Depth×Width reference arena.
+func boundRingGeometry(opt Options, remaining int) error {
+	if opt.Depth*opt.Width > 8*remaining+4096 {
+		return ErrBadPayload
+	}
+	return nil
+}
+
+// unmarshalWindowedCMS decodes a windowed CMS ring, verifying every bucket
+// is merge-compatible with the declared Options before the ring's
+// closed-bucket merge is rebuilt.
+func unmarshalWindowedCMS(data []byte) (*WindowedCountMin, []byte, error) {
+	h, rest, err := readRingHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	kind := kindCountMin
+	if h.conservative {
+		kind = kindConservative
+	}
+	if err := h.opt.validateFor(kind); err != nil {
+		return nil, nil, err
+	}
+	if err := validateWindow(h.opt, h.buckets, 0); err != nil {
+		return nil, nil, err
+	}
+	// Match the builder's defaults so the reference ops reconstruct the
+	// exact bucket configuration the ring was built with (canonical
+	// payloads carry defaults-applied Options already; hostile ones with
+	// zero Depth/CounterBits must not reach the row constructors raw).
+	h.opt = h.opt.withDefaults(4, MergeSum)
+	if err := boundRingGeometry(h.opt, len(rest)); err != nil {
+		return nil, nil, err
+	}
+	ops := cmsRingOps(h.opt, h.conservative)
+	ref := ops.New()
+	buckets := make([]*sketch.CMS, h.buckets)
+	for i := range buckets {
+		block, r, err := readBlock(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = r
+		b, err := sketch.UnmarshalCMS(block)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ref.CompatibleWith(b); err != nil {
+			return nil, nil, fmt.Errorf("salsa: bucket %d does not match the window options: %w", i, err)
+		}
+		buckets[i] = b
+	}
+	ring, err := window.RestoreRing(buckets, h.counts, h.cur, h.rotations, h.interval, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WindowedCountMin{ring: ring, opt: h.opt, conservative: h.conservative}, rest, nil
+}
+
+// unmarshalWindowedCS is unmarshalWindowedCMS for the Count Sketch ring.
+func unmarshalWindowedCS(data []byte) (*WindowedCountSketch, []byte, error) {
+	h, rest, err := readRingHeader(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.conservative {
+		return nil, nil, ErrBadPayload
+	}
+	if err := h.opt.validateFor(kindCountSketch); err != nil {
+		return nil, nil, err
+	}
+	if err := validateWindow(h.opt, h.buckets, 0); err != nil {
+		return nil, nil, err
+	}
+	// Match the builder's defaults so the reference ops reconstruct the
+	// exact bucket configuration the ring was built with.
+	h.opt = h.opt.withDefaults(5, MergeSum)
+	if err := boundRingGeometry(h.opt, len(rest)); err != nil {
+		return nil, nil, err
+	}
+	ops := csRingOps(h.opt)
+	ref := ops.New()
+	buckets := make([]*sketch.CountSketch, h.buckets)
+	for i := range buckets {
+		block, r, err := readBlock(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = r
+		b, err := sketch.UnmarshalCountSketch(block)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ref.CompatibleWith(b); err != nil {
+			return nil, nil, fmt.Errorf("salsa: bucket %d does not match the window options: %w", i, err)
+		}
+		buckets[i] = b
+	}
+	ring, err := window.RestoreRing(buckets, h.counts, h.cur, h.rotations, h.interval, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WindowedCountSketch{ring: ring, opt: h.opt}, rest, nil
+}
+
+// unmarshalWindowedMonitor decodes a windowed heavy-hitter tracker: the
+// underlying windowed CU ring plus one candidate heap per ring position.
+func unmarshalWindowedMonitor(data []byte) (Sketch, error) {
+	if len(data) < 8 {
+		return nil, ErrBadPayload
+	}
+	kk := binary.LittleEndian.Uint64(data)
+	if kk == 0 || kk > maxHeapK {
+		return nil, fmt.Errorf("salsa: heap capacity %d out of range", kk)
+	}
+	k := int(kk)
+	block, rest, err := readBlock(data[8:])
+	if err != nil {
+		return nil, err
+	}
+	w, tail, err := unmarshalWindowedCMS(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(tail) != 0 || !w.conservative {
+		return nil, ErrBadPayload
+	}
+	heaps := make([]*topk.Heap, w.Buckets())
+	for i := range heaps {
+		h, r, err := readHeap(rest, k)
+		if err != nil {
+			return nil, err
+		}
+		heaps[i], rest = h, r
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadPayload
+	}
+	m := &WindowedMonitor{w: w, heaps: heaps, k: k}
+	m.w.ring.OnRotate(func(cur int) { m.heaps[cur].Reset() })
+	return m, nil
+}
+
+// marshalShards encodes a sharded topology: the routing seed, the shard
+// count, and one nested envelope per shard in shard order. Every shard
+// lock is held for the whole snapshot, so the payload is consistent even
+// under concurrent ingestion.
+func marshalShards[S Sketch](s *Sharded[S]) ([]byte, error) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+	buf := binary.LittleEndian.AppendUint64(envHeader(tagSharded), s.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.shards)))
+	for i := range s.shards {
+		blob, err := Marshal(s.shards[i].sk)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendBlock(buf, blob)
+	}
+	return buf, nil
+}
+
+// unmarshalSharded decodes a sharded topology into its typed wrapper,
+// dispatching on the decoded shard type. Every shard must decode to the
+// same concrete type; the shard count must be the power of two the
+// Sharded router requires.
+func unmarshalSharded(data []byte) (Sketch, error) {
+	if len(data) < 16 {
+		return nil, ErrBadPayload
+	}
+	routeSeed := binary.LittleEndian.Uint64(data)
+	n := binary.LittleEndian.Uint64(data[8:])
+	data = data[16:]
+	if n == 0 || n > maxShards || n&(n-1) != 0 {
+		return nil, ErrBadPayload
+	}
+	if uint64(len(data)) < n*8 {
+		return nil, ErrBadPayload
+	}
+	sks := make([]Sketch, n)
+	for i := range sks {
+		block, rest, err := readBlock(data)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		sk, err := unmarshalEnvelope(block, false)
+		if err != nil {
+			return nil, err
+		}
+		sks[i] = sk
+	}
+	if len(data) != 0 {
+		return nil, ErrBadPayload
+	}
+	switch sks[0].(type) {
+	case *CountMin:
+		shards, err := typedShards[*CountMin](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedCountMin{newShardedFromShards(routeSeed, shards)}, nil
+	case *CountSketch:
+		shards, err := typedShards[*CountSketch](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedCountSketch{newShardedFromShards(routeSeed, shards)}, nil
+	case *Monitor:
+		shards, err := typedShards[*Monitor](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedMonitor{
+			Sharded: newShardedFromShards(routeSeed, shards),
+			k:       shards[0].heap.Cap(),
+		}, nil
+	case *WindowedCountMin:
+		shards, err := typedShards[*WindowedCountMin](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedWindowedCountMin{newShardedFromShards(routeSeed, shards)}, nil
+	case *WindowedCountSketch:
+		shards, err := typedShards[*WindowedCountSketch](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedWindowedCountSketch{newShardedFromShards(routeSeed, shards)}, nil
+	}
+	return nil, fmt.Errorf("salsa: shard type %T cannot back a sharded topology", sks[0])
+}
+
+// typedShards narrows decoded shard sketches to one concrete type,
+// rejecting mixed-type payloads.
+func typedShards[S Sketch](sks []Sketch) ([]S, error) {
+	out := make([]S, len(sks))
+	for i, sk := range sks {
+		s, ok := sk.(S)
+		if !ok {
+			return nil, fmt.Errorf("salsa: shard %d type %T does not match shard 0", i, sk)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+package salsa
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// roundTripItems is a deterministic mixed-skew probe stream.
+var roundTripItems = func() []uint64 {
+	items := make([]uint64, 4000)
+	x := uint64(0x243f6a8885a308d3)
+	for i := range items {
+		x = x*6364136223846793005 + 1442695040888963407
+		items[i] = x >> 52 // ~4k distinct values, heavy collisions
+	}
+	return items
+}()
+
+// universalTopologies enumerates one representative spec per topology in
+// the algebra, including mode/encoding variants of the leaves. Every entry
+// must round-trip through Marshal/Unmarshal byte-identically.
+func universalTopologies() []struct {
+	name string
+	spec Spec
+} {
+	opt := Options{Width: 256, Seed: 9}
+	sum := Options{Width: 256, Merge: MergeSum, Seed: 9}
+	return []struct {
+		name string
+		spec Spec
+	}{
+		{"countmin-salsa", CountMinOf(opt)},
+		{"countmin-baseline", CountMinOf(Options{Width: 128, Mode: ModeBaseline, Seed: 9})},
+		{"countmin-compact", CountMinOf(Options{Width: 256, CompactEncoding: true, Seed: 9})},
+		{"countmin-sum", CountMinOf(sum)},
+		{"conservative", ConservativeOf(opt)},
+		{"countsketch-salsa", CountSketchOf(opt)},
+		{"countsketch-baseline", CountSketchOf(Options{Width: 128, Mode: ModeBaseline, Seed: 9})},
+		{"monitor", MonitorOf(opt, 8)},
+		{"topk", TopKOf(opt, 8)},
+		{"windowed-countmin", Windowed(CountMinOf(opt), 4, 700)},
+		{"windowed-conservative", Windowed(ConservativeOf(opt), 3, 900)},
+		{"windowed-countsketch", Windowed(CountSketchOf(opt), 4, 700)},
+		{"windowed-monitor", Windowed(MonitorOf(opt, 6), 3, 900)},
+		{"windowed-tick-driven", Windowed(CountMinOf(opt), 4, 0)},
+		{"sharded-countmin", ShardedBy(CountMinOf(opt), 4)},
+		{"sharded-conservative", ShardedBy(ConservativeOf(opt), 2)},
+		{"sharded-countsketch", ShardedBy(CountSketchOf(opt), 4)},
+		{"sharded-monitor", ShardedBy(MonitorOf(opt, 8), 2)},
+		{"sharded-windowed-countmin", ShardedBy(Windowed(CountMinOf(opt), 3, 500), 4)},
+		{"sharded-windowed-countsketch", ShardedBy(Windowed(CountSketchOf(opt), 3, 500), 4)},
+	}
+}
+
+// ingestRoundTrip streams enough items that count-rotated windows are
+// mid-bucket with retired buckets behind them, then lands one explicit
+// Tick on tickable topologies so the decoded ring must also resume from a
+// just-rotated state in the tick-driven case.
+func ingestRoundTrip(s Sketch, items []uint64) {
+	s.UpdateBatch(items[:len(items)/2], 1)
+	if tk, ok := s.(interface{ Tick() }); ok {
+		tk.Tick()
+	}
+	s.UpdateBatch(items[len(items)/2:], 1)
+}
+
+// observe captures the query surface of any topology: per-item estimates
+// (normalized to int64) plus the tracker candidate sets where present.
+func observe(t *testing.T, s Sketch, items []uint64) []int64 {
+	t.Helper()
+	var out []int64
+	q := func(item uint64) int64 {
+		switch x := s.(type) {
+		case *CountMin:
+			return int64(x.Query(item))
+		case *CountSketch:
+			return x.Query(item)
+		case *Monitor:
+			return int64(x.Sketch().Query(item))
+		case *TopK:
+			return x.Sketch().Query(item)
+		case *WindowedCountMin:
+			return int64(x.Query(item))
+		case *WindowedCountSketch:
+			return x.Query(item)
+		case *WindowedMonitor:
+			return int64(x.Query(item))
+		case *ShardedCountMin:
+			return int64(x.Query(item))
+		case *ShardedCountSketch:
+			return x.Query(item)
+		case *ShardedMonitor:
+			return int64(x.Query(item))
+		case *ShardedWindowedCountMin:
+			return int64(x.Query(item))
+		case *ShardedWindowedCountSketch:
+			return x.Query(item)
+		}
+		t.Fatalf("observe: unhandled topology %T", s)
+		return 0
+	}
+	for _, x := range items[:256] {
+		out = append(out, q(x))
+	}
+	type topper interface{ Top() []ItemCount }
+	if tp, ok := s.(topper); ok {
+		for _, e := range tp.Top() {
+			out = append(out, int64(e.Item), e.Count)
+		}
+	}
+	return out
+}
+
+func equalObservations(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUniversalRoundTrip is the envelope's core contract: for every
+// topology, Unmarshal(Marshal(x)) re-marshals byte-identically, answers
+// identical queries, and keeps evolving identically to the original under
+// further ingestion (proving the ring odometers, shard routing, and heaps
+// were restored exactly, not just the counters).
+func TestUniversalRoundTrip(t *testing.T) {
+	for _, tc := range universalTopologies() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustBuild(tc.spec)
+			ingestRoundTrip(s, roundTripItems)
+
+			blob, err := Marshal(s)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			back, err := Unmarshal(blob)
+			if err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if fmt.Sprintf("%T", back) != fmt.Sprintf("%T", s) {
+				t.Fatalf("decoded type %T, want %T", back, s)
+			}
+			blob2, err := Marshal(back)
+			if err != nil {
+				t.Fatalf("re-Marshal: %v", err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatalf("re-marshal differs: %d vs %d bytes", len(blob), len(blob2))
+			}
+			if !equalObservations(observe(t, s, roundTripItems), observe(t, back, roundTripItems)) {
+				t.Fatal("decoded sketch answers differ")
+			}
+
+			// The decoded topology must keep evolving exactly like the
+			// original: same rotations, same shard routing, same heap
+			// displacement decisions.
+			more := roundTripItems[:1500]
+			s.UpdateBatch(more, 1)
+			back.UpdateBatch(more, 1)
+			if tk, ok := s.(interface{ Tick() }); ok {
+				tk.Tick()
+				back.(interface{ Tick() }).Tick()
+				s.UpdateBatch(more, 1)
+				back.UpdateBatch(more, 1)
+			}
+			if !equalObservations(observe(t, s, roundTripItems), observe(t, back, roundTripItems)) {
+				t.Fatal("decoded sketch diverges under further ingestion")
+			}
+			b1, err := Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("original and decoded marshal differently after further ingestion")
+			}
+		})
+	}
+}
+
+// TestUniversalMergeAcrossProcesses is the distributed scenario at full
+// generality: a decoded sketch merges with a seed-sharing peer it never
+// met, matching the all-local merge bit for bit.
+func TestUniversalMergeAcrossProcesses(t *testing.T) {
+	opt := Options{Width: 512, Merge: MergeSum, Seed: 21}
+	a := MustBuild(CountMinOf(opt)).(*CountMin)
+	b := MustBuild(CountMinOf(opt)).(*CountMin)
+	a.UpdateBatch(roundTripItems[:2000], 1)
+	b.UpdateBatch(roundTripItems[2000:], 1)
+
+	blob, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := remote.(*CountMin)
+	merged.Merge(b)
+
+	local := MustBuild(CountMinOf(opt)).(*CountMin)
+	local.UpdateBatch(roundTripItems, 1)
+	lb, err := local.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, mb) {
+		t.Fatal("decoded+merged sketch differs from the all-local union")
+	}
+}
+
+// TestUniversalShardedSnapshotUnderIngestion: Marshal on a sharded
+// topology under concurrent writers must produce a decodable, internally
+// consistent payload (all shard locks are held for the snapshot).
+func TestUniversalShardedSnapshotUnderIngestion(t *testing.T) {
+	s := MustBuild(ShardedBy(Windowed(CountMinOf(Options{Width: 256, Seed: 4}), 3, 400), 4)).(*ShardedWindowedCountMin)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Update(uint64(g*1000+i%500), 1)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		blob, err := Marshal(s)
+		if err != nil {
+			t.Errorf("Marshal under ingestion: %v", err)
+			break
+		}
+		back, err := Unmarshal(blob)
+		if err != nil {
+			t.Errorf("snapshot does not decode: %v", err)
+			break
+		}
+		if blob2, err := Marshal(back); err != nil || !bytes.Equal(blob, blob2) {
+			t.Errorf("snapshot not byte-stable (err=%v)", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUniversalRejectsGarbage covers the envelope's hostile-byte edges the
+// fuzz target then explores at depth.
+func TestUniversalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("accepted nil")
+	}
+	if _, err := Unmarshal([]byte("definitely not a sketch")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	blob, err := Marshal(MustBuild(CountMinOf(Options{Width: 64, Seed: 1})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong version.
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+	// Unknown tag.
+	bad = append([]byte(nil), blob...)
+	bad[5] = 200
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted unknown tag")
+	}
+	// The old per-type format is not an envelope.
+	cm := MustBuild(CountMinOf(Options{Width: 64, Seed: 1})).(*CountMin)
+	old, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(old); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("per-type payload: got %v, want ErrBadPayload", err)
+	}
+	// Tango cannot serialize; Marshal must say so, not panic.
+	tango := MustBuild(CountMinOf(Options{Width: 64, Mode: ModeTango, Seed: 1}))
+	if _, err := Marshal(tango); err == nil {
+		t.Fatal("marshaled a Tango sketch")
+	}
+}
+
+// TestUniversalRejectsHugeDeclaredGeometry: a tiny windowed payload whose
+// Options header declares an enormous (but power-of-two, so
+// Validate-passing) Width must be rejected before the decoder builds the
+// reference sketch — previously this was an unrecoverable OOM, not an
+// error.
+func TestUniversalRejectsHugeDeclaredGeometry(t *testing.T) {
+	w := MustBuild(Windowed(CountMinOf(Options{Width: 64, Seed: 1}), 2, 10)).(*WindowedCountMin)
+	w.Increment(1)
+	blob, err := Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The windowed payload starts with the Options header right after the
+	// 6-byte envelope header: magic u32, then 7 u64 fields with Width at
+	// index 1.
+	bad := append([]byte(nil), blob...)
+	widthOff := 6 + 4 + 8
+	for i := 0; i < 8; i++ {
+		bad[widthOff+i] = 0
+	}
+	bad[widthOff+5] = 1 // Width = 1<<40
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted a payload declaring a 2^40-slot ring")
+	}
+}
+
+// TestUniversalRejectsTruncationAndTrailing: every strict prefix of every
+// topology's canonical payload must error, and trailing garbage must not
+// be silently ignored.
+func TestUniversalRejectsTruncationAndTrailing(t *testing.T) {
+	for _, tc := range universalTopologies() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustBuild(tc.spec)
+			ingestRoundTrip(s, roundTripItems[:1200])
+			blob, err := Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := 1
+			if len(blob) > 4096 {
+				step = len(blob) / 4096
+			}
+			for i := 0; i < len(blob); i += step {
+				if _, err := Unmarshal(blob[:i]); err == nil {
+					t.Fatalf("accepted truncation to %d of %d bytes", i, len(blob))
+				}
+			}
+			if _, err := Unmarshal(append(append([]byte(nil), blob...), 0xEE)); err == nil {
+				t.Fatal("accepted trailing garbage")
+			}
+		})
+	}
+}

@@ -6,8 +6,14 @@ import (
 	"salsa"
 )
 
-func ExampleNewCountMin() {
-	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
+// Build realizes a Spec: the sketch kind is a leaf, the deployment shape
+// is decorators, and construction errors are returned, not panicked.
+func ExampleBuild() {
+	s, err := salsa.Build(salsa.CountMinOf(salsa.Options{Width: 1 << 12, Seed: 1}))
+	if err != nil {
+		panic(err)
+	}
+	cm := s.(*salsa.CountMin)
 	for i := 0; i < 42; i++ {
 		cm.Increment(7)
 	}
@@ -16,16 +22,105 @@ func ExampleNewCountMin() {
 	// Output: 42 5 0
 }
 
+// Orthogonal layers compose: the same CountMinOf leaf serves windowed,
+// sharded, and windowed-and-sharded deployments.
+func ExampleBuild_composed() {
+	opt := salsa.Options{Width: 1 << 12, Seed: 1}
+	s, err := salsa.Build(salsa.ShardedBy(salsa.Windowed(salsa.CountMinOf(opt), 4, 100_000), 8))
+	if err != nil {
+		panic(err)
+	}
+	w := s.(*salsa.ShardedWindowedCountMin)
+	w.Update(7, 3) // safe for concurrent use
+	fmt.Println(w.Query(7), w.Shards())
+	// Output: 3 8
+}
+
+// Invalid Options and unsupported compositions are errors, never panics.
+func ExampleBuild_errors() {
+	_, err := salsa.Build(salsa.CountMinOf(salsa.Options{Width: 100}))
+	fmt.Println(err)
+	_, err = salsa.Build(salsa.Windowed(salsa.CountSketchOf(salsa.Options{Width: 64, Mode: salsa.ModeTango}), 4, 100))
+	fmt.Println(err)
+	// Output:
+	// salsa: Width 100 must be a positive power of two
+	// salsa: CountSketch does not support ModeTango
+}
+
+// Marshal writes any built topology into the universal self-describing
+// envelope; Unmarshal restores it without advance knowledge of its shape.
+func ExampleMarshal() {
+	w := salsa.MustBuild(salsa.Windowed(salsa.CountMinOf(salsa.Options{Width: 1 << 10, Seed: 1}), 4, 1000)).(*salsa.WindowedCountMin)
+	for i := 0; i < 2500; i++ {
+		w.Increment(uint64(i % 10)) // two rotations, mid-third-bucket
+	}
+	blob, err := salsa.Marshal(w)
+	if err != nil {
+		panic(err)
+	}
+	back, err := salsa.Unmarshal(blob)
+	if err != nil {
+		panic(err)
+	}
+	decoded := back.(*salsa.WindowedCountMin)
+	fmt.Println(decoded.Query(3) == w.Query(3), decoded.Rotations())
+	// Output: true 2
+}
+
+// A decoded sketch is fully operational and merges with seed-sharing
+// peers from other processes — the paper's distributed use case.
+func ExampleUnmarshal() {
+	opt := salsa.Options{Width: 1 << 12, Merge: salsa.MergeSum, Seed: 1}
+	worker := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin)
+	worker.Update(3, 12)
+	blob, _ := salsa.Marshal(worker)
+
+	// ...ships to the coordinator process...
+	decoded, _ := salsa.Unmarshal(blob)
+	global := decoded.(*salsa.CountMin)
+	peer := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin)
+	peer.Update(3, 8)
+	global.Merge(peer)
+	fmt.Println(global.Query(3))
+	// Output: 20
+}
+
+// ParseSpec is the textual form of the algebra (salsabench -topology).
+func ExampleParseSpec() {
+	spec, err := salsa.ParseSpec("sharded(8,windowed(4,65536,cms))", salsa.Options{Width: 1 << 12})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec)
+	s, err := salsa.Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	_, ok := s.(*salsa.ShardedWindowedCountMin)
+	fmt.Println(ok)
+	// Output:
+	// sharded(8,windowed(4,65536,cms))
+	// true
+}
+
+func ExampleOptions_Validate() {
+	fmt.Println(salsa.Options{Width: 1 << 10}.Validate())
+	fmt.Println(salsa.Options{Width: 640}.Validate())
+	// Output:
+	// <nil>
+	// salsa: Width 640 must be a positive power of two
+}
+
 func ExampleCountMin_UpdateBytes() {
-	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
+	cm := salsa.MustBuild(salsa.CountMinOf(salsa.Options{Width: 1 << 12, Seed: 1})).(*salsa.CountMin)
 	flow := []byte("10.0.0.1:443 -> 10.0.0.2:55000 tcp")
 	cm.UpdateBytes(flow, 3)
 	fmt.Println(cm.QueryBytes(flow))
 	// Output: 3
 }
 
-func ExampleNewCountSketch() {
-	cs := salsa.NewCountSketch(salsa.Options{Width: 1 << 12, Seed: 1})
+func ExampleCountSketchOf() {
+	cs := salsa.MustBuild(salsa.CountSketchOf(salsa.Options{Width: 1 << 12, Seed: 1})).(*salsa.CountSketch)
 	cs.Update(1, 10)
 	cs.Update(1, -4) // turnstile: decrements allowed
 	fmt.Println(cs.Query(1))
@@ -44,8 +139,8 @@ func ExampleChangeDetector() {
 	// Output: -7
 }
 
-func ExampleMonitor() {
-	m := salsa.NewMonitor(salsa.Options{Width: 1 << 12, Seed: 1}, 2)
+func ExampleMonitorOf() {
+	m := salsa.MustBuild(salsa.MonitorOf(salsa.Options{Width: 1 << 12, Seed: 1}, 2)).(*salsa.Monitor)
 	for item, count := range map[uint64]int{1: 5, 2: 9, 3: 1} {
 		for i := 0; i < count; i++ {
 			m.Process(item)
@@ -61,20 +156,11 @@ func ExampleMonitor() {
 
 func ExampleCountMin_Merge() {
 	opt := salsa.Options{Width: 1 << 12, Merge: salsa.MergeSum, Seed: 1}
-	a := salsa.NewCountMin(opt)
-	b := salsa.NewCountMin(opt) // must share Options, including Seed
+	a := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin)
+	b := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin) // must share Options, including Seed
 	a.Update(1, 4)
 	b.Update(1, 6)
 	a.Merge(b)
 	fmt.Println(a.Query(1))
 	// Output: 10
-}
-
-func ExampleUnmarshalCountMin() {
-	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 12, Seed: 1})
-	cm.Update(3, 12)
-	blob, _ := cm.MarshalBinary()
-	back, _ := salsa.UnmarshalCountMin(blob)
-	fmt.Println(back.Query(3))
-	// Output: 12
 }

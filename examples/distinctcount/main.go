@@ -16,11 +16,11 @@ func main() {
 	for _, ds := range stream.Datasets() {
 		trace := ds.Generate(1_000_000, 13)
 
-		cms := salsa.NewCountMin(salsa.Options{
+		cms := salsa.MustBuild(salsa.CountMinOf(salsa.Options{
 			Width: 1 << 16,
 			Merge: salsa.MergeSum,
 			Seed:  17,
-		})
+		})).(*salsa.CountMin)
 		exact := stream.NewExact()
 		for _, x := range trace {
 			cms.Increment(x)

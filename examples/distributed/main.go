@@ -1,8 +1,12 @@
 // Distributed aggregation: the paper's sketch-merging use case (§V) as a
 // pipeline. Four workers sketch disjoint partitions of a stream in
-// parallel with shared hash seeds, serialize their sketches, and a
-// coordinator merges the payloads and answers global frequency queries —
-// the pattern for multi-core or multi-host measurement.
+// parallel with shared hash seeds, serialize their sketches through the
+// universal self-describing envelope (salsa.Marshal), and a coordinator
+// decodes the payloads without knowing their topology in advance
+// (salsa.Unmarshal), merges them, and answers global frequency queries —
+// the pattern for multi-core or multi-host measurement. The same envelope
+// carries every composed topology (windowed, sharded, trackers), so the
+// wire format does not change when a worker's deployment shape does.
 package main
 
 import (
@@ -31,11 +35,11 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cm := salsa.NewCountMin(opt)
+			cm := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin)
 			for i := w; i < len(trace); i += workers {
 				cm.Increment(trace[i])
 			}
-			blob, err := cm.MarshalBinary()
+			blob, err := salsa.Marshal(cm)
 			if err != nil {
 				panic(err)
 			}
@@ -44,17 +48,19 @@ func main() {
 	}
 	wg.Wait()
 
-	// Coordinator: decode and merge.
-	global, err := salsa.UnmarshalCountMin(payloads[0])
+	// Coordinator: decode (the envelope is self-describing — no topology
+	// knowledge needed here) and merge.
+	decoded, err := salsa.Unmarshal(payloads[0])
 	if err != nil {
 		panic(err)
 	}
+	global := decoded.(*salsa.CountMin)
 	for _, blob := range payloads[1:] {
-		part, err := salsa.UnmarshalCountMin(blob)
+		part, err := salsa.Unmarshal(blob)
 		if err != nil {
 			panic(err)
 		}
-		global.Merge(part)
+		global.Merge(part.(*salsa.CountMin))
 	}
 
 	fmt.Printf("%d workers, %d packets, %d-byte payloads each\n\n",

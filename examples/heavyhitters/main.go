@@ -16,7 +16,7 @@ func main() {
 	trace := stream.NY18.Generate(packets, 3)
 
 	// 64KB of sketch: Width 1<<14 SALSA slots × 4 rows × 9 bits ≈ 72KB.
-	monitor := salsa.NewMonitor(salsa.Options{Width: 1 << 14, Seed: 9}, 64)
+	monitor := salsa.MustBuild(salsa.MonitorOf(salsa.Options{Width: 1 << 14, Seed: 9}, 64)).(*salsa.Monitor)
 	exact := stream.NewExact() // ground truth, for the comparison below
 
 	for _, pkt := range trace {

@@ -1,5 +1,8 @@
 // Quickstart: estimate item frequencies with a SALSA Count-Min sketch and
-// compare against the 32-bit baseline at the same memory budget.
+// compare against the 32-bit baseline at the same memory budget. Sketches
+// are declared with the composable spec algebra and realized by
+// salsa.Build; see examples/distributed and examples/slidingwindow for
+// composed topologies.
 package main
 
 import (
@@ -15,14 +18,14 @@ func main() {
 
 	// A SALSA sketch: counters start at 8 bits and merge on overflow, so
 	// the same memory holds ~3.5x more counters than the baseline below.
-	sketch := salsa.NewCountMin(salsa.Options{Width: 1 << 14, Seed: 1})
+	sketch := salsa.MustBuild(salsa.CountMinOf(salsa.Options{Width: 1 << 14, Seed: 1})).(*salsa.CountMin)
 
 	// The fixed-width configuration the paper's baselines use.
-	baseline := salsa.NewCountMin(salsa.Options{
+	baseline := salsa.MustBuild(salsa.CountMinOf(salsa.Options{
 		Width: 1 << 12, // 4x fewer slots ≈ the same memory at 32 bits each
 		Mode:  salsa.ModeBaseline,
 		Seed:  1,
-	})
+	})).(*salsa.CountMin)
 
 	exact := stream.NewExact()
 	for _, item := range trace {
@@ -39,7 +42,7 @@ func main() {
 	}
 
 	// Byte keys (e.g. flow 5-tuples) work via KeyBytes hashing.
-	flows := salsa.NewCountMin(salsa.Options{Width: 1 << 12})
+	flows := salsa.MustBuild(salsa.CountMinOf(salsa.Options{Width: 1 << 12})).(*salsa.CountMin)
 	flows.UpdateBytes([]byte("10.1.2.3:443->10.9.8.7:51111"), 3)
 	fmt.Printf("\nflow estimate: %d\n", flows.QueryBytes([]byte("10.1.2.3:443->10.9.8.7:51111")))
 }

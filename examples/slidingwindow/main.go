@@ -25,8 +25,10 @@ func main() {
 	)
 	opt := salsa.Options{Width: 1 << 14, Seed: 7}
 
-	windowed := salsa.NewWindowedMonitor(opt, 8, buckets, bucketItems)
-	whole := salsa.NewMonitor(opt, 8)
+	// The window is a decorator in the spec algebra: the same MonitorOf
+	// leaf serves both trackers, windowed or not.
+	windowed := salsa.MustBuild(salsa.Windowed(salsa.MonitorOf(opt, 8), buckets, bucketItems)).(*salsa.WindowedMonitor)
+	whole := salsa.MustBuild(salsa.MonitorOf(opt, 8)).(*salsa.Monitor)
 
 	// Phase 1: flow A dominates. Phase 2: A vanishes, flow B takes over.
 	flowA, flowB := salsa.KeyString("10.0.0.1:443"), salsa.KeyString("10.9.9.9:80")

@@ -120,7 +120,7 @@ func NewColdFilter(opt ColdFilterOptions) *ColdFilter {
 	if opt.Probes == 0 {
 		opt.Probes = 3
 	}
-	stage2 := NewConservativeUpdate(opt.Stage2)
+	stage2 := mustSketch(buildCountMin(opt.Stage2, true))
 	return &ColdFilter{cf: coldfilter.New(coldfilter.Config{
 		W1:   opt.Layer1Width,
 		W2:   opt.Layer2Width,

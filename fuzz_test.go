@@ -96,6 +96,53 @@ func FuzzUnmarshalCountSketch(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalUniversal: the universal envelope decoder must reject
+// arbitrary bytes with an error — never a panic, for every type tag —
+// and anything it accepts must be a live topology whose backing memory is
+// bounded by the payload length. The corpus seeds one canonical payload
+// per topology (windowed ones mid-rotation), so mutations explore
+// near-valid composite payloads: corrupted ring odometers, mismatched
+// bucket geometry, truncated nested shard envelopes, hostile heap entries.
+func FuzzUnmarshalUniversal(f *testing.F) {
+	for _, tc := range universalTopologies() {
+		s := MustBuild(tc.spec)
+		ingestRoundTrip(s, roundTripItems[:1200])
+		blob, err := Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not an envelope"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Decoded backing memory is bounded by the payload: every declared
+		// geometry is length-checked before allocation. The windowed types
+		// report B+2 sketches (ring + two derived merges) for B marshaled
+		// buckets, and a sharded windowed payload nests that per shard,
+		// hence the factor-of-3 slack on the 64-bits-per-payload-byte
+		// bound of the per-type fuzz targets.
+		if s.MemoryBits() > 3*64*len(data)+4096 {
+			t.Fatalf("decoded topology claims %d bits from a %d-byte payload", s.MemoryBits(), len(data))
+		}
+		// Decoded topologies must be operational: ingest, query, tick,
+		// and re-marshal without panicking.
+		s.Update(1, 1)
+		s.UpdateBatch([]uint64{2, 3, 5, 8, 13}, 1)
+		observe(t, s, roundTripItems)
+		if tk, ok := s.(interface{ Tick() }); ok {
+			tk.Tick()
+		}
+		if _, err := Marshal(s); err != nil {
+			t.Fatalf("decoded topology cannot re-marshal: %v", err)
+		}
+	})
+}
+
 // FuzzKeyBytes pins the byte-key hash path (the stdin ingestion surface of
 // salsatop) against panics on arbitrary input.
 func FuzzKeyBytes(f *testing.F) {

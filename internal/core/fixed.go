@@ -125,6 +125,12 @@ func (f *Fixed) Halve(probabilistic bool, rnd func() uint64) {
 	}
 }
 
+// SameGeometry reports whether other can merge with f: decoders use it to
+// reject payload combinations MergeFrom would panic on.
+func (f *Fixed) SameGeometry(other *Fixed) bool {
+	return f.width == other.width && f.bits == other.bits
+}
+
 // MergeFrom adds every counter of other into the corresponding counter of f,
 // saturating. Both arrays must have the same geometry.
 func (f *Fixed) MergeFrom(other *Fixed) {
@@ -219,6 +225,12 @@ func (f *FixedSign) Reset() {
 	for i := range f.words {
 		f.words[i] = 0
 	}
+}
+
+// SameGeometry reports whether other can merge with f: decoders use it to
+// reject payload combinations MergeFrom would panic on.
+func (f *FixedSign) SameGeometry(other *FixedSign) bool {
+	return f.width == other.width && f.bits == other.bits
 }
 
 // MergeFrom adds scale times every counter of other into f (scale is +1 for

@@ -429,7 +429,13 @@ func (c *Salsa) SubtractFrom(other *Salsa) {
 }
 
 func (c *Salsa) checkGeometry(other *Salsa) {
-	if c.width != other.width || c.s != other.s || c.policy != other.policy {
+	if !c.SameGeometry(other) {
 		panic("core: SALSA geometry/policy mismatch")
 	}
+}
+
+// SameGeometry reports whether other can merge with c: decoders use it to
+// reject payload combinations MergeFrom would panic on.
+func (c *Salsa) SameGeometry(other *Salsa) bool {
+	return c.width == other.width && c.s == other.s && c.policy == other.policy
 }

@@ -234,7 +234,7 @@ func (c *SalsaSign) MergeFrom(other *SalsaSign, scale int64) {
 	if scale != 1 && scale != -1 {
 		panic("core: scale must be ±1")
 	}
-	if c.width != other.width || c.s != other.s {
+	if !c.SameGeometry(other) {
 		panic("core: SALSA geometry mismatch")
 	}
 	other.Counters(func(start int, lvl uint, val int64) bool {
@@ -243,6 +243,17 @@ func (c *SalsaSign) MergeFrom(other *SalsaSign, scale int64) {
 		}
 		return true
 	})
+	c.mergeCounters(other, scale)
+}
+
+// SameGeometry reports whether other can merge with c: decoders use it to
+// reject payload combinations MergeFrom would panic on.
+func (c *SalsaSign) SameGeometry(other *SalsaSign) bool {
+	return c.width == other.width && c.s == other.s
+}
+
+// mergeCounters is the value pass of MergeFrom, after layouts are unified.
+func (c *SalsaSign) mergeCounters(other *SalsaSign, scale int64) {
 	other.Counters(func(start int, lvl uint, val int64) bool {
 		c.Add(start, scale*val)
 		return true

@@ -230,6 +230,12 @@ func (t *Tango) Reset() {
 	t.merges = 0
 }
 
+// SameGeometry reports whether other can merge with t: decoders use it to
+// reject payload combinations MergeFrom would panic on.
+func (t *Tango) SameGeometry(other *Tango) bool {
+	return t.width == other.width && t.s == other.s && t.policy == other.policy
+}
+
 // MergeFrom adds other into t counter-wise, producing the sketch-union row
 // s(A∪B) with the policy's combine semantics. For every counter of other, t
 // first grows its own counter until the span is covered — absorbing
@@ -237,7 +243,7 @@ func (t *Tango) Reset() {
 // so merged layouts stay reachable Tango states — then folds the value in,
 // triggering further growth if the combined value overflows the span.
 func (t *Tango) MergeFrom(other *Tango) {
-	if t.width != other.width || t.s != other.s || t.policy != other.policy {
+	if !t.SameGeometry(other) {
 		panic("core: Tango geometry/policy mismatch")
 	}
 	other.Counters(func(lo, hi int, val uint64) bool {

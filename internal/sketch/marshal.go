@@ -63,6 +63,76 @@ func readBlock(data []byte) (block, rest []byte, err error) {
 	return data[:n], data[n:], nil
 }
 
+// CompatibleWith reports (as an error) whether other can merge with c:
+// identical depth, width, hash seeds, update rule, and merge-compatible
+// concrete row types. Decoders use it to validate that sketches which will
+// be merged — window buckets against their ring's configuration — cannot
+// make MergeFrom panic on a hostile payload.
+func (c *CMS) CompatibleWith(other *CMS) error {
+	if len(c.rows) != len(other.rows) {
+		return fmt.Errorf("sketch: depth %d vs %d", len(c.rows), len(other.rows))
+	}
+	if c.mask != other.mask {
+		return fmt.Errorf("sketch: width %d vs %d", c.mask+1, other.mask+1)
+	}
+	if c.conservative != other.conservative {
+		return errors.New("sketch: conservative flag mismatch")
+	}
+	for i := range c.seeds {
+		if c.seeds[i] != other.seeds[i] {
+			return fmt.Errorf("sketch: row %d seed mismatch", i)
+		}
+	}
+	for i, r := range c.rows {
+		ok := false
+		switch row := r.(type) {
+		case *core.Fixed:
+			o, isT := other.rows[i].(*core.Fixed)
+			ok = isT && row.SameGeometry(o)
+		case *core.Salsa:
+			o, isT := other.rows[i].(*core.Salsa)
+			ok = isT && row.SameGeometry(o)
+		case *core.Tango:
+			o, isT := other.rows[i].(*core.Tango)
+			ok = isT && row.SameGeometry(o)
+		}
+		if !ok {
+			return fmt.Errorf("sketch: row %d type/geometry mismatch (%T vs %T)", i, r, other.rows[i])
+		}
+	}
+	return nil
+}
+
+// CompatibleWith is the Count Sketch counterpart of (*CMS).CompatibleWith.
+func (c *CountSketch) CompatibleWith(other *CountSketch) error {
+	if len(c.rows) != len(other.rows) {
+		return fmt.Errorf("sketch: depth %d vs %d", len(c.rows), len(other.rows))
+	}
+	if c.mask != other.mask {
+		return fmt.Errorf("sketch: width %d vs %d", c.mask+1, other.mask+1)
+	}
+	for i := range c.idxSeeds {
+		if c.idxSeeds[i] != other.idxSeeds[i] || c.signSeeds[i] != other.signSeeds[i] {
+			return fmt.Errorf("sketch: row %d seed mismatch", i)
+		}
+	}
+	for i, r := range c.rows {
+		ok := false
+		switch row := r.(type) {
+		case *core.FixedSign:
+			o, isT := other.rows[i].(*core.FixedSign)
+			ok = isT && row.SameGeometry(o)
+		case *core.SalsaSign:
+			o, isT := other.rows[i].(*core.SalsaSign)
+			ok = isT && row.SameGeometry(o)
+		}
+		if !ok {
+			return fmt.Errorf("sketch: row %d type/geometry mismatch (%T vs %T)", i, r, other.rows[i])
+		}
+	}
+	return nil
+}
+
 // MarshalBinary encodes the sketch, rows included.
 func (c *CMS) MarshalBinary() ([]byte, error) {
 	buf := binary.LittleEndian.AppendUint32(nil, sketchMagic)

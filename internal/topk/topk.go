@@ -4,7 +4,11 @@
 // its estimate beats the current minimum.
 package topk
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // Entry is an item together with its tracked estimate.
 type Entry struct {
@@ -85,6 +89,46 @@ func (h *Heap) Offer(item uint64, count int64) {
 	h.entries[0] = Entry{item, count}
 	h.pos[item] = 0
 	h.down(0)
+}
+
+// Snapshot returns a copy of the tracked entries in internal heap-array
+// order. Together with Restore it round-trips a heap bit-for-bit, which
+// serialization relies on for byte-identical re-marshal.
+func (h *Heap) Snapshot() []Entry {
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+// Restore returns a heap of capacity k holding entries verbatim in
+// heap-array order (as produced by Snapshot). The membership index is
+// rebuilt; duplicate items or k < len(entries) are rejected so hostile
+// payloads cannot construct an inconsistent heap. Allocation is
+// proportional to len(entries), not k.
+func Restore(k int, entries []Entry) (*Heap, error) {
+	if k <= 0 {
+		return nil, errors.New("topk: non-positive capacity")
+	}
+	if len(entries) > k {
+		return nil, fmt.Errorf("topk: %d entries exceed capacity %d", len(entries), k)
+	}
+	h := &Heap{
+		k:       k,
+		entries: append([]Entry(nil), entries...),
+		pos:     make(map[uint64]int, len(entries)),
+	}
+	for i, e := range h.entries {
+		if _, dup := h.pos[e.Item]; dup {
+			return nil, fmt.Errorf("topk: duplicate item %d", e.Item)
+		}
+		h.pos[e.Item] = i
+	}
+	// Entries from Snapshot already satisfy the heap invariant; re-fix
+	// anyway so a hand-built order still behaves as a min-heap.
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h, nil
 }
 
 // Items returns the tracked entries in descending estimate order.

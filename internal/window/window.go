@@ -21,6 +21,11 @@
 // backend's merge (Theorems V.1–V.3 for SALSA rows).
 package window
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Ops supplies the sketch operations a Ring needs from its bucket type S;
 // the public wrappers bind them to *sketch.CMS and *sketch.CountSketch.
 type Ops[S any] struct {
@@ -158,6 +163,47 @@ func (r *Ring[S]) View() S {
 		r.viewOK = true
 	}
 	return r.view
+}
+
+// BucketAt returns the bucket at ring position i (0 ≤ i < Buckets), in
+// storage order rather than age order; serialization walks positions so a
+// restored ring is position-for-position identical.
+func (r *Ring[S]) BucketAt(i int) S { return r.buckets[i] }
+
+// CountAt returns the number of items recorded in the bucket at ring
+// position i.
+func (r *Ring[S]) CountAt(i int) uint64 { return r.counts[i] }
+
+// RestoreRing reconstructs a ring from decoded buckets in storage order,
+// the per-bucket item counts, the current-bucket position, and the
+// rotation odometer. The closed-bucket merge is rebuilt with the same
+// oldest-to-newest merge order Rotate uses, so a restored ring's query
+// view is bit-for-bit identical to the original's.
+func RestoreRing[S any](buckets []S, counts []uint64, cur int, rotations, interval uint64, ops Ops[S]) (*Ring[S], error) {
+	if len(buckets) == 0 {
+		return nil, errors.New("window: no buckets")
+	}
+	if len(counts) != len(buckets) {
+		return nil, fmt.Errorf("window: %d counts for %d buckets", len(counts), len(buckets))
+	}
+	if cur < 0 || cur >= len(buckets) {
+		return nil, fmt.Errorf("window: current bucket %d out of range [0,%d)", cur, len(buckets))
+	}
+	r := &Ring[S]{
+		ops:       ops,
+		buckets:   buckets,
+		counts:    append([]uint64(nil), counts...),
+		cur:       cur,
+		closed:    ops.New(),
+		view:      ops.New(),
+		interval:  interval,
+		rotations: rotations,
+	}
+	b := len(r.buckets)
+	for i := 1; i < b; i++ {
+		r.ops.Merge(r.closed, r.buckets[(r.cur+i)%b])
+	}
+	return r, nil
 }
 
 // LiveBuckets calls fn for every live bucket in oldest-to-newest order;

@@ -1,0 +1,161 @@
+package salsa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSpec parses a topology expression into a Spec, with every leaf
+// taking opt as its Options. It is the inverse of Spec.String and the
+// textual surface of the algebra (salsabench's -topology flag). Grammar,
+// whitespace-insensitive:
+//
+//	expr := "cms" | "cus" | "cs"
+//	      | "monitor(" k ")"
+//	      | "topk(" k ")"
+//	      | "windowed(" buckets "," bucketItems "," expr ")"
+//	      | "sharded(" shards "," expr ")"
+//
+// e.g. "sharded(8,windowed(4,65536,cms))". ParseSpec only checks syntax;
+// composition and Options validity are reported by Build.
+func ParseSpec(expr string, opt Options) (Spec, error) {
+	p := &specParser{s: expr, opt: opt}
+	spec, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("salsa: trailing input %q in topology expression", p.s[p.pos:])
+	}
+	return spec, nil
+}
+
+type specParser struct {
+	s   string
+	pos int
+	opt Options
+}
+
+func (p *specParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// ident consumes a lowercase identifier.
+func (p *specParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+func (p *specParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return fmt.Errorf("salsa: expected %q at position %d of topology expression %q", string(c), p.pos, p.s)
+	}
+	p.pos++
+	return nil
+}
+
+// number consumes a non-negative decimal integer.
+func (p *specParser) number() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	n := 0
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		d := int(p.s[p.pos] - '0')
+		if n > (1<<31-1-d)/10 {
+			return 0, fmt.Errorf("salsa: number too large at position %d of topology expression %q", start, p.s)
+		}
+		n = n*10 + d
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("salsa: expected a number at position %d of topology expression %q", p.pos, p.s)
+	}
+	return n, nil
+}
+
+func (p *specParser) parseExpr() (Spec, error) {
+	name := strings.ToLower(p.ident())
+	switch name {
+	case "cms", "countmin":
+		return CountMinOf(p.opt), nil
+	case "cus", "conservative":
+		return ConservativeOf(p.opt), nil
+	case "cs", "countsketch":
+		return CountSketchOf(p.opt), nil
+	case "monitor", "topk":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if name == "monitor" {
+			return MonitorOf(p.opt, k), nil
+		}
+		return TopKOf(p.opt, k), nil
+	case "windowed":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		buckets, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		bucketItems, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return Windowed(inner, buckets, bucketItems), nil
+	case "sharded":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		shards, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return ShardedBy(inner, shards), nil
+	case "":
+		return nil, fmt.Errorf("salsa: expected a sketch kind at position %d of topology expression %q", p.pos, p.s)
+	}
+	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, monitor(k), topk(k), windowed(b,n,spec), sharded(s,spec))", name, p.s)
+}

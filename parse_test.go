@@ -1,0 +1,88 @@
+package salsa
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecRoundTrip: String output parses back to an identical spec,
+// and a parsed spec Builds the expected topology.
+func TestParseSpecRoundTrip(t *testing.T) {
+	opt := Options{Width: 256, Seed: 3}
+	exprs := []string{
+		"cms",
+		"cus",
+		"cs",
+		"monitor(10)",
+		"topk(5)",
+		"windowed(4,65536,cms)",
+		"windowed(4,0,cus)",
+		"sharded(8,cms)",
+		"sharded(8,windowed(4,65536,cms))",
+		"sharded(2,monitor(16))",
+	}
+	for _, expr := range exprs {
+		spec, err := ParseSpec(expr, opt)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", expr, err)
+		}
+		if got := spec.String(); got != expr {
+			t.Fatalf("ParseSpec(%q).String() = %q", expr, got)
+		}
+		if _, err := Build(spec); err != nil {
+			t.Fatalf("Build(ParseSpec(%q)): %v", expr, err)
+		}
+	}
+}
+
+// TestParseSpecTolerance: whitespace, case, and long-form names normalize.
+func TestParseSpecTolerance(t *testing.T) {
+	opt := Options{Width: 64}
+	for expr, want := range map[string]string{
+		" sharded( 8 , windowed(4, 100, CMS) ) ": "sharded(8,windowed(4,100,cms))",
+		"CountMin":                               "cms",
+		"conservative":                           "cus",
+		"CountSketch":                            "cs",
+	} {
+		spec, err := ParseSpec(expr, opt)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", expr, err)
+		}
+		if got := spec.String(); got != want {
+			t.Fatalf("ParseSpec(%q).String() = %q, want %q", expr, got, want)
+		}
+	}
+}
+
+// TestParseSpecErrors: malformed expressions are syntax errors; valid
+// syntax with invalid composition is caught by Build, not the parser.
+func TestParseSpecErrors(t *testing.T) {
+	opt := Options{Width: 64}
+	for _, expr := range []string{
+		"",
+		"nope",
+		"cms extra",
+		"monitor",
+		"monitor(",
+		"monitor()",
+		"monitor(-3)",
+		"windowed(4,cms)",
+		"windowed(4,100,)",
+		"sharded(8)",
+		"sharded(8,cms",
+		"sharded(99999999999999999999,cms)",
+	} {
+		if _, err := ParseSpec(expr, opt); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", expr)
+		}
+	}
+	// Syntactically fine, semantically invalid: the parser passes it
+	// through and Build reports the composition error.
+	spec, err := ParseSpec("sharded(2,sharded(2,cms))", opt)
+	if err != nil {
+		t.Fatalf("parser rejected what Build should: %v", err)
+	}
+	if _, err := Build(spec); err == nil || !strings.Contains(err.Error(), "cannot decorate") {
+		t.Fatalf("Build error = %v, want composition error", err)
+	}
+}

@@ -13,23 +13,36 @@
 // universal sketch, the Cold Filter framework, and the AEE sampling
 // estimators with SALSA's merge-or-downsample overflow policy.
 //
-// Quick start:
+// Sketch topologies are described by a small composable Spec algebra and
+// realized by Build: the sketch kind (CountMinOf, ConservativeOf,
+// CountSketchOf, MonitorOf, TopKOf) is one choice, and the deployment
+// shape is layered on with the Windowed and ShardedBy decorators — every
+// orthogonal combination is spelled by composition, not by a dedicated
+// constructor. Quick start:
 //
-//	cm := salsa.NewCountMin(salsa.Options{Width: 1 << 16})
+//	s, err := salsa.Build(salsa.CountMinOf(salsa.Options{Width: 1 << 16}))
+//	if err != nil { ... }
+//	cm := s.(*salsa.CountMin)
 //	cm.Increment(item)
 //	estimate := cm.Query(item)
 //
 // Time-scoped queries — "heavy hitters in the last minute", "volume over
-// the last N packets" — are served by the sliding-window variants
-// (WindowedCountMin, WindowedCountSketch, WindowedMonitor; see window.go):
-// a ring of bucket sketches rotated by item count or caller-driven ticks,
-// answering from an incrementally-maintained merge of the live buckets.
+// the last N packets" — are served by the Windowed decorator (a ring of
+// bucket sketches rotated by item count or caller-driven ticks, answering
+// from an incrementally-maintained merge of the live buckets), and
+// multi-goroutine ingestion by the ShardedBy decorator (hash-routed,
+// independently-locked shard sketches); the two compose:
+//
+//	s, err := salsa.Build(salsa.ShardedBy(
+//		salsa.Windowed(salsa.CountMinOf(opt), 4, 1<<20), 8))
+//
+// Every topology the algebra can express serializes through the universal
+// envelope codec Marshal/Unmarshal and is fully operational — and
+// mergeable with its seed-sharing peers — after decoding, the paper's
+// distributed use case (§V) at full generality.
 //
 // All sketches are deterministic given Options.Seed and are not safe for
-// concurrent mutation; for multi-goroutine ingestion wrap them in the
-// Sharded concurrency layer (see concurrent.go and the typed
-// ShardedCountMin/ShardedCountSketch/ShardedMonitor constructors — the
-// windowed types shard too), and use the batch APIs
+// concurrent mutation unless wrapped in ShardedBy; use the batch APIs
 // (UpdateBatch/IncrementBatch/QueryBatch) for bulk streams.
 package salsa
 
@@ -53,11 +66,12 @@ type Sketch interface {
 	MemoryBits() int
 }
 
-// Compile-time checks that every shardable backend satisfies Sketch.
+// Compile-time checks that every leaf backend satisfies Sketch.
 var (
 	_ Sketch = (*CountMin)(nil)
 	_ Sketch = (*CountSketch)(nil)
 	_ Sketch = (*Monitor)(nil)
+	_ Sketch = (*TopK)(nil)
 )
 
 // Mode selects the counter backend of a sketch.
@@ -148,14 +162,39 @@ func (o Options) withDefaults(defaultDepth int, defaultMerge Merge) Options {
 	return o
 }
 
-func (o Options) validate() {
+// Validate reports whether the Options are usable by any sketch kind. It
+// checks the kind-independent invariants; kind-specific rules (CountSketch
+// rejecting ModeTango, windowed sketches rejecting MergeMax, ...) are
+// enforced by Build on the full topology Spec. The deprecated New*
+// constructors panic where Build returns these same errors.
+func (o Options) Validate() error {
 	if o.Width <= 0 || o.Width&(o.Width-1) != 0 {
-		panic(fmt.Sprintf("salsa: Width %d must be a positive power of two", o.Width))
+		return fmt.Errorf("salsa: Width %d must be a positive power of two", o.Width)
 	}
 	if o.Depth < 0 {
-		panic("salsa: negative Depth")
+		return fmt.Errorf("salsa: negative Depth %d", o.Depth)
 	}
+	if o.Depth > maxDepth {
+		return fmt.Errorf("salsa: Depth %d exceeds the maximum %d", o.Depth, maxDepth)
+	}
+	if o.Mode < ModeSALSA || o.Mode > ModeTango {
+		return fmt.Errorf("salsa: unknown %v", o.Mode)
+	}
+	if o.Merge < MergeDefault || o.Merge > MergeMax {
+		return fmt.Errorf("salsa: unknown Merge(%d)", int(o.Merge))
+	}
+	if o.CounterBits > 64 {
+		return fmt.Errorf("salsa: CounterBits %d exceeds 64", o.CounterBits)
+	}
+	if o.CompactEncoding && o.Mode != ModeSALSA {
+		return fmt.Errorf("salsa: CompactEncoding requires ModeSALSA, got %v", o.Mode)
+	}
+	return nil
 }
+
+// maxDepth bounds the row count of a sketch; it matches the decoder's
+// hostile-payload bound, so every constructible sketch is serializable.
+const maxDepth = 1024
 
 func (o Options) policy() core.MergePolicy {
 	if o.Merge == MergeMax {

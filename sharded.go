@@ -1,6 +1,9 @@
 package salsa
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Typed Sharded constructors and query wrappers. Sharded[S] itself is
 // query-agnostic (CountMin estimates are uint64, CountSketch's int64, a
@@ -17,20 +20,36 @@ type ShardedCountMin struct {
 	*Sharded[*CountMin]
 }
 
+// buildShardedCountMin realizes a ShardedBy(CountMinOf/ConservativeOf)
+// spec.
+func buildShardedCountMin(opt Options, shards int, conservative bool) (*ShardedCountMin, error) {
+	kind := kindCountMin
+	if conservative {
+		kind = kindConservative
+	}
+	if err := opt.validateFor(kind); err != nil {
+		return nil, err
+	}
+	return &ShardedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *CountMin {
+		return mustSketch(buildCountMin(shardOptions(opt, i), conservative))
+	})}, nil
+}
+
 // NewShardedCountMin returns a sharded CountMin with the given number of
 // shards (rounded up to a power of two, minimum 1).
+//
+// Deprecated: Use Build(ShardedBy(CountMinOf(opt), shards)), which returns
+// construction errors instead of panicking.
 func NewShardedCountMin(opt Options, shards int) *ShardedCountMin {
-	return &ShardedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *CountMin {
-		return NewCountMin(shardOptions(opt, i))
-	})}
+	return mustSketch(buildShardedCountMin(opt, shards, false))
 }
 
 // NewShardedConservativeUpdate is NewShardedCountMin over Conservative
 // Update shards.
+//
+// Deprecated: Use Build(ShardedBy(ConservativeOf(opt), shards)).
 func NewShardedConservativeUpdate(opt Options, shards int) *ShardedCountMin {
-	return &ShardedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *CountMin {
-		return NewConservativeUpdate(shardOptions(opt, i))
-	})}
+	return mustSketch(buildShardedCountMin(opt, shards, true))
 }
 
 // Query returns the frequency estimate; safe for concurrent use.
@@ -50,12 +69,22 @@ type ShardedCountSketch struct {
 	*Sharded[*CountSketch]
 }
 
+// buildShardedCountSketch realizes a ShardedBy(CountSketchOf) spec.
+func buildShardedCountSketch(opt Options, shards int) (*ShardedCountSketch, error) {
+	if err := opt.validateFor(kindCountSketch); err != nil {
+		return nil, err
+	}
+	return &ShardedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *CountSketch {
+		return mustSketch(buildCountSketch(shardOptions(opt, i)))
+	})}, nil
+}
+
 // NewShardedCountSketch returns a sharded CountSketch with the given number
 // of shards (rounded up to a power of two, minimum 1).
+//
+// Deprecated: Use Build(ShardedBy(CountSketchOf(opt), shards)).
 func NewShardedCountSketch(opt Options, shards int) *ShardedCountSketch {
-	return &ShardedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *CountSketch {
-		return NewCountSketch(shardOptions(opt, i))
-	})}
+	return mustSketch(buildShardedCountSketch(opt, shards))
 }
 
 // Query returns the (unbiased) frequency estimate; safe for concurrent use.
@@ -80,15 +109,28 @@ type ShardedMonitor struct {
 	k int
 }
 
-// NewShardedMonitor returns a sharded Monitor tracking the k largest items
-// per shard.
-func NewShardedMonitor(opt Options, k, shards int) *ShardedMonitor {
+// buildShardedMonitor realizes a ShardedBy(MonitorOf) spec.
+func buildShardedMonitor(opt Options, k, shards int) (*ShardedMonitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	}
+	if err := opt.validateFor(kindConservative); err != nil {
+		return nil, err
+	}
 	return &ShardedMonitor{
 		Sharded: NewSharded(shards, routeSeed(opt), func(i int) *Monitor {
-			return NewMonitor(shardOptions(opt, i), k)
+			return mustSketch(buildMonitor(shardOptions(opt, i), k))
 		}),
 		k: k,
-	}
+	}, nil
+}
+
+// NewShardedMonitor returns a sharded Monitor tracking the k largest items
+// per shard.
+//
+// Deprecated: Use Build(ShardedBy(MonitorOf(opt, k), shards)).
+func NewShardedMonitor(opt Options, k, shards int) *ShardedMonitor {
+	return mustSketch(buildShardedMonitor(opt, k, shards))
 }
 
 // Query returns the frequency estimate from the owning shard's sketch.
@@ -145,21 +187,41 @@ type ShardedWindowedCountMin struct {
 	*Sharded[*WindowedCountMin]
 }
 
+// buildShardedWindowedCMS realizes a
+// ShardedBy(Windowed(CountMinOf/ConservativeOf)) spec.
+func buildShardedWindowedCMS(opt Options, buckets, bucketItems, shards int, conservative bool) (*ShardedWindowedCountMin, error) {
+	kind := kindCountMin
+	if conservative {
+		kind = kindConservative
+	}
+	if err := opt.validateFor(kind); err != nil {
+		return nil, err
+	}
+	if err := validateWindow(opt, buckets, bucketItems); err != nil {
+		return nil, err
+	}
+	return &ShardedWindowedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountMin {
+		return mustSketch(buildWindowedCMS(shardOptions(opt, i), buckets, bucketItems, conservative))
+	})}, nil
+}
+
 // NewShardedWindowedCountMin returns a sharded windowed CountMin with the
 // given number of shards (rounded up to a power of two, minimum 1);
 // bucketItems counts each shard's own substream (0 = Tick-driven).
+//
+// Deprecated: Use
+// Build(ShardedBy(Windowed(CountMinOf(opt), buckets, bucketItems), shards)).
 func NewShardedWindowedCountMin(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountMin {
-	return &ShardedWindowedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountMin {
-		return NewWindowedCountMin(shardOptions(opt, i), buckets, bucketItems)
-	})}
+	return mustSketch(buildShardedWindowedCMS(opt, buckets, bucketItems, shards, false))
 }
 
 // NewShardedWindowedConservativeUpdate is NewShardedWindowedCountMin over
 // Conservative Update shards.
+//
+// Deprecated: Use
+// Build(ShardedBy(Windowed(ConservativeOf(opt), buckets, bucketItems), shards)).
 func NewShardedWindowedConservativeUpdate(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountMin {
-	return &ShardedWindowedCountMin{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountMin {
-		return NewWindowedConservativeUpdate(shardOptions(opt, i), buckets, bucketItems)
-	})}
+	return mustSketch(buildShardedWindowedCMS(opt, buckets, bucketItems, shards, true))
 }
 
 // Query returns the windowed frequency estimate; safe for concurrent use.
@@ -185,12 +247,27 @@ type ShardedWindowedCountSketch struct {
 	*Sharded[*WindowedCountSketch]
 }
 
+// buildShardedWindowedCountSketch realizes a
+// ShardedBy(Windowed(CountSketchOf)) spec.
+func buildShardedWindowedCountSketch(opt Options, buckets, bucketItems, shards int) (*ShardedWindowedCountSketch, error) {
+	if err := opt.validateFor(kindCountSketch); err != nil {
+		return nil, err
+	}
+	if err := validateWindow(opt, buckets, bucketItems); err != nil {
+		return nil, err
+	}
+	return &ShardedWindowedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountSketch {
+		return mustSketch(buildWindowedCountSketch(shardOptions(opt, i), buckets, bucketItems))
+	})}, nil
+}
+
 // NewShardedWindowedCountSketch returns a sharded windowed CountSketch with
 // the given number of shards (rounded up to a power of two, minimum 1).
+//
+// Deprecated: Use
+// Build(ShardedBy(Windowed(CountSketchOf(opt), buckets, bucketItems), shards)).
 func NewShardedWindowedCountSketch(opt Options, buckets, bucketItems, shards int) *ShardedWindowedCountSketch {
-	return &ShardedWindowedCountSketch{NewSharded(shards, routeSeed(opt), func(i int) *WindowedCountSketch {
-		return NewWindowedCountSketch(shardOptions(opt, i), buckets, bucketItems)
-	})}
+	return mustSketch(buildShardedWindowedCountSketch(opt, buckets, bucketItems, shards))
 }
 
 // Query returns the (unbiased) windowed estimate; safe for concurrent use.

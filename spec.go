@@ -1,0 +1,303 @@
+package salsa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Spec describes a sketch topology declaratively: a leaf picks the sketch
+// kind (CountMinOf, ConservativeOf, CountSketchOf, MonitorOf, TopKOf) and
+// decorators layer the deployment shape on top (Windowed, ShardedBy). A
+// Spec is inert data — Build realizes it, returning the same concrete
+// monomorphic sketch types the deprecated New* constructors produced, so
+// the devirtualized hot paths are unaffected by how a sketch is declared.
+//
+// The orthogonal choices compose freely within the supported surface:
+//
+//	Build(CountMinOf(opt))                              → *CountMin
+//	Build(ConservativeOf(opt))                          → *CountMin
+//	Build(CountSketchOf(opt))                           → *CountSketch
+//	Build(MonitorOf(opt, k))                            → *Monitor
+//	Build(TopKOf(opt, k))                               → *TopK
+//	Build(Windowed(CountMinOf(opt), b, n))              → *WindowedCountMin
+//	Build(Windowed(CountSketchOf(opt), b, n))           → *WindowedCountSketch
+//	Build(Windowed(MonitorOf(opt, k), b, n))            → *WindowedMonitor
+//	Build(ShardedBy(CountMinOf(opt), s))                → *ShardedCountMin
+//	Build(ShardedBy(CountSketchOf(opt), s))             → *ShardedCountSketch
+//	Build(ShardedBy(MonitorOf(opt, k), s))              → *ShardedMonitor
+//	Build(ShardedBy(Windowed(CountMinOf(opt), b, n), s)) → *ShardedWindowedCountMin
+//	Build(ShardedBy(Windowed(CountSketchOf(opt), b, n), s)) → *ShardedWindowedCountSketch
+//
+// Unsupported compositions (decorating a decorator of the same kind,
+// windowing a TopK, sharding a windowed Monitor) are reported as errors by
+// Build, never panics. String returns the topology expression in the
+// grammar ParseSpec accepts (the leaf Options are carried separately).
+type Spec interface {
+	// String returns the topology expression, e.g.
+	// "sharded(8,windowed(4,65536,cms))"; ParseSpec parses it back.
+	String() string
+	// validate and build are unexported: the algebra is a closed set, so
+	// Build can guarantee an exhaustive, panic-free composition check.
+	validate() error
+	build() (Sketch, error)
+}
+
+// sketchKind enumerates the leaf sketch kinds of the Spec algebra.
+type sketchKind int
+
+const (
+	kindCountMin sketchKind = iota
+	kindConservative
+	kindCountSketch
+	kindMonitor
+	kindTopK
+)
+
+func (k sketchKind) String() string {
+	switch k {
+	case kindCountMin:
+		return "cms"
+	case kindConservative:
+		return "cus"
+	case kindCountSketch:
+		return "cs"
+	case kindMonitor:
+		return "monitor"
+	case kindTopK:
+		return "topk"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// validateFor checks the Options against one leaf kind: the generic
+// invariants of Validate plus the kind's own restrictions.
+func (o Options) validateFor(kind sketchKind) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	switch kind {
+	case kindCountSketch, kindTopK:
+		if o.Mode == ModeTango {
+			return errors.New("salsa: CountSketch does not support ModeTango")
+		}
+		if o.Merge == MergeMax {
+			return errors.New("salsa: CountSketch requires MergeSum (signed counters)")
+		}
+		if o.Mode == ModeSALSA && o.CounterBits == 1 {
+			return fmt.Errorf("salsa: CountSketch needs at least 2-bit counters, got %d", o.CounterBits)
+		}
+	}
+	return nil
+}
+
+// leafSpec is a sketch-kind leaf of the algebra.
+type leafSpec struct {
+	kind sketchKind
+	opt  Options
+	k    int // heap capacity for kindMonitor/kindTopK
+}
+
+// CountMinOf describes a Count-Min Sketch over opt.
+func CountMinOf(opt Options) Spec { return leafSpec{kind: kindCountMin, opt: opt} }
+
+// ConservativeOf describes a Conservative Update Sketch over opt.
+func ConservativeOf(opt Options) Spec { return leafSpec{kind: kindConservative, opt: opt} }
+
+// CountSketchOf describes a Count Sketch over opt.
+func CountSketchOf(opt Options) Spec { return leafSpec{kind: kindCountSketch, opt: opt} }
+
+// MonitorOf describes a heavy-hitter Monitor (a Conservative Update sketch
+// plus a top-k heap) over opt.
+func MonitorOf(opt Options, k int) Spec { return leafSpec{kind: kindMonitor, opt: opt, k: k} }
+
+// TopKOf describes a TopK tracker (a Count Sketch plus a top-k heap) over
+// opt.
+func TopKOf(opt Options, k int) Spec { return leafSpec{kind: kindTopK, opt: opt, k: k} }
+
+func (s leafSpec) String() string {
+	switch s.kind {
+	case kindMonitor, kindTopK:
+		return fmt.Sprintf("%s(%d)", s.kind, s.k)
+	}
+	return s.kind.String()
+}
+
+func (s leafSpec) validate() error {
+	if err := s.opt.validateFor(s.kind); err != nil {
+		return err
+	}
+	if (s.kind == kindMonitor || s.kind == kindTopK) && s.k <= 0 {
+		return fmt.Errorf("salsa: %s needs a positive k, got %d", s.kind, s.k)
+	}
+	return nil
+}
+
+func (s leafSpec) build() (Sketch, error) {
+	switch s.kind {
+	case kindCountMin:
+		return buildCountMin(s.opt, false)
+	case kindConservative:
+		return buildCountMin(s.opt, true)
+	case kindCountSketch:
+		return buildCountSketch(s.opt)
+	case kindMonitor:
+		return buildMonitor(s.opt, s.k)
+	case kindTopK:
+		return buildTopK(s.opt, s.k)
+	}
+	return nil, fmt.Errorf("salsa: unknown sketch kind %v", s.kind)
+}
+
+// windowedSpec decorates a leaf with a sliding window.
+type windowedSpec struct {
+	inner       Spec
+	buckets     int
+	bucketItems int
+}
+
+// Windowed decorates spec with a sliding window of buckets ring buckets
+// rotating every bucketItems updates (0 = Tick-driven). The windowed
+// sketch always uses sum-merge counters; a spec whose Options force
+// MergeMax fails to Build.
+func Windowed(spec Spec, buckets, bucketItems int) Spec {
+	return windowedSpec{inner: spec, buckets: buckets, bucketItems: bucketItems}
+}
+
+func (s windowedSpec) String() string {
+	return fmt.Sprintf("windowed(%d,%d,%s)", s.buckets, s.bucketItems, s.inner)
+}
+
+func (s windowedSpec) validate() error {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		if s.inner == nil {
+			return errors.New("salsa: Windowed over a nil spec")
+		}
+		return fmt.Errorf("salsa: Windowed cannot decorate %T (window the sketch, then shard the window)", s.inner)
+	}
+	if leaf.kind == kindTopK {
+		return errors.New("salsa: Windowed does not support TopK (use MonitorOf for windowed heavy hitters)")
+	}
+	if err := leaf.validate(); err != nil {
+		return err
+	}
+	return validateWindow(leaf.opt, s.buckets, s.bucketItems)
+}
+
+func (s windowedSpec) build() (Sketch, error) {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		return nil, s.validate()
+	}
+	switch leaf.kind {
+	case kindCountMin:
+		return buildWindowedCMS(leaf.opt, s.buckets, s.bucketItems, false)
+	case kindConservative:
+		return buildWindowedCMS(leaf.opt, s.buckets, s.bucketItems, true)
+	case kindCountSketch:
+		return buildWindowedCountSketch(leaf.opt, s.buckets, s.bucketItems)
+	case kindMonitor:
+		return buildWindowedMonitor(leaf.opt, leaf.k, s.buckets, s.bucketItems)
+	}
+	return nil, fmt.Errorf("salsa: Windowed does not support %v", leaf.kind)
+}
+
+// shardedSpec decorates a topology with the concurrent ingestion layer.
+type shardedSpec struct {
+	inner  Spec
+	shards int
+}
+
+// ShardedBy decorates spec with the Sharded concurrency layer: shards
+// hash-routed, independently-locked copies (rounded up to a power of two).
+// ShardedBy must be the outermost decorator; it accepts a leaf or a
+// Windowed leaf.
+func ShardedBy(spec Spec, shards int) Spec {
+	return shardedSpec{inner: spec, shards: shards}
+}
+
+func (s shardedSpec) String() string {
+	return fmt.Sprintf("sharded(%d,%s)", s.shards, s.inner)
+}
+
+func (s shardedSpec) validate() error {
+	if s.shards <= 0 {
+		return fmt.Errorf("salsa: ShardedBy needs a positive shard count, got %d", s.shards)
+	}
+	switch inner := s.inner.(type) {
+	case leafSpec:
+		if inner.kind == kindTopK {
+			return errors.New("salsa: ShardedBy does not support TopK (use MonitorOf for sharded heavy hitters)")
+		}
+		return inner.validate()
+	case windowedSpec:
+		if leaf, ok := inner.inner.(leafSpec); ok && leaf.kind == kindMonitor {
+			return errors.New("salsa: ShardedBy does not support a windowed Monitor")
+		}
+		return inner.validate()
+	case nil:
+		return errors.New("salsa: ShardedBy over a nil spec")
+	}
+	return fmt.Errorf("salsa: ShardedBy cannot decorate %T", s.inner)
+}
+
+func (s shardedSpec) build() (Sketch, error) {
+	switch inner := s.inner.(type) {
+	case leafSpec:
+		switch inner.kind {
+		case kindCountMin:
+			return buildShardedCountMin(inner.opt, s.shards, false)
+		case kindConservative:
+			return buildShardedCountMin(inner.opt, s.shards, true)
+		case kindCountSketch:
+			return buildShardedCountSketch(inner.opt, s.shards)
+		case kindMonitor:
+			return buildShardedMonitor(inner.opt, inner.k, s.shards)
+		}
+	case windowedSpec:
+		if leaf, ok := inner.inner.(leafSpec); ok {
+			switch leaf.kind {
+			case kindCountMin:
+				return buildShardedWindowedCMS(leaf.opt, inner.buckets, inner.bucketItems, s.shards, false)
+			case kindConservative:
+				return buildShardedWindowedCMS(leaf.opt, inner.buckets, inner.bucketItems, s.shards, true)
+			case kindCountSketch:
+				return buildShardedWindowedCountSketch(leaf.opt, inner.buckets, inner.bucketItems, s.shards)
+			}
+		}
+	}
+	return nil, s.validate()
+}
+
+// Build realizes a Spec, returning the topology's concrete sketch type
+// behind the Sketch interface (type-assert for the query surface). All
+// construction errors — invalid Options, unsupported compositions — are
+// returned, never panicked.
+func Build(spec Spec) (Sketch, error) {
+	if spec == nil {
+		return nil, errors.New("salsa: Build of a nil spec")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return spec.build()
+}
+
+// MustBuild is Build for specs known valid at compile time; it panics on
+// error.
+func MustBuild(spec Spec) Sketch {
+	s, err := Build(spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// mustSketch unwraps a builder result whose inputs were already validated;
+// the deprecated panicking constructors are thin shims over it.
+func mustSketch[S any](s S, err error) S {
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package salsa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestOptionsValidate is the table of every invalid Options combination
+// the error-returning construction path must reject (and the deprecated
+// panicking shims turn into panics).
+func TestOptionsValidate(t *testing.T) {
+	valid := Options{Width: 1 << 10, Seed: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring of the error
+	}{
+		{"zero-width", Options{}, "power of two"},
+		{"non-power-of-two-width", Options{Width: 100}, "power of two"},
+		{"negative-width", Options{Width: -8}, "power of two"},
+		{"negative-depth", Options{Width: 64, Depth: -1}, "negative Depth"},
+		{"huge-depth", Options{Width: 64, Depth: 4096}, "exceeds the maximum"},
+		{"unknown-mode", Options{Width: 64, Mode: Mode(9)}, "unknown Mode"},
+		{"unknown-merge", Options{Width: 64, Merge: Merge(9)}, "unknown Merge"},
+		{"oversized-counterbits", Options{Width: 64, CounterBits: 128}, "CounterBits"},
+		{"compact-baseline", Options{Width: 64, Mode: ModeBaseline, CompactEncoding: true}, "CompactEncoding requires ModeSALSA"},
+		{"compact-tango", Options{Width: 64, Mode: ModeTango, CompactEncoding: true}, "CompactEncoding requires ModeSALSA"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+			// Every generic violation must also fail Build for every leaf.
+			for _, spec := range []Spec{
+				CountMinOf(tc.opt), ConservativeOf(tc.opt), CountSketchOf(tc.opt),
+				MonitorOf(tc.opt, 4), TopKOf(tc.opt, 4),
+			} {
+				if _, err := Build(spec); err == nil {
+					t.Fatalf("Build(%s) accepted invalid options", spec)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildRejectsInvalidCompositions is the table of kind- and
+// decorator-level invalid combinations.
+func TestBuildRejectsInvalidCompositions(t *testing.T) {
+	opt := Options{Width: 64, Seed: 1}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"tango-countsketch", CountSketchOf(Options{Width: 64, Mode: ModeTango}), "ModeTango"},
+		{"maxmerge-countsketch", CountSketchOf(Options{Width: 64, Merge: MergeMax}), "MergeSum"},
+		{"one-bit-countsketch", CountSketchOf(Options{Width: 64, CounterBits: 1}), "2-bit"},
+		{"tango-topk", TopKOf(Options{Width: 64, Mode: ModeTango}, 4), "ModeTango"},
+		{"zero-k-monitor", MonitorOf(opt, 0), "positive k"},
+		{"negative-k-topk", TopKOf(opt, -3), "positive k"},
+		{"zero-buckets", Windowed(CountMinOf(opt), 0, 100), "at least one bucket"},
+		{"huge-buckets", Windowed(CountMinOf(opt), 1<<20, 100), "exceed the maximum"},
+		{"negative-bucket-interval", Windowed(CountMinOf(opt), 4, -1), "negative bucket interval"},
+		{"maxmerge-windowed", Windowed(CountMinOf(Options{Width: 64, Merge: MergeMax}), 4, 100), "MergeSum"},
+		{"zero-shards", ShardedBy(CountMinOf(opt), 0), "positive shard count"},
+		{"negative-shards", ShardedBy(CountMinOf(opt), -2), "positive shard count"},
+		{"windowed-windowed", Windowed(Windowed(CountMinOf(opt), 4, 100), 4, 100), "cannot decorate"},
+		{"windowed-sharded", Windowed(ShardedBy(CountMinOf(opt), 4), 4, 100), "cannot decorate"},
+		{"sharded-sharded", ShardedBy(ShardedBy(CountMinOf(opt), 4), 4), "cannot decorate"},
+		{"windowed-topk", Windowed(TopKOf(opt, 4), 4, 100), "TopK"},
+		{"sharded-topk", ShardedBy(TopKOf(opt, 4), 4), "TopK"},
+		{"sharded-windowed-monitor", ShardedBy(Windowed(MonitorOf(opt, 4), 4, 100), 2), "windowed Monitor"},
+		{"windowed-nil", Windowed(nil, 4, 100), "nil spec"},
+		{"sharded-nil", ShardedBy(nil, 4), "nil spec"},
+		{"nil", nil, "nil spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Build(tc.spec)
+			if err == nil {
+				t.Fatalf("Build accepted invalid composition, returned %T", s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Build error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildConcreteTypes pins the concrete type behind every supported
+// composition — the monomorphic types PR 3's hot paths depend on.
+func TestBuildConcreteTypes(t *testing.T) {
+	opt := Options{Width: 64, Seed: 1}
+	cases := []struct {
+		spec Spec
+		want any
+	}{
+		{CountMinOf(opt), (*CountMin)(nil)},
+		{ConservativeOf(opt), (*CountMin)(nil)},
+		{CountSketchOf(opt), (*CountSketch)(nil)},
+		{MonitorOf(opt, 4), (*Monitor)(nil)},
+		{TopKOf(opt, 4), (*TopK)(nil)},
+		{Windowed(CountMinOf(opt), 4, 100), (*WindowedCountMin)(nil)},
+		{Windowed(ConservativeOf(opt), 4, 100), (*WindowedCountMin)(nil)},
+		{Windowed(CountSketchOf(opt), 4, 100), (*WindowedCountSketch)(nil)},
+		{Windowed(MonitorOf(opt, 4), 4, 100), (*WindowedMonitor)(nil)},
+		{ShardedBy(CountMinOf(opt), 2), (*ShardedCountMin)(nil)},
+		{ShardedBy(ConservativeOf(opt), 2), (*ShardedCountMin)(nil)},
+		{ShardedBy(CountSketchOf(opt), 2), (*ShardedCountSketch)(nil)},
+		{ShardedBy(MonitorOf(opt, 4), 2), (*ShardedMonitor)(nil)},
+		{ShardedBy(Windowed(CountMinOf(opt), 4, 100), 2), (*ShardedWindowedCountMin)(nil)},
+		{ShardedBy(Windowed(CountSketchOf(opt), 4, 100), 2), (*ShardedWindowedCountSketch)(nil)},
+	}
+	for _, tc := range cases {
+		s, err := Build(tc.spec)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", tc.spec, err)
+		}
+		if gotT, wantT := typeName(s), typeName(tc.want); gotT != wantT {
+			t.Fatalf("Build(%s) = %s, want %s", tc.spec, gotT, wantT)
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *CountMin:
+		return "*CountMin"
+	case *CountSketch:
+		return "*CountSketch"
+	case *Monitor:
+		return "*Monitor"
+	case *TopK:
+		return "*TopK"
+	case *WindowedCountMin:
+		return "*WindowedCountMin"
+	case *WindowedCountSketch:
+		return "*WindowedCountSketch"
+	case *WindowedMonitor:
+		return "*WindowedMonitor"
+	case *ShardedCountMin:
+		return "*ShardedCountMin"
+	case *ShardedCountSketch:
+		return "*ShardedCountSketch"
+	case *ShardedMonitor:
+		return "*ShardedMonitor"
+	case *ShardedWindowedCountMin:
+		return "*ShardedWindowedCountMin"
+	case *ShardedWindowedCountSketch:
+		return "*ShardedWindowedCountSketch"
+	}
+	return "unknown"
+}
+
+// TestBuildMatchesDeprecatedConstructors pins Build to the shims: a built
+// sketch and its constructor-built twin marshal byte-identically after the
+// same stream (same defaults, same seeds, same row layouts).
+func TestBuildMatchesDeprecatedConstructors(t *testing.T) {
+	opt := Options{Width: 256, Seed: 5}
+	data := roundTripItems[:2000]
+
+	built := MustBuild(CountMinOf(opt)).(*CountMin)
+	legacy := NewCountMin(opt)
+	built.UpdateBatch(data, 1)
+	legacy.UpdateBatch(data, 1)
+	b1, err := built.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := legacy.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Build(CountMinOf) and NewCountMin diverge")
+	}
+
+	wb := MustBuild(Windowed(ConservativeOf(opt), 4, 300)).(*WindowedCountMin)
+	wl := NewWindowedConservativeUpdate(opt, 4, 300)
+	wb.UpdateBatch(data, 1)
+	wl.UpdateBatch(data, 1)
+	for _, x := range data[:128] {
+		if wb.Query(x) != wl.Query(x) {
+			t.Fatal("Build(Windowed(ConservativeOf)) and NewWindowedConservativeUpdate diverge")
+		}
+	}
+}
+
+// TestDeprecatedShimsStillPanic pins the compatibility contract: the old
+// constructors keep their panic-on-invalid behavior.
+func TestDeprecatedShimsStillPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewCountMin bad width", func() { NewCountMin(Options{Width: 100}) })
+	mustPanic("NewCountSketch tango", func() { NewCountSketch(Options{Width: 64, Mode: ModeTango}) })
+	mustPanic("NewWindowedCountMin maxmerge", func() {
+		NewWindowedCountMin(Options{Width: 64, Merge: MergeMax}, 4, 100)
+	})
+	mustPanic("NewMonitor zero k", func() { NewMonitor(Options{Width: 64}, 0) })
+	mustPanic("MustBuild", func() { MustBuild(CountMinOf(Options{Width: 3})) })
+}
+
+// TestSpecString pins the expression syntax ParseSpec consumes.
+func TestSpecString(t *testing.T) {
+	opt := Options{Width: 64}
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{CountMinOf(opt), "cms"},
+		{ConservativeOf(opt), "cus"},
+		{CountSketchOf(opt), "cs"},
+		{MonitorOf(opt, 10), "monitor(10)"},
+		{TopKOf(opt, 5), "topk(5)"},
+		{Windowed(CountMinOf(opt), 4, 65536), "windowed(4,65536,cms)"},
+		{ShardedBy(Windowed(CountMinOf(opt), 4, 65536), 8), "sharded(8,windowed(4,65536,cms))"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.String(); got != tc.want {
+			t.Fatalf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

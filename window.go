@@ -1,6 +1,8 @@
 package salsa
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"salsa/internal/sketch"
@@ -37,21 +39,56 @@ type WindowedCountMin struct {
 	conservative bool
 }
 
-// NewWindowedCountMin returns a windowed Count-Min Sketch of buckets ring
-// buckets. bucketItems > 0 rotates the window automatically every
-// bucketItems updates; bucketItems == 0 leaves rotation to Tick. All modes
-// are supported, including ModeTango.
+// buildWindowedCMS realizes a Windowed(CountMinOf/ConservativeOf) spec.
 //
 // Windowed sketches always use sum-merge counters: a window query merges
 // bucket sketches of disjoint substreams, and only summing their counters
 // preserves the overestimate guarantee for the concatenated stream
 // (max-merge is the tighter policy for counter merges within one stream,
 // Theorem V.2, but taking the max across buckets would under-count items
-// spread over the window). MergeMax panics.
-func NewWindowedCountMin(opt Options, buckets, bucketItems int) *WindowedCountMin {
+// spread over the window). MergeMax is a composition error.
+func buildWindowedCMS(opt Options, buckets, bucketItems int, conservative bool) (*WindowedCountMin, error) {
+	kind := kindCountMin
+	if conservative {
+		kind = kindConservative
+	}
+	if err := opt.validateFor(kind); err != nil {
+		return nil, err
+	}
+	if err := validateWindow(opt, buckets, bucketItems); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(4, MergeSum)
-	opt.validate()
-	return newWindowedCMS(opt, buckets, bucketItems, false)
+	ring := window.NewRing(buckets, uint64(bucketItems), cmsRingOps(opt, conservative))
+	return &WindowedCountMin{ring: ring, opt: opt, conservative: conservative}, nil
+}
+
+// cmsRingOps binds the ring bucket operations to *sketch.CMS for
+// defaults-applied Options; the envelope decoder reuses it to rebuild
+// decoded rings.
+func cmsRingOps(opt Options, conservative bool) window.Ops[*sketch.CMS] {
+	return window.Ops[*sketch.CMS]{
+		New: func() *sketch.CMS {
+			if conservative {
+				return sketch.NewCUS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
+			}
+			return sketch.NewCMS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
+		},
+		Reset: (*sketch.CMS).Reset,
+		Merge: (*sketch.CMS).MergeFrom,
+	}
+}
+
+// NewWindowedCountMin returns a windowed Count-Min Sketch of buckets ring
+// buckets. bucketItems > 0 rotates the window automatically every
+// bucketItems updates; bucketItems == 0 leaves rotation to Tick. All modes
+// are supported, including ModeTango. MergeMax panics; windowed sketches
+// force sum-merge counters.
+//
+// Deprecated: Use Build(Windowed(CountMinOf(opt), buckets, bucketItems)),
+// which returns construction errors instead of panicking.
+func NewWindowedCountMin(opt Options, buckets, bucketItems int) *WindowedCountMin {
+	return mustSketch(buildWindowedCMS(opt, buckets, bucketItems, false))
 }
 
 // NewWindowedConservativeUpdate is NewWindowedCountMin with the
@@ -59,39 +96,33 @@ func NewWindowedCountMin(opt Options, buckets, bucketItems int) *WindowedCountMi
 // streams only). Like all windowed sketches it uses sum-merge counters;
 // every CU row counter overestimates its items' bucket substream counts,
 // so the summed window view keeps the overestimate guarantee.
+//
+// Deprecated: Use Build(Windowed(ConservativeOf(opt), buckets, bucketItems)).
 func NewWindowedConservativeUpdate(opt Options, buckets, bucketItems int) *WindowedCountMin {
-	opt = opt.withDefaults(4, MergeSum)
-	opt.validate()
-	return newWindowedCMS(opt, buckets, bucketItems, true)
+	return mustSketch(buildWindowedCMS(opt, buckets, bucketItems, true))
 }
 
-func newWindowedCMS(opt Options, buckets, bucketItems int, conservative bool) *WindowedCountMin {
+// validateWindow checks the window-decorator parameters and the
+// sum-merge requirement shared by every windowed sketch.
+func validateWindow(opt Options, buckets, bucketItems int) error {
 	if opt.Merge == MergeMax {
-		panic("salsa: windowed sketches require MergeSum (bucket merges sum disjoint substreams)")
+		return errors.New("salsa: windowed sketches require MergeSum (bucket merges sum disjoint substreams)")
 	}
-	validateWindow(buckets, bucketItems)
-	build := func() *sketch.CMS {
-		if conservative {
-			return sketch.NewCUS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
-		}
-		return sketch.NewCMS(opt.Depth, opt.Width, rowSpec(opt), opt.Seed)
-	}
-	ring := window.NewRing(buckets, uint64(bucketItems), window.Ops[*sketch.CMS]{
-		New:   build,
-		Reset: (*sketch.CMS).Reset,
-		Merge: (*sketch.CMS).MergeFrom,
-	})
-	return &WindowedCountMin{ring: ring, opt: opt, conservative: conservative}
-}
-
-func validateWindow(buckets, bucketItems int) {
 	if buckets <= 0 {
-		panic("salsa: window needs at least one bucket")
+		return fmt.Errorf("salsa: window needs at least one bucket, got %d", buckets)
+	}
+	if buckets > maxWindowBuckets {
+		return fmt.Errorf("salsa: window buckets %d exceed the maximum %d", buckets, maxWindowBuckets)
 	}
 	if bucketItems < 0 {
-		panic("salsa: negative bucket interval")
+		return fmt.Errorf("salsa: negative bucket interval %d", bucketItems)
 	}
+	return nil
 }
+
+// maxWindowBuckets bounds the ring size; it matches the decoder's
+// hostile-payload bound, so every constructible window is serializable.
+const maxWindowBuckets = 1 << 16
 
 // Update adds count occurrences of item to the current bucket. Negative
 // counts follow the same rules as CountMin (MergeSum only, never in
@@ -178,19 +209,36 @@ type WindowedCountSketch struct {
 	opt  Options
 }
 
-// NewWindowedCountSketch returns a windowed Count Sketch of buckets ring
-// buckets, rotating every bucketItems updates (0 = Tick-driven).
-func NewWindowedCountSketch(opt Options, buckets, bucketItems int) *WindowedCountSketch {
+// buildWindowedCountSketch realizes a Windowed(CountSketchOf) spec.
+func buildWindowedCountSketch(opt Options, buckets, bucketItems int) (*WindowedCountSketch, error) {
+	if err := opt.validateFor(kindCountSketch); err != nil {
+		return nil, err
+	}
+	if err := validateWindow(opt, buckets, bucketItems); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(5, MergeSum)
-	opt.validate()
-	validateWindow(buckets, bucketItems)
+	ring := window.NewRing(buckets, uint64(bucketItems), csRingOps(opt))
+	return &WindowedCountSketch{ring: ring, opt: opt}, nil
+}
+
+// csRingOps binds the ring bucket operations to *sketch.CountSketch for
+// defaults-applied Options; the envelope decoder reuses it.
+func csRingOps(opt Options) window.Ops[*sketch.CountSketch] {
 	spec := signedRowSpec(opt)
-	ring := window.NewRing(buckets, uint64(bucketItems), window.Ops[*sketch.CountSketch]{
+	return window.Ops[*sketch.CountSketch]{
 		New:   func() *sketch.CountSketch { return sketch.NewCountSketch(opt.Depth, opt.Width, spec, opt.Seed) },
 		Reset: (*sketch.CountSketch).Reset,
 		Merge: func(dst, src *sketch.CountSketch) { dst.MergeFrom(src, 1) },
-	})
-	return &WindowedCountSketch{ring: ring, opt: opt}
+	}
+}
+
+// NewWindowedCountSketch returns a windowed Count Sketch of buckets ring
+// buckets, rotating every bucketItems updates (0 = Tick-driven).
+//
+// Deprecated: Use Build(Windowed(CountSketchOf(opt), buckets, bucketItems)).
+func NewWindowedCountSketch(opt Options, buckets, bucketItems int) *WindowedCountSketch {
+	return mustSketch(buildWindowedCountSketch(opt, buckets, bucketItems))
 }
 
 // Update adds count occurrences of item (count of either sign) to the
@@ -258,13 +306,24 @@ type WindowedMonitor struct {
 	k     int
 }
 
-// NewWindowedMonitor returns a windowed heavy-hitter tracker keeping the k
-// largest items per bucket, over buckets ring buckets rotating every
-// bucketItems updates (0 = Tick-driven).
-func NewWindowedMonitor(opt Options, k, buckets, bucketItems int) *WindowedMonitor {
+// buildWindowedMonitor realizes a Windowed(MonitorOf) spec.
+func buildWindowedMonitor(opt Options, k, buckets, bucketItems int) (*WindowedMonitor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	}
+	w, err := buildWindowedCMS(opt, buckets, bucketItems, true)
+	if err != nil {
+		return nil, err
+	}
+	return newWindowedMonitor(w, k), nil
+}
+
+// newWindowedMonitor wires the per-bucket candidate heaps onto a windowed
+// CU sketch; the envelope decoder reuses it with a restored ring.
+func newWindowedMonitor(w *WindowedCountMin, k int) *WindowedMonitor {
 	m := &WindowedMonitor{
-		w:     NewWindowedConservativeUpdate(opt, buckets, bucketItems),
-		heaps: make([]*topk.Heap, buckets),
+		w:     w,
+		heaps: make([]*topk.Heap, w.Buckets()),
 		k:     k,
 	}
 	for i := range m.heaps {
@@ -272,6 +331,15 @@ func NewWindowedMonitor(opt Options, k, buckets, bucketItems int) *WindowedMonit
 	}
 	m.w.ring.OnRotate(func(cur int) { m.heaps[cur].Reset() })
 	return m
+}
+
+// NewWindowedMonitor returns a windowed heavy-hitter tracker keeping the k
+// largest items per bucket, over buckets ring buckets rotating every
+// bucketItems updates (0 = Tick-driven).
+//
+// Deprecated: Use Build(Windowed(MonitorOf(opt, k), buckets, bucketItems)).
+func NewWindowedMonitor(opt Options, k, buckets, bucketItems int) *WindowedMonitor {
+	return mustSketch(buildWindowedMonitor(opt, k, buckets, bucketItems))
 }
 
 // Process records one occurrence of item and refreshes the current
