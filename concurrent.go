@@ -1,10 +1,23 @@
 package salsa
 
 import (
+	"fmt"
 	"sync"
 
 	"salsa/internal/hashing"
 )
+
+// validateShardCount caps the shard count at the envelope decoder's
+// maxShards, so every constructible sharded topology is serializable. The
+// lower bound stays with the callers: the Spec algebra requires a positive
+// count, while the deprecated constructors keep their documented
+// round-up-to-minimum-1 behavior.
+func validateShardCount(shards int) error {
+	if shards > maxShards {
+		return fmt.Errorf("salsa: shard count %d exceeds the maximum %d", shards, maxShards)
+	}
+	return nil
+}
 
 // Sharded is the concurrent ingestion layer: a generic wrapper that routes
 // items to one of several independently-locked shard sketches by a hash of
@@ -40,11 +53,16 @@ type shard[S Sketch] struct {
 }
 
 // NewSharded returns a Sharded sketch with the given number of shards
-// (rounded up to a power of two, minimum 1). routeSeed drives the
-// item-to-shard hash; factory builds shard i's backend. Give shards
-// distinct sketch seeds (as the typed constructors do) unless you intend
-// to Merge them later, in which case they must share one.
+// (rounded up to a power of two, minimum 1), panicking beyond the
+// envelope's maximum so every constructible sharded topology stays
+// serializable. routeSeed drives the item-to-shard hash; factory builds
+// shard i's backend. Give shards distinct sketch seeds (as the typed
+// constructors do) unless you intend to Merge them later, in which case
+// they must share one.
 func NewSharded[S Sketch](shards int, routeSeed uint64, factory func(shard int) S) *Sharded[S] {
+	if err := validateShardCount(shards); err != nil {
+		panic(err)
+	}
 	n := 1
 	for n < shards {
 		n *= 2
@@ -65,17 +83,7 @@ func NewSharded[S Sketch](shards int, routeSeed uint64, factory func(shard int) 
 // the given routing seed; the envelope decoder uses it to reconstruct
 // sharded topologies shard for shard. len(sks) must be a power of two.
 func newShardedFromShards[S Sketch](routeSeed uint64, sks []S) *Sharded[S] {
-	n := len(sks)
-	s := &Sharded[S]{
-		shards: make([]shard[S], n),
-		mask:   uint64(n - 1),
-		seed:   routeSeed,
-	}
-	s.parts.New = func() any { return newPartition(n) }
-	for i := range s.shards {
-		s.shards[i].sk = sks[i]
-	}
-	return s
+	return NewSharded(len(sks), routeSeed, func(i int) S { return sks[i] })
 }
 
 func (s *Sharded[S]) route(item uint64) *shard[S] {

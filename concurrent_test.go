@@ -443,3 +443,17 @@ func TestShardedMarshalRoundTrip(t *testing.T) {
 		t.Fatal("rebuilt sketch not live")
 	}
 }
+
+// TestNewShardedBoundsShardCount: the generic constructor enforces the
+// envelope decoder's shard cap, so a directly constructed Sharded can
+// never Marshal into a payload Unmarshal must reject.
+func TestNewShardedBoundsShardCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded accepted 1<<17 shards")
+		}
+	}()
+	NewSharded(1<<17, 1, func(int) *CountMin {
+		return MustBuild(CountMinOf(Options{Width: 64})).(*CountMin)
+	})
+}

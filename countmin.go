@@ -1,8 +1,6 @@
 package salsa
 
 import (
-	"fmt"
-
 	"salsa/internal/sketch"
 	"salsa/internal/topk"
 )
@@ -136,8 +134,8 @@ type Monitor struct {
 
 // buildMonitor realizes a MonitorOf leaf.
 func buildMonitor(opt Options, k int) (*Monitor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	if err := validateTrackerK("monitor", k); err != nil {
+		return nil, err
 	}
 	cm, err := buildCountMin(opt, true)
 	if err != nil {

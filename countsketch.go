@@ -1,8 +1,6 @@
 package salsa
 
 import (
-	"fmt"
-
 	"salsa/internal/sketch"
 	"salsa/internal/topk"
 )
@@ -94,8 +92,8 @@ type TopK struct {
 
 // buildTopK realizes a TopKOf leaf.
 func buildTopK(opt Options, k int) (*TopK, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("salsa: topk needs a positive k, got %d", k)
+	if err := validateTrackerK("topk", k); err != nil {
+		return nil, err
 	}
 	cs, err := buildCountSketch(opt)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"salsa/internal/sketch"
 	"salsa/internal/topk"
@@ -48,10 +49,13 @@ const (
 )
 
 // Decoder bounds for hostile payloads; canonical payloads respect them by
-// construction (maxWindowBuckets also bounds the builders).
+// construction (maxWindowBuckets and maxHeapK also bound the builders, so
+// every constructible sketch is serializable). maxHeapK must fit int on
+// 32-bit platforms: the decoded capacity is converted to int before
+// reaching topk.Restore.
 const (
 	maxShards = 1 << 16
-	maxHeapK  = 1 << 32
+	maxHeapK  = math.MaxInt32
 )
 
 // ErrUnsupportedTopology is returned by Marshal for sketches outside the
@@ -325,20 +329,21 @@ func readHeap(data []byte, k int) (*topk.Heap, []byte, error) {
 	return h, data, nil
 }
 
-// marshalWindowedCMS encodes a windowed CMS ring: the Options, the ring
+// marshalRing encodes a windowed ring payload: the Options, the flag byte
+// (the CU flag for CMS rings, 0 for Count Sketch layout parity), the ring
 // odometer (current position, per-bucket counts, rotations), and every
 // bucket sketch in ring-storage order. The derived closed/view merges are
 // not serialized; the decoder rebuilds them with the same merge order
 // rotation uses, so decoded query answers are bit-for-bit identical.
-func marshalWindowedCMS(w *WindowedCountMin) ([]byte, error) {
-	buf := appendOptions(nil, w.opt)
-	buf = append(buf, boolByte(w.conservative))
-	buf = appendRingHeader(buf, w.ring.Buckets(), w.ring.Interval(), w.ring.CurIndex(), w.ring.Rotations())
-	for i := 0; i < w.ring.Buckets(); i++ {
-		buf = binary.LittleEndian.AppendUint64(buf, w.ring.CountAt(i))
+func marshalRing[S interface{ MarshalBinary() ([]byte, error) }](opt Options, flag byte, ring *window.Ring[S]) ([]byte, error) {
+	buf := appendOptions(nil, opt)
+	buf = append(buf, flag)
+	buf = appendRingHeader(buf, ring.Buckets(), ring.Interval(), ring.CurIndex(), ring.Rotations())
+	for i := 0; i < ring.Buckets(); i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, ring.CountAt(i))
 	}
-	for i := 0; i < w.ring.Buckets(); i++ {
-		payload, err := w.ring.BucketAt(i).MarshalBinary()
+	for i := 0; i < ring.Buckets(); i++ {
+		payload, err := ring.BucketAt(i).MarshalBinary()
 		if err != nil {
 			return nil, err
 		}
@@ -347,22 +352,12 @@ func marshalWindowedCMS(w *WindowedCountMin) ([]byte, error) {
 	return buf, nil
 }
 
-// marshalWindowedCS is marshalWindowedCMS for the Count Sketch ring.
+func marshalWindowedCMS(w *WindowedCountMin) ([]byte, error) {
+	return marshalRing(w.opt, boolByte(w.conservative), w.ring)
+}
+
 func marshalWindowedCS(w *WindowedCountSketch) ([]byte, error) {
-	buf := appendOptions(nil, w.opt)
-	buf = append(buf, 0) // layout parity with the CMS ring (no CU flag)
-	buf = appendRingHeader(buf, w.ring.Buckets(), w.ring.Interval(), w.ring.CurIndex(), w.ring.Rotations())
-	for i := 0; i < w.ring.Buckets(); i++ {
-		buf = binary.LittleEndian.AppendUint64(buf, w.ring.CountAt(i))
-	}
-	for i := 0; i < w.ring.Buckets(); i++ {
-		payload, err := w.ring.BucketAt(i).MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		buf = appendBlock(buf, payload)
-	}
-	return buf, nil
+	return marshalRing(w.opt, 0, w.ring)
 }
 
 func boolByte(b bool) byte {
@@ -400,6 +395,12 @@ func readRingHeader(data []byte) (ringHeader, []byte, error) {
 	if err != nil {
 		return h, nil, err
 	}
+	// Tango rows do not serialize, so no canonical windowed payload can
+	// declare them; reject before any reference-sketch construction, as
+	// UnmarshalCountMin does for the per-type format.
+	if opt.Mode == ModeTango {
+		return h, nil, errors.New("salsa: Tango sketches do not support serialization")
+	}
 	if len(rest) < 1+4*8 {
 		return h, nil, ErrBadPayload
 	}
@@ -425,6 +426,18 @@ func readRingHeader(data []byte) (ringHeader, []byte, error) {
 	for i := range h.counts {
 		h.counts[i] = binary.LittleEndian.Uint64(rest[i*8:])
 	}
+	// With auto-rotation (interval > 0), Wrote rotates the moment the
+	// current bucket's count reaches the interval, so canonically
+	// counts[cur] < interval and closed buckets hold at most exactly
+	// interval. A hostile counts[cur] >= interval would make Ring.Room
+	// underflow and break batch/per-item equivalence.
+	if h.interval > 0 {
+		for i, c := range h.counts {
+			if c > h.interval || (i == h.cur && c >= h.interval) {
+				return h, nil, ErrBadPayload
+			}
+		}
+	}
 	return h, rest[h.buckets*8:], nil
 }
 
@@ -434,12 +447,47 @@ func readRingHeader(data []byte) (ringHeader, []byte, error) {
 // carries at least one bit per base counter per row (CounterBits ≥ 1), so
 // a ring's payload holds ≥ Depth×Width/8 bytes; a hostile header claiming
 // a huge geometry over a tiny payload must fail here, before ops.New
-// builds the Depth×Width reference arena.
+// builds the Depth×Width reference arena. The comparison divides rather
+// than multiplying: Width can be any positive power of two up to 1<<62,
+// so Depth*Width wraps for hostile headers and would bypass the bound.
 func boundRingGeometry(opt Options, remaining int) error {
-	if opt.Depth*opt.Width > 8*remaining+4096 {
+	if opt.Depth <= 0 || int64(opt.Width) > (8*int64(remaining)+4096)/int64(opt.Depth) {
 		return ErrBadPayload
 	}
 	return nil
+}
+
+// unmarshalRing decodes the shared tail of a windowed payload — one
+// length-prefixed bucket sketch per ring position, each verified
+// merge-compatible with the reference configuration ops derives from the
+// declared (defaults-applied) Options — then restores the ring. The
+// geometry bound runs first, before ops.New builds the reference arena.
+func unmarshalRing[S interface{ CompatibleWith(S) error }](h ringHeader, rest []byte, ops window.Ops[S], unmarshal func([]byte) (S, error)) (*window.Ring[S], []byte, error) {
+	if err := boundRingGeometry(h.opt, len(rest)); err != nil {
+		return nil, nil, err
+	}
+	ref := ops.New()
+	buckets := make([]S, h.buckets)
+	for i := range buckets {
+		block, r, err := readBlock(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = r
+		b, err := unmarshal(block)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ref.CompatibleWith(b); err != nil {
+			return nil, nil, fmt.Errorf("salsa: bucket %d does not match the window options: %w", i, err)
+		}
+		buckets[i] = b
+	}
+	ring, err := window.RestoreRing(buckets, h.counts, h.cur, h.rotations, h.interval, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ring, rest, nil
 }
 
 // unmarshalWindowedCMS decodes a windowed CMS ring, verifying every bucket
@@ -465,28 +513,7 @@ func unmarshalWindowedCMS(data []byte) (*WindowedCountMin, []byte, error) {
 	// payloads carry defaults-applied Options already; hostile ones with
 	// zero Depth/CounterBits must not reach the row constructors raw).
 	h.opt = h.opt.withDefaults(4, MergeSum)
-	if err := boundRingGeometry(h.opt, len(rest)); err != nil {
-		return nil, nil, err
-	}
-	ops := cmsRingOps(h.opt, h.conservative)
-	ref := ops.New()
-	buckets := make([]*sketch.CMS, h.buckets)
-	for i := range buckets {
-		block, r, err := readBlock(rest)
-		if err != nil {
-			return nil, nil, err
-		}
-		rest = r
-		b, err := sketch.UnmarshalCMS(block)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ref.CompatibleWith(b); err != nil {
-			return nil, nil, fmt.Errorf("salsa: bucket %d does not match the window options: %w", i, err)
-		}
-		buckets[i] = b
-	}
-	ring, err := window.RestoreRing(buckets, h.counts, h.cur, h.rotations, h.interval, ops)
+	ring, rest, err := unmarshalRing(h, rest, cmsRingOps(h.opt, h.conservative), sketch.UnmarshalCMS)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -511,28 +538,7 @@ func unmarshalWindowedCS(data []byte) (*WindowedCountSketch, []byte, error) {
 	// Match the builder's defaults so the reference ops reconstruct the
 	// exact bucket configuration the ring was built with.
 	h.opt = h.opt.withDefaults(5, MergeSum)
-	if err := boundRingGeometry(h.opt, len(rest)); err != nil {
-		return nil, nil, err
-	}
-	ops := csRingOps(h.opt)
-	ref := ops.New()
-	buckets := make([]*sketch.CountSketch, h.buckets)
-	for i := range buckets {
-		block, r, err := readBlock(rest)
-		if err != nil {
-			return nil, nil, err
-		}
-		rest = r
-		b, err := sketch.UnmarshalCountSketch(block)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := ref.CompatibleWith(b); err != nil {
-			return nil, nil, fmt.Errorf("salsa: bucket %d does not match the window options: %w", i, err)
-		}
-		buckets[i] = b
-	}
-	ring, err := window.RestoreRing(buckets, h.counts, h.cur, h.rotations, h.interval, ops)
+	ring, rest, err := unmarshalRing(h, rest, csRingOps(h.opt), sketch.UnmarshalCountSketch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -652,6 +658,14 @@ func unmarshalSharded(data []byte) (Sketch, error) {
 		shards, err := typedShards[*Monitor](sks)
 		if err != nil {
 			return nil, err
+		}
+		// The Spec algebra gives every shard the same k; a hostile payload
+		// mixing heap capacities would silently truncate the cross-shard
+		// candidate set to shard 0's.
+		for i, m := range shards {
+			if m.heap.Cap() != shards[0].heap.Cap() {
+				return nil, fmt.Errorf("salsa: shard %d heap capacity %d does not match shard 0's %d", i, m.heap.Cap(), shards[0].heap.Cap())
+			}
 		}
 		return &ShardedMonitor{
 			Sharded: newShardedFromShards(routeSeed, shards),

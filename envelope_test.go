@@ -2,8 +2,10 @@ package salsa
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -330,6 +332,129 @@ func TestUniversalRejectsHugeDeclaredGeometry(t *testing.T) {
 	bad[widthOff+5] = 1 // Width = 1<<40
 	if _, err := Unmarshal(bad); err == nil {
 		t.Fatal("accepted a payload declaring a 2^40-slot ring")
+	}
+	// Width = 1<<62 makes Depth*Width wrap to 0 in a naive int product,
+	// which used to slip past the allocation bound and panic in makeslice.
+	for i := 0; i < 8; i++ {
+		bad[widthOff+i] = 0
+	}
+	bad[widthOff+7] = 0x40 // Width = 1<<62
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted a payload declaring a 2^62-slot ring")
+	}
+}
+
+// TestUniversalRejectsOverfullBucketCounts: with auto-rotation, the ring
+// rotates the instant the current bucket's count reaches the interval, so
+// a payload claiming counts[cur] >= interval (or any bucket above it) is
+// non-canonical and would make Ring.Room underflow, breaking the
+// batch/per-item ingestion equivalence.
+func TestUniversalRejectsOverfullBucketCounts(t *testing.T) {
+	w := MustBuild(Windowed(CountMinOf(Options{Width: 64, Seed: 1}), 2, 10)).(*WindowedCountMin)
+	for i := 0; i < 13; i++ { // one rotation: counts = [10, 3], cur = 1
+		w.Increment(uint64(i))
+	}
+	blob, err := Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed bucket pinned at exactly the interval is canonical.
+	if _, err := Unmarshal(blob); err != nil {
+		t.Fatalf("rejected canonical mid-rotation payload: %v", err)
+	}
+	// Ring header after the 6-byte envelope header and 60-byte Options
+	// header: conservative byte, then buckets/interval/cur/rotations u64s,
+	// then one count u64 per bucket.
+	countsOff := 6 + 60 + 1 + 4*8
+	bad := append([]byte(nil), blob...)
+	bad[countsOff+8] = 10 // counts[cur=1] = interval
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted counts[cur] == interval")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[countsOff] = 11 // closed bucket above the interval
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted a closed bucket count above the interval")
+	}
+}
+
+// TestUniversalRejectsHostileRingOptions: declared ring Options that core
+// row constructors would panic on must be rejected as errors before the
+// decoder builds the reference sketch.
+func TestUniversalRejectsHostileRingOptions(t *testing.T) {
+	w := MustBuild(Windowed(CountMinOf(Options{Width: 64, Seed: 1}), 2, 10))
+	w.Update(1, 1)
+	blob, err := Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Options header follows the 6-byte envelope header: magic u32,
+	// then u64 fields Depth, Width, Mode, CounterBits, ...
+	tamper := func(field int, v byte) []byte {
+		bad := append([]byte(nil), blob...)
+		off := 6 + 4 + 8*field
+		for i := 0; i < 8; i++ {
+			bad[off+i] = 0
+		}
+		bad[off] = v
+		return bad
+	}
+	// CounterBits = 3 used to reach the core row constructors and panic
+	// with 'invalid SALSA base counter size'.
+	if _, err := Unmarshal(tamper(3, 3)); err == nil {
+		t.Fatal("accepted 3-bit counters")
+	}
+	// Tango rings are unserializable; the decoder says so up front instead
+	// of building a doomed Tango reference arena.
+	if _, err := Unmarshal(tamper(2, byte(ModeTango))); err == nil || !strings.Contains(err.Error(), "Tango") {
+		t.Fatalf("Tango ring header: got %v, want a Tango serialization error", err)
+	}
+}
+
+// TestUniversalRejectsMixedShardHeapCapacities: the Spec algebra gives
+// every shard of a ShardedMonitor the same k, so a payload mixing heap
+// capacities is unexpressable and must be refused — accepting it would
+// silently truncate the cross-shard candidate set to shard 0's k.
+func TestUniversalRejectsMixedShardHeapCapacities(t *testing.T) {
+	s := MustBuild(ShardedBy(MonitorOf(Options{Width: 64, Seed: 1}, 4), 2))
+	s.Update(7, 3) // one shard's heap holds one entry, the other's none
+	blob, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0's nested envelope starts after the outer 6-byte header, the
+	// routing seed, the shard count, and its own block length; its k is the
+	// u64 right after the nested 6-byte header.
+	bad := append([]byte(nil), blob...)
+	kOff := 6 + 8 + 8 + 8 + 6
+	if got := binary.LittleEndian.Uint64(bad[kOff:]); got != 4 {
+		t.Fatalf("shard 0 k at offset %d = %d, want 4", kOff, got)
+	}
+	bad[kOff] = 2 // shard 0 k = 2, shard 1 still 4
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted mixed per-shard heap capacities")
+	}
+}
+
+// TestUniversalRejectsHugeHeapCapacity: the declared tracker capacity is
+// converted to int before topk.Restore, so it must be bounded by what int
+// holds on every platform; 1<<32 used to pass the bound and wrap negative
+// on 32-bit.
+func TestUniversalRejectsHugeHeapCapacity(t *testing.T) {
+	m := MustBuild(MonitorOf(Options{Width: 64, Seed: 1}, 4))
+	m.Update(7, 3)
+	blob, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k is the u64 immediately after the 6-byte envelope header.
+	bad := append([]byte(nil), blob...)
+	for i := 0; i < 8; i++ {
+		bad[6+i] = 0
+	}
+	bad[6+4] = 1 // k = 1<<32
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("accepted a 2^32 heap capacity")
 	}
 }
 

@@ -28,16 +28,17 @@ var ErrBadPayload = errors.New("core: not a counter array payload")
 
 // maxMarshalWidth bounds decoded geometry so a corrupt or hostile payload
 // cannot trigger a huge allocation: the words are length-checked against
-// the payload, and the width must agree with them.
-const maxMarshalWidth = 1 << 31
+// the payload, and the width must agree with them. It exceeds int on
+// 32-bit platforms, so the width check and word arithmetic run in 64 bits.
+const maxMarshalWidth = int64(1) << 31
 
 // wordsForGeometry returns the expected backing word count, or -1 for
 // invalid geometry.
 func wordsForGeometry(width int, bits uint) int {
-	if width <= 0 || width > maxMarshalWidth || !validBits(bits, 64) {
+	if width <= 0 || int64(width) > maxMarshalWidth || !validBits(bits, 64) {
 		return -1
 	}
-	return int((uint(width)*bits + 63) / 64)
+	return int((uint64(width)*uint64(bits) + 63) / 64)
 }
 
 func putHeader(kind byte, bits uint, policy byte, compact bool, width int) []byte {

@@ -39,10 +39,11 @@ func TestParseSpecRoundTrip(t *testing.T) {
 func TestParseSpecTolerance(t *testing.T) {
 	opt := Options{Width: 64}
 	for expr, want := range map[string]string{
-		" sharded( 8 , windowed(4, 100, CMS) ) ": "sharded(8,windowed(4,100,cms))",
-		"CountMin":                               "cms",
-		"conservative":                           "cus",
-		"CountSketch":                            "cs",
+		" sharded( 8 , windowed(4, 100, CMS) ) ":   "sharded(8,windowed(4,100,cms))",
+		"sharded(8,\n\twindowed(4, 100, cms))\r\n": "sharded(8,windowed(4,100,cms))",
+		"CountMin":     "cms",
+		"conservative": "cus",
+		"CountSketch":  "cs",
 	} {
 		spec, err := ParseSpec(expr, opt)
 		if err != nil {

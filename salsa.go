@@ -183,8 +183,34 @@ func (o Options) Validate() error {
 	if o.Merge < MergeDefault || o.Merge > MergeMax {
 		return fmt.Errorf("salsa: unknown Merge(%d)", int(o.Merge))
 	}
-	if o.CounterBits > 64 {
-		return fmt.Errorf("salsa: CounterBits %d exceeds 64", o.CounterBits)
+	// Mirror the core row constructors' counter rules, so construction (and
+	// the envelope decoder, which validates declared Options before building
+	// reference sketches) returns errors where core would panic.
+	bits := o.CounterBits
+	if bits == 0 { // the defaults withDefaults will fill in
+		if o.Mode == ModeBaseline {
+			bits = 32
+		} else {
+			bits = 8
+		}
+	}
+	if bits&(bits-1) != 0 {
+		return fmt.Errorf("salsa: CounterBits %d must be a power of two", o.CounterBits)
+	}
+	if o.Mode == ModeBaseline {
+		if bits > 64 {
+			return fmt.Errorf("salsa: CounterBits %d exceeds 64", o.CounterBits)
+		}
+	} else if bits > 32 {
+		return fmt.Errorf("salsa: CounterBits %d exceeds 32 (SALSA/Tango base counters subdivide a 64-bit word)", o.CounterBits)
+	}
+	if o.Mode == ModeSALSA {
+		if group := int(64 / bits); o.Width < group {
+			return fmt.Errorf("salsa: ModeSALSA Width %d must hold a full 64-bit word of %d-bit counters (at least %d)", o.Width, bits, group)
+		}
+		if o.CompactEncoding && o.Width < 32 {
+			return fmt.Errorf("salsa: CompactEncoding Width %d must hold a full 32-counter group", o.Width)
+		}
 	}
 	if o.CompactEncoding && o.Mode != ModeSALSA {
 		return fmt.Errorf("salsa: CompactEncoding requires ModeSALSA, got %v", o.Mode)
@@ -195,6 +221,19 @@ func (o Options) Validate() error {
 // maxDepth bounds the row count of a sketch; it matches the decoder's
 // hostile-payload bound, so every constructible sketch is serializable.
 const maxDepth = 1024
+
+// validateTrackerK bounds a tracker's heap capacity: positive and within
+// the envelope decoder's maxHeapK, so every constructible tracker is
+// serializable (and k fits int on 32-bit platforms).
+func validateTrackerK(name string, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("salsa: %s needs a positive k, got %d", name, k)
+	}
+	if k > maxHeapK {
+		return fmt.Errorf("salsa: %s k %d exceeds the maximum %d", name, k, maxHeapK)
+	}
+	return nil
+}
 
 func (o Options) policy() core.MergePolicy {
 	if o.Merge == MergeMax {

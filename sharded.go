@@ -1,7 +1,6 @@
 package salsa
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -23,6 +22,9 @@ type ShardedCountMin struct {
 // buildShardedCountMin realizes a ShardedBy(CountMinOf/ConservativeOf)
 // spec.
 func buildShardedCountMin(opt Options, shards int, conservative bool) (*ShardedCountMin, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
 	kind := kindCountMin
 	if conservative {
 		kind = kindConservative
@@ -71,6 +73,9 @@ type ShardedCountSketch struct {
 
 // buildShardedCountSketch realizes a ShardedBy(CountSketchOf) spec.
 func buildShardedCountSketch(opt Options, shards int) (*ShardedCountSketch, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
 	if err := opt.validateFor(kindCountSketch); err != nil {
 		return nil, err
 	}
@@ -111,8 +116,11 @@ type ShardedMonitor struct {
 
 // buildShardedMonitor realizes a ShardedBy(MonitorOf) spec.
 func buildShardedMonitor(opt Options, k, shards int) (*ShardedMonitor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	if err := validateTrackerK("monitor", k); err != nil {
+		return nil, err
 	}
 	if err := opt.validateFor(kindConservative); err != nil {
 		return nil, err
@@ -190,6 +198,9 @@ type ShardedWindowedCountMin struct {
 // buildShardedWindowedCMS realizes a
 // ShardedBy(Windowed(CountMinOf/ConservativeOf)) spec.
 func buildShardedWindowedCMS(opt Options, buckets, bucketItems, shards int, conservative bool) (*ShardedWindowedCountMin, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
 	kind := kindCountMin
 	if conservative {
 		kind = kindConservative
@@ -250,6 +261,9 @@ type ShardedWindowedCountSketch struct {
 // buildShardedWindowedCountSketch realizes a
 // ShardedBy(Windowed(CountSketchOf)) spec.
 func buildShardedWindowedCountSketch(opt Options, buckets, bucketItems, shards int) (*ShardedWindowedCountSketch, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
 	if err := opt.validateFor(kindCountSketch); err != nil {
 		return nil, err
 	}

@@ -83,7 +83,7 @@ func (o Options) validateFor(kind sketchKind) error {
 		if o.Merge == MergeMax {
 			return errors.New("salsa: CountSketch requires MergeSum (signed counters)")
 		}
-		if o.Mode == ModeSALSA && o.CounterBits == 1 {
+		if o.CounterBits == 1 {
 			return fmt.Errorf("salsa: CountSketch needs at least 2-bit counters, got %d", o.CounterBits)
 		}
 	}
@@ -126,8 +126,10 @@ func (s leafSpec) validate() error {
 	if err := s.opt.validateFor(s.kind); err != nil {
 		return err
 	}
-	if (s.kind == kindMonitor || s.kind == kindTopK) && s.k <= 0 {
-		return fmt.Errorf("salsa: %s needs a positive k, got %d", s.kind, s.k)
+	if s.kind == kindMonitor || s.kind == kindTopK {
+		if err := validateTrackerK(s.kind.String(), s.k); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -223,6 +225,9 @@ func (s shardedSpec) String() string {
 func (s shardedSpec) validate() error {
 	if s.shards <= 0 {
 		return fmt.Errorf("salsa: ShardedBy needs a positive shard count, got %d", s.shards)
+	}
+	if err := validateShardCount(s.shards); err != nil {
+		return err
 	}
 	switch inner := s.inner.(type) {
 	case leafSpec:

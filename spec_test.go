@@ -27,6 +27,10 @@ func TestOptionsValidate(t *testing.T) {
 		{"unknown-mode", Options{Width: 64, Mode: Mode(9)}, "unknown Mode"},
 		{"unknown-merge", Options{Width: 64, Merge: Merge(9)}, "unknown Merge"},
 		{"oversized-counterbits", Options{Width: 64, CounterBits: 128}, "CounterBits"},
+		{"npot-counterbits", Options{Width: 64, CounterBits: 3}, "power of two"},
+		{"salsa-64bit-counters", Options{Width: 64, CounterBits: 64}, "exceeds 32"},
+		{"salsa-narrow-width", Options{Width: 4, CounterBits: 8}, "64-bit word"},
+		{"compact-narrow-width", Options{Width: 16, CompactEncoding: true}, "32-counter group"},
 		{"compact-baseline", Options{Width: 64, Mode: ModeBaseline, CompactEncoding: true}, "CompactEncoding requires ModeSALSA"},
 		{"compact-tango", Options{Width: 64, Mode: ModeTango, CompactEncoding: true}, "CompactEncoding requires ModeSALSA"},
 	}
@@ -70,6 +74,7 @@ func TestBuildRejectsInvalidCompositions(t *testing.T) {
 		{"maxmerge-windowed", Windowed(CountMinOf(Options{Width: 64, Merge: MergeMax}), 4, 100), "MergeSum"},
 		{"zero-shards", ShardedBy(CountMinOf(opt), 0), "positive shard count"},
 		{"negative-shards", ShardedBy(CountMinOf(opt), -2), "positive shard count"},
+		{"huge-shards", ShardedBy(CountMinOf(opt), 1<<17), "exceeds the maximum"},
 		{"windowed-windowed", Windowed(Windowed(CountMinOf(opt), 4, 100), 4, 100), "cannot decorate"},
 		{"windowed-sharded", Windowed(ShardedBy(CountMinOf(opt), 4), 4, 100), "cannot decorate"},
 		{"sharded-sharded", ShardedBy(ShardedBy(CountMinOf(opt), 4), 4), "cannot decorate"},
@@ -90,6 +95,27 @@ func TestBuildRejectsInvalidCompositions(t *testing.T) {
 				t.Fatalf("Build error = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestBuildRejectsHugeTrackerK: tracker capacities beyond the envelope's
+// decode bound are rejected at Build time, so every constructible tracker
+// is serializable. On 32-bit platforms such a k is not representable as
+// int at all, hence the guard.
+func TestBuildRejectsHugeTrackerK(t *testing.T) {
+	big := int64(maxHeapK) + 1
+	if int64(int(big)) != big {
+		t.Skip("k beyond the decode bound does not fit int on this platform")
+	}
+	for _, spec := range []Spec{
+		MonitorOf(Options{Width: 64, Seed: 1}, int(big)),
+		TopKOf(Options{Width: 64, Seed: 1}, int(big)),
+	} {
+		if s, err := Build(spec); err == nil {
+			t.Fatalf("Build(%v) accepted k %d, returned %T", spec, big, s)
+		} else if !strings.Contains(err.Error(), "exceeds the maximum") {
+			t.Fatalf("Build(%v) error = %v, want the k bound", spec, err)
+		}
 	}
 }
 
@@ -210,6 +236,7 @@ func TestDeprecatedShimsStillPanic(t *testing.T) {
 		NewWindowedCountMin(Options{Width: 64, Merge: MergeMax}, 4, 100)
 	})
 	mustPanic("NewMonitor zero k", func() { NewMonitor(Options{Width: 64}, 0) })
+	mustPanic("NewShardedCountMin huge shards", func() { NewShardedCountMin(Options{Width: 64}, 1<<17) })
 	mustPanic("MustBuild", func() { MustBuild(CountMinOf(Options{Width: 3})) })
 }
 

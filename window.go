@@ -308,8 +308,8 @@ type WindowedMonitor struct {
 
 // buildWindowedMonitor realizes a Windowed(MonitorOf) spec.
 func buildWindowedMonitor(opt Options, k, buckets, bucketItems int) (*WindowedMonitor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("salsa: monitor needs a positive k, got %d", k)
+	if err := validateTrackerK("monitor", k); err != nil {
+		return nil, err
 	}
 	w, err := buildWindowedCMS(opt, buckets, bucketItems, true)
 	if err != nil {
