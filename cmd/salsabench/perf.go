@@ -150,6 +150,9 @@ func runPerf(cfg perfConfig, out io.Writer) error {
 		})
 	}
 
+	runMergePerf(cfg, record, out)
+	runRotatePerf(cfg, record, out)
+
 	for _, b := range perfBackends(cfg.seed) {
 		// Warm the sketch (and any lazy scratch) before timing.
 		b.updateBatch(data[:min(cfg.batch, len(data))])
@@ -175,6 +178,89 @@ func runPerf(cfg perfConfig, out io.Writer) error {
 		}), len(data))
 	}
 
+	return writePerfReport(cfg, report, out)
+}
+
+// runMergePerf times the steady-state sketch-union path (the backbone of
+// window rotation and sharded snapshots) with a stable subtract-then-merge
+// cycle: dst starts as a byte-clone of src, each op removes src and folds
+// it back, so every iteration performs one same-layout subtraction and one
+// same-layout merge of loaded rows with no drift toward saturation. ns/op
+// is per merge (two per cycle).
+func runMergePerf(cfg perfConfig, record func(backend, path string, d time.Duration, ops int), out io.Writer) {
+	load := stream.Zipf(1<<17, 1<<14, 1.0, cfg.seed|1)
+	const cycles = 64
+	for _, mc := range []struct {
+		name string
+		spec salsa.Spec
+	}{
+		{"countmin-salsa", salsa.CountMinOf(salsa.Options{Width: 1 << 14, Merge: salsa.MergeSum, Seed: cfg.seed})},
+		{"countmin-baseline", salsa.CountMinOf(salsa.Options{Width: 1 << 12, Mode: salsa.ModeBaseline, Merge: salsa.MergeSum, Seed: cfg.seed})},
+		{"countsketch-salsa", salsa.CountSketchOf(salsa.Options{Width: 1 << 14, Seed: cfg.seed})},
+	} {
+		src := salsa.MustBuild(mc.spec)
+		src.UpdateBatch(load, 1)
+		blob, err := salsa.Marshal(src)
+		if err != nil {
+			fmt.Fprintf(out, "# %s/merge skipped: %v\n", mc.name, err)
+			continue
+		}
+		dst, err := salsa.Unmarshal(blob)
+		if err != nil {
+			fmt.Fprintf(out, "# %s/merge skipped: %v\n", mc.name, err)
+			continue
+		}
+		var cycle func()
+		switch d := dst.(type) {
+		case *salsa.CountMin:
+			s := src.(*salsa.CountMin)
+			cycle = func() { d.Subtract(s); d.Merge(s) }
+		case *salsa.CountSketch:
+			s := src.(*salsa.CountSketch)
+			cycle = func() { d.Subtract(s); d.Merge(s) }
+		default:
+			fmt.Fprintf(out, "# %s/merge skipped: no cycle for %T\n", mc.name, dst)
+			continue
+		}
+		cycle() // warm
+		record(mc.name, "merge", timePerf(3, func() {
+			for i := 0; i < cycles; i++ {
+				cycle()
+			}
+		}), 2*cycles)
+	}
+}
+
+// runRotatePerf times amortized window-rotation cost at width 2^12 for a
+// small and a large ring: each op ingests one fixed bucket interval and
+// ticks, and the rotation count spans many flip cycles so the two-stack
+// flip cost amortizes fairly. Flat ns/op across B is the design claim.
+func runRotatePerf(cfg perfConfig, record func(backend, path string, d time.Duration, ops int), out io.Writer) {
+	const fill = 512
+	load := stream.Zipf(1<<16, 1<<13, 1.0, cfg.seed|1)
+	for _, buckets := range []int{4, 64} {
+		w, err := salsa.Build(salsa.Windowed(salsa.CountMinOf(salsa.Options{Width: 1 << 12, Seed: cfg.seed}), buckets, 0))
+		if err != nil {
+			fmt.Fprintf(out, "# window-rotate-b%d skipped: %v\n", buckets, err)
+			continue
+		}
+		wc := w.(*salsa.WindowedCountMin)
+		rotations := 16 * buckets
+		tickFill := func(n int) {
+			for i := 0; i < n; i++ {
+				off := (i * fill) % (len(load) - fill)
+				wc.UpdateBatch(load[off:off+fill], 1)
+				wc.Tick()
+			}
+		}
+		tickFill(buckets + 1) // warm every bucket and the rotation stacks
+		record(fmt.Sprintf("window-rotate-b%d", buckets), "tick", timePerf(3, func() {
+			tickFill(rotations)
+		}), rotations)
+	}
+}
+
+func writePerfReport(cfg perfConfig, report perfReport, out io.Writer) error {
 	if cfg.json != "" {
 		payload, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -332,9 +332,11 @@ func readHeap(data []byte, k int) (*topk.Heap, []byte, error) {
 // marshalRing encodes a windowed ring payload: the Options, the flag byte
 // (the CU flag for CMS rings, 0 for Count Sketch layout parity), the ring
 // odometer (current position, per-bucket counts, rotations), and every
-// bucket sketch in ring-storage order. The derived closed/view merges are
-// not serialized; the decoder rebuilds them with the same merge order
-// rotation uses, so decoded query answers are bit-for-bit identical.
+// bucket sketch in ring-storage order. The derived rotation-stack
+// aggregates and query view are not serialized; window.RestoreRing rebuilds
+// the two-stack state from the rotation odometer with the same merge order
+// the original ring used, so decoded query answers — and all future
+// rotations — are bit-for-bit identical.
 func marshalRing[S interface{ MarshalBinary() ([]byte, error) }](opt Options, flag byte, ring *window.Ring[S]) ([]byte, error) {
 	buf := appendOptions(nil, opt)
 	buf = append(buf, flag)
@@ -492,7 +494,7 @@ func unmarshalRing[S interface{ CompatibleWith(S) error }](h ringHeader, rest []
 
 // unmarshalWindowedCMS decodes a windowed CMS ring, verifying every bucket
 // is merge-compatible with the declared Options before the ring's
-// closed-bucket merge is rebuilt.
+// rotation-stack aggregates are rebuilt.
 func unmarshalWindowedCMS(data []byte) (*WindowedCountMin, []byte, error) {
 	h, rest, err := readRingHeader(data)
 	if err != nil {

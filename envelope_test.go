@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"salsa/internal/stream"
 )
 
 // roundTripItems is a deterministic mixed-skew probe stream.
@@ -186,6 +188,103 @@ func TestUniversalRoundTrip(t *testing.T) {
 			}
 			if !bytes.Equal(b1, b2) {
 				t.Fatal("original and decoded marshal differently after further ingestion")
+			}
+		})
+	}
+}
+
+// TestUniversalLargeBMidRotationRoundTrip pins the rotation-stack restore
+// contract at a ring size where the two-stack machinery matters: a B=64
+// window serialized mid-bucket and mid-flip-cycle must decode to a ring
+// whose rebuilt front/back aggregates continue bit-identically — same query
+// view bytes, same marshal bytes — through several subsequent flip cycles.
+func TestUniversalLargeBMidRotationRoundTrip(t *testing.T) {
+	const (
+		buckets  = 64
+		interval = 100
+	)
+	data := stream.Zipf(buckets*interval*4, 900, 1.0, 131)
+	for name, spec := range map[string]Spec{
+		"cms": Windowed(CountMinOf(Options{Width: 1 << 9, Seed: 17}), buckets, interval),
+		"cus": Windowed(ConservativeOf(Options{Width: 1 << 9, Seed: 17}), buckets, interval),
+		"cs":  Windowed(CountSketchOf(Options{Width: 1 << 9, Seed: 17}), buckets, interval),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := MustBuild(spec)
+			// 70 rotations in (mid flip cycle: 70 ≡ 7 mod 63) plus half a
+			// bucket, so both stacks and the current bucket are non-trivial.
+			warm := 70*interval + interval/2
+			s.UpdateBatch(data[:warm], 1)
+
+			blob, err := Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Unmarshal(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			viewBlob := func(x Sketch) []byte {
+				t.Helper()
+				var blob []byte
+				var err error
+				switch w := x.(type) {
+				case *WindowedCountMin:
+					blob, err = w.ring.View().MarshalBinary()
+				case *WindowedCountSketch:
+					blob, err = w.ring.View().MarshalBinary()
+				default:
+					t.Fatalf("unexpected type %T", x)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob
+			}
+			if !bytes.Equal(viewBlob(s), viewBlob(back)) {
+				t.Fatal("decoded ring's rebuilt query view differs from the original's")
+			}
+
+			// Continue both through two more full flip cycles, comparing the
+			// live view and the full envelope at rotation-aligned and
+			// mid-bucket checkpoints.
+			rest := data[warm : warm+2*(buckets-1)*interval+interval/2]
+			for len(rest) > 0 {
+				chunk := interval/2 + 17
+				if chunk > len(rest) {
+					chunk = len(rest)
+				}
+				s.UpdateBatch(rest[:chunk], 1)
+				back.UpdateBatch(rest[:chunk], 1)
+				rest = rest[chunk:]
+				if !bytes.Equal(viewBlob(s), viewBlob(back)) {
+					t.Fatal("views diverged under continued ingestion")
+				}
+			}
+			b1, err := Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("envelopes diverged after continued ingestion")
+			}
+			wantRot := uint64((warm + 2*(buckets-1)*interval + interval/2) / interval)
+			rotOf := func(x Sketch) uint64 {
+				switch w := x.(type) {
+				case *WindowedCountMin:
+					return w.Rotations()
+				case *WindowedCountSketch:
+					return w.Rotations()
+				}
+				return 0
+			}
+			if rotOf(s) != wantRot || rotOf(back) != wantRot {
+				t.Fatalf("rotations %d/%d, want %d", rotOf(s), rotOf(back), wantRot)
 			}
 		})
 	}

@@ -102,15 +102,24 @@ func writeSpan(words []uint64, off, n uint, v uint64) {
 }
 
 // zeroSpan clears n bits starting at bit offset off; n may exceed 64.
+// Aligned interior words clear with single stores.
 func zeroSpan(words []uint64, off, n uint) {
-	for n > 0 {
-		chunk := n
-		if chunk > 64 {
-			chunk = 64
+	if sh := off & 63; sh != 0 {
+		chunk := 64 - sh
+		if chunk > n {
+			chunk = n
 		}
 		writeSpan(words, off, chunk, 0)
 		off += chunk
 		n -= chunk
+	}
+	for n >= 64 {
+		words[off>>6] = 0
+		off += 64
+		n -= 64
+	}
+	if n > 0 {
+		writeSpan(words, off, n, 0)
 	}
 }
 

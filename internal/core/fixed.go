@@ -132,11 +132,18 @@ func (f *Fixed) SameGeometry(other *Fixed) bool {
 }
 
 // MergeFrom adds every counter of other into the corresponding counter of f,
-// saturating. Both arrays must have the same geometry.
+// saturating. Both arrays must have the same geometry. The merge is
+// word-parallel: 64/bits counters combine per step (see merge.go).
 func (f *Fixed) MergeFrom(other *Fixed) {
 	if f.width != other.width || f.bits != other.bits {
 		panic("core: fixed geometry mismatch")
 	}
+	f.mergeWords(other.words)
+}
+
+// mergeFromGeneric is the per-counter reference merge; mergeWords must stay
+// byte-for-byte equivalent to it (pinned by the SWAR equivalence tests).
+func (f *Fixed) mergeFromGeneric(other *Fixed) {
 	for i := 0; i < f.width; i++ {
 		nv := satAdd(f.Value(i), other.Value(i))
 		if nv > f.maxV {
@@ -147,10 +154,16 @@ func (f *Fixed) MergeFrom(other *Fixed) {
 }
 
 // SubtractFrom subtracts every counter of other from f, clamping at zero.
+// Word-parallel like MergeFrom.
 func (f *Fixed) SubtractFrom(other *Fixed) {
 	if f.width != other.width || f.bits != other.bits {
 		panic("core: fixed geometry mismatch")
 	}
+	f.subtractWords(other.words)
+}
+
+// subtractFromGeneric is the per-counter reference subtraction.
+func (f *Fixed) subtractFromGeneric(other *Fixed) {
 	for i := 0; i < f.width; i++ {
 		cur, d := f.Value(i), other.Value(i)
 		if d >= cur {
@@ -234,11 +247,22 @@ func (f *FixedSign) SameGeometry(other *FixedSign) bool {
 }
 
 // MergeFrom adds scale times every counter of other into f (scale is +1 for
-// sketch union, −1 for subtraction).
+// sketch union, −1 for subtraction). For ±1 scales on sub-64-bit counters
+// the merge is word-parallel (see merge.go).
 func (f *FixedSign) MergeFrom(other *FixedSign, scale int64) {
 	if f.width != other.width || f.bits != other.bits {
 		panic("core: fixed geometry mismatch")
 	}
+	if f.bits == 64 || (scale != 1 && scale != -1) {
+		f.mergeFromGeneric(other, scale)
+		return
+	}
+	f.mergeWordsSigned(other.words, scale == -1)
+}
+
+// mergeFromGeneric is the per-counter reference merge; mergeWordsSigned must
+// stay byte-for-byte equivalent to it for scale ±1.
+func (f *FixedSign) mergeFromGeneric(other *FixedSign, scale int64) {
 	for i := 0; i < f.width; i++ {
 		f.Add(i, scale*other.Value(i))
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzSalsaOps drives a SALSA array with arbitrary operation bytes and
 // checks the structural invariants after every step. Run with
@@ -36,6 +39,73 @@ func FuzzSalsaOps(f *testing.F) {
 				t.Fatalf("slot %d: value %d outside [%d,%d]", i, v, max, total)
 			}
 		}
+	})
+}
+
+// FuzzMergeKernels drives two SALSA rows (and their Fixed shadows) with
+// arbitrary op bytes, merges them through the word-parallel kernels and
+// through the per-counter reference paths, and requires marshal-byte-
+// identical results — the deep-exploration companion to the randomized
+// TestSWARKernelEquivalence* suite. The odd trailing byte steers both the
+// counter size and whether the rows share a layout (cloning before merge),
+// so the pure-SWAR, fallback, and bailout paths all get fuzzed.
+func FuzzMergeKernels(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0xff, 0x10, 0x03})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x7f, 0x7f, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const w = 64
+		sizes := []uint{2, 4, 8, 16}
+		s := sizes[len(ops)%len(sizes)]
+		a := NewSalsa(w, s, SumMerge, false)
+		b := NewSalsa(w, s, SumMerge, false)
+		fa := NewFixed(w, s)
+		fb := NewFixed(w, s)
+		for i := 0; i+1 < len(ops); i += 2 {
+			slot, v := int(ops[i])%w, int64(ops[i+1])
+			if ops[i]&1 == 0 {
+				a.Add(slot, v<<(uint(ops[i+1])%s))
+				fa.Add(slot, v)
+			} else {
+				b.Add(slot, v<<(uint(ops[i+1])%s))
+				fb.Add(slot, v)
+			}
+		}
+		if len(ops)%2 == 1 && ops[len(ops)-1]&1 == 1 {
+			// Same-layout case: merge a byte-identical clone instead.
+			blob, _ := a.MarshalBinary()
+			b, _ = UnmarshalSalsa(blob)
+			fblob, _ := fa.MarshalBinary()
+			fb, _ = UnmarshalFixed(fblob)
+		}
+		mergeEqual := func(fastBlob, slowBlob []byte, kind string) {
+			if !bytes.Equal(fastBlob, slowBlob) {
+				t.Fatalf("%s: kernel merge differs from reference", kind)
+			}
+		}
+		ablob, _ := a.MarshalBinary()
+		fast, _ := UnmarshalSalsa(ablob)
+		slow, _ := UnmarshalSalsa(ablob)
+		fast.MergeFrom(b)
+		slow.mergeFromGeneric(b)
+		fastBlob, _ := fast.MarshalBinary()
+		slowBlob, _ := slow.MarshalBinary()
+		mergeEqual(fastBlob, slowBlob, "salsa")
+
+		fablob, _ := fa.MarshalBinary()
+		ffast, _ := UnmarshalFixed(fablob)
+		fslow, _ := UnmarshalFixed(fablob)
+		ffast.MergeFrom(fb)
+		fslow.mergeFromGeneric(fb)
+		fastBlob, _ = ffast.MarshalBinary()
+		slowBlob, _ = fslow.MarshalBinary()
+		mergeEqual(fastBlob, slowBlob, "fixed")
+
+		ffast.SubtractFrom(fb)
+		fslow.subtractFromGeneric(fb)
+		fastBlob, _ = ffast.MarshalBinary()
+		slowBlob, _ = fslow.MarshalBinary()
+		mergeEqual(fastBlob, slowBlob, "fixed-subtract")
 	})
 }
 

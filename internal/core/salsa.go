@@ -379,9 +379,21 @@ func (c *Salsa) raiseTo(i int, target uint) {
 // MergeFrom adds other into c counter-wise, producing the sketch-union row
 // s(A∪B) (§V, "Merging and Subtracting SALSA Sketches"): the layout becomes
 // the union of both layouts and values are combined with the policy's
-// semantics, triggering further merges on overflow.
+// semantics, triggering further merges on overflow. For simple-encoding
+// rows the merge runs word-parallel, one 64-bit add per counter word whose
+// layouts agree (the steady-state window-rotation and shard-snapshot case;
+// see merge.go); compact-encoding rows walk counters as before.
 func (c *Salsa) MergeFrom(other *Salsa) {
 	c.checkGeometry(other)
+	if c.mergeFast(other) {
+		return
+	}
+	c.mergeFromGeneric(other)
+}
+
+// mergeFromGeneric is the layout-unifying reference merge; mergeFast must
+// stay byte-for-byte equivalent to it when the layouts already match.
+func (c *Salsa) mergeFromGeneric(other *Salsa) {
 	other.Counters(func(start int, lvl uint, val uint64) bool {
 		if c.lay.level(start) < lvl {
 			c.raiseTo(start, lvl)
@@ -402,12 +414,21 @@ func (c *Salsa) MergeFrom(other *Salsa) {
 }
 
 // SubtractFrom subtracts other from c counter-wise, clamping at zero,
-// producing s(A\B) for Strict Turnstile CMS rows where B ⊆ A.
+// producing s(A\B) for Strict Turnstile CMS rows where B ⊆ A. Word-parallel
+// when the layouts are bit-identical, like MergeFrom.
 func (c *Salsa) SubtractFrom(other *Salsa) {
 	if c.policy != SumMerge {
 		panic("core: subtraction requires SumMerge")
 	}
 	c.checkGeometry(other)
+	if c.subtractFast(other) {
+		return
+	}
+	c.subtractFromGeneric(other)
+}
+
+// subtractFromGeneric is the per-counter reference subtraction.
+func (c *Salsa) subtractFromGeneric(other *Salsa) {
 	other.Counters(func(start int, lvl uint, val uint64) bool {
 		if c.lay.level(start) < lvl {
 			c.raiseTo(start, lvl)

@@ -229,7 +229,9 @@ func (c *SalsaSign) raiseTo(i int, target uint) {
 
 // MergeFrom adds scale times other into c counter-wise; scale is +1 for the
 // sketch union s(A∪B) and −1 for the difference s(A\B) used by change
-// detection (§V). The layout becomes the union of both layouts.
+// detection (§V). The layout becomes the union of both layouts. For
+// simple-encoding rows both scales run word-parallel over the
+// layout-matching, non-negative counter words (see merge.go).
 func (c *SalsaSign) MergeFrom(other *SalsaSign, scale int64) {
 	if scale != 1 && scale != -1 {
 		panic("core: scale must be ±1")
@@ -237,6 +239,18 @@ func (c *SalsaSign) MergeFrom(other *SalsaSign, scale int64) {
 	if !c.SameGeometry(other) {
 		panic("core: SALSA geometry mismatch")
 	}
+	if scale == 1 && c.mergeFastSigned(other) {
+		return
+	}
+	if scale == -1 && c.subtractFastSigned(other) {
+		return
+	}
+	c.mergeFromGeneric(other, scale)
+}
+
+// mergeFromGeneric is the layout-unifying reference merge; mergeFastSigned
+// must stay byte-for-byte equivalent to it when the layouts already match.
+func (c *SalsaSign) mergeFromGeneric(other *SalsaSign, scale int64) {
 	other.Counters(func(start int, lvl uint, val int64) bool {
 		if c.lay.level(start) < lvl {
 			c.raiseTo(start, lvl)

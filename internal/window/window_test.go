@@ -95,6 +95,137 @@ func TestRingManualTick(t *testing.T) {
 	}
 }
 
+// countingOps wraps bagOps and counts Merge calls, for amortized-cost pins.
+func countingOps(merges *int) Ops[*bag] {
+	ops := bagOps()
+	inner := ops.Merge
+	ops.Merge = func(dst, src *bag) { *merges++; inner(dst, src) }
+	return ops
+}
+
+// TestRingViewAcrossBucketCounts drives rings of many sizes — including
+// B=1, B=2 (degenerate stacks) and larger rings spanning several flip
+// cycles — and checks the two-stack view equals a from-scratch merge of the
+// live buckets after every write.
+func TestRingViewAcrossBucketCounts(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 4, 5, 8, 16} {
+		r := NewRing(b, 3, bagOps())
+		for i := 0; i < 3*b*4+7; i++ {
+			r.Cur().add(uint64(i % 11))
+			r.Wrote(1)
+			if got, want := r.View().counts, fromScratch(r); !reflect.DeepEqual(got, want) {
+				t.Fatalf("B=%d after %d items: view %v != from-scratch %v", b, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestRingVolumeRunningTotal pins Volume as a maintained running total: it
+// must equal the per-bucket count sum at every step, across rotations.
+func TestRingVolumeRunningTotal(t *testing.T) {
+	r := NewRing(4, 5, bagOps())
+	check := func() {
+		t.Helper()
+		var want uint64
+		for i := 0; i < r.Buckets(); i++ {
+			want += r.CountAt(i)
+		}
+		if got := r.Volume(); got != want {
+			t.Fatalf("Volume %d != count sum %d", got, want)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		r.Cur().add(uint64(i))
+		r.Wrote(1)
+		check()
+	}
+	for i := 0; i < 10; i++ {
+		r.Rotate()
+		check()
+	}
+}
+
+// TestRingAmortizedMergesPerRotation pins the tentpole complexity claim:
+// across whole flip cycles the ring performs a constant number of bucket
+// merges per rotation (1 enqueue + amortized ~2 for flips), independent of
+// B — where the previous design performed B−1 per rotation.
+func TestRingAmortizedMergesPerRotation(t *testing.T) {
+	for _, b := range []int{4, 16, 64} {
+		var merges int
+		r := NewRing(b, 0, countingOps(&merges))
+		// Rotate through exactly 10 full flip cycles so the flip cost is
+		// fairly amortized.
+		rotations := 10 * (b - 1)
+		for i := 0; i < rotations; i++ {
+			r.Cur().add(uint64(i))
+			r.Wrote(1)
+			r.Rotate()
+		}
+		perRotation := float64(merges) / float64(rotations)
+		if perRotation > 3.0 {
+			t.Fatalf("B=%d: %.2f merges/rotation, want ≤ 3 (old design: %d)", b, perRotation, b-1)
+		}
+	}
+}
+
+// TestRingRestoreContinuesIdentically snapshots rings at every phase of the
+// flip cycle — including the never-rotated state and the rotation just
+// before a flip — restores them via RestoreRing, and drives original and
+// restored side by side: views and bookkeeping must stay identical.
+func TestRingRestoreContinuesIdentically(t *testing.T) {
+	const b = 5
+	for rotations := 0; rotations <= 3*(b-1)+1; rotations++ {
+		orig := NewRing(b, 4, bagOps())
+		item := uint64(0)
+		feed := func(r *Ring[*bag], n int) {
+			for i := 0; i < n; i++ {
+				r.Cur().add(item % 13)
+				r.Wrote(1)
+				item++
+			}
+		}
+		feed(orig, 4*rotations+2) // mid-bucket, `rotations` rotations in
+		if orig.Rotations() != uint64(rotations) {
+			t.Fatalf("setup: %d rotations, want %d", orig.Rotations(), rotations)
+		}
+		// Snapshot in storage order, as the envelope codec does.
+		buckets := make([]*bag, b)
+		counts := make([]uint64, b)
+		for i := 0; i < b; i++ {
+			src := orig.BucketAt(i)
+			cp := &bag{counts: map[uint64]int{}}
+			for k, v := range src.counts {
+				cp.counts[k] = v
+			}
+			buckets[i] = cp
+			counts[i] = orig.CountAt(i)
+		}
+		rest, err := RestoreRing(buckets, counts, orig.CurIndex(), orig.Rotations(), orig.Interval(), bagOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rest.Volume(), orig.Volume(); got != want {
+			t.Fatalf("rotations=%d: restored volume %d != %d", rotations, got, want)
+		}
+		// Drive both through two more full flip cycles with identical input.
+		save := item
+		for step := 0; step < 2*(b-1)*4+5; step++ {
+			item = save + uint64(step)
+			orig.Cur().add(item % 13)
+			orig.Wrote(1)
+			rest.Cur().add(item % 13)
+			rest.Wrote(1)
+			if !reflect.DeepEqual(orig.View().counts, rest.View().counts) {
+				t.Fatalf("rotations=%d step=%d: views diverge:\norig %v\nrest %v",
+					rotations, step, orig.View().counts, rest.View().counts)
+			}
+			if orig.Rotations() != rest.Rotations() || orig.CurIndex() != rest.CurIndex() || orig.Volume() != rest.Volume() {
+				t.Fatalf("rotations=%d step=%d: bookkeeping diverged", rotations, step)
+			}
+		}
+	}
+}
+
 // TestRingOnRotate checks the rotation hook fires with the new current
 // index and that the ring walks positions oldest-to-newest in LiveBuckets.
 func TestRingOnRotate(t *testing.T) {

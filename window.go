@@ -23,8 +23,11 @@ import (
 // Semantics are bucket-granular: the live window always covers between
 // (B−1)·bucketItems+1 and B·bucketItems of the most recent items, so
 // estimates trail an exact B·bucketItems-item window by at most one bucket
-// of slack. Memory is B+2 times a single sketch of the same Options (B
-// buckets plus the merged closed-bucket sketch and the query view).
+// of slack. Memory is 2B times a single sketch of the same Options at
+// steady state: B buckets, the back aggregate and query view, and B−2
+// precomputed suffix merges that make rotation O(1) amortized in B
+// (see internal/window; the suffix sketches are allocated at the first
+// stack flip, so rings that never rotate stay at B+2).
 //
 // The windowed types satisfy Sketch, so they compose with the Sharded
 // concurrency layer and its batch APIs; see NewShardedWindowedCountMin.
@@ -187,10 +190,10 @@ func (w *WindowedCountMin) Rotations() uint64 { return w.ring.Rotations() }
 // WindowVolume returns the number of items recorded in the live window.
 func (w *WindowedCountMin) WindowVolume() uint64 { return w.ring.Volume() }
 
-// MemoryBits returns the subsystem footprint in bits: B bucket sketches
-// plus the closed-bucket merge and the query view.
+// MemoryBits returns the steady-state subsystem footprint in bits: B bucket
+// sketches, the rotation stacks' aggregates, and the query view.
 func (w *WindowedCountMin) MemoryBits() int {
-	return (w.ring.Buckets() + 2) * w.ring.Cur().SizeBits()
+	return w.ring.Sketches() * w.ring.Cur().SizeBits()
 }
 
 // Depth and Width return the per-bucket sketch geometry.
@@ -285,9 +288,10 @@ func (w *WindowedCountSketch) Rotations() uint64 { return w.ring.Rotations() }
 // WindowVolume returns the number of items recorded in the live window.
 func (w *WindowedCountSketch) WindowVolume() uint64 { return w.ring.Volume() }
 
-// MemoryBits returns the subsystem footprint in bits (B+2 sketches).
+// MemoryBits returns the steady-state subsystem footprint in bits (2B
+// sketches once the rotation stacks are warm).
 func (w *WindowedCountSketch) MemoryBits() int {
-	return (w.ring.Buckets() + 2) * w.ring.Cur().SizeBits()
+	return w.ring.Sketches() * w.ring.Cur().SizeBits()
 }
 
 // Options returns the configuration the window's sketches were built with.
