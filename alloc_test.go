@@ -121,6 +121,44 @@ func TestZeroAllocWindowed(t *testing.T) {
 	}
 }
 
+// TestZeroAllocPromoted extends the suite to the sketches folded into the
+// Spec algebra by PR 6: the promotion must not cost the hot paths their
+// zero-allocation steady state.
+func TestZeroAllocPromoted(t *testing.T) {
+	opt := Options{Width: 1 << 10, Seed: 1}
+	um := MustBuild(UnivMonOf(opt, 8, 32)).(*UnivMon)
+	aeeS := MustBuild(AEEOf(opt)).(*AEE)
+	aeeB := MustBuild(AEEOf(Options{Width: 1 << 10, Mode: ModeBaseline, Seed: 1})).(*AEE)
+	d := MustBuild(DistinctOf(opt)).(*Distinct)
+	cf := MustBuild(Filtered(ConservativeOf(opt))).(*ColdFilter)
+	py := MustBuild(Tiered(CountMinOf(opt))).(*Pyramid)
+	for _, s := range []struct {
+		tag string
+		one func(uint64)
+		qry func(uint64)
+		bat func()
+	}{
+		{"univmon", func(x uint64) { um.Update(x, 1) }, func(x uint64) { _ = um.Volume() },
+			func() { um.UpdateBatch(allocItems, 1) }},
+		{"aee-salsa", func(x uint64) { aeeS.Update(x, 1) }, func(x uint64) { _ = aeeS.Query(x) },
+			func() { aeeS.UpdateBatch(allocItems, 1) }},
+		{"aee-baseline", func(x uint64) { aeeB.Update(x, 1) }, func(x uint64) { _ = aeeB.Query(x) },
+			func() { aeeB.UpdateBatch(allocItems, 1) }},
+		{"distinct", d.Increment, func(x uint64) { _ = d.Query(x) },
+			func() { d.UpdateBatch(allocItems, 1) }},
+		{"coldfilter", func(x uint64) { cf.Update(x, 1) }, func(x uint64) { _ = cf.Query(x) },
+			func() { cf.UpdateBatch(allocItems, 1) }},
+		{"pyramid", py.Increment, func(x uint64) { _ = py.Query(x) },
+			func() { py.UpdateBatch(allocItems, 1) }},
+	} {
+		s.bat()
+		i := 0
+		assertZeroAllocs(t, s.tag+"/Update", func() { s.one(allocItems[i%512]); i++ })
+		assertZeroAllocs(t, s.tag+"/Query", func() { s.qry(allocItems[i%512]); i++ })
+		assertZeroAllocs(t, s.tag+"/UpdateBatch", s.bat)
+	}
+}
+
 func TestZeroAllocSharded(t *testing.T) {
 	cm := MustBuild(ShardedBy(CountMinOf(Options{Width: 1 << 10, Seed: 1}), 4)).(*ShardedCountMin)
 	cs := MustBuild(ShardedBy(CountSketchOf(Options{Width: 1 << 10, Seed: 1}), 4)).(*ShardedCountSketch)

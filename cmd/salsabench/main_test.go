@@ -46,6 +46,17 @@ func TestRunTopology(t *testing.T) {
 		"windowed(3,2500,cus)",
 		"sharded(2,windowed(3,2500,cms))",
 		"monitor(8)",
+		// Every promoted kind and decorator must have a query surface
+		// here — ParseSpec accepting a spec that -topology then refuses
+		// to benchmark is a regression.
+		"aee",
+		"distinct",
+		"univmon(6,20)",
+		"filtered(cus)",
+		"tiered(cms)",
+		"windowed(3,2500,distinct)",
+		"sharded(2,filtered(cms))",
+		"sharded(2,tiered(cms))",
 	} {
 		var out strings.Builder
 		if err := run([]string{"-topology", expr, "-n", "30000"}, &out); err != nil {

@@ -48,7 +48,9 @@ type perfReport struct {
 	Points    []perfPoint `json:"benchmarks"`
 }
 
-// perfBackend bundles the four timed paths of one sketch configuration.
+// perfBackend bundles the timed paths of one sketch configuration. A nil
+// path is skipped: not every backend exposes every surface (UnivMon has no
+// per-item query, the promoted facades have no vectorized query-batch).
 type perfBackend struct {
 	name        string
 	update      func(x uint64)
@@ -99,6 +101,47 @@ func perfBackends(seed uint64) []perfBackend {
 	}
 	addCS("countsketch-salsa", salsa.MustBuild(salsa.CountSketchOf(opts(salsa.ModeSALSA))).(*salsa.CountSketch))
 	addCS("countsketch-baseline", salsa.MustBuild(salsa.CountSketchOf(opts(salsa.ModeBaseline))).(*salsa.CountSketch))
+
+	// The sketches promoted into the Spec algebra by PR 6: their hot paths
+	// join the trajectory so the promotion (and any later refactor of the
+	// facades) is priced per release, not assumed free.
+	um := salsa.MustBuild(salsa.UnivMonOf(opts(salsa.ModeSALSA), 12, 100)).(*salsa.UnivMon)
+	out = append(out, perfBackend{
+		name:        "univmon-salsa",
+		update:      um.Process,
+		updateBatch: func(items []uint64) { um.UpdateBatch(items, 1) },
+	})
+	addAEE := func(name string, a *salsa.AEE) {
+		out = append(out, perfBackend{
+			name:        name,
+			update:      a.Process,
+			updateBatch: func(items []uint64) { a.UpdateBatch(items, 1) },
+			query:       func(x uint64) { _ = a.Query(x) },
+		})
+	}
+	addAEE("aee-salsa", salsa.MustBuild(salsa.AEEOf(opts(salsa.ModeSALSA))).(*salsa.AEE))
+	addAEE("aee-baseline", salsa.MustBuild(salsa.AEEOf(opts(salsa.ModeBaseline))).(*salsa.AEE))
+	d := salsa.MustBuild(salsa.DistinctOf(opts(salsa.ModeSALSA))).(*salsa.Distinct)
+	out = append(out, perfBackend{
+		name:        "distinct-salsa",
+		update:      d.Increment,
+		updateBatch: func(items []uint64) { d.UpdateBatch(items, 1) },
+		query:       func(x uint64) { _ = d.Query(x) },
+	})
+	cf := salsa.MustBuild(salsa.Filtered(salsa.ConservativeOf(opts(salsa.ModeSALSA)))).(*salsa.ColdFilter)
+	out = append(out, perfBackend{
+		name:        "coldfilter-cus",
+		update:      cf.Process,
+		updateBatch: func(items []uint64) { cf.UpdateBatch(items, 1) },
+		query:       func(x uint64) { _ = cf.Query(x) },
+	})
+	py := salsa.MustBuild(salsa.Tiered(salsa.CountMinOf(opts(salsa.ModeSALSA)))).(*salsa.Pyramid)
+	out = append(out, perfBackend{
+		name:        "pyramid-cms",
+		update:      py.Increment,
+		updateBatch: func(items []uint64) { py.UpdateBatch(items, 1) },
+		query:       func(x uint64) { _ = py.Query(x) },
+	})
 	return out
 }
 
@@ -166,16 +209,20 @@ func runPerf(cfg perfConfig, out io.Writer) error {
 				b.updateBatch(data[off:min(off+cfg.batch, len(data))])
 			}
 		}), len(data))
-		record(b.name, "query", timePerf(trials, func() {
-			for _, x := range data {
-				b.query(x)
-			}
-		}), len(data))
-		record(b.name, "query-batch", timePerf(trials, func() {
-			for off := 0; off < len(data); off += cfg.batch {
-				b.queryBatch(data[off:min(off+cfg.batch, len(data))])
-			}
-		}), len(data))
+		if b.query != nil {
+			record(b.name, "query", timePerf(trials, func() {
+				for _, x := range data {
+					b.query(x)
+				}
+			}), len(data))
+		}
+		if b.queryBatch != nil {
+			record(b.name, "query-batch", timePerf(trials, func() {
+				for off := 0; off < len(data); off += cfg.batch {
+					b.queryBatch(data[off:min(off+cfg.batch, len(data))])
+				}
+			}), len(data))
+		}
 	}
 
 	return writePerfReport(cfg, report, out)

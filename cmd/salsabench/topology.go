@@ -53,6 +53,30 @@ func queryFunc(s salsa.Sketch) (func(uint64), error) {
 		return func(i uint64) { _ = x.Query(i) }, nil
 	case *salsa.ShardedWindowedCountSketch:
 		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ShardedWindowedMonitor:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.UnivMon:
+		// No per-item query; the closest point-query analogue is the
+		// top-level heavy-hitter scan, amortized here per probe.
+		return func(i uint64) { _ = x.Volume() }, nil
+	case *salsa.AEE:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ShardedAEE:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.Distinct:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.WindowedDistinct:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ShardedDistinct:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ColdFilter:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ShardedColdFilter:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.Pyramid:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.ShardedPyramid:
+		return func(i uint64) { _ = x.Query(i) }, nil
 	}
 	return nil, fmt.Errorf("no query surface for %T", s)
 }

@@ -46,6 +46,12 @@ const (
 	tagWindowedCountSketch = byte(6)
 	tagWindowedMonitor     = byte(7)
 	tagSharded             = byte(8)
+	tagUnivMon             = byte(9)
+	tagAEE                 = byte(10)
+	tagDistinct            = byte(11)
+	tagColdFilter          = byte(12)
+	tagPyramid             = byte(13)
+	tagWindowedDistinct    = byte(14)
 )
 
 // Decoder bounds for hostile payloads; canonical payloads respect them by
@@ -141,6 +147,26 @@ func Marshal(s Sketch) ([]byte, error) {
 			buf = appendHeap(buf, h)
 		}
 		return buf, nil
+	case *UnivMon:
+		return marshalUnivMon(x)
+	case *AEE:
+		return marshalAEE(x)
+	case *Distinct:
+		payload, err := x.cm.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		return appendBlock(envHeader(tagDistinct), payload), nil
+	case *WindowedDistinct:
+		payload, err := marshalWindowedCMS(x.w)
+		if err != nil {
+			return nil, err
+		}
+		return append(envHeader(tagWindowedDistinct), payload...), nil
+	case *ColdFilter:
+		return marshalColdFilter(x)
+	case *Pyramid:
+		return marshalPyramid(x)
 	case *ShardedCountMin:
 		return marshalShards(x.Sharded)
 	case *ShardedCountSketch:
@@ -151,6 +177,16 @@ func Marshal(s Sketch) ([]byte, error) {
 		return marshalShards(x.Sharded)
 	case *ShardedWindowedCountSketch:
 		return marshalShards(x.Sharded)
+	case *ShardedWindowedMonitor:
+		return marshalShards(x.Sharded)
+	case *ShardedAEE:
+		return marshalShards(x.Sharded)
+	case *ShardedDistinct:
+		return marshalShards(x.Sharded)
+	case *ShardedColdFilter:
+		return marshalShards(x.Sharded)
+	case *ShardedPyramid:
+		return marshalShards(x.Sharded)
 	case *Sharded[*CountMin]:
 		return marshalShards(x)
 	case *Sharded[*CountSketch]:
@@ -160,6 +196,16 @@ func Marshal(s Sketch) ([]byte, error) {
 	case *Sharded[*WindowedCountMin]:
 		return marshalShards(x)
 	case *Sharded[*WindowedCountSketch]:
+		return marshalShards(x)
+	case *Sharded[*WindowedMonitor]:
+		return marshalShards(x)
+	case *Sharded[*AEE]:
+		return marshalShards(x)
+	case *Sharded[*Distinct]:
+		return marshalShards(x)
+	case *Sharded[*ColdFilter]:
+		return marshalShards(x)
+	case *Sharded[*Pyramid]:
 		return marshalShards(x)
 	}
 	return nil, fmt.Errorf("%w: %T", ErrUnsupportedTopology, s)
@@ -268,6 +314,18 @@ func unmarshalEnvelope(data []byte, allowSharded bool) (Sketch, error) {
 		return w, nil
 	case tagWindowedMonitor:
 		return unmarshalWindowedMonitor(payload)
+	case tagUnivMon:
+		return unmarshalUnivMon(payload)
+	case tagAEE:
+		return unmarshalAEE(payload)
+	case tagDistinct:
+		return unmarshalDistinct(payload)
+	case tagColdFilter:
+		return unmarshalColdFilter(payload)
+	case tagPyramid:
+		return unmarshalPyramid(payload)
+	case tagWindowedDistinct:
+		return unmarshalWindowedDistinct(payload)
 	case tagSharded:
 		if !allowSharded {
 			return nil, errors.New("salsa: nested sharded envelope")
@@ -396,12 +454,6 @@ func readRingHeader(data []byte) (ringHeader, []byte, error) {
 	opt, rest, err := readOptions(data)
 	if err != nil {
 		return h, nil, err
-	}
-	// Tango rows do not serialize, so no canonical windowed payload can
-	// declare them; reject before any reference-sketch construction, as
-	// UnmarshalCountMin does for the per-type format.
-	if opt.Mode == ModeTango {
-		return h, nil, errors.New("salsa: Tango sketches do not support serialization")
 	}
 	if len(rest) < 1+4*8 {
 		return h, nil, ErrBadPayload
@@ -685,6 +737,46 @@ func unmarshalSharded(data []byte) (Sketch, error) {
 			return nil, err
 		}
 		return &ShardedWindowedCountSketch{newShardedFromShards(routeSeed, shards)}, nil
+	case *WindowedMonitor:
+		shards, err := typedShards[*WindowedMonitor](sks)
+		if err != nil {
+			return nil, err
+		}
+		// Same-k rule as the Monitor dispatch: a hostile payload mixing
+		// heap capacities would silently truncate the merged candidates.
+		for i, m := range shards {
+			if m.k != shards[0].k {
+				return nil, fmt.Errorf("salsa: shard %d heap capacity %d does not match shard 0's %d", i, m.k, shards[0].k)
+			}
+		}
+		return &ShardedWindowedMonitor{
+			Sharded: newShardedFromShards(routeSeed, shards),
+			k:       shards[0].k,
+		}, nil
+	case *AEE:
+		shards, err := typedShards[*AEE](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedAEE{newShardedFromShards(routeSeed, shards)}, nil
+	case *Distinct:
+		shards, err := typedShards[*Distinct](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedDistinct{newShardedFromShards(routeSeed, shards)}, nil
+	case *ColdFilter:
+		shards, err := typedShards[*ColdFilter](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedColdFilter{newShardedFromShards(routeSeed, shards)}, nil
+	case *Pyramid:
+		shards, err := typedShards[*Pyramid](sks)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedPyramid{newShardedFromShards(routeSeed, shards)}, nil
 	}
 	return nil, fmt.Errorf("salsa: shard type %T cannot back a sharded topology", sks[0])
 }

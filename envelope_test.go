@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -56,6 +57,21 @@ func universalTopologies() []struct {
 		{"sharded-monitor", ShardedBy(MonitorOf(opt, 8), 2)},
 		{"sharded-windowed-countmin", ShardedBy(Windowed(CountMinOf(opt), 3, 500), 4)},
 		{"sharded-windowed-countsketch", ShardedBy(Windowed(CountSketchOf(opt), 3, 500), 4)},
+		{"sharded-windowed-monitor", ShardedBy(Windowed(MonitorOf(opt, 6), 3, 500), 2)},
+		{"univmon-salsa", UnivMonOf(opt, 8, 12)},
+		{"univmon-baseline", UnivMonOf(Options{Width: 128, Mode: ModeBaseline, Seed: 9}, 6, 8)},
+		{"aee-salsa", AEEOf(opt)},
+		{"aee-baseline", AEEOf(Options{Width: 256, Mode: ModeBaseline, Seed: 9})},
+		{"distinct", DistinctOf(Options{Width: 1 << 15, Seed: 9})},
+		{"windowed-distinct", Windowed(DistinctOf(Options{Width: 1 << 15, Seed: 9}), 4, 700)},
+		{"coldfilter-cms", Filtered(CountMinOf(opt))},
+		{"coldfilter-cus", Filtered(ConservativeOf(opt))},
+		{"coldfilter-tango", Filtered(ConservativeOf(Options{Width: 256, Mode: ModeTango, Seed: 9}))},
+		{"pyramid", Tiered(CountMinOf(opt))},
+		{"sharded-aee", ShardedBy(AEEOf(opt), 2)},
+		{"sharded-distinct", ShardedBy(DistinctOf(Options{Width: 1 << 15, Seed: 9}), 2)},
+		{"sharded-coldfilter", ShardedBy(Filtered(ConservativeOf(opt)), 2)},
+		{"sharded-pyramid", ShardedBy(Tiered(CountMinOf(opt)), 2)},
 	}
 }
 
@@ -102,12 +118,64 @@ func observe(t *testing.T, s Sketch, items []uint64) []int64 {
 			return int64(x.Query(item))
 		case *ShardedWindowedCountSketch:
 			return x.Query(item)
+		case *ShardedWindowedMonitor:
+			return int64(x.Query(item))
+		case *AEE:
+			return int64(math.Float64bits(x.Query(item)))
+		case *ShardedAEE:
+			return int64(math.Float64bits(x.Query(item)))
+		case *Distinct:
+			return int64(x.Query(item))
+		case *ShardedDistinct:
+			return int64(x.Query(item))
+		case *WindowedDistinct:
+			return int64(x.Query(item))
+		case *ColdFilter:
+			return int64(x.Query(item))
+		case *ShardedColdFilter:
+			return int64(x.Query(item))
+		case *Pyramid:
+			return int64(x.Query(item))
+		case *ShardedPyramid:
+			return int64(x.Query(item))
 		}
 		t.Fatalf("observe: unhandled topology %T", s)
 		return 0
 	}
+	// UnivMon has no per-item query surface; its observable state is the
+	// G-sum estimates plus the per-level heavy-hitter candidates.
+	if um, ok := s.(*UnivMon); ok {
+		for _, est := range []float64{um.Entropy(), um.Distinct(), um.Moment(2)} {
+			out = append(out, int64(math.Float64bits(est)))
+		}
+		for _, e := range um.HeavyHitters() {
+			out = append(out, int64(e.Item), e.Count)
+		}
+		return out
+	}
 	for _, x := range items[:256] {
 		out = append(out, q(x))
+	}
+	// Estimate-style surfaces observed on top of the per-item queries; a
+	// saturated Linear Counting row maps to a sentinel so both sides of an
+	// equivalence check agree even out of the estimator's operating range.
+	estimateBits := func(est float64, err error) int64 {
+		if err != nil {
+			return -1
+		}
+		return int64(math.Float64bits(est))
+	}
+	switch x := s.(type) {
+	case *Distinct:
+		out = append(out, estimateBits(x.Estimate()))
+	case *WindowedDistinct:
+		out = append(out, estimateBits(x.Estimate()))
+	case *ShardedDistinct:
+		out = append(out, estimateBits(x.Estimate()))
+	case *AEE:
+		out = append(out, int64(math.Float64bits(x.SampleProb())))
+	case *ColdFilter:
+		out = append(out, int64(x.Stage2Volume()))
 	}
 	type topper interface{ Top() []ItemCount }
 	if tp, ok := s.(topper); ok {
@@ -188,6 +256,48 @@ func TestUniversalRoundTrip(t *testing.T) {
 			}
 			if !bytes.Equal(b1, b2) {
 				t.Fatal("original and decoded marshal differently after further ingestion")
+			}
+		})
+	}
+}
+
+// TestBatchSequentialEquivalence pins the fast batch ingestion paths to
+// the general single-update semantics: for every topology, a stream fed
+// through UpdateBatch in uneven chunks must leave byte-identical marshal
+// state to the same stream fed one Update at a time. This is what makes
+// the word-parallel batch kernels and per-shard grouping safe — they may
+// reorder work internally, but never observably.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	for _, tc := range universalTopologies() {
+		t.Run(tc.name, func(t *testing.T) {
+			single := MustBuild(tc.spec)
+			batched := MustBuild(tc.spec)
+			items := roundTripItems[:1500]
+			for _, x := range items {
+				single.Update(x, 1)
+			}
+			// Uneven chunk sizes cross every internal alignment boundary
+			// of the word-parallel paths.
+			for i, step := 0, 1; i < len(items); i, step = i+step, step*3+1 {
+				end := i + step
+				if end > len(items) {
+					end = len(items)
+				}
+				batched.UpdateBatch(items[i:end], 1)
+			}
+			b1, err := Marshal(single)
+			if err != nil {
+				t.Fatalf("Marshal single: %v", err)
+			}
+			b2, err := Marshal(batched)
+			if err != nil {
+				t.Fatalf("Marshal batched: %v", err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("batch and sequential ingestion diverge: %d vs %d bytes", len(b1), len(b2))
+			}
+			if !equalObservations(observe(t, single, items), observe(t, batched, items)) {
+				t.Fatal("batch and sequential ingestion answer differently")
 			}
 		})
 	}
@@ -401,10 +511,24 @@ func TestUniversalRejectsGarbage(t *testing.T) {
 	if _, err := Unmarshal(old); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("per-type payload: got %v, want ErrBadPayload", err)
 	}
-	// Tango cannot serialize; Marshal must say so, not panic.
+	// Tango serializes since the reference arena grew a codec; the envelope
+	// must round-trip it byte-identically like every other mode.
 	tango := MustBuild(CountMinOf(Options{Width: 64, Mode: ModeTango, Seed: 1}))
-	if _, err := Marshal(tango); err == nil {
-		t.Fatal("marshaled a Tango sketch")
+	ingestRoundTrip(tango, roundTripItems)
+	blob, err = Marshal(tango)
+	if err != nil {
+		t.Fatalf("tango marshal: %v", err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("tango unmarshal: %v", err)
+	}
+	blob2, err := Marshal(back)
+	if err != nil {
+		t.Fatalf("tango re-marshal: %v", err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("tango envelope round-trip is not byte-identical")
 	}
 }
 
@@ -503,10 +627,11 @@ func TestUniversalRejectsHostileRingOptions(t *testing.T) {
 	if _, err := Unmarshal(tamper(3, 3)); err == nil {
 		t.Fatal("accepted 3-bit counters")
 	}
-	// Tango rings are unserializable; the decoder says so up front instead
-	// of building a doomed Tango reference arena.
-	if _, err := Unmarshal(tamper(2, byte(ModeTango))); err == nil || !strings.Contains(err.Error(), "Tango") {
-		t.Fatalf("Tango ring header: got %v, want a Tango serialization error", err)
+	// Flipping the declared mode to Tango makes the reference arena a Tango
+	// ring while the bucket payloads stay SALSA; the compatibility check
+	// must reject the mix before any merge runs.
+	if _, err := Unmarshal(tamper(2, byte(ModeTango))); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("Tango ring header over SALSA buckets: got %v, want a bucket mismatch error", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package salsa_test
 
 import (
+	"errors"
 	"fmt"
 
 	"salsa"
@@ -163,4 +164,74 @@ func ExampleCountMin_Merge() {
 	a.Merge(b)
 	fmt.Println(a.Query(1))
 	// Output: 10
+}
+
+// UnivMon answers entropy, frequency moments, cardinality, and heavy
+// hitters from one universal sketch — a leaf of the same Spec algebra.
+func ExampleUnivMonOf() {
+	u := salsa.MustBuild(salsa.UnivMonOf(salsa.Options{Width: 1 << 12, Seed: 1}, 8, 50)).(*salsa.UnivMon)
+	for i := 0; i < 4000; i++ {
+		u.Process(uint64(i % 100)) // 100 items, 40 occurrences each
+	}
+	fmt.Printf("%d %.1f %.0f\n", u.Volume(), u.Entropy(), u.Distinct())
+	// Output: 4000 6.2 108
+}
+
+// AEE keeps full Count-Min accuracy while the stream is small and
+// downsamples adaptively as counters fill; Query rescales by 1/p.
+func ExampleAEEOf() {
+	a := salsa.MustBuild(salsa.AEEOf(salsa.Options{Width: 1 << 12, Seed: 1})).(*salsa.AEE)
+	for i := 0; i < 42; i++ {
+		a.Process(7)
+	}
+	fmt.Println(a.Query(7), a.SampleProb())
+	// Output: 42 1
+}
+
+// DistinctOf turns a Count-Min layout into a Linear Counting cardinality
+// estimator; StdError gives the paper's published accuracy at any load.
+func ExampleDistinctOf() {
+	d := salsa.MustBuild(salsa.DistinctOf(salsa.Options{Width: 1 << 12, Seed: 1})).(*salsa.Distinct)
+	for i := 0; i < 5000; i++ {
+		d.Increment(uint64(i % 300))
+	}
+	est, err := d.Estimate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f\n", est)
+	// Output: 299
+}
+
+// Filtered wraps any CountMin-family spec in a ColdFilter: the long tail
+// of cold items is absorbed by two cheap filter layers, and only items
+// that prove themselves hot reach the (accurate) stage-2 sketch.
+func ExampleFiltered() {
+	cf := salsa.MustBuild(salsa.Filtered(salsa.ConservativeOf(salsa.Options{Width: 1 << 12, Seed: 1}))).(*salsa.ColdFilter)
+	for i := 0; i < 1000; i++ {
+		cf.Process(9) // hot: passes both filter layers into stage 2
+	}
+	cf.Process(1234) // cold: never leaves the filter
+	fmt.Println(cf.Query(9), cf.Query(1234), cf.Stage2Volume())
+	// Output: 1000 1 730
+}
+
+// Tiered wraps a Count-Min spec in Pyramid's layered counters: low-order
+// bits live in dense small counters, overflows carry into sparser layers.
+func ExampleTiered() {
+	p := salsa.MustBuild(salsa.Tiered(salsa.CountMinOf(salsa.Options{Width: 1 << 12, Seed: 1}))).(*salsa.Pyramid)
+	p.Update(7, 300)
+	fmt.Println(p.Query(7), p.Layers())
+	// Output: 300 6
+}
+
+// Compositions without a sound semantics come back as a typed
+// *CompositionError naming the decorator, inner spec, and reason.
+func ExampleCompositionError() {
+	_, err := salsa.Build(salsa.Windowed(salsa.AEEOf(salsa.Options{Width: 1 << 10}), 4, 1000))
+	var cerr *salsa.CompositionError
+	if errors.As(err, &cerr) {
+		fmt.Println(cerr.Decorator, cerr.Inner)
+	}
+	// Output: Windowed aee
 }

@@ -13,11 +13,8 @@ import (
 func main() {
 	trace := stream.NY18.Generate(1_000_000, 19)
 
-	um := salsa.NewUnivMon(salsa.UnivMonOptions{
-		Levels: 16,
-		Width:  1 << 11,
-		Seed:   23,
-	})
+	um := salsa.MustBuild(salsa.UnivMonOf(
+		salsa.Options{Width: 1 << 11, Seed: 23}, 16, 100)).(*salsa.UnivMon)
 	exact := stream.NewExact()
 	for _, x := range trace {
 		um.Process(x)

@@ -143,6 +143,40 @@ func FuzzUnmarshalUniversal(f *testing.F) {
 	})
 }
 
+// FuzzParseSpec: the topology-expression parser must reject arbitrary
+// strings with an error — never a panic or unbounded recursion — and any
+// expression it accepts must normalize to a String form the parser maps to
+// itself (the grammar's canonical fixed point). Specs are not Built here:
+// syntactically valid expressions may declare resource bounds at the
+// builders' limits (65536 shards of 65536-bucket windows), which is
+// Build's job to price, not the parser's.
+func FuzzParseSpec(f *testing.F) {
+	for _, tc := range universalTopologies() {
+		f.Add(tc.spec.String())
+	}
+	f.Add("CountMin")
+	f.Add(" sharded( 8 , windowed(4, 100, CMS) ) ")
+	f.Add("univmon(0,0)")
+	f.Add("filtered(tiered(cms))")
+	f.Add("sharded(2,sharded(2,sharded(2,cms)))")
+	f.Add("((((")
+	f.Fuzz(func(t *testing.T, expr string) {
+		opt := Options{Width: 64, Seed: 1}
+		spec, err := ParseSpec(expr, opt)
+		if err != nil {
+			return
+		}
+		norm := spec.String()
+		back, err := ParseSpec(norm, opt)
+		if err != nil {
+			t.Fatalf("normal form %q does not re-parse: %v", norm, err)
+		}
+		if got := back.String(); got != norm {
+			t.Fatalf("String not a parser fixed point: %q -> %q", norm, got)
+		}
+	})
+}
+
 // FuzzKeyBytes pins the byte-key hash path (the stdin ingestion surface of
 // salsatop) against panics on arbitrary input.
 func FuzzKeyBytes(f *testing.F) {

@@ -99,7 +99,7 @@ func TestEpochChangeDetectionPipeline(t *testing.T) {
 func TestMonitorAgainstUnivMon(t *testing.T) {
 	data := stream.NY18.Generate(150_000, 11)
 	mon := NewMonitor(Options{Width: 1 << 13, Seed: 31}, 20)
-	um := NewUnivMon(UnivMonOptions{Levels: 12, Width: 1 << 11, Seed: 31})
+	um := MustBuild(UnivMonOf(Options{Width: 1 << 11, Seed: 31}, 12, 0)).(*UnivMon)
 	exact := stream.NewExact()
 	for _, x := range data {
 		mon.Process(x)

@@ -12,9 +12,9 @@
 package aee
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
-	"math/rand"
 
 	"salsa/internal/core"
 	"salsa/internal/hashing"
@@ -34,7 +34,7 @@ type Estimator struct {
 	sampledSince  uint64 // sampled updates since the last downsample
 	speedEvery    uint64 // MaxSpeed: downsample cadence in sampled updates
 	processed     uint64
-	rng           *rand.Rand
+	rng           rng
 }
 
 // Config shapes an AEE estimator.
@@ -59,14 +59,15 @@ func NewMaxAccuracy(cfg Config) *Estimator { return newEstimator(cfg, false) }
 func NewMaxSpeed(cfg Config) *Estimator { return newEstimator(cfg, true) }
 
 func newEstimator(cfg Config, maxSpeed bool) *Estimator {
-	rows := make([]*core.Fixed, cfg.Rows)
-	for i := range rows {
-		rows[i] = core.NewFixed(cfg.Width, cfg.CounterBits)
-	}
 	if cfg.Width&(cfg.Width-1) != 0 {
 		panic("aee: width must be a power of two")
 	}
-	e := &Estimator{
+	// One contiguous arena for all rows, matching the promoted hot paths.
+	return restoreEstimator(cfg, core.NewFixedRows(cfg.Rows, cfg.Width, cfg.CounterBits), maxSpeed)
+}
+
+func restoreEstimator(cfg Config, rows []*core.Fixed, maxSpeed bool) *Estimator {
+	return &Estimator{
 		rows:          rows,
 		seeds:         hashing.Seeds(cfg.Seed, cfg.Rows),
 		mask:          uint64(cfg.Width - 1),
@@ -74,10 +75,51 @@ func newEstimator(cfg Config, maxSpeed bool) *Estimator {
 		probabilistic: cfg.Probabilistic,
 		maxSpeed:      maxSpeed,
 		speedEvery:    uint64(cfg.Width) << (cfg.CounterBits - 2),
-		rng:           rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5eed)),
+		rng:           rng{state: cfg.Seed ^ 0x5eed},
 	}
-	return e
 }
+
+// Restore rebuilds a MaxAccuracy estimator from serialized state: the
+// decoded rows plus the sampling odometer. The rows must match the
+// config's geometry; hostile payload combinations are errors, not panics.
+func Restore(cfg Config, rows []*core.Fixed, kPow uint, sampledSince, processed, rngState uint64) (*Estimator, error) {
+	if cfg.Width <= 0 || cfg.Width&(cfg.Width-1) != 0 {
+		return nil, fmt.Errorf("aee: width %d is not a power of two", cfg.Width)
+	}
+	if len(rows) != cfg.Rows || cfg.Rows == 0 {
+		return nil, fmt.Errorf("aee: %d rows, config wants %d", len(rows), cfg.Rows)
+	}
+	if kPow > 64 {
+		return nil, fmt.Errorf("aee: sampling exponent %d out of range", kPow)
+	}
+	for i, r := range rows {
+		if r.Width() != cfg.Width || r.CounterBits() != cfg.CounterBits {
+			return nil, fmt.Errorf("aee: row %d geometry %d×%dbit does not match config %d×%dbit",
+				i, r.Width(), r.CounterBits(), cfg.Width, cfg.CounterBits)
+		}
+	}
+	e := restoreEstimator(cfg, rows, false)
+	e.kPow = kPow
+	e.sampledSince = sampledSince
+	e.processed = processed
+	e.rng.state = rngState
+	return e, nil
+}
+
+// NumRows returns the row count d.
+func (e *Estimator) NumRows() int { return len(e.rows) }
+
+// Row returns row i for serialization.
+func (e *Estimator) Row(i int) *core.Fixed { return e.rows[i] }
+
+// SampledSince returns the sampled-update count since the last downsample.
+func (e *Estimator) SampledSince() uint64 { return e.sampledSince }
+
+// Processed returns the total updates offered (sampled or not).
+func (e *Estimator) Processed() uint64 { return e.processed }
+
+// RngState returns the sampling generator state for serialization.
+func (e *Estimator) RngState() uint64 { return e.rng.state }
 
 // SampleProb returns the current sampling probability p.
 func (e *Estimator) SampleProb() float64 { return math.Pow(0.5, float64(e.kPow)) }

@@ -1,0 +1,18 @@
+package aee
+
+// rng is a splitmix64 generator with a single word of explicit state. The
+// estimators sample updates and thin counters probabilistically, so their
+// behavior depends on the generator state; one serializable word lets a
+// decoded estimator resume the exact sampling stream the original would
+// have produced, which is what makes envelope round-trips byte-identical
+// under continued ingestion.
+type rng struct{ state uint64 }
+
+// Uint64 returns the next value (splitmix64, Steele et al.).
+func (r *rng) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,8 +1,8 @@
 package aee
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
 
 	"salsa/internal/core"
 	"salsa/internal/hashing"
@@ -34,7 +34,7 @@ type SalsaAEE struct {
 	// gml caches the largest merge level present in any row; kept fresh on
 	// merges and recomputed after downsampling (which may split counters).
 	gml uint
-	rng *rand.Rand
+	rng rng
 }
 
 // SalsaConfig shapes a SalsaAEE sketch.
@@ -69,6 +69,10 @@ func NewSalsa(cfg SalsaConfig) *SalsaAEE {
 	for i := range rows {
 		rows[i] = core.NewSalsa(cfg.Width, cfg.S, core.MaxMerge, false)
 	}
+	return restoreSalsa(cfg, rows)
+}
+
+func restoreSalsa(cfg SalsaConfig, rows []*core.Salsa) *SalsaAEE {
 	maxLvl := uint(0)
 	for b := cfg.S; b < 64; b <<= 1 {
 		maxLvl++
@@ -84,9 +88,59 @@ func NewSalsa(cfg SalsaConfig) *SalsaAEE {
 		deltaEst: cfg.Delta / float64(cfg.Rows),
 		forced:   cfg.ForcedDownsamples,
 		split:    cfg.Split,
-		rng:      rand.New(rand.NewSource(int64(cfg.Seed) ^ 0x5a15a)),
+		rng:      rng{state: cfg.Seed ^ 0x5a15a},
 	}
 }
+
+// RestoreSalsa rebuilds a SalsaAEE from serialized state: decoded rows
+// plus the sampling/overflow odometer. Row geometry is validated against
+// the config so hostile payload combinations are errors, not panics.
+func RestoreSalsa(cfg SalsaConfig, rows []*core.Salsa, kPow uint, overflows uint64, processed, downsampled, rngState uint64) (*SalsaAEE, error) {
+	if cfg.Width <= 0 || cfg.Width&(cfg.Width-1) != 0 {
+		return nil, fmt.Errorf("aee: width %d is not a power of two", cfg.Width)
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("aee: delta %v out of range", cfg.Delta)
+	}
+	if len(rows) != cfg.Rows || cfg.Rows == 0 {
+		return nil, fmt.Errorf("aee: %d rows, config wants %d", len(rows), cfg.Rows)
+	}
+	if kPow > 64 || overflows > uint64(math.MaxInt) {
+		return nil, fmt.Errorf("aee: sampling state out of range")
+	}
+	ref := core.NewSalsa(cfg.Width, cfg.S, core.MaxMerge, false)
+	for i, r := range rows {
+		if !r.SameGeometry(ref) {
+			return nil, fmt.Errorf("aee: row %d geometry does not match config", i)
+		}
+	}
+	e := restoreSalsa(cfg, rows)
+	e.kPow = kPow
+	e.overflows = int(overflows)
+	e.processed = processed
+	e.downsmpld = downsampled
+	e.rng.state = rngState
+	e.recomputeMaxLevel()
+	return e, nil
+}
+
+// NumRows returns the row count d.
+func (e *SalsaAEE) NumRows() int { return len(e.rows) }
+
+// Row returns row i for serialization.
+func (e *SalsaAEE) Row(i int) *core.Salsa { return e.rows[i] }
+
+// Overflows returns the largest-counter overflow count.
+func (e *SalsaAEE) Overflows() uint64 { return uint64(e.overflows) }
+
+// Processed returns the total updates offered (sampled or not).
+func (e *SalsaAEE) Processed() uint64 { return e.processed }
+
+// Downsampled returns the number of downsampling events.
+func (e *SalsaAEE) Downsampled() uint64 { return e.downsmpld }
+
+// RngState returns the sampling generator state for serialization.
+func (e *SalsaAEE) RngState() uint64 { return e.rng.state }
 
 // SampleProb returns the current sampling probability p.
 func (e *SalsaAEE) SampleProb() float64 { return math.Pow(0.5, float64(e.kPow)) }

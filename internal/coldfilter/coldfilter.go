@@ -75,6 +75,43 @@ func New(cfg Config, stage2 Stage2) *Filter {
 	}
 }
 
+// Restore rebuilds a filter from serialized state: the decoded layer
+// arrays, the stage-2 volume odometer, and the already-decoded second
+// stage. Layer geometry is validated against the config so hostile
+// payload combinations are errors, not panics.
+func Restore(cfg Config, l1, l2 *core.Fixed, stage2Hits uint64, stage2 Stage2) (*Filter, error) {
+	if cfg.D1 <= 0 || cfg.D2 <= 0 ||
+		cfg.W1 <= 0 || cfg.W1&(cfg.W1-1) != 0 || cfg.W2 <= 0 || cfg.W2&(cfg.W2-1) != 0 {
+		return nil, fmt.Errorf("coldfilter: invalid geometry %d/%d probes over %d/%d", cfg.D1, cfg.D2, cfg.W1, cfg.W2)
+	}
+	if stage2 == nil {
+		return nil, fmt.Errorf("coldfilter: nil stage 2")
+	}
+	if l1.Width() != cfg.W1 || l1.CounterBits() != 4 {
+		return nil, fmt.Errorf("coldfilter: layer 1 geometry %d×%dbit, want %d×4bit", l1.Width(), l1.CounterBits(), cfg.W1)
+	}
+	if l2.Width() != cfg.W2 || l2.CounterBits() != 8 {
+		return nil, fmt.Errorf("coldfilter: layer 2 geometry %d×%dbit, want %d×8bit", l2.Width(), l2.CounterBits(), cfg.W2)
+	}
+	f := New(cfg, stage2)
+	f.l1, f.l2 = l1, l2
+	f.stage2Hits = stage2Hits
+	return f, nil
+}
+
+// Layer1 returns the 4-bit filter layer for serialization.
+func (f *Filter) Layer1() *core.Fixed { return f.l1 }
+
+// Layer2 returns the 8-bit filter layer for serialization.
+func (f *Filter) Layer2() *core.Fixed { return f.l2 }
+
+// UpdateBatch processes every item with weight v, in order.
+func (f *Filter) UpdateBatch(items []uint64, v int64) {
+	for _, x := range items {
+		f.Update(x, v)
+	}
+}
+
 // SizeBits returns the total footprint including the second stage.
 func (f *Filter) SizeBits() int {
 	return f.l1.SizeBits() + f.l2.SizeBits() + f.stage2.SizeBits()

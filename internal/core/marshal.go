@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"salsa/internal/bitvec"
 )
 
 // Binary serialization for counter arrays: fixed little-endian headers
@@ -18,6 +20,7 @@ const (
 	kindFixedSign  = byte(2)
 	kindSalsa      = byte(3)
 	kindSalsaSign  = byte(4)
+	kindTango      = byte(5)
 	headerLen      = 4 + 1 + 1 + 1 + 1 + 8 // magic, kind, bits, policy, compact, width
 	errShortBuffer = "core: truncated marshal payload"
 )
@@ -185,6 +188,45 @@ func UnmarshalSalsa(data []byte) (*Salsa, error) {
 	copy(c.words, words)
 	copy(layoutWords(c.lay), layWords)
 	return c, nil
+}
+
+// MarshalBinary encodes the array: the counter cells, the merge-link
+// bits, and the merge counter. A decoded Tango resumes from the exact
+// cell/link state, so fine-grained merges (§IV) survive transport.
+func (t *Tango) MarshalBinary() ([]byte, error) {
+	buf := putHeader(kindTango, t.s, byte(t.policy), false, t.width)
+	buf = appendWords(buf, t.words)
+	buf = appendWords(buf, t.link.Words())
+	return binary.LittleEndian.AppendUint64(buf, t.merges), nil
+}
+
+// UnmarshalTango decodes a Tango array.
+func UnmarshalTango(data []byte) (*Tango, error) {
+	s, policy, compact, width, rest, err := readHeader(data, kindTango)
+	if err != nil {
+		return nil, err
+	}
+	words, rest, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	linkWords, rest, err := readWords(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 8 {
+		return nil, errors.New(errShortBuffer)
+	}
+	merges := binary.LittleEndian.Uint64(rest)
+	if compact || s > 32 || policy > byte(MaxMerge) ||
+		width <= 0 || width&(width-1) != 0 ||
+		wordsForGeometry(width, s) != len(words) ||
+		len(linkWords) != bitvec.WordsFor(width) {
+		return nil, ErrBadPayload
+	}
+	t := newTangoIn(width, s, MergePolicy(policy), words, linkWords)
+	t.merges = merges
+	return t, nil
 }
 
 // salsaWidthOK mirrors the constructor's width validation without the

@@ -1,0 +1,202 @@
+// Package oracletest is a reusable statistical accuracy harness: it pins
+// sketch estimates against an exact-counting oracle under deterministic
+// workloads, asserting the papers' error envelopes at a fixed confidence
+// instead of hand-tuned magic thresholds.
+//
+// Every workload is deterministic given its seed, so the assertions are
+// reproducible bit for bit; the statistical slack in each bound accounts
+// for the sampling noise of checking a per-query probabilistic guarantee
+// over finitely many queries (a three-sigma binomial allowance), not for
+// run-to-run variation.
+package oracletest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"salsa/internal/stream"
+)
+
+// Workload is a deterministic stream with its exact frequency oracle.
+type Workload struct {
+	// Name labels subtests and failure messages.
+	Name string
+	// Items is the stream in arrival order.
+	Items []uint64
+	// Exact is the ground-truth counter over Items.
+	Exact *stream.Exact
+}
+
+func makeWorkload(name string, items []uint64) Workload {
+	exact := stream.NewExact()
+	for _, x := range items {
+		exact.Observe(x)
+	}
+	return Workload{Name: name, Items: items, Exact: exact}
+}
+
+// Zipf is a skewed workload: n samples from a Zipf(alpha) law over a
+// universe of u items, the regime the paper's traces live in.
+func Zipf(n, u int, alpha float64, seed uint64) Workload {
+	return makeWorkload(fmt.Sprintf("zipf-%.1f", alpha), stream.Zipf(n, u, alpha, seed))
+}
+
+// Uniform is the skewless workload: n samples spread evenly over u items,
+// the worst case for heavy-hitter machinery and the best case for
+// per-item collision analysis.
+func Uniform(n, u int, seed uint64) Workload {
+	items := make([]uint64, n)
+	x := seed*0x9e3779b97f4a7c15 + 1
+	for i := range items {
+		// splitmix64: deterministic, seed-disjoint from the sketches' hashes.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		items[i] = z % uint64(u)
+	}
+	return makeWorkload("uniform", items)
+}
+
+// Adversarial interleaves the two extremes a self-adjusting sketch hates
+// most: a single flooded item driving counters through every overflow and
+// merge level, against a churn tail of n/2 never-repeating items keeping
+// collision pressure and the distinct count maximal.
+func Adversarial(n int, seed uint64) Workload {
+	items := make([]uint64, n)
+	hot := seed | 1
+	fresh := uint64(1 << 32)
+	for i := range items {
+		if i%2 == 0 {
+			items[i] = hot
+		} else {
+			fresh++
+			items[i] = fresh
+		}
+	}
+	return makeWorkload("adversarial", items)
+}
+
+// Workloads is the harness's standard trio at n items each.
+func Workloads(n int, seed uint64) []Workload {
+	return []Workload{
+		Zipf(n, n/15, 1.0, seed),
+		Uniform(n, n/15, seed),
+		Adversarial(n, seed),
+	}
+}
+
+// binomialSlack is the three-sigma allowance on an empirical violation
+// fraction when each of q queries independently violates with probability
+// at most p: the assertions run the per-query guarantee over the whole
+// oracle and must not flag the expected statistical tail.
+func binomialSlack(p float64, q int) float64 {
+	return 3*math.Sqrt(p*(1-p)/float64(q)) + 2.0/float64(q)
+}
+
+// CheckOverestimate asserts the Cash Register contract of CountMin-family
+// sketches: no estimate below the true count, for any item.
+func CheckOverestimate(t *testing.T, name string, wl Workload, query func(uint64) uint64) {
+	t.Helper()
+	for x, f := range wl.Exact.Counts() {
+		if est := query(x); est < f {
+			t.Fatalf("%s/%s: item %d underestimated: %d < %d", name, wl.Name, x, est, f)
+		}
+	}
+}
+
+// CheckCountMinEnvelope asserts the Count-Min error theorem (Cormode &
+// Muthukrishnan): each query overestimates by at least e·N/w with
+// probability at most e^−d. The empirical violation fraction over the
+// oracle must stay within the theorem's rate plus binomial slack; extra
+// is an additive per-query error allowance (0 for plain CMS; positive for
+// layered variants whose carries add bounded noise on top of the bound).
+func CheckCountMinEnvelope(t *testing.T, name string, wl Workload, width, depth int, extra float64, query func(uint64) uint64) {
+	t.Helper()
+	budget := math.E * float64(wl.Exact.Volume()) / float64(width)
+	pBound := math.Exp(-float64(depth))
+	violations, queries := 0, 0
+	for x, f := range wl.Exact.Counts() {
+		queries++
+		if float64(query(x))-float64(f) >= budget+extra {
+			violations++
+		}
+	}
+	frac := float64(violations) / float64(queries)
+	if limit := pBound + binomialSlack(pBound, queries); frac > limit {
+		t.Fatalf("%s/%s: %.4f of %d queries exceed the e·N/w=%.1f budget (theorem rate %.4f, limit %.4f)",
+			name, wl.Name, frac, queries, budget, pBound, limit)
+	}
+}
+
+// CheckCountSketchEnvelope asserts the Count Sketch guarantees: the
+// median-of-rows estimate errs beyond 3·sqrt(F2/w) with small probability
+// (three row standard deviations; each row errs beyond 3σ with p ≤ 1/9 by
+// Chebyshev, and the median of d rows beyond it exponentially rarely — the
+// harness charges the generous per-row rate), and the signed errors are
+// unbiased: their mean stays within three standard errors of zero.
+func CheckCountSketchEnvelope(t *testing.T, name string, wl Workload, width int, query func(uint64) int64) {
+	t.Helper()
+	sigma := math.Sqrt(wl.Exact.Moment(2) / float64(width))
+	pBound := 1.0 / 9
+	violations, queries := 0, 0
+	var sum float64
+	for x, f := range wl.Exact.Counts() {
+		queries++
+		err := float64(query(x)) - float64(f)
+		sum += err
+		if math.Abs(err) > 3*sigma {
+			violations++
+		}
+	}
+	frac := float64(violations) / float64(queries)
+	if limit := pBound + binomialSlack(pBound, queries); frac > limit {
+		t.Fatalf("%s/%s: %.4f of %d estimates err beyond 3σ=%.1f (limit %.4f)",
+			name, wl.Name, frac, queries, 3*sigma, limit)
+	}
+	mean := sum / float64(queries)
+	if meanLimit := 3 * sigma / math.Sqrt(float64(queries)); math.Abs(mean) > meanLimit {
+		t.Fatalf("%s/%s: mean signed error %.2f exceeds the unbiasedness limit %.2f",
+			name, wl.Name, mean, meanLimit)
+	}
+}
+
+// CheckAdditiveEnvelope asserts an AEE-style sampling guarantee: every
+// estimate stays within an additive budget of sigmas·sqrt(f/p) sampling
+// standard deviations (the Binomial(f, p) count scaled by 1/p) plus the
+// collision allowance e·N/w of the underlying Count-Min layout, with the
+// violation fraction bounded by rate plus binomial slack.
+func CheckAdditiveEnvelope(t *testing.T, name string, wl Workload, width int, sampleProb, sigmas, rate float64, query func(uint64) float64) {
+	t.Helper()
+	collision := math.E * float64(wl.Exact.Volume()) / float64(width)
+	violations, queries := 0, 0
+	for x, f := range wl.Exact.Counts() {
+		queries++
+		budget := sigmas*math.Sqrt(float64(f)/sampleProb+1) + collision
+		if err := query(x) - float64(f); err < -budget || err > budget {
+			violations++
+		}
+	}
+	frac := float64(violations) / float64(queries)
+	if limit := rate + binomialSlack(rate, queries); frac > limit {
+		t.Fatalf("%s/%s: %.4f of %d estimates leave the ±%.0fσ sampling envelope at p=%.3g (limit %.4f)",
+			name, wl.Name, frac, queries, sigmas, sampleProb, limit)
+	}
+}
+
+// CheckScalarEnvelope asserts a scalar estimate (cardinality, entropy, a
+// frequency moment) lands within an absolute tolerance of the truth. The
+// caller states the tolerance in units with a derivation — a multiple of
+// the estimator's published standard error, or a documented empirical
+// slack — rather than a bare relative threshold.
+func CheckScalarEnvelope(t *testing.T, name string, wl Workload, est, truth, tolerance float64) {
+	t.Helper()
+	if math.IsNaN(est) || math.Abs(est-truth) > tolerance {
+		t.Fatalf("%s/%s: estimate %.2f vs truth %.2f exceeds tolerance %.2f",
+			name, wl.Name, est, truth, tolerance)
+	}
+}

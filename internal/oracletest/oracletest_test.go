@@ -1,0 +1,100 @@
+package oracletest
+
+import (
+	"testing"
+)
+
+// TestWorkloadsDeterministic: the harness is only a fixed point for the
+// repo's accuracy tests if identical seeds replay identical streams.
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := Workloads(5000, 42)
+	b := Workloads(5000, 42)
+	if len(a) != len(b) || len(a) != 3 {
+		t.Fatalf("expected 3 workloads, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("workload %d name mismatch: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if len(a[i].Items) != 5000 {
+			t.Fatalf("%s: expected 5000 items, got %d", a[i].Name, len(a[i].Items))
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				t.Fatalf("%s: item %d differs across identical seeds", a[i].Name, j)
+			}
+		}
+	}
+	c := Uniform(5000, 300, 43)
+	same := true
+	for j, x := range a[1].Items {
+		if c.Items[j] != x {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("uniform workloads with different seeds produced identical streams")
+	}
+}
+
+// TestExactReferenceAgrees: the oracle attached to a workload must match a
+// naive recount of the stream.
+func TestExactReferenceAgrees(t *testing.T) {
+	wl := Zipf(3000, 200, 1.0, 7)
+	counts := make(map[uint64]uint64)
+	for _, x := range wl.Items {
+		counts[x]++
+	}
+	if got := wl.Exact.Volume(); got != 3000 {
+		t.Fatalf("volume %d, want 3000", got)
+	}
+	if got, want := wl.Exact.Distinct(), len(counts); got != want {
+		t.Fatalf("distinct %d, want %d", got, want)
+	}
+	for x, f := range counts {
+		if got := wl.Exact.Count(x); got != f {
+			t.Fatalf("count(%d) = %d, want %d", x, got, f)
+		}
+	}
+}
+
+// TestAdversarialShape: the adversarial stream must deliver both extremes
+// it promises — one item holding half the volume, and maximal churn.
+func TestAdversarialShape(t *testing.T) {
+	wl := Adversarial(4000, 9)
+	hot := wl.Items[0]
+	if got := wl.Exact.Count(hot); got != 2000 {
+		t.Fatalf("hot item count %d, want 2000", got)
+	}
+	if got := wl.Exact.Distinct(); got != 2001 {
+		t.Fatalf("distinct %d, want 2001 (hot item + 2000 fresh)", got)
+	}
+}
+
+// TestEnvelopesAcceptExactEstimator: a zero-error estimator must pass every
+// envelope — the assertions may only fire on genuine violations.
+func TestEnvelopesAcceptExactEstimator(t *testing.T) {
+	for _, wl := range Workloads(4000, 11) {
+		CheckOverestimate(t, "exact", wl, wl.Exact.Count)
+		CheckCountMinEnvelope(t, "exact", wl, 64, 4, 0, wl.Exact.Count)
+		CheckCountSketchEnvelope(t, "exact", wl, 64, func(x uint64) int64 {
+			return int64(wl.Exact.Count(x))
+		})
+		CheckAdditiveEnvelope(t, "exact", wl, 64, 1.0, 3, 0.01, func(x uint64) float64 {
+			return float64(wl.Exact.Count(x))
+		})
+		CheckScalarEnvelope(t, "exact", wl, float64(wl.Exact.Distinct()), float64(wl.Exact.Distinct()), 0)
+	}
+}
+
+// TestBinomialSlackShrinks: more queries must tighten, never loosen, the
+// statistical allowance.
+func TestBinomialSlackShrinks(t *testing.T) {
+	if s1, s2 := binomialSlack(0.1, 100), binomialSlack(0.1, 10000); s2 >= s1 {
+		t.Fatalf("slack did not shrink with query count: %f -> %f", s1, s2)
+	}
+	if s := binomialSlack(0, 100); s <= 0 {
+		t.Fatalf("slack must stay positive at p=0, got %f", s)
+	}
+}

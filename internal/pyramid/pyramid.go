@@ -22,15 +22,29 @@ const (
 )
 
 // Sketch is a d-row Pyramid Count-Min sketch: d hash functions index
-// layer-1 counters, and the estimate is the minimum over rows.
+// layer-1 counters, and the estimate is the minimum over rows. All layers
+// of all rows share one contiguous byte arena, so the working set is one
+// allocation and the whole counter state serializes as a single copy.
 type Sketch struct {
 	rows  []row
 	seeds []uint64
 	mask  uint64
+	arena []byte
 }
 
 type row struct {
 	layers [][]byte
+}
+
+// rowBytes returns the per-row arena footprint: w layer-1 bytes plus the
+// halving higher layers.
+func rowBytes(w, layers int) int {
+	total, width := 0, w
+	for l := 0; l < layers && width >= 1; l++ {
+		total += width
+		width /= 2
+	}
+	return total
 }
 
 // New returns a d-row Pyramid sketch with layer-1 width w (a power of two)
@@ -43,12 +57,15 @@ func New(d, w, layers int, seed uint64) *Sketch {
 	if w <= 0 || w&(w-1) != 0 {
 		panic(fmt.Sprintf("pyramid: width %d must be a power of two", w))
 	}
+	arena := make([]byte, d*rowBytes(w, layers))
 	rows := make([]row, d)
+	next := arena
 	for i := range rows {
 		ls := make([][]byte, 0, layers)
 		width := w
 		for l := 0; l < layers && width >= 1; l++ {
-			ls = append(ls, make([]byte, width))
+			ls = append(ls, next[:width:width])
+			next = next[width:]
 			width /= 2
 		}
 		rows[i] = row{layers: ls}
@@ -57,14 +74,43 @@ func New(d, w, layers int, seed uint64) *Sketch {
 		rows:  rows,
 		seeds: hashing.Seeds(seed, d),
 		mask:  uint64(w - 1),
+		arena: arena,
 	}
 }
+
+// Restore rebuilds a sketch from a serialized arena; state must be exactly
+// the footprint New(d, w, layers, seed) allocates.
+func Restore(d, w, layers int, seed uint64, state []byte) (*Sketch, error) {
+	if d <= 0 || layers < 1 || w <= 0 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("pyramid: invalid geometry %d×%d (%d layers)", d, w, layers)
+	}
+	if len(state) != d*rowBytes(w, layers) {
+		return nil, fmt.Errorf("pyramid: state length %d, geometry needs %d", len(state), d*rowBytes(w, layers))
+	}
+	s := New(d, w, layers, seed)
+	copy(s.arena, state)
+	return s, nil
+}
+
+// State returns the backing arena for serialization; treat it as read-only.
+func (s *Sketch) State() []byte { return s.arena }
 
 // Depth returns the number of rows.
 func (s *Sketch) Depth() int { return len(s.rows) }
 
 // Width returns the layer-1 width.
 func (s *Sketch) Width() int { return int(s.mask) + 1 }
+
+// Layers returns the effective layer count (the requested count, capped by
+// the halving widths reaching one byte).
+func (s *Sketch) Layers() int { return len(s.rows[0].layers) }
+
+// Reset zeroes every counter, reusing the arena.
+func (s *Sketch) Reset() {
+	for i := range s.arena {
+		s.arena[i] = 0
+	}
+}
 
 // SizeBits returns the total pre-allocated footprint in bits; unlike SALSA,
 // every layer is allocated up front whether or not it is ever used.
@@ -85,6 +131,13 @@ func (s *Sketch) Update(x uint64, v int64) {
 	}
 	for i := range s.rows {
 		s.rows[i].add(int(hashing.Index(x, s.seeds[i], s.mask)), uint64(v))
+	}
+}
+
+// UpdateBatch processes every item with weight v, in order.
+func (s *Sketch) UpdateBatch(items []uint64, v int64) {
+	for _, x := range items {
+		s.Update(x, v)
 	}
 }
 

@@ -16,6 +16,7 @@ const (
 	sketchMagic   = uint32(0x5a15a100)
 	rowKindFixed  = byte(1)
 	rowKindSalsa  = byte(2)
+	rowKindTango  = byte(3)
 	csKindFixed   = byte(1)
 	csKindSalsa   = byte(2)
 	kindCMSHeader = byte(10)
@@ -162,6 +163,13 @@ func (c *CMS) MarshalBinary() ([]byte, error) {
 			}
 			buf = append(buf, rowKindSalsa)
 			buf = appendBlock(buf, payload)
+		case *core.Tango:
+			payload, err := row.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, rowKindTango)
+			buf = appendBlock(buf, payload)
 		default:
 			return nil, fmt.Errorf("sketch: cannot marshal row type %T", r)
 		}
@@ -204,6 +212,8 @@ func UnmarshalCMS(data []byte) (*CMS, error) {
 			rows[i], err = core.UnmarshalFixed(block)
 		case rowKindSalsa:
 			rows[i], err = core.UnmarshalSalsa(block)
+		case rowKindTango:
+			rows[i], err = core.UnmarshalTango(block)
 		default:
 			return nil, fmt.Errorf("sketch: unknown row kind %d", kind)
 		}

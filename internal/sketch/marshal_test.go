@@ -73,10 +73,30 @@ func TestCountSketchMarshalRoundTripRows(t *testing.T) {
 	}
 }
 
-func TestMarshalUnsupportedRows(t *testing.T) {
+func TestMarshalTangoRows(t *testing.T) {
 	c := NewCMS(2, 128, TangoRow(8, core.MaxMerge), 1)
-	if _, err := c.MarshalBinary(); err == nil {
-		t.Fatal("Tango rows should not marshal")
+	for i := uint64(0); i < 4000; i++ {
+		c.Update(i%61, int64(i%7)+1) // force cell merges
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatalf("tango marshal: %v", err)
+	}
+	back, err := UnmarshalCMS(blob)
+	if err != nil {
+		t.Fatalf("tango unmarshal: %v", err)
+	}
+	for i := uint64(0); i < 61; i++ {
+		if back.Query(i) != c.Query(i) {
+			t.Fatalf("query %d changed after round-trip", i)
+		}
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatalf("tango re-marshal: %v", err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("tango round-trip is not byte-identical")
 	}
 }
 

@@ -8,6 +8,7 @@
 package univmon
 
 import (
+	"fmt"
 	"math"
 
 	"salsa/internal/hashing"
@@ -58,6 +59,41 @@ func New(cfg Config) *Sketch {
 	return &Sketch{levels: levels, sampleSeed: seeds[cfg.Levels]}
 }
 
+// Restore rebuilds a sketch from serialized state: one decoded Count
+// Sketch and heap per level, the sampling seed, and the volume odometer.
+// The levels must agree on geometry and heap capacity; hostile payload
+// combinations are errors, not panics.
+func Restore(css []*sketch.CountSketch, heaps []*topk.Heap, sampleSeed, volume uint64) (*Sketch, error) {
+	if len(css) == 0 || len(css) != len(heaps) {
+		return nil, fmt.Errorf("univmon: %d sketches for %d heaps", len(css), len(heaps))
+	}
+	levels := make([]level, len(css))
+	for i := range css {
+		if css[i].Depth() != css[0].Depth() || css[i].Width() != css[0].Width() {
+			return nil, fmt.Errorf("univmon: level %d geometry %d×%d does not match level 0's %d×%d",
+				i, css[i].Depth(), css[i].Width(), css[0].Depth(), css[0].Width())
+		}
+		if heaps[i].Cap() != heaps[0].Cap() {
+			return nil, fmt.Errorf("univmon: level %d heap capacity %d does not match level 0's %d",
+				i, heaps[i].Cap(), heaps[0].Cap())
+		}
+		levels[i] = level{cs: css[i], heap: heaps[i]}
+	}
+	return &Sketch{levels: levels, sampleSeed: sampleSeed, volume: volume}, nil
+}
+
+// Levels returns the number of Count Sketch levels.
+func (s *Sketch) Levels() int { return len(s.levels) }
+
+// LevelSketch returns level j's Count Sketch for serialization.
+func (s *Sketch) LevelSketch(j int) *sketch.CountSketch { return s.levels[j].cs }
+
+// LevelHeap returns level j's heavy-hitter heap for serialization.
+func (s *Sketch) LevelHeap(j int) *topk.Heap { return s.levels[j].heap }
+
+// SampleSeed returns the substream-sampling seed for serialization.
+func (s *Sketch) SampleSeed() uint64 { return s.sampleSeed }
+
 // sampled reports whether x participates in level j: the j lowest bits of
 // its sampling hash must all be one, halving the substream per level.
 func (s *Sketch) sampled(x uint64, j int) bool {
@@ -79,14 +115,21 @@ func (s *Sketch) SizeBits() int {
 }
 
 // Update processes one unit-weight arrival (Cash Register model).
-func (s *Sketch) Update(x uint64) {
-	s.volume++
+func (s *Sketch) Update(x uint64) { s.UpdateWeighted(x, 1) }
+
+// UpdateWeighted processes ⟨x, v⟩ with v ≥ 1: the whole weight lands on
+// every level that samples x, as if v unit arrivals were processed.
+func (s *Sketch) UpdateWeighted(x uint64, v int64) {
+	if v < 0 {
+		panic("univmon: negative update")
+	}
+	s.volume += uint64(v)
 	for j := range s.levels {
 		if !s.sampled(x, j) {
 			break
 		}
 		lv := &s.levels[j]
-		lv.cs.Update(x, 1)
+		lv.cs.Update(x, v)
 		lv.heap.Offer(x, lv.cs.Query(x))
 	}
 }

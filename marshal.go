@@ -72,9 +72,6 @@ func UnmarshalCountMin(data []byte) (*CountMin, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opt.Mode == ModeTango {
-		return nil, errors.New("salsa: Tango sketches do not support serialization")
-	}
 	sk, err := sketch.UnmarshalCMS(rest)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package salsa
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -96,10 +97,40 @@ func TestUnmarshalGarbage(t *testing.T) {
 	}
 }
 
-func TestTangoMarshalRejected(t *testing.T) {
-	cm := NewCountMin(Options{Width: 128, Mode: ModeTango})
-	if _, err := cm.MarshalBinary(); err == nil {
-		t.Fatal("Tango marshal should fail (unsupported row type)")
+func TestTangoMarshalRoundTrip(t *testing.T) {
+	cm := NewCountMin(Options{Width: 128, Mode: ModeTango, Seed: 5})
+	for i := uint64(0); i < 5000; i++ {
+		cm.Update(i%97, int64(i%13)+1) // force fine-grained merges
+	}
+	blob, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatalf("tango marshal: %v", err)
+	}
+	back, err := UnmarshalCountMin(blob)
+	if err != nil {
+		t.Fatalf("tango unmarshal: %v", err)
+	}
+	for i := uint64(0); i < 97; i++ {
+		if got, want := back.Query(i), cm.Query(i); got != want {
+			t.Fatalf("Query(%d) = %d after round-trip, want %d", i, got, want)
+		}
+	}
+	blob2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatalf("tango re-marshal: %v", err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("tango round-trip is not byte-identical")
+	}
+	// Continued ingestion must not diverge from the original.
+	for i := uint64(0); i < 3000; i++ {
+		cm.Update(i%89, 3)
+		back.Update(i%89, 3)
+	}
+	for i := uint64(0); i < 97; i++ {
+		if back.Query(i) != cm.Query(i) {
+			t.Fatalf("Query(%d) diverged after continued ingestion", i)
+		}
 	}
 }
 

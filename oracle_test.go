@@ -1,0 +1,196 @@
+package salsa
+
+import (
+	"math"
+	"testing"
+
+	"salsa/internal/oracletest"
+)
+
+// The accuracy oracle retro-applies the internal/oracletest harness to the
+// whole promoted Spec algebra: every estimator runs the harness's three
+// deterministic workloads (Zipf, uniform, adversarial flood-plus-churn)
+// against an exact-count reference and must land inside its paper's error
+// envelope at the harness's fixed confidence. Geometry is chosen so the
+// theoretical budgets are tight enough to catch regressions (a few counts
+// of budget per item, not orders of magnitude).
+
+const (
+	oracleN     = 30000
+	oracleSeed  = 2021 // ICDE year; fixed so failures replay byte for byte
+	oracleWidth = 1 << 12
+	oracleDepth = 4
+)
+
+func oracleWorkloads() []oracletest.Workload {
+	return oracletest.Workloads(oracleN, oracleSeed)
+}
+
+func oracleIngest(s Sketch, wl oracletest.Workload) {
+	for _, x := range wl.Items {
+		s.Update(x, 1)
+	}
+}
+
+// TestOracleCountMin pins the three Count-Min variants (SALSA, baseline,
+// conservative update) to the Cormode-Muthukrishnan envelope: never
+// underestimate, and overshoot e·N/w at most an e^−d fraction of queries.
+func TestOracleCountMin(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"cms-salsa", CountMinOf(Options{Width: oracleWidth, Depth: oracleDepth, Seed: oracleSeed})},
+		{"cms-baseline", CountMinOf(Options{Width: oracleWidth, Depth: oracleDepth, Mode: ModeBaseline, Seed: oracleSeed})},
+		{"cus", ConservativeOf(Options{Width: oracleWidth, Depth: oracleDepth, Seed: oracleSeed})},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, wl := range oracleWorkloads() {
+				cm := MustBuild(tc.spec).(*CountMin)
+				oracleIngest(cm, wl)
+				oracletest.CheckOverestimate(t, tc.name, wl, cm.Query)
+				oracletest.CheckCountMinEnvelope(t, tc.name, wl, oracleWidth, oracleDepth, 0, cm.Query)
+			}
+		})
+	}
+}
+
+// TestOracleCountSketch pins Count Sketch (SALSA and baseline) to the
+// Charikar-Chen-Farach-Colton envelope: estimates stay within three row
+// standard deviations sqrt(F2/w) at the per-row Chebyshev rate, and the
+// signed errors are unbiased.
+func TestOracleCountSketch(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"cs-salsa", CountSketchOf(Options{Width: oracleWidth, Depth: 5, Seed: oracleSeed})},
+		{"cs-baseline", CountSketchOf(Options{Width: oracleWidth, Depth: 5, Mode: ModeBaseline, Seed: oracleSeed})},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, wl := range oracleWorkloads() {
+				cs := MustBuild(tc.spec).(*CountSketch)
+				oracleIngest(cs, wl)
+				oracletest.CheckCountSketchEnvelope(t, tc.name, wl, oracleWidth, cs.Query)
+			}
+		})
+	}
+}
+
+// TestOracleAEE pins both AEE modes to their additive sampling envelope:
+// each estimate stays within five Binomial(f, p) standard deviations of
+// the truth (scaled by 1/p) plus the Count-Min collision allowance, with
+// at most a 1% violation rate — the paper's "additive error" regime. The
+// realized sample probability is read back from the estimator, so the
+// envelope tracks however far adaptive downsampling actually went.
+func TestOracleAEE(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"aee-salsa", AEEOf(Options{Width: oracleWidth, Depth: oracleDepth, Seed: oracleSeed})},
+		{"aee-baseline", AEEOf(Options{Width: oracleWidth, Depth: oracleDepth, Mode: ModeBaseline, Seed: oracleSeed})},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, wl := range oracleWorkloads() {
+				a := MustBuild(tc.spec).(*AEE)
+				oracleIngest(a, wl)
+				oracletest.CheckAdditiveEnvelope(t, tc.name, wl, oracleWidth, a.SampleProb(), 5, 0.01, a.Query)
+			}
+		})
+	}
+}
+
+// TestOracleDistinct pins Linear Counting to its published standard error:
+// the estimate lands within six relative standard errors of the true
+// cardinality (three-sigma with a 2x slack for the estimator's load bias
+// near the top of its operating range).
+func TestOracleDistinct(t *testing.T) {
+	for _, wl := range oracleWorkloads() {
+		d := MustBuild(DistinctOf(Options{Width: 1 << 15, Seed: oracleSeed})).(*Distinct)
+		oracleIngest(d, wl)
+		est, err := d.Estimate()
+		if err != nil {
+			t.Fatalf("distinct/%s: %v", wl.Name, err)
+		}
+		f0 := float64(wl.Exact.Distinct())
+		oracletest.CheckScalarEnvelope(t, "distinct", wl, est, f0, 6*d.StdError(f0)*f0)
+	}
+}
+
+// TestOracleUnivMon pins the universal sketch's three headline statistics.
+// Entropy and the second moment carry the paper's multiplicative
+// guarantee; the 25% tolerance is empirical slack for this geometry
+// (12 levels, 2^12 width, 100-item heaps), wide enough for the recursive
+// estimator's level-sampling variance yet far below the 2-10x drift a
+// broken level seed or heap produces. Distinct gets 35%: it rides the
+// deepest, noisiest sampling levels.
+func TestOracleUnivMon(t *testing.T) {
+	for _, wl := range oracleWorkloads() {
+		u := MustBuild(UnivMonOf(Options{Width: oracleWidth, Seed: oracleSeed}, 12, 100)).(*UnivMon)
+		oracleIngest(u, wl)
+		oracletest.CheckScalarEnvelope(t, "univmon-entropy", wl, u.Entropy(), wl.Exact.Entropy(), 0.25*wl.Exact.Entropy())
+		oracletest.CheckScalarEnvelope(t, "univmon-f2", wl, u.Moment(2), wl.Exact.Moment(2), 0.25*wl.Exact.Moment(2))
+		oracletest.CheckScalarEnvelope(t, "univmon-distinct", wl, u.Distinct(), float64(wl.Exact.Distinct()), 0.35*float64(wl.Exact.Distinct()))
+	}
+}
+
+// TestOracleColdFilter pins the filtered decorator: still a strict
+// overestimate, and within the Count-Min envelope of its stage-2 sketch
+// plus the two filter thresholds (15 + 255) that cold items may carry.
+func TestOracleColdFilter(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"coldfilter-cms", Filtered(CountMinOf(Options{Width: oracleWidth, Seed: oracleSeed}))},
+		{"coldfilter-cus", Filtered(ConservativeOf(Options{Width: oracleWidth, Seed: oracleSeed}))},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, wl := range oracleWorkloads() {
+				cf := MustBuild(tc.spec).(*ColdFilter)
+				oracleIngest(cf, wl)
+				oracletest.CheckOverestimate(t, tc.name, wl, cf.Query)
+				oracletest.CheckCountMinEnvelope(t, tc.name, wl, oracleWidth, 3, 15+255, cf.Query)
+			}
+		})
+	}
+}
+
+// TestOraclePyramid pins the tiered decorator: a strict overestimate
+// within the Count-Min envelope plus one low-order carry word (2^4 per
+// shared higher-layer sibling across the sketch's remaining layers) of
+// documented empirical slack.
+func TestOraclePyramid(t *testing.T) {
+	for _, wl := range oracleWorkloads() {
+		p := MustBuild(Tiered(CountMinOf(Options{Width: oracleWidth, Seed: oracleSeed}))).(*Pyramid)
+		oracleIngest(p, wl)
+		oracletest.CheckOverestimate(t, "pyramid", wl, p.Query)
+		extra := float64(16 * p.Layers())
+		oracletest.CheckCountMinEnvelope(t, "pyramid", wl, oracleWidth, oracleDepth, extra, p.Query)
+	}
+}
+
+// TestOracleEnvelopeTightness guards the harness itself against decay into
+// vacuity: a deliberately broken estimator (everything doubled, plus a
+// constant) must violate the Count-Min envelope the real sketches pass.
+// A harness that accepts this estimator asserts nothing.
+func TestOracleEnvelopeTightness(t *testing.T) {
+	wl := oracletest.Zipf(oracleN, oracleN/15, 1.0, oracleSeed)
+	budget := math.E * float64(wl.Exact.Volume()) / float64(oracleWidth)
+	violations, queries := 0, 0
+	for _, f := range wl.Exact.Counts() {
+		queries++
+		broken := 2*f + uint64(budget) + 1
+		if float64(broken)-float64(f) >= budget {
+			violations++
+		}
+	}
+	if frac := float64(violations) / float64(queries); frac < 0.5 {
+		t.Fatalf("broken estimator only violates %.2f of queries; the envelope is too loose to catch it", frac)
+	}
+}

@@ -10,9 +10,12 @@ import (
 // textual surface of the algebra (salsabench's -topology flag). Grammar,
 // whitespace-insensitive:
 //
-//	expr := "cms" | "cus" | "cs"
+//	expr := "cms" | "cus" | "cs" | "aee" | "distinct"
 //	      | "monitor(" k ")"
 //	      | "topk(" k ")"
+//	      | "univmon(" levels "," k ")"
+//	      | "filtered(" expr ")"
+//	      | "tiered(" expr ")"
 //	      | "windowed(" buckets "," bucketItems "," expr ")"
 //	      | "sharded(" shards "," expr ")"
 //
@@ -32,10 +35,16 @@ func ParseSpec(expr string, opt Options) (Spec, error) {
 }
 
 type specParser struct {
-	s   string
-	pos int
-	opt Options
+	s     string
+	pos   int
+	depth int
+	opt   Options
 }
+
+// maxParseDepth bounds decorator nesting so hostile expressions like a
+// thousand-deep "filtered(filtered(..." cannot exhaust the parse stack;
+// the algebra never composes more than a handful of layers.
+const maxParseDepth = 64
 
 func (p *specParser) skipSpace() {
 	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n' || p.s[p.pos] == '\r') {
@@ -86,6 +95,11 @@ func (p *specParser) number() (int, error) {
 }
 
 func (p *specParser) parseExpr() (Spec, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, fmt.Errorf("salsa: topology expression nests deeper than %d decorators", maxParseDepth)
+	}
 	name := strings.ToLower(p.ident())
 	switch name {
 	case "cms", "countmin":
@@ -94,6 +108,47 @@ func (p *specParser) parseExpr() (Spec, error) {
 		return ConservativeOf(p.opt), nil
 	case "cs", "countsketch":
 		return CountSketchOf(p.opt), nil
+	case "aee":
+		return AEEOf(p.opt), nil
+	case "distinct":
+		return DistinctOf(p.opt), nil
+	case "univmon":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		levels, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		// Spell the leaf directly rather than via UnivMonOf: the parser is
+		// the inverse of String, so "univmon(0,0)" must not silently turn
+		// into the defaults — Build reports the invalid geometry instead.
+		return leafSpec{kind: kindUnivMon, opt: p.opt, k: k, levels: levels}, nil
+	case "filtered", "tiered":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if name == "filtered" {
+			return Filtered(inner), nil
+		}
+		return Tiered(inner), nil
 	case "monitor", "topk":
 		if err := p.expect('('); err != nil {
 			return nil, err
@@ -157,5 +212,5 @@ func (p *specParser) parseExpr() (Spec, error) {
 	case "":
 		return nil, fmt.Errorf("salsa: expected a sketch kind at position %d of topology expression %q", p.pos, p.s)
 	}
-	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, monitor(k), topk(k), windowed(b,n,spec), sharded(s,spec))", name, p.s)
+	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, aee, distinct, monitor(k), topk(k), univmon(l,k), filtered(spec), tiered(spec), windowed(b,n,spec), sharded(s,spec))", name, p.s)
 }

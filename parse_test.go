@@ -20,6 +20,18 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"sharded(8,cms)",
 		"sharded(8,windowed(4,65536,cms))",
 		"sharded(2,monitor(16))",
+		"sharded(2,windowed(4,100,monitor(16)))",
+		"aee",
+		"distinct",
+		"univmon(8,20)",
+		"windowed(4,100,distinct)",
+		"filtered(cms)",
+		"filtered(cus)",
+		"tiered(cms)",
+		"sharded(2,aee)",
+		"sharded(2,distinct)",
+		"sharded(2,filtered(cus))",
+		"sharded(2,tiered(cms))",
 	}
 	for _, expr := range exprs {
 		spec, err := ParseSpec(expr, opt)
@@ -72,6 +84,13 @@ func TestParseSpecErrors(t *testing.T) {
 		"sharded(8)",
 		"sharded(8,cms",
 		"sharded(99999999999999999999,cms)",
+		"univmon",
+		"univmon(8)",
+		"univmon(8,20,3)",
+		"filtered",
+		"filtered()",
+		"tiered(cms",
+		strings.Repeat("sharded(2,", 80) + "cms" + strings.Repeat(")", 80),
 	} {
 		if _, err := ParseSpec(expr, opt); err == nil {
 			t.Fatalf("ParseSpec(%q) accepted", expr)
@@ -79,11 +98,26 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 	// Syntactically fine, semantically invalid: the parser passes it
 	// through and Build reports the composition error.
-	spec, err := ParseSpec("sharded(2,sharded(2,cms))", opt)
-	if err != nil {
-		t.Fatalf("parser rejected what Build should: %v", err)
+	for _, expr := range []string{
+		"sharded(2,sharded(2,cms))",
+		"windowed(4,100,univmon(4,4))",
+		"filtered(filtered(cms))",
+	} {
+		spec, err := ParseSpec(expr, opt)
+		if err != nil {
+			t.Fatalf("parser rejected what Build should (%q): %v", expr, err)
+		}
+		if _, err := Build(spec); err == nil || !strings.Contains(err.Error(), "cannot decorate") {
+			t.Fatalf("Build(%q) error = %v, want composition error", expr, err)
+		}
 	}
-	if _, err := Build(spec); err == nil || !strings.Contains(err.Error(), "cannot decorate") {
-		t.Fatalf("Build error = %v, want composition error", err)
+	// univmon(0,0) must not silently default: the parser is an inverse of
+	// String, so unparseable-by-String levels fail at Build.
+	spec, err := ParseSpec("univmon(0,0)", opt)
+	if err != nil {
+		t.Fatalf("ParseSpec(univmon(0,0)): %v", err)
+	}
+	if _, err := Build(spec); err == nil {
+		t.Fatal("Build(univmon(0,0)) accepted zero levels")
 	}
 }

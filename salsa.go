@@ -72,6 +72,12 @@ var (
 	_ Sketch = (*CountSketch)(nil)
 	_ Sketch = (*Monitor)(nil)
 	_ Sketch = (*TopK)(nil)
+	_ Sketch = (*UnivMon)(nil)
+	_ Sketch = (*AEE)(nil)
+	_ Sketch = (*Distinct)(nil)
+	_ Sketch = (*WindowedDistinct)(nil)
+	_ Sketch = (*ColdFilter)(nil)
+	_ Sketch = (*Pyramid)(nil)
 )
 
 // Mode selects the counter backend of a sketch.

@@ -274,7 +274,7 @@ func TestDistinctEstimate(t *testing.T) {
 }
 
 func TestUnivMonFacade(t *testing.T) {
-	um := NewUnivMon(UnivMonOptions{Levels: 10, Width: 512, Seed: 18})
+	um := MustBuild(UnivMonOf(Options{Width: 512, Seed: 18}, 10, 0)).(*UnivMon)
 	data := stream.Zipf(60000, 2000, 1.0, 19)
 	exact := stream.NewExact()
 	for _, x := range data {
@@ -299,12 +299,7 @@ func TestUnivMonFacade(t *testing.T) {
 }
 
 func TestColdFilterFacade(t *testing.T) {
-	cf := NewColdFilter(ColdFilterOptions{
-		Layer1Width: 4096,
-		Layer2Width: 2048,
-		Stage2:      Options{Width: 512, Seed: 20},
-		Seed:        20,
-	})
+	cf := MustBuild(Filtered(ConservativeOf(Options{Width: 512, Seed: 20}))).(*ColdFilter)
 	data := stream.Zipf(60000, 5000, 1.0, 21)
 	exact := stream.NewExact()
 	for _, x := range data {
@@ -322,28 +317,25 @@ func TestColdFilterFacade(t *testing.T) {
 }
 
 func TestAEEFacades(t *testing.T) {
-	for _, variant := range []AEEVariant{AEEMaxAccuracy, AEEMaxSpeed} {
-		a := NewAEE(AEEOptions{Width: 512, Variant: variant, Seed: 22})
-		for i := 0; i < 50000; i++ {
-			a.Process(uint64(i % 100))
-		}
-		got := a.Query(5)
-		if got < 250 || got > 1000 {
-			t.Fatalf("variant %d: Query = %f, want ≈ 500", variant, got)
-		}
-		if a.SampleProb() > 1 {
-			t.Fatal("bad sample probability")
-		}
-		if a.MemoryBits() != 4*512*16 {
-			t.Fatalf("MemoryBits = %d", a.MemoryBits())
-		}
+	a := MustBuild(AEEOf(Options{Mode: ModeBaseline, Width: 512, Seed: 22})).(*AEE)
+	for i := 0; i < 50000; i++ {
+		a.Process(uint64(i % 100))
 	}
-	s := NewSalsaAEE(SalsaAEEOptions{Width: 512, Seed: 23})
+	if got := a.Query(5); got < 250 || got > 1000 {
+		t.Fatalf("baseline AEE Query = %f, want ≈ 500", got)
+	}
+	if a.SampleProb() > 1 {
+		t.Fatal("bad sample probability")
+	}
+	if a.MemoryBits() != 4*512*16 {
+		t.Fatalf("MemoryBits = %d", a.MemoryBits())
+	}
+	s := MustBuild(AEEOf(Options{Width: 512, Seed: 23})).(*AEE)
 	for i := 0; i < 50000; i++ {
 		s.Process(uint64(i % 100))
 	}
 	if got := s.Query(5); got < 250 || got > 1000 {
-		t.Fatalf("SalsaAEE Query = %f", got)
+		t.Fatalf("SALSA AEE Query = %f", got)
 	}
 }
 

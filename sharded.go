@@ -301,6 +301,237 @@ func (s *ShardedWindowedCountSketch) Tick() {
 	tickShards(s.Sharded, (*WindowedCountSketch).Tick)
 }
 
+// ShardedAEE is a concurrency-safe AEE estimator: each shard runs an
+// independent estimator over its substream, downsampling on its own
+// overflow schedule, and point queries route to the owning shard.
+type ShardedAEE struct {
+	*Sharded[*AEE]
+}
+
+// buildShardedAEE realizes a ShardedBy(AEEOf) spec.
+func buildShardedAEE(opt Options, shards int) (*ShardedAEE, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	if err := opt.validateFor(kindAEE); err != nil {
+		return nil, err
+	}
+	return &ShardedAEE{NewSharded(shards, routeSeed(opt), func(i int) *AEE {
+		return mustSketch(buildAEE(shardOptions(opt, i)))
+	})}, nil
+}
+
+// Query returns the frequency estimate from the owning shard's estimator;
+// safe for concurrent use.
+func (s *ShardedAEE) Query(item uint64) float64 {
+	return query(s.Sharded, item, (*AEE).Query)
+}
+
+// ShardedDistinct is a concurrency-safe Linear Counting distinct
+// estimator. Routing partitions the item space, so the shard estimates
+// count disjoint item sets and Estimate sums them.
+type ShardedDistinct struct {
+	*Sharded[*Distinct]
+}
+
+// buildShardedDistinct realizes a ShardedBy(DistinctOf) spec.
+func buildShardedDistinct(opt Options, shards int) (*ShardedDistinct, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	if err := opt.validateFor(kindDistinct); err != nil {
+		return nil, err
+	}
+	return &ShardedDistinct{NewSharded(shards, routeSeed(opt), func(i int) *Distinct {
+		return mustSketch(buildDistinct(shardOptions(opt, i)))
+	})}, nil
+}
+
+// Query returns the frequency estimate from the owning shard's sketch;
+// safe for concurrent use.
+func (s *ShardedDistinct) Query(item uint64) uint64 {
+	return query(s.Sharded, item, (*Distinct).Query)
+}
+
+// Estimate returns the summed per-shard Linear Counting estimates — exact
+// composition, since the routing hash partitions the item space across
+// shards. It errors if any shard's estimator is out of range.
+func (s *ShardedDistinct) Estimate() (float64, error) {
+	total := 0.0
+	for i := 0; i < s.Shards(); i++ {
+		sh := &s.Sharded.shards[i]
+		sh.mu.Lock()
+		est, err := sh.sk.Estimate()
+		sh.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		total += est
+	}
+	return total, nil
+}
+
+// ShardedColdFilter is a concurrency-safe Cold Filter pipeline: each shard
+// runs complete filter layers and a second stage over its substream.
+type ShardedColdFilter struct {
+	*Sharded[*ColdFilter]
+}
+
+// buildShardedColdFilter realizes a ShardedBy(Filtered(...)) spec.
+func buildShardedColdFilter(opt Options, conservative bool, shards int) (*ShardedColdFilter, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	kind := kindCountMin
+	if conservative {
+		kind = kindConservative
+	}
+	if err := opt.validateFor(kind); err != nil {
+		return nil, err
+	}
+	if err := validateFilterWidth(opt.Width); err != nil {
+		return nil, err
+	}
+	return &ShardedColdFilter{NewSharded(shards, routeSeed(opt), func(i int) *ColdFilter {
+		return mustSketch(buildColdFilter(shardOptions(opt, i), conservative))
+	})}, nil
+}
+
+// Query returns the conservative frequency estimate from the owning
+// shard's pipeline; safe for concurrent use.
+func (s *ShardedColdFilter) Query(item uint64) uint64 {
+	return query(s.Sharded, item, (*ColdFilter).Query)
+}
+
+// ShardedPyramid is a concurrency-safe Pyramid sketch.
+type ShardedPyramid struct {
+	*Sharded[*Pyramid]
+}
+
+// buildShardedPyramid realizes a ShardedBy(Tiered(...)) spec.
+func buildShardedPyramid(opt Options, shards int) (*ShardedPyramid, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	if err := opt.validateFor(kindCountMin); err != nil {
+		return nil, err
+	}
+	if err := validatePyramidWidth(opt.Width); err != nil {
+		return nil, err
+	}
+	return &ShardedPyramid{NewSharded(shards, routeSeed(opt), func(i int) *Pyramid {
+		return mustSketch(buildPyramid(shardOptions(opt, i)))
+	})}, nil
+}
+
+// Query returns the frequency estimate from the owning shard's sketch;
+// safe for concurrent use.
+func (s *ShardedPyramid) Query(item uint64) uint64 {
+	return query(s.Sharded, item, (*Pyramid).Query)
+}
+
+// ShardedWindowedMonitor tracks heavy hitters over sliding windows under
+// concurrent ingestion: each shard runs a complete WindowedMonitor over
+// its substream, and Top/HeavyHitters merge the per-shard candidate sets
+// re-estimated against each shard's own live window. With count-based
+// rotation each shard's window slides on its own substream count; use
+// Tick to rotate all shards together from one timer.
+type ShardedWindowedMonitor struct {
+	*Sharded[*WindowedMonitor]
+	k int
+}
+
+// buildShardedWindowedMonitor realizes a ShardedBy(Windowed(MonitorOf))
+// spec.
+func buildShardedWindowedMonitor(opt Options, k, buckets, bucketItems, shards int) (*ShardedWindowedMonitor, error) {
+	if err := validateShardCount(shards); err != nil {
+		return nil, err
+	}
+	if err := validateTrackerK("monitor", k); err != nil {
+		return nil, err
+	}
+	if err := opt.validateFor(kindConservative); err != nil {
+		return nil, err
+	}
+	if err := validateWindow(opt, buckets, bucketItems); err != nil {
+		return nil, err
+	}
+	return &ShardedWindowedMonitor{
+		Sharded: NewSharded(shards, routeSeed(opt), func(i int) *WindowedMonitor {
+			return mustSketch(buildWindowedMonitor(shardOptions(opt, i), k, buckets, bucketItems))
+		}),
+		k: k,
+	}, nil
+}
+
+// Query returns the windowed frequency estimate from the owning shard.
+func (s *ShardedWindowedMonitor) Query(item uint64) uint64 {
+	return query(s.Sharded, item, (*WindowedMonitor).Query)
+}
+
+// Tick rotates every shard's window by one bucket; safe for concurrent
+// use.
+func (s *ShardedWindowedMonitor) Tick() {
+	tickShards(s.Sharded, (*WindowedMonitor).Tick)
+}
+
+// WindowVolume returns the summed live-window volumes across shards.
+func (s *ShardedWindowedMonitor) WindowVolume() uint64 {
+	var total uint64
+	for i := 0; i < s.Shards(); i++ {
+		sh := &s.Sharded.shards[i]
+		sh.mu.Lock()
+		total += sh.sk.WindowVolume()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// candidates returns every shard's windowed candidate set (up to
+// k·B·shards items), sorted by descending estimate.
+func (s *ShardedWindowedMonitor) candidates() []ItemCount {
+	var all []ItemCount
+	for i := 0; i < s.Shards(); i++ {
+		sh := &s.Sharded.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.sk.candidates()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Item < all[j].Item
+	})
+	return all
+}
+
+// Top returns the k candidates with the largest windowed estimates across
+// all shards, in descending order.
+func (s *ShardedWindowedMonitor) Top() []ItemCount {
+	all := s.candidates()
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	return all
+}
+
+// HeavyHitters returns every candidate whose windowed estimate is at
+// least phi times the summed live-window volume, in descending order —
+// drawn from the full cross-shard candidate set, so it can return more
+// than k items.
+func (s *ShardedWindowedMonitor) HeavyHitters(phi float64) []ItemCount {
+	threshold := phi * float64(s.WindowVolume())
+	var out []ItemCount
+	for _, e := range s.candidates() {
+		if float64(e.Count) < threshold {
+			break // candidates are sorted descending
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // tickShards rotates every shard's window under its lock.
 func tickShards[S Sketch](s *Sharded[S], tick func(S)) {
 	for i := range s.shards {

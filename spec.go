@@ -6,11 +6,12 @@ import (
 )
 
 // Spec describes a sketch topology declaratively: a leaf picks the sketch
-// kind (CountMinOf, ConservativeOf, CountSketchOf, MonitorOf, TopKOf) and
-// decorators layer the deployment shape on top (Windowed, ShardedBy). A
-// Spec is inert data — Build realizes it, returning the same concrete
-// monomorphic sketch types the deprecated New* constructors produced, so
-// the devirtualized hot paths are unaffected by how a sketch is declared.
+// kind (CountMinOf, ConservativeOf, CountSketchOf, MonitorOf, TopKOf,
+// UnivMonOf, AEEOf, DistinctOf) and decorators layer the deployment shape
+// on top (Windowed, ShardedBy, Filtered, Tiered). A Spec is inert data —
+// Build realizes it, returning the same concrete monomorphic sketch types
+// the deprecated New* constructors produced, so the devirtualized hot
+// paths are unaffected by how a sketch is declared.
 //
 // The orthogonal choices compose freely within the supported surface:
 //
@@ -19,19 +20,32 @@ import (
 //	Build(CountSketchOf(opt))                           → *CountSketch
 //	Build(MonitorOf(opt, k))                            → *Monitor
 //	Build(TopKOf(opt, k))                               → *TopK
+//	Build(UnivMonOf(opt, levels, k))                    → *UnivMon
+//	Build(AEEOf(opt))                                   → *AEE
+//	Build(DistinctOf(opt))                              → *Distinct
+//	Build(Filtered(ConservativeOf(opt)))                → *ColdFilter
+//	Build(Tiered(CountMinOf(opt)))                      → *Pyramid
 //	Build(Windowed(CountMinOf(opt), b, n))              → *WindowedCountMin
 //	Build(Windowed(CountSketchOf(opt), b, n))           → *WindowedCountSketch
 //	Build(Windowed(MonitorOf(opt, k), b, n))            → *WindowedMonitor
+//	Build(Windowed(DistinctOf(opt), b, n))              → *WindowedDistinct
 //	Build(ShardedBy(CountMinOf(opt), s))                → *ShardedCountMin
 //	Build(ShardedBy(CountSketchOf(opt), s))             → *ShardedCountSketch
 //	Build(ShardedBy(MonitorOf(opt, k), s))              → *ShardedMonitor
+//	Build(ShardedBy(AEEOf(opt), s))                     → *ShardedAEE
+//	Build(ShardedBy(DistinctOf(opt), s))                → *ShardedDistinct
+//	Build(ShardedBy(Filtered(ConservativeOf(opt)), s))  → *ShardedColdFilter
+//	Build(ShardedBy(Tiered(CountMinOf(opt)), s))        → *ShardedPyramid
 //	Build(ShardedBy(Windowed(CountMinOf(opt), b, n), s)) → *ShardedWindowedCountMin
 //	Build(ShardedBy(Windowed(CountSketchOf(opt), b, n), s)) → *ShardedWindowedCountSketch
+//	Build(ShardedBy(Windowed(MonitorOf(opt, k), b, n), s)) → *ShardedWindowedMonitor
 //
-// Unsupported compositions (decorating a decorator of the same kind,
-// windowing a TopK, sharding a windowed Monitor) are reported as errors by
-// Build, never panics. String returns the topology expression in the
-// grammar ParseSpec accepts (the leaf Options are carried separately).
+// Compositions whose semantics do not hold — windowing a UnivMon (its
+// per-level heaps cannot rotate), windowing an AEE (downsampling is
+// irreversible), decorating a decorator of the same kind — are reported by
+// Build as a *CompositionError, never panics. String returns the topology
+// expression in the grammar ParseSpec accepts (the leaf Options are
+// carried separately).
 type Spec interface {
 	// String returns the topology expression, e.g.
 	// "sharded(8,windowed(4,65536,cms))"; ParseSpec parses it back.
@@ -40,6 +54,29 @@ type Spec interface {
 	// Build can guarantee an exhaustive, panic-free composition check.
 	validate() error
 	build() (Sketch, error)
+}
+
+// CompositionError is the typed error Build returns when a structurally
+// well-formed Spec combines a decorator with a leaf (or another decorator)
+// whose semantics do not support it. errors.As-match it to distinguish
+// "this topology cannot exist" from invalid Options or parameters.
+type CompositionError struct {
+	// Decorator is the rejecting decorator ("Windowed", "ShardedBy",
+	// "Filtered", "Tiered").
+	Decorator string
+	// Inner is the inner spec's topology expression.
+	Inner string
+	// Reason states why the semantics do not hold.
+	Reason string
+}
+
+func (e *CompositionError) Error() string {
+	return fmt.Sprintf("salsa: %s cannot decorate %s: %s", e.Decorator, e.Inner, e.Reason)
+}
+
+// compositionErr builds a *CompositionError for decorator over inner.
+func compositionErr(decorator string, inner Spec, reason string) error {
+	return &CompositionError{Decorator: decorator, Inner: fmt.Sprint(inner), Reason: reason}
 }
 
 // sketchKind enumerates the leaf sketch kinds of the Spec algebra.
@@ -51,6 +88,9 @@ const (
 	kindCountSketch
 	kindMonitor
 	kindTopK
+	kindUnivMon
+	kindAEE
+	kindDistinct
 )
 
 func (k sketchKind) String() string {
@@ -65,6 +105,12 @@ func (k sketchKind) String() string {
 		return "monitor"
 	case kindTopK:
 		return "topk"
+	case kindUnivMon:
+		return "univmon"
+	case kindAEE:
+		return "aee"
+	case kindDistinct:
+		return "distinct"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -76,7 +122,8 @@ func (o Options) validateFor(kind sketchKind) error {
 		return err
 	}
 	switch kind {
-	case kindCountSketch, kindTopK:
+	case kindCountSketch, kindTopK, kindUnivMon:
+		// UnivMon levels are Count Sketches, so they inherit its rules.
 		if o.Mode == ModeTango {
 			return errors.New("salsa: CountSketch does not support ModeTango")
 		}
@@ -86,15 +133,30 @@ func (o Options) validateFor(kind sketchKind) error {
 		if o.CounterBits == 1 {
 			return fmt.Errorf("salsa: CountSketch needs at least 2-bit counters, got %d", o.CounterBits)
 		}
+	case kindAEE:
+		if o.Mode == ModeTango {
+			return errors.New("salsa: AEE does not support ModeTango")
+		}
+		if o.Merge == MergeMax {
+			return errors.New("salsa: AEE manages overflow itself (merge vs downsample); leave Merge unset")
+		}
+		if o.CompactEncoding {
+			return errors.New("salsa: AEE does not support CompactEncoding (downsampling rewrites counters in place)")
+		}
+	case kindDistinct:
+		if o.Mode == ModeTango {
+			return errors.New("salsa: Distinct does not support ModeTango (Tango rows do not report zero fractions)")
+		}
 	}
 	return nil
 }
 
 // leafSpec is a sketch-kind leaf of the algebra.
 type leafSpec struct {
-	kind sketchKind
-	opt  Options
-	k    int // heap capacity for kindMonitor/kindTopK
+	kind   sketchKind
+	opt    Options
+	k      int // heap capacity for kindMonitor/kindTopK/kindUnivMon
+	levels int // level count for kindUnivMon
 }
 
 // CountMinOf describes a Count-Min Sketch over opt.
@@ -114,10 +176,40 @@ func MonitorOf(opt Options, k int) Spec { return leafSpec{kind: kindMonitor, opt
 // opt.
 func TopKOf(opt Options, k int) Spec { return leafSpec{kind: kindTopK, opt: opt, k: k} }
 
+// UnivMonOf describes a UnivMon universal sketch (§III): levels Count
+// Sketch instances over geometrically halving substreams, each tracking
+// its heapK largest items. Non-positive levels and heapK take the paper's
+// defaults (16 levels, heaps of 100), resolved here so the Spec's String
+// form spells the actual geometry.
+func UnivMonOf(opt Options, levels, heapK int) Spec {
+	if levels <= 0 {
+		levels = 16
+	}
+	if heapK <= 0 {
+		heapK = 100
+	}
+	return leafSpec{kind: kindUnivMon, opt: opt, k: heapK, levels: levels}
+}
+
+// AEEOf describes an Additive Error Estimator sketch over opt:
+// ModeBaseline builds the plain AEE over short fixed counters (16-bit by
+// default), ModeSALSA (the default) the paper's estimator-integrated SALSA
+// CMS that resolves each overflow by whichever of merging and downsampling
+// raises the error bound less (§V).
+func AEEOf(opt Options) Spec { return leafSpec{kind: kindAEE, opt: opt} }
+
+// DistinctOf describes a Linear Counting distinct estimator: a Count-Min
+// sketch whose rows' zero-counter fractions yield the −w·ln(p) estimate
+// (§III, "Counting Distinct Items"). The sketch still answers frequency
+// queries; Distinct adds the cardinality surface.
+func DistinctOf(opt Options) Spec { return leafSpec{kind: kindDistinct, opt: opt} }
+
 func (s leafSpec) String() string {
 	switch s.kind {
 	case kindMonitor, kindTopK:
 		return fmt.Sprintf("%s(%d)", s.kind, s.k)
+	case kindUnivMon:
+		return fmt.Sprintf("univmon(%d,%d)", s.levels, s.k)
 	}
 	return s.kind.String()
 }
@@ -126,8 +218,16 @@ func (s leafSpec) validate() error {
 	if err := s.opt.validateFor(s.kind); err != nil {
 		return err
 	}
-	if s.kind == kindMonitor || s.kind == kindTopK {
+	switch s.kind {
+	case kindMonitor, kindTopK:
 		if err := validateTrackerK(s.kind.String(), s.k); err != nil {
+			return err
+		}
+	case kindUnivMon:
+		if s.levels <= 0 || s.levels > maxUnivMonLevels {
+			return fmt.Errorf("salsa: univmon needs between 1 and %d levels, got %d", maxUnivMonLevels, s.levels)
+		}
+		if err := validateTrackerK("univmon", s.k); err != nil {
 			return err
 		}
 	}
@@ -146,6 +246,12 @@ func (s leafSpec) build() (Sketch, error) {
 		return buildMonitor(s.opt, s.k)
 	case kindTopK:
 		return buildTopK(s.opt, s.k)
+	case kindUnivMon:
+		return buildUnivMon(s.opt, s.levels, s.k)
+	case kindAEE:
+		return buildAEE(s.opt)
+	case kindDistinct:
+		return buildDistinct(s.opt)
 	}
 	return nil, fmt.Errorf("salsa: unknown sketch kind %v", s.kind)
 }
@@ -175,10 +281,15 @@ func (s windowedSpec) validate() error {
 		if s.inner == nil {
 			return errors.New("salsa: Windowed over a nil spec")
 		}
-		return fmt.Errorf("salsa: Windowed cannot decorate %T (window the sketch, then shard the window)", s.inner)
+		return compositionErr("Windowed", s.inner, "window the sketch, then layer the other decorators on the window")
 	}
-	if leaf.kind == kindTopK {
-		return errors.New("salsa: Windowed does not support TopK (use MonitorOf for windowed heavy hitters)")
+	switch leaf.kind {
+	case kindTopK:
+		return compositionErr("Windowed", s.inner, "a TopK's signed estimates do not rotate; use MonitorOf for windowed heavy hitters")
+	case kindUnivMon:
+		return compositionErr("Windowed", s.inner, "UnivMon per-level heaps hold whole-stream candidates and cannot retire a bucket's contribution")
+	case kindAEE:
+		return compositionErr("Windowed", s.inner, "AEE downsampling is irreversible, so a retiring bucket cannot restore the sampling rate")
 	}
 	if err := leaf.validate(); err != nil {
 		return err
@@ -200,8 +311,10 @@ func (s windowedSpec) build() (Sketch, error) {
 		return buildWindowedCountSketch(leaf.opt, s.buckets, s.bucketItems)
 	case kindMonitor:
 		return buildWindowedMonitor(leaf.opt, leaf.k, s.buckets, s.bucketItems)
+	case kindDistinct:
+		return buildWindowedDistinct(leaf.opt, s.buckets, s.bucketItems)
 	}
-	return nil, fmt.Errorf("salsa: Windowed does not support %v", leaf.kind)
+	return nil, s.validate()
 }
 
 // shardedSpec decorates a topology with the concurrent ingestion layer.
@@ -231,19 +344,24 @@ func (s shardedSpec) validate() error {
 	}
 	switch inner := s.inner.(type) {
 	case leafSpec:
-		if inner.kind == kindTopK {
-			return errors.New("salsa: ShardedBy does not support TopK (use MonitorOf for sharded heavy hitters)")
+		switch inner.kind {
+		case kindTopK:
+			return compositionErr("ShardedBy", s.inner, "a TopK's signed global estimates do not partition; use MonitorOf for sharded heavy hitters")
+		case kindUnivMon:
+			return compositionErr("ShardedBy", s.inner, "UnivMon's recursive G-sum estimator couples levels across the whole stream; run one UnivMon per substream instead")
 		}
 		return inner.validate()
 	case windowedSpec:
-		if leaf, ok := inner.inner.(leafSpec); ok && leaf.kind == kindMonitor {
-			return errors.New("salsa: ShardedBy does not support a windowed Monitor")
+		if leaf, ok := inner.inner.(leafSpec); ok && leaf.kind == kindDistinct {
+			return compositionErr("ShardedBy", s.inner, "shard independent WindowedDistinct instances instead; their estimates add across the routing partition")
 		}
 		return inner.validate()
+	case filteredSpec, tieredSpec:
+		return s.inner.validate()
 	case nil:
 		return errors.New("salsa: ShardedBy over a nil spec")
 	}
-	return fmt.Errorf("salsa: ShardedBy cannot decorate %T", s.inner)
+	return compositionErr("ShardedBy", s.inner, "ShardedBy must be the outermost decorator")
 }
 
 func (s shardedSpec) build() (Sketch, error) {
@@ -258,6 +376,10 @@ func (s shardedSpec) build() (Sketch, error) {
 			return buildShardedCountSketch(inner.opt, s.shards)
 		case kindMonitor:
 			return buildShardedMonitor(inner.opt, inner.k, s.shards)
+		case kindAEE:
+			return buildShardedAEE(inner.opt, s.shards)
+		case kindDistinct:
+			return buildShardedDistinct(inner.opt, s.shards)
 		}
 	case windowedSpec:
 		if leaf, ok := inner.inner.(leafSpec); ok {
@@ -268,10 +390,102 @@ func (s shardedSpec) build() (Sketch, error) {
 				return buildShardedWindowedCMS(leaf.opt, inner.buckets, inner.bucketItems, s.shards, true)
 			case kindCountSketch:
 				return buildShardedWindowedCountSketch(leaf.opt, inner.buckets, inner.bucketItems, s.shards)
+			case kindMonitor:
+				return buildShardedWindowedMonitor(leaf.opt, leaf.k, inner.buckets, inner.bucketItems, s.shards)
 			}
+		}
+	case filteredSpec:
+		if leaf, ok := inner.inner.(leafSpec); ok {
+			return buildShardedColdFilter(leaf.opt, leaf.kind == kindConservative, s.shards)
+		}
+	case tieredSpec:
+		if leaf, ok := inner.inner.(leafSpec); ok {
+			return buildShardedPyramid(leaf.opt, s.shards)
 		}
 	}
 	return nil, s.validate()
+}
+
+// filteredSpec decorates a frequency leaf with the Cold Filter front end.
+type filteredSpec struct {
+	inner Spec
+}
+
+// Filtered decorates a CountMinOf or ConservativeOf leaf with a Cold
+// Filter (§III): two conservative filter layers (4-bit and 8-bit) absorb
+// the cold items' volume, and only the hot residual reaches the leaf
+// sketch, which becomes the filter's second stage. The filter layer widths
+// are derived from the leaf Width (4× for layer 1, 1× for layer 2, 3
+// probes each), so one Options describes the whole pipeline.
+func Filtered(spec Spec) Spec { return filteredSpec{inner: spec} }
+
+func (s filteredSpec) String() string { return fmt.Sprintf("filtered(%s)", s.inner) }
+
+func (s filteredSpec) validate() error {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		if s.inner == nil {
+			return errors.New("salsa: Filtered over a nil spec")
+		}
+		return compositionErr("Filtered", s.inner, "the filter front end feeds a single second-stage sketch; decorate the leaf, then shard the filter")
+	}
+	switch leaf.kind {
+	case kindCountMin, kindConservative:
+	default:
+		return compositionErr("Filtered", s.inner, "the filter's residual stream only preserves CountMin/ConservativeUpdate overestimate semantics")
+	}
+	if err := leaf.validate(); err != nil {
+		return err
+	}
+	return validateFilterWidth(leaf.opt.Width)
+}
+
+func (s filteredSpec) build() (Sketch, error) {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		return nil, s.validate()
+	}
+	return buildColdFilter(leaf.opt, leaf.kind == kindConservative)
+}
+
+// tieredSpec decorates a CountMin leaf with the Pyramid layered counters.
+type tieredSpec struct {
+	inner Spec
+}
+
+// Tiered decorates a CountMinOf leaf with the Pyramid sketch's layered
+// hybrid counters (the paper's variable-counter-size competitor): layer-1
+// cells are 8-bit counters and overflows carry into halving-width parent
+// layers of shared 6-bit hybrid counters. The pyramid replaces the leaf's
+// counter backend entirely, so the leaf's Mode, CounterBits, Merge and
+// CompactEncoding are not used; Depth, Width and Seed shape the rows.
+func Tiered(spec Spec) Spec { return tieredSpec{inner: spec} }
+
+func (s tieredSpec) String() string { return fmt.Sprintf("tiered(%s)", s.inner) }
+
+func (s tieredSpec) validate() error {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		if s.inner == nil {
+			return errors.New("salsa: Tiered over a nil spec")
+		}
+		return compositionErr("Tiered", s.inner, "the pyramid is a counter backend for a single sketch; decorate the leaf, then shard the pyramid")
+	}
+	if leaf.kind != kindCountMin {
+		return compositionErr("Tiered", s.inner, "pyramid carries implement plain Count-Min updates only")
+	}
+	if err := leaf.validate(); err != nil {
+		return err
+	}
+	return validatePyramidWidth(leaf.opt.Width)
+}
+
+func (s tieredSpec) build() (Sketch, error) {
+	leaf, ok := s.inner.(leafSpec)
+	if !ok {
+		return nil, s.validate()
+	}
+	return buildPyramid(leaf.opt)
 }
 
 // Build realizes a Spec, returning the topology's concrete sketch type

@@ -2,6 +2,7 @@ package salsa
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -80,7 +81,23 @@ func TestBuildRejectsInvalidCompositions(t *testing.T) {
 		{"sharded-sharded", ShardedBy(ShardedBy(CountMinOf(opt), 4), 4), "cannot decorate"},
 		{"windowed-topk", Windowed(TopKOf(opt, 4), 4, 100), "TopK"},
 		{"sharded-topk", ShardedBy(TopKOf(opt, 4), 4), "TopK"},
-		{"sharded-windowed-monitor", ShardedBy(Windowed(MonitorOf(opt, 4), 4, 100), 2), "windowed Monitor"},
+		{"windowed-univmon", Windowed(UnivMonOf(opt, 4, 4), 4, 100), "cannot decorate"},
+		{"sharded-univmon", ShardedBy(UnivMonOf(opt, 4, 4), 2), "cannot decorate"},
+		{"windowed-aee", Windowed(AEEOf(opt), 4, 100), "downsampling"},
+		{"tango-aee", AEEOf(Options{Width: 64, Mode: ModeTango}), "ModeTango"},
+		{"maxmerge-aee", AEEOf(Options{Width: 64, Merge: MergeMax}), "overflow"},
+		{"compact-aee", AEEOf(Options{Width: 64, CompactEncoding: true}), "CompactEncoding"},
+		{"tango-distinct", DistinctOf(Options{Width: 64, Mode: ModeTango}), "zero fractions"},
+		{"tango-univmon", UnivMonOf(Options{Width: 64, Mode: ModeTango}, 4, 4), "ModeTango"},
+		{"zero-levels-univmon", leafSpec{kind: kindUnivMon, opt: opt, k: 4}, "levels"},
+		{"huge-levels-univmon", UnivMonOf(opt, 65, 4), "levels"},
+		{"filtered-countsketch", Filtered(CountSketchOf(opt)), "overestimate semantics"},
+		{"filtered-windowed", Filtered(Windowed(CountMinOf(opt), 4, 100)), "cannot decorate"},
+		{"tiered-cus", Tiered(ConservativeOf(opt)), "Count-Min"},
+		{"tiered-nil", Tiered(nil), "nil spec"},
+		{"filtered-nil", Filtered(nil), "nil spec"},
+		{"windowed-filtered", Windowed(Filtered(CountMinOf(opt)), 4, 100), "cannot decorate"},
+		{"sharded-windowed-distinct", ShardedBy(Windowed(DistinctOf(opt), 4, 100), 2), "WindowedDistinct"},
 		{"windowed-nil", Windowed(nil, 4, 100), "nil spec"},
 		{"sharded-nil", ShardedBy(nil, 4), "nil spec"},
 		{"nil", nil, "nil spec"},
@@ -95,6 +112,29 @@ func TestBuildRejectsInvalidCompositions(t *testing.T) {
 				t.Fatalf("Build error = %v, want substring %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestCompositionErrorType pins the typed rejection: decorator mismatches
+// surface as *CompositionError carrying the decorator, the inner spec
+// expression, and a reason, so callers can branch on errors.As.
+func TestCompositionErrorType(t *testing.T) {
+	opt := Options{Width: 64, Seed: 1}
+	_, err := Build(Windowed(UnivMonOf(opt, 4, 4), 4, 100))
+	var ce *CompositionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CompositionError", err)
+	}
+	if ce.Decorator != "Windowed" || ce.Inner == "" || ce.Reason == "" {
+		t.Fatalf("CompositionError fields incomplete: %+v", ce)
+	}
+	if !strings.Contains(ce.Error(), "cannot decorate") {
+		t.Fatalf("Error() = %q", ce.Error())
+	}
+	// Plain geometry errors stay untyped.
+	_, err = Build(CountMinOf(Options{Width: 3}))
+	if errors.As(err, &ce) {
+		t.Fatal("options error should not be a CompositionError")
 	}
 }
 
@@ -142,6 +182,18 @@ func TestBuildConcreteTypes(t *testing.T) {
 		{ShardedBy(MonitorOf(opt, 4), 2), (*ShardedMonitor)(nil)},
 		{ShardedBy(Windowed(CountMinOf(opt), 4, 100), 2), (*ShardedWindowedCountMin)(nil)},
 		{ShardedBy(Windowed(CountSketchOf(opt), 4, 100), 2), (*ShardedWindowedCountSketch)(nil)},
+		{ShardedBy(Windowed(MonitorOf(opt, 4), 4, 100), 2), (*ShardedWindowedMonitor)(nil)},
+		{UnivMonOf(opt, 8, 16), (*UnivMon)(nil)},
+		{AEEOf(opt), (*AEE)(nil)},
+		{DistinctOf(opt), (*Distinct)(nil)},
+		{Windowed(DistinctOf(opt), 4, 100), (*WindowedDistinct)(nil)},
+		{Filtered(CountMinOf(opt)), (*ColdFilter)(nil)},
+		{Filtered(ConservativeOf(opt)), (*ColdFilter)(nil)},
+		{Tiered(CountMinOf(opt)), (*Pyramid)(nil)},
+		{ShardedBy(AEEOf(opt), 2), (*ShardedAEE)(nil)},
+		{ShardedBy(DistinctOf(opt), 2), (*ShardedDistinct)(nil)},
+		{ShardedBy(Filtered(ConservativeOf(opt)), 2), (*ShardedColdFilter)(nil)},
+		{ShardedBy(Tiered(CountMinOf(opt)), 2), (*ShardedPyramid)(nil)},
 	}
 	for _, tc := range cases {
 		s, err := Build(tc.spec)
@@ -180,6 +232,28 @@ func typeName(v any) string {
 		return "*ShardedWindowedCountMin"
 	case *ShardedWindowedCountSketch:
 		return "*ShardedWindowedCountSketch"
+	case *ShardedWindowedMonitor:
+		return "*ShardedWindowedMonitor"
+	case *UnivMon:
+		return "*UnivMon"
+	case *AEE:
+		return "*AEE"
+	case *Distinct:
+		return "*Distinct"
+	case *WindowedDistinct:
+		return "*WindowedDistinct"
+	case *ColdFilter:
+		return "*ColdFilter"
+	case *Pyramid:
+		return "*Pyramid"
+	case *ShardedAEE:
+		return "*ShardedAEE"
+	case *ShardedDistinct:
+		return "*ShardedDistinct"
+	case *ShardedColdFilter:
+		return "*ShardedColdFilter"
+	case *ShardedPyramid:
+		return "*ShardedPyramid"
 	}
 	return "unknown"
 }
@@ -254,6 +328,13 @@ func TestSpecString(t *testing.T) {
 		{TopKOf(opt, 5), "topk(5)"},
 		{Windowed(CountMinOf(opt), 4, 65536), "windowed(4,65536,cms)"},
 		{ShardedBy(Windowed(CountMinOf(opt), 4, 65536), 8), "sharded(8,windowed(4,65536,cms))"},
+		{UnivMonOf(opt, 12, 50), "univmon(12,50)"},
+		{AEEOf(opt), "aee"},
+		{DistinctOf(opt), "distinct"},
+		{Windowed(DistinctOf(opt), 4, 100), "windowed(4,100,distinct)"},
+		{Filtered(ConservativeOf(opt)), "filtered(cus)"},
+		{Tiered(CountMinOf(opt)), "tiered(cms)"},
+		{ShardedBy(Filtered(CountMinOf(opt)), 4), "sharded(4,filtered(cms))"},
 	}
 	for _, tc := range cases {
 		if got := tc.spec.String(); got != tc.want {
