@@ -9,6 +9,7 @@
 //	salsabench -all -n 1000000 -trials 5         # everything, paper-style
 //	salsabench -list                             # what exists
 //	salsabench -throughput -procs 8 -batch 4096  # multi-core ingestion rate
+//	salsabench -sweep -json BENCH_pr7.json       # epoch vs sharded vs mutex curves
 //	salsabench -topology 'windowed(8,65536,cms)' # any composed topology,
 //	salsabench -topology 'sharded(8,windowed(4,65536,cms))' -procs 8
 //	salsabench -perf -json BENCH_pr4.json        # hot-path items/s + JSON report
@@ -55,7 +56,8 @@ func run(args []string, out io.Writer) error {
 		n          = fs.Int("n", 400_000, "stream length (paper: 98M)")
 		trials     = fs.Int("trials", 3, "trials per data point (paper: 10)")
 		seed       = fs.Uint64("seed", 42, "master seed")
-		throughput = fs.Bool("throughput", false, "measure multi-core ingestion throughput of the Sharded layer")
+		throughput = fs.Bool("throughput", false, "measure multi-core ingestion throughput of the concurrency layers")
+		sweep      = fs.Bool("sweep", false, "concurrency-layer curves (epoch vs sharded vs mutex) across a GOMAXPROCS ladder")
 		procs      = fs.Int("procs", 0, "ingesting goroutines for -throughput/-topology (0 = GOMAXPROCS)")
 		batch      = fs.Int("batch", 4096, "batch / Writer buffer size for -throughput/-topology")
 		topology   = fs.String("topology", "", "benchmark a composed topology spec, e.g. 'sharded(8,windowed(4,65536,cms))'")
@@ -102,6 +104,8 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *perf:
 		return runPerf(perfConfig{n: *n, batch: *batch, seed: *seed, json: *jsonOut, label: *label}, out)
+	case *sweep:
+		return runThroughputSweep(throughputConfig{n: *n, batch: *batch, seed: *seed}, *label, *jsonOut, out)
 	case *throughput:
 		runThroughput(throughputConfig{n: *n, procs: *procs, batch: *batch, seed: *seed}, out)
 		return nil
@@ -123,7 +127,7 @@ func run(args []string, out io.Writer) error {
 		ids = []string{*experiment}
 	default:
 		fs.Usage()
-		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, -topology <spec>, or -perf")
+		return fmt.Errorf("need -experiment <id>, -all, -list, -throughput, -sweep, -topology <spec>, or -perf")
 	}
 
 	for _, id := range ids {

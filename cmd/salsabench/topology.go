@@ -77,17 +77,36 @@ func queryFunc(s salsa.Sketch) (func(uint64), error) {
 		return func(i uint64) { _ = x.Query(i) }, nil
 	case *salsa.ShardedPyramid:
 		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochCountMin:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochCountSketch:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochMonitor:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochDistinct:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochWindowedCountMin:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochWindowedCountSketch:
+		return func(i uint64) { _ = x.Query(i) }, nil
+	case *salsa.EpochWindowedDistinct:
+		return func(i uint64) { _ = x.Query(i) }, nil
 	}
 	return nil, fmt.Errorf("no query surface for %T", s)
 }
 
 // isSharded reports whether the built topology tolerates concurrent
-// ingestion (decided by the concrete type Build returned, not by the spec
-// rendering).
+// ingestion (decided by the concrete type Build returned, not by the
+// spec rendering). Epoch types qualify through their direct compatibility
+// path — serialized through the view lock, safe from any goroutine; use
+// -sweep for the lock-free writer path.
 func isSharded(s salsa.Sketch) bool {
 	switch s.(type) {
 	case *salsa.ShardedCountMin, *salsa.ShardedCountSketch, *salsa.ShardedMonitor,
-		*salsa.ShardedWindowedCountMin, *salsa.ShardedWindowedCountSketch:
+		*salsa.ShardedWindowedCountMin, *salsa.ShardedWindowedCountSketch,
+		*salsa.EpochCountMin, *salsa.EpochCountSketch, *salsa.EpochMonitor,
+		*salsa.EpochDistinct, *salsa.EpochWindowedCountMin,
+		*salsa.EpochWindowedCountSketch, *salsa.EpochWindowedDistinct:
 		return true
 	}
 	return false

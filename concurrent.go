@@ -242,10 +242,16 @@ func (p *partition) reset() {
 // ingesting goroutine its own and Flush before reading estimates. Because
 // every shard still sees its items in arrival order, a flushed Writer
 // leaves the sketch in the identical state as unbuffered ingestion.
+//
+// Items a Writer holds buffered are invisible to queries and belong to no
+// window bucket yet: under Tick-driven windows, an item buffered before a
+// Tick but flushed after lands in the post-Tick bucket. Flush before Tick
+// when bucket assignment must follow arrival time.
 type Writer[S Sketch] struct {
-	s     *Sharded[S]
-	bufs  [][]uint64
-	batch int
+	s      *Sharded[S]
+	bufs   [][]uint64
+	batch  int
+	closed bool
 }
 
 // NewWriter returns an ingestion buffer flushing each shard at batch items
@@ -264,6 +270,7 @@ func (s *Sharded[S]) NewWriter(batch int) *Writer[S] {
 // Increment buffers one occurrence of item, flushing its shard's buffer if
 // full.
 func (w *Writer[S]) Increment(item uint64) {
+	w.mustOpen()
 	i := hashing.Index(item, w.s.seed, w.s.mask)
 	w.bufs[i] = append(w.bufs[i], item)
 	if len(w.bufs[i]) >= w.batch {
@@ -279,6 +286,7 @@ func (w *Writer[S]) Update(item uint64, count int64) {
 		w.Increment(item)
 		return
 	}
+	w.mustOpen()
 	i := hashing.Index(item, w.s.seed, w.s.mask)
 	w.flushShard(int(i))
 	w.s.Update(item, count)
@@ -286,6 +294,7 @@ func (w *Writer[S]) Update(item uint64, count int64) {
 
 // Flush pushes every buffered item into the sketch.
 func (w *Writer[S]) Flush() {
+	w.mustOpen()
 	for i := range w.bufs {
 		w.flushShard(i)
 	}
@@ -300,4 +309,21 @@ func (w *Writer[S]) flushShard(i int) {
 	sh.sk.UpdateBatch(w.bufs[i], 1)
 	sh.mu.Unlock()
 	w.bufs[i] = w.bufs[i][:0]
+}
+
+// Close flushes any buffered items and retires the Writer; Close is
+// idempotent, and any other use after Close panics. It makes writer
+// teardown explicit, symmetric with the epoch layer's EpochWriter.
+func (w *Writer[S]) Close() {
+	if w.closed {
+		return
+	}
+	w.Flush()
+	w.closed = true
+}
+
+func (w *Writer[S]) mustOpen() {
+	if w.closed {
+		panic("salsa: use of closed Writer")
+	}
 }

@@ -457,3 +457,134 @@ func TestNewShardedBoundsShardCount(t *testing.T) {
 		return MustBuild(CountMinOf(Options{Width: 64})).(*CountMin)
 	})
 }
+
+// --- Writer teardown and windowed flush semantics ---------------------------
+
+// TestWriterCloseSemantics pins the Writer lifecycle: Close flushes the
+// buffered tail, is idempotent, and any later use panics.
+func TestWriterCloseSemantics(t *testing.T) {
+	s := NewShardedCountMin(Options{Width: 1 << 10, Seed: 33}, 4)
+	w := s.NewWriter(128)
+	for i := 0; i < 100; i++ {
+		w.Increment(uint64(i % 10))
+	}
+	w.Close()
+	w.Close() // idempotent
+	for x := uint64(0); x < 10; x++ {
+		if got := s.Query(x); got < 10 {
+			t.Fatalf("Close lost buffered items: Query(%d) = %d, want >= 10", x, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use after Close did not panic")
+		}
+	}()
+	w.Increment(1)
+}
+
+// TestWriterFlushBeforeTickEquivalence pins the documented window-bucket
+// contract: a Writer that flushes before every Tick produces a window
+// byte-identical to unbuffered ingestion with the same tick positions —
+// buffering never smears items across bucket boundaries.
+func TestWriterFlushBeforeTickEquivalence(t *testing.T) {
+	opt := Options{Width: 1 << 10, Seed: 35}
+	buffered := NewShardedWindowedCountMin(opt, 4, 0, 4)
+	direct := NewShardedWindowedCountMin(opt, 4, 0, 4)
+	trace := stream.Zipf(6000, 300, 0.99, 35)
+	w := buffered.NewWriter(64)
+	for i, x := range trace {
+		w.Increment(x)
+		direct.Increment(x)
+		if i%500 == 499 {
+			w.Flush()
+			buffered.Tick()
+			direct.Tick()
+		}
+	}
+	w.Close()
+	for x := uint64(0); x < 300; x++ {
+		if b, d := buffered.Query(x), direct.Query(x); b != d {
+			t.Fatalf("buffered window diverges at item %d: %d vs %d", x, b, d)
+		}
+	}
+	a, err := Marshal(buffered)
+	if err != nil {
+		t.Fatalf("marshal buffered: %v", err)
+	}
+	b, err := Marshal(direct)
+	if err != nil {
+		t.Fatalf("marshal direct: %v", err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("flush-before-tick windows are not byte-identical")
+	}
+}
+
+// TestWriterWindowedTickHammer drives Writers through concurrent
+// Tick/Flush/Close on a Tick-driven sharded window: 8 goroutines ingest
+// through buffered writers with mid-run close-and-reopen churn while one
+// rotates the window. Rotations retire data, so the post-quiesce checks
+// are structural: every shard saw every Tick exactly once, the live
+// window never exceeds the ingested volume, and a tail ingested after the
+// ticker stops is fully visible (nothing wedged in a buffer or a lock).
+func TestWriterWindowedTickHammer(t *testing.T) {
+	s := NewShardedWindowedCountMin(Options{Width: 1 << 10, Seed: 37}, 4, 0, 4)
+	const perG, universe = 4000, 100
+	done := make(chan struct{})
+	var ticker sync.WaitGroup
+	var ticks uint64
+	ticker.Add(1)
+	go func() {
+		defer ticker.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.Tick()
+				ticks++
+				runtime.Gosched()
+			}
+		}
+	}()
+	hammer(t, func(g int) {
+		w := s.NewWriter(64)
+		for i := 0; i < perG; i++ {
+			w.Increment(uint64((g*perG + i) % universe))
+			if i == perG/2 {
+				w.Close()
+				w = s.NewWriter(64)
+			}
+			if i%1000 == 999 {
+				w.Flush()
+			}
+		}
+		w.Close()
+	})
+	close(done)
+	ticker.Wait()
+	var live uint64
+	for i := 0; i < s.Shards(); i++ {
+		sh := s.Shard(i)
+		if got := sh.Rotations(); got != ticks {
+			t.Fatalf("shard %d rotated %d times, ticker issued %d", i, got, ticks)
+		}
+		live += sh.WindowVolume()
+	}
+	if want := uint64(8 * perG); live > want {
+		t.Fatalf("live window holds %d items, more than the %d ingested", live, want)
+	}
+	// Post-quiesce tail: with the ticker stopped, a flushed batch is
+	// entirely inside the live window and must obey the overestimate.
+	w := s.NewWriter(64)
+	for i := 0; i < 500; i++ {
+		w.Increment(uint64(i % 10))
+	}
+	w.Close()
+	for x := uint64(0); x < 10; x++ {
+		if got := s.Query(x); got < 50 {
+			t.Fatalf("post-quiesce tail undercounted: Query(%d) = %d, want >= 50", x, got)
+		}
+	}
+}

@@ -52,6 +52,7 @@ const (
 	tagColdFilter          = byte(12)
 	tagPyramid             = byte(13)
 	tagWindowedDistinct    = byte(14)
+	tagEpoch               = byte(15)
 )
 
 // Decoder bounds for hostile payloads; canonical payloads respect them by
@@ -207,8 +208,107 @@ func Marshal(s Sketch) ([]byte, error) {
 		return marshalShards(x)
 	case *Sharded[*Pyramid]:
 		return marshalShards(x)
+	case *EpochCountMin:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochCountSketch:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochMonitor:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochDistinct:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochWindowedCountMin:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochWindowedCountSketch:
+		return marshalEpoch(x.Epoch, x.view)
+	case *EpochWindowedDistinct:
+		return marshalEpoch(x.Epoch, x.view)
 	}
 	return nil, fmt.Errorf("%w: %T", ErrUnsupportedTopology, s)
+}
+
+// marshalEpoch encodes an epoch topology: the configured writer count
+// followed by the shared view's own envelope. Marshal first cuts an epoch
+// (under the control lock, so it is a consistent snapshot: every
+// operation completed before the call is drained into the view), then
+// serializes the view alone. The epoch odometer and private buffers are
+// transient coordination state and are deliberately not serialized — a
+// decoded instance starts at epoch 0 with empty privates, which is what
+// makes re-marshaling reproduce the payload byte for byte (the re-marshal
+// epoch cut drains nothing).
+func marshalEpoch[P epochPrivate](e *Epoch[P], view Sketch) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.advanceLocked()
+	e.viewMu.Lock()
+	inner, err := Marshal(view)
+	e.viewMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	buf := binary.LittleEndian.AppendUint64(envHeader(tagEpoch), uint64(e.base))
+	return appendBlock(buf, inner), nil
+}
+
+// unmarshalEpoch decodes an epoch envelope: the writer count plus a
+// nested view envelope, rebuilt into the matching Epoch* wrapper with
+// fresh (empty) private slots. Hostile payloads wrapping a topology the
+// EpochShardedBy spec cannot express — max-merge counters, count-rotated
+// windows, nested concurrency layers — are rejected.
+func unmarshalEpoch(payload []byte) (Sketch, error) {
+	if len(payload) < 8 {
+		return nil, ErrBadPayload
+	}
+	writers := binary.LittleEndian.Uint64(payload)
+	if writers == 0 || writers > maxEpochWriters {
+		return nil, fmt.Errorf("salsa: epoch writer count %d out of range", writers)
+	}
+	block, rest, err := readBlock(payload[8:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadPayload
+	}
+	view, err := unmarshalEnvelope(block, false)
+	if err != nil {
+		return nil, err
+	}
+	w := int(writers)
+	switch v := view.(type) {
+	case *CountMin:
+		if err := validateEpochMerge(v.opt); err != nil {
+			return nil, err
+		}
+		return newEpochCountMin(v, w), nil
+	case *CountSketch:
+		return newEpochCountSketch(v, w), nil
+	case *Monitor:
+		if err := validateEpochMerge(v.cm.opt); err != nil {
+			return nil, err
+		}
+		return newEpochMonitor(v, w), nil
+	case *Distinct:
+		if err := validateEpochMerge(v.cm.opt); err != nil {
+			return nil, err
+		}
+		return newEpochDistinct(v, w), nil
+	case *WindowedCountMin:
+		if v.BucketItems() != 0 {
+			return nil, errors.New("salsa: epoch windows are Tick-driven; decoded ring declares a rotation interval")
+		}
+		return newEpochWindowedCountMin(v, w), nil
+	case *WindowedCountSketch:
+		if v.BucketItems() != 0 {
+			return nil, errors.New("salsa: epoch windows are Tick-driven; decoded ring declares a rotation interval")
+		}
+		return newEpochWindowedCountSketch(v, w), nil
+	case *WindowedDistinct:
+		if v.w.BucketItems() != 0 {
+			return nil, errors.New("salsa: epoch windows are Tick-driven; decoded ring declares a rotation interval")
+		}
+		return newEpochWindowedDistinct(v, w), nil
+	}
+	return nil, fmt.Errorf("salsa: epoch envelope wraps unsupported topology %T", view)
 }
 
 // Unmarshal decodes a universal-envelope payload into its topology's
@@ -331,6 +431,11 @@ func unmarshalEnvelope(data []byte, allowSharded bool) (Sketch, error) {
 			return nil, errors.New("salsa: nested sharded envelope")
 		}
 		return unmarshalSharded(payload)
+	case tagEpoch:
+		if !allowSharded {
+			return nil, errors.New("salsa: nested epoch envelope")
+		}
+		return unmarshalEpoch(payload)
 	}
 	return nil, fmt.Errorf("salsa: unknown envelope tag %d", tag)
 }

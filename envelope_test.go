@@ -72,6 +72,13 @@ func universalTopologies() []struct {
 		{"sharded-distinct", ShardedBy(DistinctOf(Options{Width: 1 << 15, Seed: 9}), 2)},
 		{"sharded-coldfilter", ShardedBy(Filtered(ConservativeOf(opt)), 2)},
 		{"sharded-pyramid", ShardedBy(Tiered(CountMinOf(opt)), 2)},
+		{"epoch-countmin", EpochShardedBy(CountMinOf(sum), 2)},
+		{"epoch-conservative", EpochShardedBy(ConservativeOf(sum), 2)},
+		{"epoch-countsketch", EpochShardedBy(CountSketchOf(sum), 2)},
+		{"epoch-monitor", EpochShardedBy(MonitorOf(sum, 8), 2)},
+		{"epoch-distinct", EpochShardedBy(DistinctOf(Options{Width: 1 << 15, Merge: MergeSum, Seed: 9}), 2)},
+		{"epoch-windowed-countmin", EpochShardedBy(Windowed(CountMinOf(sum), 4, 0), 2)},
+		{"epoch-windowed-countsketch", EpochShardedBy(Windowed(CountSketchOf(sum), 4, 0), 2)},
 	}
 }
 
@@ -137,6 +144,20 @@ func observe(t *testing.T, s Sketch, items []uint64) []int64 {
 		case *Pyramid:
 			return int64(x.Query(item))
 		case *ShardedPyramid:
+			return int64(x.Query(item))
+		case *EpochCountMin:
+			return int64(x.Query(item))
+		case *EpochCountSketch:
+			return x.Query(item)
+		case *EpochMonitor:
+			return int64(x.Query(item))
+		case *EpochDistinct:
+			return int64(x.Query(item))
+		case *EpochWindowedCountMin:
+			return int64(x.Query(item))
+		case *EpochWindowedCountSketch:
+			return x.Query(item)
+		case *EpochWindowedDistinct:
 			return int64(x.Query(item))
 		}
 		t.Fatalf("observe: unhandled topology %T", s)

@@ -1,0 +1,369 @@
+// Package salsa_test: the epoch suite lives outside the package because
+// it drives internal/epochtest, which itself imports salsa — an internal
+// test file would close an import cycle.
+package salsa_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	. "salsa"
+
+	"salsa/internal/epochtest"
+)
+
+// The epoch layer's correctness argument is executable: every composable
+// backend goes through internal/epochtest's deterministic-schedule
+// drain-barrier equivalence, determinism, overestimate, and -race hammer
+// checks, plus envelope round-trips and spec algebra wiring below.
+
+func epochOpt(seed uint64) Options {
+	return Options{Width: 1 << 11, Depth: 4, Seed: seed, Merge: MergeSum}
+}
+
+// epochBackends is the full composable surface of EpochShardedBy. exact
+// marks backends whose drain is a pure counter sum: for those the
+// interleaved replay must match the sequential reference in answers AND
+// marshaled bytes. History-dependent conservative-update backends (cus,
+// monitor) instead get determinism + overestimate.
+var epochBackends = []struct {
+	name      string
+	spec      func() Spec
+	exact     bool // sequential equivalence incl. byte identity
+	monotonic bool // increment-only unsigned estimates never shrink
+	ticks     bool // windowed: schedule interleaves rotations
+}{
+	{"cms-salsa", func() Spec { return CountMinOf(epochOpt(42)) }, true, true, false},
+	{"cms-baseline", func() Spec { return CountMinOf(Options{Width: 1 << 11, Depth: 4, Seed: 42, Mode: ModeBaseline}) }, true, true, false},
+	{"cms-tango", func() Spec {
+		return CountMinOf(Options{Width: 1 << 11, Depth: 4, Seed: 42, Mode: ModeTango, Merge: MergeSum})
+	}, true, true, false},
+	{"cus", func() Spec { return ConservativeOf(epochOpt(42)) }, false, true, false},
+	{"cs-salsa", func() Spec { return CountSketchOf(Options{Width: 1 << 11, Depth: 5, Seed: 42, Merge: MergeSum}) }, true, false, false},
+	{"monitor", func() Spec { return MonitorOf(epochOpt(42), 16) }, false, true, false},
+	{"distinct", func() Spec { return DistinctOf(epochOpt(42)) }, true, true, false},
+	{"windowed-cms", func() Spec { return Windowed(CountMinOf(epochOpt(42)), 4, 0) }, true, false, true},
+	{"windowed-cs", func() Spec {
+		return Windowed(CountSketchOf(Options{Width: 1 << 11, Depth: 5, Seed: 42, Merge: MergeSum}), 4, 0)
+	}, true, false, true},
+	{"windowed-distinct", func() Spec { return Windowed(DistinctOf(epochOpt(42)), 4, 0) }, true, false, true},
+}
+
+func epochTarget(t testing.TB, spec Spec, writers int) *epochtest.Target {
+	t.Helper()
+	s, err := Build(EpochShardedBy(spec, writers))
+	if err != nil {
+		t.Fatalf("build epoch topology: %v", err)
+	}
+	return epochtest.MustWrap(s)
+}
+
+// TestEpochDrainBarrierEquivalence is the tentpole proof: a seeded
+// interleaving of private-sketch ingests and epoch cuts, once quiesced,
+// is indistinguishable from sequential ingestion of the same multiset —
+// exactly (answers and bytes) for sum backends, and as a deterministic
+// overestimate for conservative-update backends.
+func TestEpochDrainBarrierEquivalence(t *testing.T) {
+	for _, b := range epochBackends {
+		t.Run(b.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 77, 2021} {
+				sched := epochtest.NewSchedule(epochtest.ScheduleConfig{
+					Seed: seed, Writers: 4, Steps: 300, ChunkMax: 32,
+					Universe: 512, Alpha: 0.99, Ticks: b.ticks,
+				})
+				build := func() *epochtest.Target { return epochTarget(t, b.spec(), 4) }
+				epochtest.CheckDeterminism(t, build, sched)
+				if b.exact {
+					epochtest.CheckSequentialEquivalence(t, build, sched, true)
+				}
+				if b.monotonic || b.name == "cus" || b.name == "monitor" {
+					target := build()
+					epochtest.Replay(target, sched)
+					epochtest.CheckOverestimate(t, target, sched)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochHammer runs real goroutines against every backend under the
+// race detector: concurrent writers, a background merger, window tickers,
+// monotonic readers, and mid-run writer churn, closed out by the
+// conservation check (every ingested item drained exactly once).
+func TestEpochHammer(t *testing.T) {
+	for _, b := range epochBackends {
+		t.Run(b.name, func(t *testing.T) {
+			epochtest.Hammer(t, epochTarget(t, b.spec(), 4), epochtest.HammerConfig{
+				Writers:   4,
+				Batches:   30,
+				Batch:     64,
+				Universe:  1024,
+				Seed:      0xbeef,
+				Interval:  20 * time.Microsecond,
+				Monotonic: b.monotonic && !b.ticks,
+				Tick:      b.ticks,
+				Churn:     true,
+			})
+		})
+	}
+}
+
+// TestEpochEnvelopeRoundTrip pins the wire format: marshal drains to a
+// consistent snapshot, decode rebuilds a live epoch topology, re-marshal
+// is byte-identical, and the decoded instance keeps ingesting.
+func TestEpochEnvelopeRoundTrip(t *testing.T) {
+	for _, b := range epochBackends {
+		t.Run(b.name, func(t *testing.T) {
+			target := epochTarget(t, b.spec(), 3)
+			sched := epochtest.NewSchedule(epochtest.ScheduleConfig{
+				Seed: 5, Writers: 3, Steps: 120, ChunkMax: 16,
+				Universe: 256, Alpha: 0.99, Ticks: b.ticks,
+			})
+			epochtest.Replay(target, sched)
+
+			blob, err := Marshal(target.Sketch)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := Unmarshal(blob)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			blob2, err := Marshal(back)
+			if err != nil {
+				t.Fatalf("re-marshal decoded instance: %v", err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Fatalf("round trip not byte-identical: %d vs %d bytes", len(blob), len(blob2))
+			}
+
+			// The decoded instance is live: private ingestion drains into
+			// its view and shows up in queries.
+			decoded := epochtest.MustWrap(back.(Sketch))
+			before := decoded.Query(7)
+			w := decoded.NewWriter()
+			for i := 0; i < 100; i++ {
+				w.UpdateBatch([]uint64{7}, 1)
+			}
+			w.Close()
+			decoded.Advance()
+			if after := decoded.Query(7); after < before+100 {
+				t.Fatalf("decoded instance dropped ingestion: item 7 went %d -> %d, want >= %d", before, after, before+100)
+			}
+		})
+	}
+}
+
+// TestEpochSnapshotConsistency checks Marshal's drain barrier: bytes
+// produced while writers are mid-stream decode to a view whose total
+// volume accounts for every item the writers had handed off, never a
+// torn fraction of a batch.
+func TestEpochSnapshotConsistency(t *testing.T) {
+	s := MustBuild(EpochShardedBy(CountMinOf(epochOpt(9)), 2)).(*EpochCountMin)
+	w := s.NewWriter(0)
+	w.UpdateBatch([]uint64{1, 2, 3, 4, 5}, 1)
+	w.Flush()
+	blob, err := Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal mid-stream: %v", err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	snap := back.(*EpochCountMin)
+	for item := uint64(1); item <= 5; item++ {
+		if snap.Query(item) == 0 {
+			t.Fatalf("snapshot lost flushed item %d", item)
+		}
+	}
+	w.Close()
+}
+
+// TestEpochSpecAlgebra pins the textual surface: String renders the
+// decorator, ParseSpec inverts it, and both build working topologies.
+func TestEpochSpecAlgebra(t *testing.T) {
+	spec := EpochShardedBy(Windowed(CountMinOf(epochOpt(3)), 4, 0), 8)
+	want := "epoch(8,windowed(4,0,cms))"
+	if got := spec.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	parsed, err := ParseSpec(want, epochOpt(3))
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", want, err)
+	}
+	if got := parsed.String(); got != want {
+		t.Fatalf("parse round trip: %q -> %q", want, got)
+	}
+	if _, err := Build(parsed); err != nil {
+		t.Fatalf("build parsed epoch spec: %v", err)
+	}
+	for _, expr := range []string{"epoch(4,cms)", "epoch(2,cs)", "epoch(2,monitor(8))", "epoch(2,distinct)", "epoch(3,cus)"} {
+		parsed, err := ParseSpec(expr, epochOpt(3))
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", expr, err)
+		}
+		if _, err := Build(parsed); err != nil {
+			t.Fatalf("build %q: %v", expr, err)
+		}
+	}
+}
+
+// TestEpochCompositionErrors pins the rejection table: structurally
+// invalid epoch compositions fail Build with a typed *CompositionError
+// naming the reason; parameter errors (bad writer count, merge rule, nil
+// spec) fail with a plain error, matching the rest of the algebra.
+func TestEpochCompositionErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		typed bool // structural: must be a *CompositionError
+		want  string
+	}{
+		{"topk leaf", EpochShardedBy(TopKOf(epochOpt(1), 8), 2), true, "TopK"},
+		{"univmon leaf", EpochShardedBy(UnivMonOf(epochOpt(1), 4, 8), 2), true, "UnivMon"},
+		{"aee leaf", EpochShardedBy(AEEOf(epochOpt(1)), 2), true, "AEE"},
+		{"windowed monitor", EpochShardedBy(Windowed(MonitorOf(epochOpt(1), 8), 4, 0), 2), true, "Monitor"},
+		{"count-rotated window", EpochShardedBy(Windowed(CountMinOf(epochOpt(1)), 4, 1024), 2), true, "Tick-driven"},
+		{"epoch inside sharded", ShardedBy(EpochShardedBy(CountMinOf(epochOpt(1)), 2), 4), true, "outermost"},
+		{"sharded inside epoch", EpochShardedBy(ShardedBy(CountMinOf(epochOpt(1)), 4), 2), true, "outermost"},
+		{"nested epoch", EpochShardedBy(EpochShardedBy(CountMinOf(epochOpt(1)), 2), 2), true, "outermost"},
+		{"zero writers", EpochShardedBy(CountMinOf(epochOpt(1)), 0), false, "writer count"},
+		{"max merge", EpochShardedBy(CountMinOf(Options{Width: 1 << 10, Depth: 4, Seed: 1, Merge: MergeMax}), 2), false, "MergeSum"},
+		{"nil inner", EpochShardedBy(nil, 2), false, "nil spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Build(tc.spec)
+			if err == nil {
+				t.Fatalf("Build(%s) accepted an invalid composition", tc.spec)
+			}
+			var ce *CompositionError
+			if got := errors.As(err, &ce); got != tc.typed {
+				t.Fatalf("Build error typed=%v (%T), want typed=%v: %v", got, err, tc.typed, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEpochStalenessGauge checks the bounded-staleness contract: Pending
+// counts exactly the items writers have published but the merger has not
+// drained, and one Advance returns it to zero.
+func TestEpochStalenessGauge(t *testing.T) {
+	s := MustBuild(EpochShardedBy(CountMinOf(epochOpt(5)), 2)).(*EpochCountMin)
+	w := s.NewWriter(0)
+	w.UpdateBatch([]uint64{10, 11, 12}, 1)
+	w.Flush()
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after flushing 3 items, want 3", got)
+	}
+	// Queries see none of it until an epoch cut.
+	if got := s.Query(10); got != 0 {
+		t.Fatalf("undrained item visible to Query: %d", got)
+	}
+	s.Advance()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Advance, want 0", got)
+	}
+	if got := s.Query(10); got == 0 {
+		t.Fatal("drained item invisible to Query")
+	}
+	st := s.Stats()
+	if st.Drained != 3 {
+		t.Fatalf("Stats().Drained = %d, want 3", st.Drained)
+	}
+	w.Close()
+}
+
+// TestEpochAdaptiveResharding checks the contention response: NewWriter
+// beyond the configured base grows the slot set, and sustained empty
+// drains shrink the unclaimed surplus back down to base.
+func TestEpochAdaptiveResharding(t *testing.T) {
+	s := MustBuild(EpochShardedBy(CountMinOf(epochOpt(6)), 2)).(*EpochCountMin)
+	var ws []interface{ Close() }
+	for i := 0; i < 6; i++ {
+		ws = append(ws, s.NewWriter(0))
+	}
+	st := s.Stats()
+	if st.Slots < 6 {
+		t.Fatalf("6 writers claimed but only %d slots", st.Slots)
+	}
+	if st.Grown == 0 {
+		t.Fatal("growth beyond base=2 not recorded in Stats().Grown")
+	}
+	for _, w := range ws {
+		w.Close()
+	}
+	// Surplus slots are reclaimed only after sustained empty drains.
+	for i := 0; i < 8; i++ {
+		s.Advance()
+	}
+	st = s.Stats()
+	if st.Slots != 2 {
+		t.Fatalf("slots = %d after shrink, want base 2", st.Slots)
+	}
+	if st.Shrunk == 0 {
+		t.Fatal("shrink not recorded in Stats().Shrunk")
+	}
+	// The topology still works at base size.
+	w := s.NewWriter(0)
+	w.UpdateBatch([]uint64{1}, 1)
+	w.Close()
+	s.Advance()
+	if s.Query(1) == 0 {
+		t.Fatal("post-shrink ingestion lost")
+	}
+}
+
+// TestEpochWriterSemantics pins the writer edge cases: Update with
+// count != 1 flushes buffered increments first (order preserved), Close
+// is idempotent, and use-after-close panics.
+func TestEpochWriterSemantics(t *testing.T) {
+	s := MustBuild(EpochShardedBy(CountMinOf(epochOpt(7)), 2)).(*EpochCountMin)
+	w := s.NewWriter(4)
+	w.Increment(1)
+	w.Update(2, 5)
+	w.Increment(1)
+	w.Close()
+	w.Close() // idempotent
+	s.Advance()
+	if got := s.Query(1); got < 2 {
+		t.Fatalf("buffered increments lost: Query(1) = %d, want >= 2", got)
+	}
+	if got := s.Query(2); got < 5 {
+		t.Fatalf("direct update lost: Query(2) = %d, want >= 5", got)
+	}
+	// The odometer counts applied updates, not stream volume: two buffered
+	// increments plus one direct count-5 update is three.
+	if got := s.Stats().Drained; got != 3 {
+		t.Fatalf("Stats().Drained = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use after Close did not panic")
+		}
+	}()
+	w.Increment(3)
+}
+
+// TestEpochCompatibilityUpdatePath checks the serialized Sketch-interface
+// path (direct Update/Query without writers) agrees with a plain sketch.
+func TestEpochCompatibilityUpdatePath(t *testing.T) {
+	e := MustBuild(EpochShardedBy(CountMinOf(epochOpt(8)), 2)).(*EpochCountMin)
+	p := MustBuild(CountMinOf(epochOpt(8))).(*CountMin)
+	for i := uint64(0); i < 2000; i++ {
+		e.Update(i%97, 1)
+		p.Update(i%97, 1)
+	}
+	for i := uint64(0); i < 97; i++ {
+		if e.Query(i) != p.Query(i) {
+			t.Fatalf("direct path diverges from plain sketch at %d: %d vs %d", i, e.Query(i), p.Query(i))
+		}
+	}
+}

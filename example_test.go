@@ -235,3 +235,42 @@ func ExampleCompositionError() {
 	}
 	// Output: Windowed aee
 }
+
+// EpochShardedBy is the lock-free ingestion layer: each writer appends
+// to a private sketch, and a drain (Advance, or a background
+// AutoAdvance) folds retired privates into the shared read view.
+// Pending is the staleness gauge: retired-but-undrained updates.
+func ExampleEpochShardedBy() {
+	opt := salsa.Options{Width: 1 << 12, Merge: salsa.MergeSum, Seed: 1}
+	e := salsa.MustBuild(salsa.EpochShardedBy(salsa.CountMinOf(opt), 2)).(*salsa.EpochCountMin)
+
+	w := e.NewWriter(64) // one per goroutine: no lock, no CAS
+	for i := 0; i < 42; i++ {
+		w.Increment(7)
+	}
+	w.Flush()
+	fmt.Println(e.Query(7), e.Pending()) // flushed but not yet drained
+	e.Advance()
+	fmt.Println(e.Query(7), e.Pending()) // drained into the view
+	w.Close()
+	// Output:
+	// 0 42
+	// 42 0
+}
+
+// Epoch layers compose over Tick-driven windows: Tick cuts an epoch
+// before rotating, so everything a writer flushed lands wholly in the
+// pre-Tick bucket — never split across a rotation.
+func ExampleEpochShardedBy_windowed() {
+	opt := salsa.Options{Width: 1 << 12, Merge: salsa.MergeSum, Seed: 1}
+	s := salsa.MustBuild(salsa.EpochShardedBy(salsa.Windowed(salsa.CountMinOf(opt), 2, 0), 2))
+	e := s.(*salsa.EpochWindowedCountMin)
+
+	w := e.NewWriter(8)
+	w.Increment(7)
+	w.Flush()
+	e.Tick() // drains the epoch, then rotates
+	fmt.Println(e.Query(7), e.Rotations())
+	w.Close()
+	// Output: 1 1
+}

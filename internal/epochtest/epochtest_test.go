@@ -1,0 +1,130 @@
+package epochtest
+
+import (
+	"testing"
+	"time"
+
+	"salsa"
+)
+
+func opts() salsa.Options {
+	return salsa.Options{Width: 1 << 10, Depth: 4, Seed: 99, Merge: salsa.MergeSum}
+}
+
+func buildCMS(t *testing.T) *Target {
+	t.Helper()
+	s, err := salsa.Build(salsa.EpochShardedBy(salsa.CountMinOf(opts()), 4))
+	if err != nil {
+		t.Fatalf("build epoch cms: %v", err)
+	}
+	return MustWrap(s)
+}
+
+func smallSchedule(seed uint64, ticks bool) Schedule {
+	return NewSchedule(ScheduleConfig{
+		Seed: seed, Writers: 4, Steps: 200, ChunkMax: 32,
+		Universe: 256, Alpha: 0.99, Ticks: ticks,
+	})
+}
+
+func TestNewScheduleDeterministic(t *testing.T) {
+	a, b := smallSchedule(7, true), smallSchedule(7, true)
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		sa, sb := a.Steps[i], b.Steps[i]
+		if sa.Kind != sb.Kind || sa.Writer != sb.Writer || len(sa.Items) != len(sb.Items) {
+			t.Fatalf("step %d differs: %+v vs %+v", i, sa, sb)
+		}
+	}
+	c := smallSchedule(8, true)
+	if len(a.Ingested()) == len(c.Ingested()) && len(a.Steps) == len(c.Steps) {
+		same := true
+		for i := range a.Steps {
+			if a.Steps[i].Kind != c.Steps[i].Kind {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced an identical schedule shape")
+		}
+	}
+}
+
+func TestScheduleMixesKinds(t *testing.T) {
+	sched := smallSchedule(3, true)
+	var ingests, advances, ticks int
+	for _, st := range sched.Steps {
+		switch st.Kind {
+		case StepIngest:
+			ingests++
+			if st.Writer < 0 || st.Writer >= sched.Writers {
+				t.Fatalf("ingest routed to out-of-range writer %d", st.Writer)
+			}
+			if len(st.Items) == 0 {
+				t.Fatal("empty ingest step")
+			}
+		case StepAdvance:
+			advances++
+		case StepTick:
+			ticks++
+		}
+	}
+	if ingests == 0 || advances == 0 || ticks == 0 {
+		t.Fatalf("schedule missing a step kind: %d ingests, %d advances, %d ticks", ingests, advances, ticks)
+	}
+}
+
+func TestWrapRejectsNonEpoch(t *testing.T) {
+	s, err := salsa.Build(salsa.CountMinOf(opts()))
+	if err != nil {
+		t.Fatalf("build plain cms: %v", err)
+	}
+	if _, err := Wrap(s); err == nil {
+		t.Fatal("Wrap accepted a non-epoch sketch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWrap did not panic on a non-epoch sketch")
+		}
+	}()
+	MustWrap(s)
+}
+
+func TestReplayAndChecksOnCMS(t *testing.T) {
+	sched := smallSchedule(11, false)
+	build := func() *Target { return buildCMS(t) }
+	CheckDeterminism(t, build, sched)
+	CheckSequentialEquivalence(t, build, sched, true)
+	target := build()
+	Replay(target, sched)
+	CheckOverestimate(t, target, sched)
+	if st := target.Stats(); st.Drained != uint64(len(sched.Ingested())) {
+		t.Fatalf("drained %d of %d scheduled items", st.Drained, len(sched.Ingested()))
+	}
+}
+
+func TestReplayWindowedTick(t *testing.T) {
+	s, err := salsa.Build(salsa.EpochShardedBy(salsa.Windowed(salsa.CountMinOf(opts()), 4, 0), 4))
+	if err != nil {
+		t.Fatalf("build epoch windowed cms: %v", err)
+	}
+	target := MustWrap(s)
+	if target.Tick == nil {
+		t.Fatal("windowed target lost its Tick hook")
+	}
+	sched := smallSchedule(13, true)
+	Replay(target, sched)
+	if st := target.Stats(); st.Drained != uint64(len(sched.Ingested())) {
+		t.Fatalf("drained %d of %d scheduled items", st.Drained, len(sched.Ingested()))
+	}
+}
+
+func TestHammerSmoke(t *testing.T) {
+	Hammer(t, buildCMS(t), HammerConfig{
+		Writers: 4, Batches: 20, Batch: 64, Universe: 512,
+		Seed: 17, Interval: 50 * time.Microsecond, Monotonic: true, Churn: true,
+	})
+}

@@ -18,6 +18,13 @@ type Entry struct {
 
 // Heap is a capacity-bounded min-heap over estimates with O(1) membership
 // lookup. The zero value is not usable; call New.
+//
+// Ordering is the total order on (Count, Item) that ranks higher counts
+// first and, among equal counts, smaller item ids first — the same ranking
+// Items returns. Eviction under count ties is therefore deterministic: the
+// tracked set after any Offer sequence depends only on the multiset of
+// (item, estimate) pairs offered, not on arrival order, so concurrent-ingest
+// tests can assert exact heavy-hitter sets.
 type Heap struct {
 	k       int
 	entries []Entry
@@ -82,7 +89,7 @@ func (h *Heap) Offer(item uint64, count int64) {
 		h.up(len(h.entries) - 1)
 		return
 	}
-	if count <= h.entries[0].Count {
+	if !less(h.entries[0], Entry{item, count}) {
 		return
 	}
 	delete(h.pos, h.entries[0].Item)
@@ -149,10 +156,20 @@ func (h *Heap) fix(i int) {
 	h.up(i)
 }
 
+// less reports whether a ranks strictly below b: lower count, or — under a
+// count tie — larger item id (Items ranks equal counts by ascending id, so
+// the largest id is the weakest entry and the first evicted).
+func less(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	return a.Item > b.Item
+}
+
 func (h *Heap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.entries[parent].Count <= h.entries[i].Count {
+		if !less(h.entries[i], h.entries[parent]) {
 			break
 		}
 		h.swap(i, parent)
@@ -165,10 +182,10 @@ func (h *Heap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && h.entries[l].Count < h.entries[smallest].Count {
+		if l < n && less(h.entries[l], h.entries[smallest]) {
 			smallest = l
 		}
-		if r < n && h.entries[r].Count < h.entries[smallest].Count {
+		if r < n && less(h.entries[r], h.entries[smallest]) {
 			smallest = r
 		}
 		if smallest == i {

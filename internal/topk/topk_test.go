@@ -99,3 +99,44 @@ func TestHeapZeroCapacityPanics(t *testing.T) {
 	}()
 	New(0)
 }
+
+// TestHeapDeterministicTieBreak pins the (Count, Item) total order: the
+// tracked set after a sequence of offers is a pure function of the offered
+// (item, estimate) pairs, independent of arrival order, and under count ties
+// the smaller item ids win.
+func TestHeapDeterministicTieBreak(t *testing.T) {
+	const k = 4
+	offers := []Entry{
+		{Item: 10, Count: 5}, {Item: 11, Count: 5}, {Item: 12, Count: 5},
+		{Item: 13, Count: 5}, {Item: 14, Count: 5}, {Item: 15, Count: 5},
+		{Item: 16, Count: 9},
+	}
+	want := []Entry{{16, 9}, {10, 5}, {11, 5}, {12, 5}}
+	rng := uint64(0x9e3779b97f4a7c15)
+	perm := append([]Entry(nil), offers...)
+	for trial := 0; trial < 50; trial++ {
+		// Fisher-Yates with a splitmix64 step for reproducibility.
+		for i := len(perm) - 1; i > 0; i-- {
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			j := int(z % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		h := New(k)
+		for _, e := range perm {
+			h.Offer(e.Item, e.Count)
+		}
+		got := h.Items()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Items()[%d] = %+v, want %+v (order-dependent eviction)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

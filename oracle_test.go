@@ -194,3 +194,88 @@ func TestOracleEnvelopeTightness(t *testing.T) {
 		t.Fatalf("broken estimator only violates %.2f of queries; the envelope is too loose to catch it", frac)
 	}
 }
+
+// oracleEpochIngest pushes a workload through the lock-free epoch path —
+// items fan out round-robin across private writer sketches, with an epoch
+// cut every few batches so the merged view is the product of thousands of
+// drains rather than one bulk merge.
+func oracleEpochIngest(s interface {
+	Advance()
+	Pending() uint64
+}, newWriter func() interface {
+	UpdateBatch(items []uint64, count int64)
+	Close()
+}, wl oracletest.Workload) {
+	const writers, chunk = 4, 16
+	ws := make([]interface {
+		UpdateBatch(items []uint64, count int64)
+		Close()
+	}, writers)
+	for i := range ws {
+		ws[i] = newWriter()
+	}
+	for i, turn := 0, 0; i < len(wl.Items); i, turn = i+chunk, turn+1 {
+		end := i + chunk
+		if end > len(wl.Items) {
+			end = len(wl.Items)
+		}
+		ws[turn%writers].UpdateBatch(wl.Items[i:end], 1)
+		if turn%2 == 1 {
+			s.Advance()
+		}
+	}
+	for _, w := range ws {
+		w.Close()
+	}
+	s.Advance()
+}
+
+// TestOracleEpochCountMin retro-applies the accuracy oracle to the epoch
+// layer: after thousands of private-sketch drains the merged view still
+// sits inside the exact Cormode-Muthukrishnan envelope of its leaf — the
+// epoch machinery adds zero error, not just bounded error.
+func TestOracleEpochCountMin(t *testing.T) {
+	specs := []struct {
+		name string
+		spec Spec
+	}{
+		{"epoch-cms-salsa", EpochShardedBy(CountMinOf(Options{Width: oracleWidth, Depth: oracleDepth, Seed: oracleSeed, Merge: MergeSum}), 4)},
+		{"epoch-cms-baseline", EpochShardedBy(CountMinOf(Options{Width: oracleWidth, Depth: oracleDepth, Mode: ModeBaseline, Seed: oracleSeed}), 4)},
+		{"epoch-cus", EpochShardedBy(ConservativeOf(Options{Width: oracleWidth, Depth: oracleDepth, Seed: oracleSeed, Merge: MergeSum}), 4)},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, wl := range oracleWorkloads() {
+				e := MustBuild(tc.spec).(*EpochCountMin)
+				oracleEpochIngest(e, func() interface {
+					UpdateBatch(items []uint64, count int64)
+					Close()
+				} {
+					return e.NewWriter(0)
+				}, wl)
+				if e.Epochs() < 400 {
+					t.Fatalf("epoch path under-exercised: only %d drains", e.Epochs())
+				}
+				oracletest.CheckOverestimate(t, tc.name, wl, e.Query)
+				oracletest.CheckCountMinEnvelope(t, tc.name, wl, oracleWidth, oracleDepth, 0, e.Query)
+			}
+		})
+	}
+}
+
+// TestOracleEpochCountSketch pins the signed estimator through the epoch
+// path to the same Charikar-Chen-Farach-Colton envelope as the plain
+// sketch: drains are exact counter sums, so the error distribution is
+// untouched by merge scheduling.
+func TestOracleEpochCountSketch(t *testing.T) {
+	for _, wl := range oracleWorkloads() {
+		e := MustBuild(EpochShardedBy(CountSketchOf(Options{Width: oracleWidth, Depth: 5, Seed: oracleSeed, Merge: MergeSum}), 4)).(*EpochCountSketch)
+		oracleEpochIngest(e, func() interface {
+			UpdateBatch(items []uint64, count int64)
+			Close()
+		} {
+			return e.NewWriter(0)
+		}, wl)
+		oracletest.CheckCountSketchEnvelope(t, "epoch-cs", wl, oracleWidth, e.Query)
+	}
+}

@@ -18,6 +18,7 @@ import (
 //	      | "tiered(" expr ")"
 //	      | "windowed(" buckets "," bucketItems "," expr ")"
 //	      | "sharded(" shards "," expr ")"
+//	      | "epoch(" writers "," expr ")"
 //
 // e.g. "sharded(8,windowed(4,65536,cms))". ParseSpec only checks syntax;
 // composition and Options validity are reported by Build.
@@ -190,11 +191,11 @@ func (p *specParser) parseExpr() (Spec, error) {
 			return nil, err
 		}
 		return Windowed(inner, buckets, bucketItems), nil
-	case "sharded":
+	case "sharded", "epoch":
 		if err := p.expect('('); err != nil {
 			return nil, err
 		}
-		shards, err := p.number()
+		n, err := p.number()
 		if err != nil {
 			return nil, err
 		}
@@ -208,9 +209,12 @@ func (p *specParser) parseExpr() (Spec, error) {
 		if err := p.expect(')'); err != nil {
 			return nil, err
 		}
-		return ShardedBy(inner, shards), nil
+		if name == "epoch" {
+			return EpochShardedBy(inner, n), nil
+		}
+		return ShardedBy(inner, n), nil
 	case "":
 		return nil, fmt.Errorf("salsa: expected a sketch kind at position %d of topology expression %q", p.pos, p.s)
 	}
-	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, aee, distinct, monitor(k), topk(k), univmon(l,k), filtered(spec), tiered(spec), windowed(b,n,spec), sharded(s,spec))", name, p.s)
+	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, aee, distinct, monitor(k), topk(k), univmon(l,k), filtered(spec), tiered(spec), windowed(b,n,spec), sharded(s,spec), epoch(w,spec))", name, p.s)
 }

@@ -39,6 +39,14 @@ import (
 //	Build(ShardedBy(Windowed(CountMinOf(opt), b, n), s)) → *ShardedWindowedCountMin
 //	Build(ShardedBy(Windowed(CountSketchOf(opt), b, n), s)) → *ShardedWindowedCountSketch
 //	Build(ShardedBy(Windowed(MonitorOf(opt, k), b, n), s)) → *ShardedWindowedMonitor
+//	Build(EpochShardedBy(CountMinOf(opt), w))            → *EpochCountMin
+//	Build(EpochShardedBy(ConservativeOf(opt), w))        → *EpochCountMin
+//	Build(EpochShardedBy(CountSketchOf(opt), w))         → *EpochCountSketch
+//	Build(EpochShardedBy(MonitorOf(opt, k), w))          → *EpochMonitor
+//	Build(EpochShardedBy(DistinctOf(opt), w))            → *EpochDistinct
+//	Build(EpochShardedBy(Windowed(CountMinOf(opt), b, 0), w)) → *EpochWindowedCountMin
+//	Build(EpochShardedBy(Windowed(CountSketchOf(opt), b, 0), w)) → *EpochWindowedCountSketch
+//	Build(EpochShardedBy(Windowed(DistinctOf(opt), b, 0), w)) → *EpochWindowedDistinct
 //
 // Compositions whose semantics do not hold — windowing a UnivMon (its
 // per-level heaps cannot rotate), windowing an AEE (downsampling is
@@ -401,6 +409,99 @@ func (s shardedSpec) build() (Sketch, error) {
 	case tieredSpec:
 		if leaf, ok := inner.inner.(leafSpec); ok {
 			return buildShardedPyramid(leaf.opt, s.shards)
+		}
+	}
+	return nil, s.validate()
+}
+
+// epochSpec decorates a topology with the epoch-merged lock-free
+// ingestion layer.
+type epochSpec struct {
+	inner   Spec
+	writers int
+}
+
+// EpochShardedBy decorates spec with the epoch-merged concurrency layer:
+// writers pre-allocated private sketch slots ingested lock-free by
+// per-goroutine EpochWriters and drained into one shared read view at
+// epoch boundaries (Advance/AutoAdvance, or Tick for windowed inners).
+// The slot count adapts: demand beyond writers grows it, sustained empty
+// drains shrink it back. Like ShardedBy it must be the outermost
+// decorator; it accepts the mergeable leaves (cms, cus, cs, monitor,
+// distinct) and Tick-driven windows over cms/cus/cs/distinct. Epoch
+// sketches force sum-merge counters, so a spec whose Options demand
+// MergeMax fails to Build.
+func EpochShardedBy(spec Spec, writers int) Spec {
+	return epochSpec{inner: spec, writers: writers}
+}
+
+func (s epochSpec) String() string {
+	return fmt.Sprintf("epoch(%d,%s)", s.writers, s.inner)
+}
+
+func (s epochSpec) validate() error {
+	if err := validateEpochWriters(s.writers); err != nil {
+		return err
+	}
+	switch inner := s.inner.(type) {
+	case leafSpec:
+		switch inner.kind {
+		case kindTopK:
+			return compositionErr("EpochShardedBy", s.inner, "a TopK candidate's signed private-epoch estimate does not survive re-offering against the merged view; use MonitorOf for epoch heavy hitters")
+		case kindUnivMon:
+			return compositionErr("EpochShardedBy", s.inner, "UnivMon's recursive G-sum estimator couples levels across the whole stream; run one UnivMon per substream instead")
+		case kindAEE:
+			return compositionErr("EpochShardedBy", s.inner, "AEE downsampling is irreversible, so private estimators' sampling decisions cannot be merged into one view")
+		}
+		if err := inner.validate(); err != nil {
+			return err
+		}
+		return validateEpochMerge(inner.opt)
+	case windowedSpec:
+		leaf, ok := inner.inner.(leafSpec)
+		if !ok {
+			return inner.validate()
+		}
+		if leaf.kind == kindMonitor {
+			return compositionErr("EpochShardedBy", s.inner, "per-bucket candidate heaps need per-item offers at ingest time, which private-epoch ingestion defers past rotation; use EpochShardedBy(MonitorOf) for whole-stream heavy hitters")
+		}
+		if inner.bucketItems != 0 {
+			return compositionErr("EpochShardedBy", s.inner, "count-based rotation would split a drained epoch across buckets; use a Tick-driven window (bucketItems = 0)")
+		}
+		return inner.validate()
+	case nil:
+		return errors.New("salsa: EpochShardedBy over a nil spec")
+	}
+	return compositionErr("EpochShardedBy", s.inner, "EpochShardedBy must be the outermost decorator")
+}
+
+func (s epochSpec) build() (Sketch, error) {
+	switch inner := s.inner.(type) {
+	case leafSpec:
+		switch inner.kind {
+		case kindCountMin:
+			return buildEpochCountMin(inner.opt, s.writers, false)
+		case kindConservative:
+			return buildEpochCountMin(inner.opt, s.writers, true)
+		case kindCountSketch:
+			return buildEpochCountSketch(inner.opt, s.writers)
+		case kindMonitor:
+			return buildEpochMonitor(inner.opt, inner.k, s.writers)
+		case kindDistinct:
+			return buildEpochDistinct(inner.opt, s.writers)
+		}
+	case windowedSpec:
+		if leaf, ok := inner.inner.(leafSpec); ok {
+			switch leaf.kind {
+			case kindCountMin:
+				return buildEpochWindowedCMS(leaf.opt, inner.buckets, inner.bucketItems, s.writers, false)
+			case kindConservative:
+				return buildEpochWindowedCMS(leaf.opt, inner.buckets, inner.bucketItems, s.writers, true)
+			case kindCountSketch:
+				return buildEpochWindowedCountSketch(leaf.opt, inner.buckets, inner.bucketItems, s.writers)
+			case kindDistinct:
+				return buildEpochWindowedDistinct(leaf.opt, inner.buckets, inner.bucketItems, s.writers)
+			}
 		}
 	}
 	return nil, s.validate()
