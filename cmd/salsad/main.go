@@ -1,0 +1,264 @@
+// Command salsad runs one node of the distributed aggregation tier: an
+// aggregator that accepts delta pushes from edge agents and serves
+// cluster-wide queries, or an agent that sketches a local stream and
+// ships deltas upstream with retries, idempotent sequencing, and
+// automatic resync.
+//
+// Usage:
+//
+//	salsad -mode aggregator -listen 127.0.0.1:7777 -spec cms
+//	salsad -mode agent -addr http://127.0.0.1:7777 -id edge-nyc -dataset NY18 -n 1000000
+//	cut -d' ' -f1 access.log | salsad -mode agent -addr http://127.0.0.1:7777 -id edge-fra
+//
+// Both sides must be built with the same -spec, -width, and -seed: the
+// aggregator rejects incompatible envelopes. The aggregator serves until
+// stdin closes (run it under a supervisor; EOF is the shutdown signal).
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"salsa"
+	"salsa/internal/salsad"
+	"salsa/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "salsad:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one salsad invocation against the given stdin/stdout;
+// main is only the exit-code shim so tests can drive the tool in-process.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("salsad", flag.ContinueOnError)
+	var (
+		mode  = fs.String("mode", "", "role: aggregator or agent")
+		spec  = fs.String("spec", "cms", "topology expression (salsa.ParseSpec; agents may wrap in epoch(...))")
+		width = fs.Int("width", 1<<14, "sketch row width (power of two)")
+		seed  = fs.Uint64("seed", 1, "shared hash seed; must match across the cluster")
+
+		// Aggregator flags.
+		listen      = fs.String("listen", "127.0.0.1:0", "aggregator listen address")
+		leaseTTL    = fs.Duration("lease", salsad.DefaultLeaseTTL, "agent liveness lease")
+		maxEnvelope = fs.Int("maxenvelope", salsad.DefaultMaxEnvelopeBytes, "max decompressed envelope bytes per push")
+
+		// Agent flags.
+		addr      = fs.String("addr", "", "aggregator base URL (agent mode)")
+		id        = fs.String("id", "", "agent id (agent mode; defaults to the hostname)")
+		dataset   = fs.String("dataset", "", "generate this trace stand-in instead of reading stdin")
+		n         = fs.Int("n", 1_000_000, "generated stream length")
+		pushEvery = fs.Int("pushevery", 100_000, "push a delta frame every this many items")
+		attempts  = fs.Int("attempts", 4, "delivery attempts per push before giving up the round")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-push deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		// The FlagSet has already reported the problem on stderr.
+		return errors.New("invalid arguments")
+	}
+
+	opt := salsa.Options{Width: *width, Merge: salsa.MergeSum, Seed: *seed}
+	topo, err := salsa.ParseSpec(*spec, opt)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "aggregator":
+		return runAggregator(topo, *listen, *leaseTTL, *maxEnvelope, stdin, stdout)
+	case "agent":
+		return runAgent(agentParams{
+			topo: topo, addr: *addr, id: *id,
+			dataset: *dataset, n: *n, seed: *seed,
+			pushEvery: *pushEvery, attempts: *attempts, timeout: *timeout,
+		}, stdin, stdout)
+	default:
+		return fmt.Errorf("unknown -mode %q (want aggregator or agent)", *mode)
+	}
+}
+
+// runAggregator serves the cluster-wide query surface until stdin closes.
+func runAggregator(topo salsa.Spec, listen string, lease time.Duration, maxEnv int, stdin io.Reader, stdout io.Writer) error {
+	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec:             topo,
+		LeaseTTL:         lease,
+		MaxEnvelopeBytes: maxEnv,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(stdout, "aggregator listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: salsad.Handler(agg)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	// Serve until the operator closes stdin (or the listener fails).
+	eof := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, stdin) //nolint:errcheck // EOF is the signal
+		close(eof)
+	}()
+	select {
+	case <-eof:
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	st := agg.Stats()
+	fmt.Fprintf(stdout, "shutting down: %d frames applied, %d duplicates, %d resyncs, %d heartbeats\n",
+		st.Applied, st.Duplicates, st.Resyncs, st.Heartbeats)
+	return nil
+}
+
+type agentParams struct {
+	topo      salsa.Spec
+	addr, id  string
+	dataset   string
+	n         int
+	seed      uint64
+	pushEvery int
+	attempts  int
+	timeout   time.Duration
+}
+
+// runAgent sketches stdin (or a generated trace) and ships deltas until
+// the stream ends, then flushes a final frame and prints a summary.
+func runAgent(p agentParams, stdin io.Reader, stdout io.Writer) error {
+	if p.addr == "" {
+		return errors.New("agent mode needs -addr")
+	}
+	if p.id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			return errors.New("agent mode needs -id (hostname unavailable)")
+		}
+		if len(host) > salsad.MaxAgentIDLen {
+			host = host[:salsad.MaxAgentIDLen]
+		}
+		p.id = host
+	}
+	if p.pushEvery <= 0 {
+		p.pushEvery = 100_000
+	}
+	transport := &salsad.HTTPTransport{Base: p.addr, Client: &http.Client{Timeout: p.timeout}}
+
+	// Rejoin-aware start: ask the aggregator where this id left off, so a
+	// restarted agent picks a fresh generation instead of a burned one.
+	gen, cursor := uint64(1), uint64(0)
+	rctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	if g, c, err := salsad.Resume(rctx, transport, p.id); err == nil {
+		gen, cursor = g, c
+	}
+	cancel()
+
+	// A small local heavy-hitter monitor supplies candidate items with
+	// each frame; the aggregator evaluates its pooled candidates against
+	// the cluster-wide merged sketch to answer /v1/top.
+	monitor := salsa.MustBuild(salsa.MonitorOf(salsa.Options{
+		Width: 1 << 10, Seed: p.seed,
+	}, 64)).(interface {
+		Process(uint64)
+		Top() []salsa.ItemCount
+	})
+
+	ag, err := salsad.NewAgent(salsad.AgentConfig{
+		ID:          p.id,
+		Spec:        p.topo,
+		Transport:   transport,
+		Generation:  gen,
+		StartCursor: cursor,
+		MaxAttempts: p.attempts,
+		Candidates: func() []uint64 {
+			top := monitor.Top()
+			items := make([]uint64, len(top))
+			for i, e := range top {
+				items[i] = e.Item
+			}
+			return items
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	push := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		defer cancel()
+		return ag.PushOnce(ctx)
+	}
+	var sinceLast int
+	ingest := func(item uint64) error {
+		ag.Ingest(item)
+		monitor.Process(item)
+		if sinceLast++; sinceLast >= p.pushEvery {
+			sinceLast = 0
+			if err := push(); err != nil {
+				// A failed round leaves the frame frozen; the next round
+				// retries it byte-identically. Keep ingesting.
+				fmt.Fprintf(stdout, "push failed (will retry): %v\n", err)
+			}
+		}
+		return nil
+	}
+
+	if p.dataset != "" {
+		ds, ok := stream.ByName(p.dataset)
+		if !ok {
+			return fmt.Errorf("unknown dataset %q", p.dataset)
+		}
+		for _, x := range ds.Generate(p.n, p.seed) {
+			if err := ingest(x); err != nil {
+				return err
+			}
+		}
+	} else {
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			if err := ingest(salsa.KeyBytes(sc.Bytes())); err != nil {
+				return err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+
+	// Final flush: everything ingested must be acknowledged before exit.
+	for tries := 0; !ag.Synced(); tries++ {
+		if err := push(); err != nil {
+			if tries >= 2 {
+				return err
+			}
+			fmt.Fprintf(stdout, "final push failed (retrying): %v\n", err)
+		}
+	}
+	st := ag.Stats()
+	fmt.Fprintf(stdout, "agent %s gen %d: %d items in %d frames (%d retries, %d resyncs), %d wire bytes\n",
+		p.id, ag.Gen(), ag.Frontier()-cursor, st.FramesAcked, st.Retries, st.Resyncs, st.WireBytes)
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"salsa"
+	"salsa/internal/salsad"
+)
+
+// startAggregator runs the aggregator run() path on a background
+// goroutine, returns its printed base URL, and gives the caller the pipe
+// end whose closing shuts it down.
+func startAggregator(t *testing.T, extraArgs ...string) (baseURL string, shutdown func() string) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	args := append([]string{"-mode", "aggregator", "-listen", "127.0.0.1:0", "-width", "4096"}, extraArgs...)
+	go func() {
+		defer outW.Close()
+		done <- run(args, pr, outW)
+	}()
+	// The first output line carries the bound address.
+	buf := make([]byte, 256)
+	n, err := outR.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`http://[0-9.]+:[0-9]+`).FindString(string(buf[:n]))
+	if m == "" {
+		t.Fatalf("no listen address in %q", buf[:n])
+	}
+	return m, func() string {
+		pw.Close() // stdin EOF → graceful shutdown
+		rest, _ := io.ReadAll(outR)
+		if err := <-done; err != nil {
+			t.Fatalf("aggregator run: %v", err)
+		}
+		return string(rest)
+	}
+}
+
+// TestAgentAggregatorRoundTrip drives both CLI roles end to end over a
+// real socket: the agent sketches a generated trace, ships deltas, and
+// the aggregator's shutdown summary accounts for the applied frames.
+func TestAgentAggregatorRoundTrip(t *testing.T) {
+	base, shutdown := startAggregator(t)
+
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "agent", "-addr", base, "-id", "edge-test",
+		"-dataset", "NY18", "-n", "30000", "-width", "4096", "-pushevery", "10000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "agent edge-test") || !strings.Contains(got, "30000 items") {
+		t.Fatalf("agent summary missing:\n%s", got)
+	}
+
+	tail := shutdown()
+	if !strings.Contains(tail, "frames applied") || strings.Contains(tail, "0 frames applied") {
+		t.Fatalf("aggregator summary did not account for pushes:\n%s", tail)
+	}
+}
+
+// TestAgentStdinPath feeds line-delimited items through stdin, the
+// production path for piping logs into an edge agent.
+func TestAgentStdinPath(t *testing.T) {
+	base, shutdown := startAggregator(t)
+	defer shutdown()
+
+	var in strings.Builder
+	for i := 0; i < 500; i++ {
+		in.WriteString("flow-")
+		in.WriteByte(byte('a' + i%7))
+		in.WriteString("\n")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "agent", "-addr", base, "-id", "edge-stdin", "-width", "4096", "-pushevery", "200",
+	}, strings.NewReader(in.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "500 items") {
+		t.Fatalf("wrong volume:\n%s", out.String())
+	}
+}
+
+// TestAgentAgainstLibraryAggregator points the CLI agent at a
+// library-embedded aggregator (httptest + salsad.Handler): the two
+// surfaces are the same protocol.
+func TestAgentAgainstLibraryAggregator(t *testing.T) {
+	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec: salsa.CountMinOf(salsa.Options{Width: 4096, Merge: salsa.MergeSum, Seed: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(salsad.Handler(agg))
+	defer srv.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-mode", "agent", "-addr", srv.URL, "-id", "edge-lib",
+		"-dataset", "NY18", "-n", "10000", "-width", "4096", "-pushevery", "4000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Stats().Applied == 0 {
+		t.Fatal("no frames reached the library aggregator")
+	}
+	if top, err := agg.Top(3); err != nil || len(top) == 0 {
+		t.Fatalf("no heavy hitters after CLI ingest: top=%v err=%v", top, err)
+	}
+}
+
+// TestRunBadArgs: broken invocations error out instead of half-starting.
+func TestRunBadArgs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no mode":         {},
+		"unknown mode":    {"-mode", "nope"},
+		"unknown flag":    {"-bogus"},
+		"bad spec":        {"-mode", "aggregator", "-spec", "nope("},
+		"agent no addr":   {"-mode", "agent"},
+		"bad dataset":     {"-mode", "agent", "-addr", "http://127.0.0.1:1", "-id", "x", "-dataset", "nope"},
+		"windowed spec":   {"-mode", "aggregator", "-spec", "windowed(4,100,cms)"},
+		"agent bad spec":  {"-mode", "agent", "-addr", "http://127.0.0.1:1", "-id", "x", "-spec", "trailing junk"},
+		"unreachable agg": {"-mode", "agent", "-addr", "http://127.0.0.1:1", "-id", "x", "-dataset", "NY18", "-n", "100", "-timeout", "50ms", "-attempts", "1"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}
+
+// TestHelpExitsClean: -h prints usage and returns nil like the other cmds.
+func TestHelpExitsClean(t *testing.T) {
+	if err := run([]string{"-h"}, strings.NewReader(""), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,26 +1,60 @@
-// Distributed aggregation: the paper's sketch-merging use case (§V) as a
-// pipeline. Four workers sketch disjoint partitions of a stream in
-// parallel with shared hash seeds, serialize their sketches through the
-// universal self-describing envelope (salsa.Marshal), and a coordinator
-// decodes the payloads without knowing their topology in advance
-// (salsa.Unmarshal), merges them, and answers global frequency queries —
-// the pattern for multi-core or multi-host measurement. The same envelope
-// carries every composed topology (windowed, sharded, trackers), so the
-// wire format does not change when a worker's deployment shape does.
+// Distributed aggregation: the paper's sketch-merging use case (§V) run
+// through the salsad delta protocol over real HTTP. Three edge agents
+// sketch disjoint partitions of a stream with shared hash seeds and
+// periodically push delta envelopes (current − shadow) to an aggregator
+// behind an httptest server. The network is deliberately unreliable — a
+// wrapped RoundTripper kills the first delivery of every frame — so every
+// push exercises the retry path: the agent freezes the frame, retries it
+// byte-identically with backoff, and the aggregator's sequence numbers
+// make the redelivery idempotent. The coordinator then answers global
+// frequency and heavy-hitter queries from the merged contributions, and
+// the /v1/snapshot envelope equals what a single sequential sketch of the
+// whole stream would hold — exactly, counter for counter.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
-	"sync"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	"salsa"
+	"salsa/internal/salsad"
 	"salsa/internal/stream"
 )
 
+// flakyTransport fails the first attempt of every distinct POST body:
+// each pushed frame needs exactly one retry to get through.
+type flakyTransport struct {
+	next http.RoundTripper
+	seen map[string]bool
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Method == http.MethodPost && r.Body != nil {
+		body, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if !f.seen[string(body)] {
+			f.seen[string(body)] = true
+			return nil, errors.New("connection reset (injected)")
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return f.next.RoundTrip(r)
+}
+
 func main() {
-	const workers = 4
-	const packets = 2_000_000
+	const agents = 3
+	const packets = 600_000
 	opt := salsa.Options{Width: 1 << 14, Merge: salsa.MergeSum, Seed: 99}
+	spec := salsa.CountMinOf(opt)
 
 	trace := stream.NY18.Generate(packets, 17)
 	exact := stream.NewExact()
@@ -28,45 +62,94 @@ func main() {
 		exact.Observe(x)
 	}
 
-	// Fan out: each worker sketches its partition and ships bytes.
-	payloads := make([][]byte, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			cm := salsa.MustBuild(salsa.CountMinOf(opt)).(*salsa.CountMin)
-			for i := w; i < len(trace); i += workers {
-				cm.Increment(trace[i])
-			}
-			blob, err := salsa.Marshal(cm)
-			if err != nil {
-				panic(err)
-			}
-			payloads[w] = blob
-		}(w)
-	}
-	wg.Wait()
-
-	// Coordinator: decode (the envelope is self-describing — no topology
-	// knowledge needed here) and merge.
-	decoded, err := salsa.Unmarshal(payloads[0])
+	// The aggregator end: cluster state plus its HTTP query surface.
+	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{Spec: spec})
 	if err != nil {
 		panic(err)
 	}
-	global := decoded.(*salsa.CountMin)
-	for _, blob := range payloads[1:] {
-		part, err := salsa.Unmarshal(blob)
+	srv := httptest.NewServer(salsad.Handler(agg))
+	defer srv.Close()
+
+	// The edge: each agent sketches its partition and pushes a delta
+	// every ~50k items through the lossy client.
+	ctx := context.Background()
+	var totalRetries, totalWire uint64
+	for w := 0; w < agents; w++ {
+		transport := &salsad.HTTPTransport{
+			Base: srv.URL,
+			Client: &http.Client{
+				Transport: &flakyTransport{next: http.DefaultTransport, seen: map[string]bool{}},
+			},
+		}
+		ag, err := salsad.NewAgent(salsad.AgentConfig{
+			ID:          fmt.Sprintf("edge-%d", w),
+			Spec:        spec,
+			Transport:   transport,
+			BackoffBase: time.Millisecond, // keep the demo snappy
+			Candidates: func() []uint64 {
+				top := make([]uint64, 0, 8)
+				for _, x := range exact.TopK(8) {
+					top = append(top, x)
+				}
+				return top
+			},
+		})
 		if err != nil {
 			panic(err)
 		}
-		global.Merge(part.(*salsa.CountMin))
+		for i := w; i < len(trace); i += agents {
+			ag.Ingest(trace[i])
+			if ag.Frontier()%50_000 == 0 {
+				if err := ag.PushOnce(ctx); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := ag.PushOnce(ctx); err != nil { // final flush
+			panic(err)
+		}
+		if !ag.Synced() {
+			panic("agent finished unsynced")
+		}
+		st := ag.Stats()
+		totalRetries += st.Retries
+		totalWire += st.WireBytes
+		fmt.Printf("edge-%d: %d frames acked, %d retries forced by the flaky network\n",
+			w, st.FramesAcked, st.Retries)
 	}
 
-	fmt.Printf("%d workers, %d packets, %d-byte payloads each\n\n",
-		workers, packets, len(payloads[0]))
-	fmt.Println("item                     truth    merged")
-	for _, x := range exact.TopK(8) {
-		fmt.Printf("%-20d %9d %9d\n", x, exact.Count(x), global.Query(x))
+	// Idempotency check: every frame needed a retry, yet nothing double
+	// counted — the cluster snapshot equals one sequential sketch of the
+	// whole stream, byte for byte.
+	resp, err := http.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		panic(err)
+	}
+	snapshot, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		panic(err)
+	}
+	sequential := salsa.MustBuild(spec).(*salsa.CountMin)
+	for _, x := range trace {
+		sequential.Increment(x)
+	}
+	want, err := salsa.Marshal(sequential)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%d agents, %d packets, %d retries, %d wire bytes\n",
+		agents, packets, totalRetries, totalWire)
+	fmt.Printf("cluster snapshot == sequential reference: %v (%d bytes)\n\n",
+		bytes.Equal(snapshot, want), len(snapshot))
+
+	// Global heavy hitters from the aggregator's candidate pool.
+	top, err := agg.Top(8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("item                     truth   cluster")
+	for _, e := range top {
+		fmt.Printf("%-20d %9d %9d\n", e.Item, exact.Count(e.Item), e.Count)
 	}
 }

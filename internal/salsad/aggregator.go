@@ -1,0 +1,449 @@
+package salsad
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"salsa"
+)
+
+// AggregatorConfig configures an Aggregator.
+type AggregatorConfig struct {
+	// Spec is the core sketch topology every agent must push (a plain
+	// CountMin/ConservativeOf/CountSketch spec; agents may wrap it in
+	// EpochShardedBy locally — the wire carries the core). Required.
+	Spec salsa.Spec
+	// LeaseTTL is how long after its last accepted contact an agent is
+	// still considered alive. Zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// MaxEnvelopeBytes caps the decompressed envelope of one push; zero
+	// means DefaultMaxEnvelopeBytes.
+	MaxEnvelopeBytes int
+	// MaxCandidates caps the aggregator's heavy-hitter candidate pool;
+	// zero means DefaultMaxCandidates. Once the pool is full, new
+	// candidates are dropped (counted in Stats).
+	MaxCandidates int
+	// Now is the clock used for leases; nil means time.Now. Injectable so
+	// the fault harness can drive virtual time.
+	Now func() time.Time
+}
+
+const (
+	// DefaultLeaseTTL is the liveness window applied when
+	// AggregatorConfig.LeaseTTL is zero.
+	DefaultLeaseTTL = 30 * time.Second
+	// DefaultMaxCandidates bounds the heavy-hitter candidate pool when
+	// AggregatorConfig.MaxCandidates is zero.
+	DefaultMaxCandidates = 4096
+)
+
+// agentEntry is the aggregator's durable state for one agent id.
+type agentEntry struct {
+	gen     uint64
+	lastSeq uint64
+	cursor  uint64
+	// cur accumulates the current generation's deltas.
+	cur salsa.Sketch
+	// base holds retired prior-generation contributions: when an agent
+	// crash-restarts it cannot resend what it already shipped, so the old
+	// generation's accumulation is kept and the fresh generation adds on
+	// top. A FlagFull frame discards base — the agent vouches that its
+	// envelope is the complete history.
+	base     salsa.Sketch
+	lastSeen time.Time
+}
+
+// AgentStatus is one row of the aggregator's membership table.
+type AgentStatus struct {
+	ID       string    `json:"id"`
+	Gen      uint64    `json:"gen"`
+	Seq      uint64    `json:"seq"`
+	Cursor   uint64    `json:"cursor"`
+	Alive    bool      `json:"alive"`
+	LastSeen time.Time `json:"lastSeen"`
+}
+
+// AggregatorStats counts protocol outcomes since construction.
+type AggregatorStats struct {
+	Applied           uint64 `json:"applied"`
+	Duplicates        uint64 `json:"duplicates"`
+	Resyncs           uint64 `json:"resyncs"`
+	Heartbeats        uint64 `json:"heartbeats"`
+	Rejected          uint64 `json:"rejected"`
+	CandidatesDropped uint64 `json:"candidatesDropped"`
+}
+
+// Aggregator merges delta pushes from many agents into per-agent
+// contributions and answers cluster-wide queries from their fold. All
+// methods are safe for concurrent use.
+type Aggregator struct {
+	leaseTTL    time.Duration
+	maxEnvelope int
+	maxCand     int
+	now         func() time.Time
+
+	mu sync.Mutex
+	// ref is an empty sketch built from the configured spec: the
+	// compatibility anchor every incoming envelope is checked against and
+	// the zero value cluster queries start from.
+	ref        salsa.Sketch
+	agents     map[string]*agentEntry
+	candidates map[uint64]struct{}
+	stats      AggregatorStats
+}
+
+// NewAggregator builds an aggregator for the given core topology. The
+// spec must be delta-capable (sum-merge CountMin/ConservativeOf or
+// CountSketch).
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("salsad: aggregator needs a topology Spec")
+	}
+	ref, err := salsa.Build(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := salsa.DeltaCapable(ref); err != nil {
+		return nil, err
+	}
+	if core, err := salsa.DeltaCore(ref); err == nil {
+		ref = core
+	}
+	a := &Aggregator{
+		leaseTTL:    cfg.LeaseTTL,
+		maxEnvelope: cfg.MaxEnvelopeBytes,
+		maxCand:     cfg.MaxCandidates,
+		now:         cfg.Now,
+		ref:         ref,
+		agents:      make(map[string]*agentEntry),
+		candidates:  make(map[uint64]struct{}),
+	}
+	if a.leaseTTL <= 0 {
+		a.leaseTTL = DefaultLeaseTTL
+	}
+	if a.maxEnvelope <= 0 {
+		a.maxEnvelope = DefaultMaxEnvelopeBytes
+	}
+	if a.maxCand <= 0 {
+		a.maxCand = DefaultMaxCandidates
+	}
+	if a.now == nil {
+		a.now = time.Now
+	}
+	return a, nil
+}
+
+// MaxEnvelopeBytes returns the configured decompressed-envelope cap.
+func (a *Aggregator) MaxEnvelopeBytes() int { return a.maxEnvelope }
+
+// MaxFrameBytes returns the largest well-formed wire frame the aggregator
+// accepts: the envelope cap (compression never has to shrink the payload
+// for the frame to be valid, so the bound is conservative) plus the frame
+// overhead. HTTP servers use it to size http.MaxBytesReader.
+func (a *Aggregator) MaxFrameBytes() int64 {
+	return int64(a.maxEnvelope) + maxFrameOverhead
+}
+
+// ApplyPush applies one decoded push frame and returns the ack the agent
+// should see. An error means the frame itself was unusable (undecodable or
+// incompatible envelope) — the transport should map it to a hard reject,
+// not a retryable failure.
+func (a *Aggregator) ApplyPush(p *Push) (*Ack, error) {
+	// Decode and sanity-check the envelope before taking the lock.
+	var delta salsa.Sketch
+	if !p.Heartbeat() {
+		if len(p.Envelope) > a.maxEnvelope {
+			a.reject()
+			return nil, &TooLargeError{Size: len(p.Envelope), Limit: a.maxEnvelope}
+		}
+		decoded, err := salsa.Unmarshal(p.Envelope)
+		if err != nil {
+			a.reject()
+			return nil, fmt.Errorf("salsad: push envelope: %w", err)
+		}
+		core, err := salsa.DeltaCore(decoded)
+		if err != nil {
+			a.reject()
+			return nil, err
+		}
+		delta = core
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	e := a.agents[p.Agent]
+
+	ackFor := func(st Status, e *agentEntry) *Ack {
+		ack := &Ack{Status: st}
+		if e != nil {
+			ack.Gen, ack.Seq, ack.Cursor = e.gen, e.lastSeq, e.cursor
+		}
+		return ack
+	}
+
+	if p.Heartbeat() {
+		if e == nil || p.Gen != e.gen {
+			// No state to renew (e.g. the aggregator restarted): the agent
+			// must re-establish itself with a full snapshot.
+			a.stats.Resyncs++
+			return ackFor(StatusResync, e), nil
+		}
+		e.lastSeen = now
+		a.stats.Heartbeats++
+		return ackFor(StatusApplied, e), nil
+	}
+
+	switch {
+	case e == nil || p.Gen > e.gen:
+		// First contact, or a fresh incarnation of a known agent. A
+		// generation must start at seq 1 — anything else means frames were
+		// lost before we ever had state, so only a resync can recover.
+		if p.Seq != 1 {
+			a.stats.Resyncs++
+			return ackFor(StatusResync, e), nil
+		}
+		if err := a.checkCompatibleLocked(delta); err != nil {
+			a.stats.Rejected++
+			return nil, err
+		}
+		if e == nil {
+			e = &agentEntry{}
+			a.agents[p.Agent] = e
+		}
+		if p.Full() {
+			// The envelope is the agent's complete history: replace
+			// everything.
+			e.base = nil
+		} else if e.cur != nil {
+			// Crash-restart rejoin: the prior incarnation's shipped state
+			// is retired and kept; the new generation adds on top.
+			if e.base == nil {
+				e.base = e.cur
+			} else if err := salsa.MergeInto(e.base, e.cur); err != nil {
+				a.stats.Rejected++
+				return nil, err
+			}
+		}
+		e.cur = delta
+		e.gen, e.lastSeq, e.cursor = p.Gen, p.Seq, p.Cursor
+
+	case p.Gen < e.gen:
+		// A zombie incarnation (or a frame delayed from before a restart):
+		// never apply; tell the sender its generation is burned.
+		a.stats.Resyncs++
+		return ackFor(StatusResync, e), nil
+
+	case p.Seq <= e.lastSeq:
+		// Retried or duplicated frame; retries are byte-identical by
+		// protocol, so acknowledging without applying is exact.
+		e.lastSeen = now
+		a.stats.Duplicates++
+		return ackFor(StatusDuplicate, e), nil
+
+	case p.Seq == e.lastSeq+1:
+		if p.Full() {
+			e.base = nil
+			e.cur = delta
+		} else if e.cur == nil {
+			e.cur = delta
+		} else if err := salsa.MergeInto(e.cur, delta); err != nil {
+			a.stats.Rejected++
+			return nil, err
+		}
+		e.lastSeq, e.cursor = p.Seq, p.Cursor
+
+	default:
+		// Sequence gap: a frame is missing and can never be recovered
+		// (the agent has moved its shadow past it only on ack, so a gap
+		// means state diverged — e.g. the entry was built by a different
+		// incarnation). Full resync rebuilds the contribution.
+		a.stats.Resyncs++
+		return ackFor(StatusResync, e), nil
+	}
+
+	e.lastSeen = now
+	a.stats.Applied++
+	a.addCandidatesLocked(p.Candidates)
+	return ackFor(StatusApplied, e), nil
+}
+
+// reject counts a pre-lock rejection (envelope decode failures). Inside
+// the locked state machine, increment stats.Rejected directly.
+func (a *Aggregator) reject() {
+	a.mu.Lock()
+	a.stats.Rejected++
+	a.mu.Unlock()
+}
+
+// checkCompatibleLocked verifies an incoming sketch against the reference
+// topology by merging the (empty) reference into it: a zero-valued merge
+// that runs the full geometry/seed/type compatibility checks.
+func (a *Aggregator) checkCompatibleLocked(sk salsa.Sketch) error {
+	if sk == nil {
+		return nil
+	}
+	return salsa.MergeInto(sk, a.ref)
+}
+
+// addCandidatesLocked folds an agent's heavy-hitter candidates into the
+// bounded pool.
+func (a *Aggregator) addCandidatesLocked(items []uint64) {
+	for _, it := range items {
+		if _, ok := a.candidates[it]; ok {
+			continue
+		}
+		if len(a.candidates) >= a.maxCand {
+			a.stats.CandidatesDropped++
+			continue
+		}
+		a.candidates[it] = struct{}{}
+	}
+}
+
+// Resume returns the aggregator's durable frontier for an agent id, used
+// by a restarting agent to pick a fresh generation and replay point.
+func (a *Aggregator) Resume(agent string) ResumeInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.agents[agent]
+	if e == nil {
+		return ResumeInfo{}
+	}
+	return ResumeInfo{Known: true, Gen: e.gen, Seq: e.lastSeq, Cursor: e.cursor}
+}
+
+// mergedLocked folds every agent's contributions (retired base plus
+// current generation) into a fresh sketch, in sorted agent order so the
+// result is deterministic.
+func (a *Aggregator) mergedLocked() (salsa.Sketch, error) {
+	out, err := salsa.CloneSketch(a.ref)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(a.agents))
+	for id := range a.agents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := a.agents[id]
+		if e.base != nil {
+			if err := salsa.MergeInto(out, e.base); err != nil {
+				return nil, err
+			}
+		}
+		if e.cur != nil {
+			if err := salsa.MergeInto(out, e.cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Snapshot returns the cluster-wide merged sketch (a private copy the
+// caller owns).
+func (a *Aggregator) Snapshot() (salsa.Sketch, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mergedLocked()
+}
+
+// SnapshotBytes returns the cluster-wide merged sketch as a universal
+// envelope.
+func (a *Aggregator) SnapshotBytes() ([]byte, error) {
+	s, err := a.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return salsa.Marshal(s)
+}
+
+// Query returns the merged-sketch estimate for each item (CountSketch
+// estimates may be negative; CountMin estimates are non-negative).
+func (a *Aggregator) Query(items []uint64) ([]int64, error) {
+	s, err := a.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(items))
+	for i, it := range items {
+		out[i] = querySketch(s, it)
+	}
+	return out, nil
+}
+
+func querySketch(s salsa.Sketch, item uint64) int64 {
+	switch t := s.(type) {
+	case *salsa.CountMin:
+		return int64(t.Query(item))
+	case *salsa.CountSketch:
+		return t.Query(item)
+	default:
+		return 0
+	}
+}
+
+// Top evaluates the candidate pool against the merged sketch and returns
+// the k items with the largest estimates, in deterministic
+// (estimate desc, item asc) order.
+func (a *Aggregator) Top(k int) ([]salsa.ItemCount, error) {
+	a.mu.Lock()
+	cands := make([]uint64, 0, len(a.candidates))
+	for it := range a.candidates {
+		cands = append(cands, it)
+	}
+	merged, err := a.mergedLocked()
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	top := make([]salsa.ItemCount, 0, len(cands))
+	for _, it := range cands {
+		if est := querySketch(merged, it); est > 0 {
+			top = append(top, salsa.ItemCount{Item: it, Count: est})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Item < top[j].Item
+	})
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return top, nil
+}
+
+// Agents returns the membership table in sorted id order; Alive reflects
+// the lease: agents silent for longer than LeaseTTL are reported dead but
+// their contributions are retained (counts must survive their reporter).
+func (a *Aggregator) Agents() []AgentStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	out := make([]AgentStatus, 0, len(a.agents))
+	for id, e := range a.agents {
+		out = append(out, AgentStatus{
+			ID:       id,
+			Gen:      e.gen,
+			Seq:      e.lastSeq,
+			Cursor:   e.cursor,
+			Alive:    now.Sub(e.lastSeen) <= a.leaseTTL,
+			LastSeen: e.lastSeen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns protocol counters since construction.
+func (a *Aggregator) Stats() AggregatorStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
