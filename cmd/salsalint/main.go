@@ -1,0 +1,92 @@
+// Command salsalint runs the repo's custom static-analysis suite — the
+// compile-time enforcement of the invariants the runtime tests
+// (TestZeroAlloc*, the race hammers, the seeded harnesses) can only
+// catch after a regression lands.
+//
+// Usage:
+//
+//	go run ./cmd/salsalint ./...          # whole repo (the CI gate)
+//	go run ./cmd/salsalint ./internal/core
+//	go run ./cmd/salsalint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (pattern did
+// not load, a package failed to type-check, ...). Findings print as
+// file:line:col: analyzer: message — the format editors and CI
+// annotations already understand. See the README's "Static analysis"
+// section for the marker comments (//salsa:hotpath, //salsa:nolock,
+// //salsa:deterministic, //salsa:typederrors) and the suppression
+// directive (//salsa:ignore <analyzer> <justification>).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"salsa/internal/lint"
+	"salsa/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("salsalint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "describe the analyzers and exit")
+	only := flags.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			byName[strings.TrimSpace(name)] = true
+		}
+		filtered := analyzers[:0:0]
+		for _, a := range analyzers {
+			if byName[a.Name] {
+				filtered = append(filtered, a)
+				delete(byName, a.Name)
+			}
+		}
+		for name := range byName {
+			fmt.Fprintf(stderr, "salsalint: unknown analyzer %q (see -list)\n", name)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "salsalint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.Run(res, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "salsalint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "salsalint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -69,32 +69,48 @@ func rowSpec(opt Options) sketch.RowSpec {
 
 // Update adds count occurrences of item. Negative counts are allowed only
 // with MergeSum (Strict Turnstile) and never in conservative mode.
+//
+//salsa:hotpath
 func (c *CountMin) Update(item uint64, count int64) { c.sk.Update(item, count) }
 
 // Increment adds one occurrence of item.
+//
+//salsa:hotpath
 func (c *CountMin) Increment(item uint64) { c.sk.Update(item, 1) }
 
 // Query returns the frequency estimate for item (an overestimate).
+//
+//salsa:hotpath
 func (c *CountMin) Query(item uint64) uint64 { return c.sk.Query(item) }
 
 // UpdateBatch adds count occurrences of every item, in order. It leaves the
 // sketch in the identical state as single Updates but hashes and updates
 // row-at-a-time, the fast path for bulk ingestion.
+//
+//salsa:hotpath
 func (c *CountMin) UpdateBatch(items []uint64, count int64) { c.sk.UpdateBatch(items, count) }
 
 // IncrementBatch adds one occurrence of every item, in order.
+//
+//salsa:hotpath
 func (c *CountMin) IncrementBatch(items []uint64) { c.sk.UpdateBatch(items, 1) }
 
 // QueryBatch writes the estimate of items[j] into dst[j] and returns dst,
 // appending if dst is short (pass nil to allocate).
+//
+//salsa:hotpath
 func (c *CountMin) QueryBatch(items []uint64, dst []uint64) []uint64 {
 	return c.sk.QueryBatch(items, dst)
 }
 
 // UpdateBytes and QueryBytes are Update/Query for byte-slice keys.
+//
+//salsa:hotpath
 func (c *CountMin) UpdateBytes(key []byte, count int64) { c.sk.Update(KeyBytes(key), count) }
 
 // QueryBytes returns the frequency estimate for a byte-slice key.
+//
+//salsa:hotpath
 func (c *CountMin) QueryBytes(key []byte) uint64 { return c.sk.Query(KeyBytes(key)) }
 
 // MemoryBits returns the sketch footprint in bits, including the SALSA

@@ -42,24 +42,36 @@ func signedRowSpec(opt Options) sketch.SignedRowSpec {
 }
 
 // Update adds count occurrences of item (count of either sign).
+//
+//salsa:hotpath
 func (c *CountSketch) Update(item uint64, count int64) { c.sk.Update(item, count) }
 
 // Increment adds one occurrence of item.
+//
+//salsa:hotpath
 func (c *CountSketch) Increment(item uint64) { c.sk.Update(item, 1) }
 
 // Query returns the (unbiased) frequency estimate for item.
+//
+//salsa:hotpath
 func (c *CountSketch) Query(item uint64) int64 { return c.sk.Query(item) }
 
 // UpdateBatch adds count occurrences of every item, in order; identical in
 // effect to single Updates, hashed and applied row-at-a-time.
+//
+//salsa:hotpath
 func (c *CountSketch) UpdateBatch(items []uint64, count int64) { c.sk.UpdateBatch(items, count) }
 
 // IncrementBatch adds one occurrence of every item, in order.
+//
+//salsa:hotpath
 func (c *CountSketch) IncrementBatch(items []uint64) { c.sk.UpdateBatch(items, 1) }
 
 // QueryBatch writes the estimate of items[j] into dst[j] and returns dst,
 // appending if dst is short (pass nil to allocate). Like Query, it must not
 // run concurrently with other operations on c.
+//
+//salsa:hotpath
 func (c *CountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
 	return c.sk.QueryBatch(items, dst)
 }

@@ -191,6 +191,8 @@ func (e *Epoch[P]) NewWriter(batch int) *EpochWriter[P] {
 
 // enter begins a seqlock-protected private-sketch operation and returns
 // the absorbing buffer index.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) enter() int {
 	w.seq++
 	w.slot.seq.Store(w.seq) // odd: operation in flight
@@ -200,6 +202,8 @@ func (w *EpochWriter[P]) enter() int {
 }
 
 // exit records n ingested items and ends the operation.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) exit(b int, n uint64) {
 	c := &w.slot.counts[b]
 	c.Store(c.Load() + n) // single-writer: load/store, no RMW needed
@@ -207,6 +211,7 @@ func (w *EpochWriter[P]) exit(b int, n uint64) {
 	w.slot.seq.Store(w.seq) // even: operation complete
 }
 
+//salsa:nolock
 func (w *EpochWriter[P]) mustOpen() {
 	if w.closed {
 		panic("salsa: operation on closed epoch writer")
@@ -215,6 +220,8 @@ func (w *EpochWriter[P]) mustOpen() {
 
 // Increment buffers one occurrence of item, flushing the local buffer
 // into the private sketch when full.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) Increment(item uint64) {
 	w.mustOpen()
 	w.buf = append(w.buf, item)
@@ -226,6 +233,8 @@ func (w *EpochWriter[P]) Increment(item uint64) {
 // Update adds count occurrences of item. count == 1 buffers like
 // Increment; other counts flush the buffer (preserving operation order)
 // and apply immediately.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) Update(item uint64, count int64) {
 	if count == 1 {
 		w.Increment(item)
@@ -241,6 +250,8 @@ func (w *EpochWriter[P]) Update(item uint64, count int64) {
 // UpdateBatch adds count occurrences of every item, in order. The batch
 // is applied directly to the private sketch (after flushing any buffered
 // increments), so large batches pay the seqlock once.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) UpdateBatch(items []uint64, count int64) {
 	w.mustOpen()
 	w.flush()
@@ -254,11 +265,14 @@ func (w *EpochWriter[P]) UpdateBatch(items []uint64, count int64) {
 
 // Flush drains the local increment buffer into the private sketch. Data
 // becomes globally visible only after the next epoch drain.
+//
+//salsa:nolock
 func (w *EpochWriter[P]) Flush() {
 	w.mustOpen()
 	w.flush()
 }
 
+//salsa:nolock
 func (w *EpochWriter[P]) flush() {
 	if len(w.buf) == 0 {
 		return

@@ -2,6 +2,70 @@ package salsa
 
 import "testing"
 
+// envelopeTagSeeds maps every universal-envelope tag to the name of a
+// universalTopologies entry whose Marshal output carries that tag — the
+// compile-time ledger that the FuzzUnmarshalUniversal corpus seeds
+// every decodable tag. The envelopetag analyzer (cmd/salsalint)
+// requires each tag* constant to appear here, so adding a tag without
+// extending the fuzz corpus is un-mergeable;
+// TestEnvelopeTagSeedsCoverUniversalCorpus pins the map's truthfulness
+// (each named topology really marshals to its tag) at run time.
+var envelopeTagSeeds = map[byte]string{
+	tagCountMin:            "countmin-salsa",
+	tagCountSketch:         "countsketch-salsa",
+	tagMonitor:             "monitor",
+	tagTopK:                "topk",
+	tagWindowedCountMin:    "windowed-countmin",
+	tagWindowedCountSketch: "windowed-countsketch",
+	tagWindowedMonitor:     "windowed-monitor",
+	tagSharded:             "sharded-countmin",
+	tagUnivMon:             "univmon-salsa",
+	tagAEE:                 "aee-salsa",
+	tagDistinct:            "distinct",
+	tagColdFilter:          "coldfilter-cms",
+	tagPyramid:             "pyramid",
+	tagWindowedDistinct:    "windowed-distinct",
+	tagEpoch:               "epoch-countmin",
+}
+
+// TestEnvelopeTagSeedsCoverUniversalCorpus proves envelopeTagSeeds
+// honest in both directions: every entry names a universalTopologies
+// spec that marshals to exactly that tag, and every tag the corpus
+// emits is claimed by an entry — so the static ledger and the fuzz
+// corpus cannot drift apart silently.
+func TestEnvelopeTagSeedsCoverUniversalCorpus(t *testing.T) {
+	tagByName := make(map[string]byte)
+	seen := make(map[byte]bool)
+	for _, tc := range universalTopologies() {
+		s := MustBuild(tc.spec)
+		ingestRoundTrip(s, roundTripItems[:1200])
+		blob, err := Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(blob) < 6 {
+			t.Fatalf("%s: envelope too short (%d bytes)", tc.name, len(blob))
+		}
+		tagByName[tc.name] = blob[5]
+		seen[blob[5]] = true
+	}
+	for tag, name := range envelopeTagSeeds {
+		got, ok := tagByName[name]
+		if !ok {
+			t.Errorf("envelopeTagSeeds[%d] names %q, which is not a universalTopologies entry", tag, name)
+			continue
+		}
+		if got != tag {
+			t.Errorf("envelopeTagSeeds[%d] names %q, but that topology marshals with tag %d", tag, name, got)
+		}
+	}
+	for tag := range seen {
+		if _, ok := envelopeTagSeeds[tag]; !ok {
+			t.Errorf("the universal corpus emits tag %d, which envelopeTagSeeds does not claim", tag)
+		}
+	}
+}
+
 // Fuzz targets for the public decoders: corrupted or truncated sketch
 // bytes must come back as an error — never a panic, and never an
 // allocation disproportionate to the payload (the decoders length-check

@@ -40,14 +40,20 @@ func (v *Vector) Len() int { return v.n }
 
 // Words exposes the backing words for performance-critical readers that
 // cannot afford a call per probe; treat as read-only.
+//
+//salsa:hotpath
 func (v *Vector) Words() []uint64 { return v.words }
 
 // Get reports whether bit i is set.
+//
+//salsa:hotpath
 func (v *Vector) Get(i int) bool {
 	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // Set sets bit i to 1.
+//
+//salsa:hotpath
 func (v *Vector) Set(i int) {
 	v.words[i>>6] |= 1 << (uint(i) & 63)
 }

@@ -7,6 +7,8 @@ package core
 // registers across the batch.
 
 // AddSlots adds v to every addressed counter, in slot order.
+//
+//salsa:hotpath
 func (f *Fixed) AddSlots(slots []uint32, v int64) {
 	words, bits, maxV := f.words, f.bits, f.maxV
 	if v >= 0 {
@@ -33,6 +35,8 @@ func (f *Fixed) AddSlots(slots []uint32, v int64) {
 // all but the heaviest slots — are updated inline with the array fields held
 // in registers; merged or overflowing slots fall back to the general Add,
 // which leaves the counter in the identical state the fast path would have.
+//
+//salsa:hotpath
 func (s *Salsa) AddSlots(slots []uint32, v int64) {
 	if v < 0 || s.blWords == nil {
 		for _, i := range slots {
@@ -90,6 +94,8 @@ func (s *Salsa) AddSlots(slots []uint32, v int64) {
 // the link words held in registers; merged spans and overflows fall back to
 // the general Add, whose span growth fires exactly as it would under the
 // same sequence of single Adds.
+//
+//salsa:hotpath
 func (t *Tango) AddSlots(slots []uint32, v int64) {
 	if v < 0 {
 		for _, i := range slots {
@@ -122,6 +128,8 @@ func (t *Tango) AddSlots(slots []uint32, v int64) {
 // AddSignedSlots adds signs[j]*v to the counter addressed by slots[j], the
 // Count Sketch batch primitive. The two's-complement read-modify-write runs
 // with the array fields held in registers; saturation matches Add exactly.
+//
+//salsa:hotpath
 func (f *FixedSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
 	_ = signs[len(slots)-1]
 	words, bits, maxV := f.words, f.bits, f.maxV
@@ -145,6 +153,8 @@ func (f *FixedSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
 // slot order. Counters whose updated magnitude still fits are updated inline
 // through the branchless merge-bit probe of AddSignedFast; overflows fall
 // back to the general Add, so merges fire exactly as under sequential Adds.
+//
+//salsa:hotpath
 func (s *SalsaSign) AddSignedSlots(slots []uint32, signs []int8, v int64) {
 	_ = signs[len(slots)-1]
 	if s.blWords == nil {

@@ -11,6 +11,8 @@ func validBits(b, max uint) bool {
 }
 
 // maxValue returns the largest value representable in bits bits.
+//
+//salsa:hotpath
 func maxValue(bits uint) uint64 {
 	if bits >= 64 {
 		return ^uint64(0)
@@ -19,6 +21,8 @@ func maxValue(bits uint) uint64 {
 }
 
 // satAdd returns a+b, saturating at 2^64−1.
+//
+//salsa:hotpath
 func satAdd(a, b uint64) uint64 {
 	s := a + b
 	if s < a {
@@ -28,6 +32,8 @@ func satAdd(a, b uint64) uint64 {
 }
 
 // satAddSigned returns a+b, saturating at ±(2^63−1).
+//
+//salsa:hotpath
 func satAddSigned(a, b int64) int64 {
 	s := a + b
 	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
@@ -42,6 +48,8 @@ func satAddSigned(a, b int64) int64 {
 // readAligned reads size bits at bit offset off. The caller guarantees the
 // field is self-aligned (off is a multiple of size, size a power of two
 // ≤ 64), so the field never straddles a word.
+//
+//salsa:hotpath
 func readAligned(words []uint64, off, size uint) uint64 {
 	if size == 64 {
 		return words[off>>6]
@@ -51,6 +59,8 @@ func readAligned(words []uint64, off, size uint) uint64 {
 
 // writeAligned writes the low size bits of v at bit offset off, under the
 // same alignment contract as readAligned.
+//
+//salsa:hotpath
 func writeAligned(words []uint64, off, size uint, v uint64) {
 	if size == 64 {
 		words[off>>6] = v
@@ -63,6 +73,8 @@ func writeAligned(words []uint64, off, size uint, v uint64) {
 // readSpan reads n bits (n ≤ 64) at arbitrary bit offset off, possibly
 // crossing one word boundary. Used by Tango, whose counters are not
 // self-aligned.
+//
+//salsa:hotpath
 func readSpan(words []uint64, off, n uint) uint64 {
 	if n == 0 {
 		return 0
@@ -80,6 +92,8 @@ func readSpan(words []uint64, off, n uint) uint64 {
 }
 
 // writeSpan writes the low n bits (n ≤ 64) of v at arbitrary bit offset off.
+//
+//salsa:hotpath
 func writeSpan(words []uint64, off, n uint, v uint64) {
 	if n == 0 {
 		return
@@ -103,6 +117,8 @@ func writeSpan(words []uint64, off, n uint, v uint64) {
 
 // zeroSpan clears n bits starting at bit offset off; n may exceed 64.
 // Aligned interior words clear with single stores.
+//
+//salsa:hotpath
 func zeroSpan(words []uint64, off, n uint) {
 	if sh := off & 63; sh != 0 {
 		chunk := 64 - sh

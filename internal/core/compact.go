@@ -44,6 +44,7 @@ func newCompactLayout(width int, maxLvl uint) *compactLayout {
 	}
 }
 
+//salsa:hotpath
 func (l *compactLayout) groupX(g int) uint64 {
 	zbits := groupEncodingBits[l.groupLog]
 	return readSpan(l.words, uint(g)*zbits, zbits)
@@ -54,6 +55,7 @@ func (l *compactLayout) setGroupX(g int, x uint64) {
 	writeSpan(l.words, uint(g)*zbits, zbits, x)
 }
 
+//salsa:hotpath
 func (l *compactLayout) level(i int) uint {
 	g := i >> l.groupLog
 	x := l.groupX(g)

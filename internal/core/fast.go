@@ -12,6 +12,8 @@ package core
 // merge-bit-word probe. All merge bits slot u can probe lie in its
 // 2^maxLvl-slot block, and 2^maxLvl divides 64, so one word load covers all
 // probes. The caller guarantees the simple encoding (s.blWords non-nil).
+//
+//salsa:hotpath
 func (s *Salsa) fastLevel(u uint) uint {
 	wbits := s.blWords[u>>6]
 	lvl, t := uint(0), uint(1)
@@ -28,6 +30,8 @@ func (s *Salsa) fastLevel(u uint) uint {
 // caller must fall back to Add, which leaves the counter in the identical
 // state the fast path would have. The fast path declines negative updates,
 // compact-encoding arrays, and adds that would overflow (and so merge).
+//
+//salsa:hotpath
 func (s *Salsa) AddFast(i uint32, v int64) bool {
 	if s.blWords == nil || v < 0 {
 		return false
@@ -53,6 +57,8 @@ func (s *Salsa) AddFast(i uint32, v int64) bool {
 // ValueFast returns the value of the counter containing base slot i with the
 // branchless one-word probe; ok is false (and the caller falls back to
 // Value) under the compact encoding.
+//
+//salsa:hotpath
 func (s *Salsa) ValueFast(i uint32) (v uint64, ok bool) {
 	if s.blWords == nil {
 		return 0, false
@@ -72,6 +78,8 @@ func (s *Salsa) ValueFast(i uint32) (v uint64, ok bool) {
 // when v fits the counter's current size, reporting whether it handled the
 // update; on false the caller must fall back to SetAtLeast (which merges).
 // This is the conservative-update fast primitive.
+//
+//salsa:hotpath
 func (s *Salsa) SetAtLeastFast(i uint32, v uint64) bool {
 	if s.blWords == nil {
 		return false
@@ -100,6 +108,8 @@ func (s *Salsa) SetAtLeastFast(i uint32, v uint64) bool {
 
 // fastLevel is (*Salsa).fastLevel for the signed array; caller guarantees
 // the simple encoding (c.blWords non-nil).
+//
+//salsa:hotpath
 func (c *SalsaSign) fastLevel(u uint) uint {
 	wbits := c.blWords[u>>6]
 	lvl, t := uint(0), uint(1)
@@ -115,6 +125,8 @@ func (c *SalsaSign) fastLevel(u uint) uint {
 // when the result still fits the counter's current size, reporting whether
 // it did; on false the caller must fall back to Add, which merges. The
 // Count Sketch single-item and batch fast paths share it.
+//
+//salsa:hotpath
 func (c *SalsaSign) AddSignedFast(i uint32, v int64) bool {
 	if c.blWords == nil {
 		return false
@@ -146,6 +158,8 @@ func (c *SalsaSign) AddSignedFast(i uint32, v int64) bool {
 
 // ValueFast returns the value of the counter containing base slot i with the
 // branchless one-word probe; ok is false under the compact encoding.
+//
+//salsa:hotpath
 func (c *SalsaSign) ValueFast(i uint32) (v int64, ok bool) {
 	if c.blWords == nil {
 		return 0, false
@@ -165,6 +179,8 @@ func (c *SalsaSign) ValueFast(i uint32) (v int64, ok bool) {
 // reading the link bits directly (bit j set means cells j and j+1 are one
 // counter; bit width−1 is never set, so the probe of bit u is safe at the
 // last cell).
+//
+//salsa:hotpath
 func (t *Tango) unmergedFast(link []uint64, u uint) bool {
 	merged := link[u>>6] >> (u & 63) & 1
 	if u > 0 {
@@ -178,6 +194,8 @@ func (t *Tango) unmergedFast(link []uint64, u uint) bool {
 // caller must fall back to Add (merged spans, overflow, negative updates).
 // Single cells are self-aligned (s ≤ 32 divides 64), so the update is one
 // word read-modify-write with no span scan.
+//
+//salsa:hotpath
 func (t *Tango) AddFast(i uint32, v int64) bool {
 	u := uint(i)
 	if v < 0 || !t.unmergedFast(t.link.Words(), u) {
@@ -197,6 +215,8 @@ func (t *Tango) AddFast(i uint32, v int64) bool {
 // ValueFast returns the value of the counter at cell i when the cell is
 // unmerged — the common case on all but the heaviest slots — skipping the
 // span scan; ok is false when the caller must fall back to Value.
+//
+//salsa:hotpath
 func (t *Tango) ValueFast(i uint32) (v uint64, ok bool) {
 	u := uint(i)
 	if !t.unmergedFast(t.link.Words(), u) {
@@ -209,6 +229,8 @@ func (t *Tango) ValueFast(i uint32) (v uint64, ok bool) {
 // SetAtLeastFast raises the counter at cell i to at least v when the cell is
 // unmerged and v fits one s-bit cell, reporting whether it handled the
 // update; on false the caller must fall back to SetAtLeast.
+//
+//salsa:hotpath
 func (t *Tango) SetAtLeastFast(i uint32, v uint64) bool {
 	u := uint(i)
 	if !t.unmergedFast(t.link.Words(), u) {

@@ -47,12 +47,16 @@ func (f *Fixed) CounterBits() uint { return f.bits }
 func (f *Fixed) SizeBits() int { return f.width * int(f.bits) }
 
 // Value returns the value of counter i.
+//
+//salsa:hotpath
 func (f *Fixed) Value(i int) uint64 {
 	return readAligned(f.words, uint(i)*f.bits, f.bits)
 }
 
 // Add adds v to counter i, saturating at the counter maximum; negative v
 // subtracts, clamping at zero.
+//
+//salsa:hotpath
 func (f *Fixed) Add(i int, v int64) {
 	cur := f.Value(i)
 	var nv uint64
@@ -74,6 +78,8 @@ func (f *Fixed) Add(i int, v int64) {
 
 // SetAtLeast raises counter i to at least v (capped at the counter maximum).
 // This is the conservative-update primitive.
+//
+//salsa:hotpath
 func (f *Fixed) SetAtLeast(i int, v uint64) {
 	if v > f.maxV {
 		v = f.maxV
@@ -216,12 +222,16 @@ func (f *FixedSign) Width() int { return f.width }
 func (f *FixedSign) SizeBits() int { return f.width * int(f.bits) }
 
 // Value returns the value of counter i.
+//
+//salsa:hotpath
 func (f *FixedSign) Value(i int) int64 {
 	raw := readAligned(f.words, uint(i)*f.bits, f.bits)
 	return signExtend(raw, f.bits)
 }
 
 // Add adds v to counter i, saturating at ±(2^(b−1)−1).
+//
+//salsa:hotpath
 func (f *FixedSign) Add(i int, v int64) {
 	nv := satAddSigned(f.Value(i), v)
 	if nv > f.maxV {
@@ -269,6 +279,8 @@ func (f *FixedSign) mergeFromGeneric(other *FixedSign, scale int64) {
 }
 
 // signExtend interprets the low bits of raw as a two's-complement value.
+//
+//salsa:hotpath
 func signExtend(raw uint64, bits uint) int64 {
 	shift := 64 - bits
 	return int64(raw<<shift) >> shift

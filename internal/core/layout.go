@@ -47,6 +47,7 @@ func newBitLayoutIn(width int, maxLvl uint, words []uint64) *bitLayout {
 	return &bitLayout{bits: bitvec.NewIn(width, words), maxLvl: maxLvl}
 }
 
+//salsa:hotpath
 func (l *bitLayout) level(i int) uint {
 	lvl := uint(0)
 	for lvl < l.maxLvl {
@@ -59,6 +60,7 @@ func (l *bitLayout) level(i int) uint {
 	return lvl
 }
 
+//salsa:hotpath
 func (l *bitLayout) mergeTo(i int, lvl uint) {
 	if lvl > l.maxLvl {
 		panic("core: merge beyond maximum level")

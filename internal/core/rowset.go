@@ -22,6 +22,8 @@ import "salsa/internal/hashing"
 // loop-carried dependency and no data-dependent branch: the counter address
 // is ready a few cycles after the merge-bit word arrives. tₗ is the AND of
 // the path bits through level ℓ+1, exactly as the loop computes it.
+//
+//salsa:hotpath
 func probeLevel8(wbits uint64, u uint) uint {
 	t0 := uint(wbits>>((u&^1)&63)) & 1
 	t1 := t0 & uint(wbits>>(((u&^3)+1)&63)) & 1
@@ -32,6 +34,8 @@ func probeLevel8(wbits uint64, u uint) uint {
 // SalsaUpdateEach applies the stream update ⟨x, v⟩ to every row: row i adds
 // v at slot Index(x, seeds[i], mask). Equivalent to calling rows[i].Add on
 // each row in order.
+//
+//salsa:hotpath
 func SalsaUpdateEach(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
 	if v >= 0 && len(rows) > 0 && rows[0].s == 8 {
 		salsaUpdateEach8(rows, seeds, mask, x, v)
@@ -77,6 +81,8 @@ func SalsaUpdateEach(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
 // salsaUpdateEach8 is SalsaUpdateEach specialized to the default 8-bit rows
 // via the parallel probe; rows that are not simple-encoding 8-bit fall back
 // to the general Add.
+//
+//salsa:hotpath
 func salsaUpdateEach8(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
 	for i, r := range rows {
 		u := uint(hashing.Index(x, seeds[i], mask))
@@ -103,6 +109,8 @@ func salsaUpdateEach8(rows []*Salsa, seeds []uint64, mask, x uint64, v int64) {
 
 // SalsaMinEach returns the minimum over rows of the counter value at
 // slots[i] — the CMS estimate over pre-hashed slots.
+//
+//salsa:hotpath
 func SalsaMinEach(rows []*Salsa, slots []uint32) uint64 {
 	if len(rows) > 0 && rows[0].s == 8 {
 		return salsaMinEach8(rows, slots)
@@ -139,6 +147,8 @@ func SalsaMinEach(rows []*Salsa, slots []uint32) uint64 {
 
 // salsaMinEach8 is SalsaMinEach specialized to 8-bit rows via the parallel
 // probe.
+//
+//salsa:hotpath
 func salsaMinEach8(rows []*Salsa, slots []uint32) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -167,6 +177,8 @@ func salsaMinEach8(rows []*Salsa, slots []uint32) uint64 {
 // Index(x, seeds[i], mask), hashing inline — the whole point query in one
 // call, with no slot scratch (conservative updates, which reuse their
 // hashes for the raise pass, go through SalsaConservativeEach instead).
+//
+//salsa:hotpath
 func SalsaQueryEach(rows []*Salsa, seeds []uint64, mask, x uint64) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -208,6 +220,8 @@ func SalsaQueryEach(rows []*Salsa, seeds []uint64, mask, x uint64) uint64 {
 // hashed once into scratch, the estimate is the min over rows, and every
 // row's counter is raised to at least est+v. Equivalent to a Query followed
 // by per-row SetAtLeast at the same slots.
+//
+//salsa:hotpath
 func SalsaConservativeEach(rows []*Salsa, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
 	for i := range rows {
 		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
@@ -219,6 +233,8 @@ func SalsaConservativeEach(rows []*Salsa, seeds []uint64, mask, x uint64, v uint
 
 // SalsaRaiseEach raises row i's counter at slots[i] to at least target — the
 // conservative raise pass over pre-hashed slots.
+//
+//salsa:hotpath
 func SalsaRaiseEach(rows []*Salsa, slots []uint32, target uint64) {
 	if len(rows) > 0 && rows[0].s == 8 {
 		salsaRaiseEach8(rows, slots, target)
@@ -262,6 +278,8 @@ func SalsaRaiseEach(rows []*Salsa, slots []uint32, target uint64) {
 
 // salsaRaiseEach8 is SalsaRaiseEach specialized to 8-bit rows via the
 // parallel probe.
+//
+//salsa:hotpath
 func salsaRaiseEach8(rows []*Salsa, slots []uint32, target uint64) {
 	for i, r := range rows {
 		u := uint(slots[i])
@@ -292,6 +310,8 @@ func salsaRaiseEach8(rows []*Salsa, slots []uint32, target uint64) {
 }
 
 // FixedUpdateEach applies the stream update ⟨x, v⟩ to every baseline row.
+//
+//salsa:hotpath
 func FixedUpdateEach(rows []*Fixed, seeds []uint64, mask, x uint64, v int64) {
 	if v < 0 {
 		for i, r := range rows {
@@ -313,6 +333,8 @@ func FixedUpdateEach(rows []*Fixed, seeds []uint64, mask, x uint64, v int64) {
 }
 
 // FixedMinEach returns the minimum over rows of the counter at slots[i].
+//
+//salsa:hotpath
 func FixedMinEach(rows []*Fixed, slots []uint32) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -326,6 +348,8 @@ func FixedMinEach(rows []*Fixed, slots []uint32) uint64 {
 
 // FixedQueryEach returns the CMS estimate over baseline rows, hashing
 // inline with no slot scratch.
+//
+//salsa:hotpath
 func FixedQueryEach(rows []*Fixed, seeds []uint64, mask, x uint64) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -339,6 +363,8 @@ func FixedQueryEach(rows []*Fixed, seeds []uint64, mask, x uint64) uint64 {
 
 // FixedConservativeEach applies the conservative update ⟨x, v⟩ over baseline
 // rows, hashing each row once.
+//
+//salsa:hotpath
 func FixedConservativeEach(rows []*Fixed, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
 	for i := range rows {
 		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
@@ -349,6 +375,8 @@ func FixedConservativeEach(rows []*Fixed, seeds []uint64, mask, x uint64, v uint
 }
 
 // FixedRaiseEach raises row i's counter at slots[i] to at least target.
+//
+//salsa:hotpath
 func FixedRaiseEach(rows []*Fixed, slots []uint32, target uint64) {
 	for i, r := range rows {
 		off := uint(slots[i]) * r.bits
@@ -367,6 +395,8 @@ func FixedRaiseEach(rows []*Fixed, slots []uint32, target uint64) {
 // TangoUpdateEach applies the stream update ⟨x, v⟩ to every Tango row:
 // unmerged non-overflowing cells inline, everything else via the general
 // Add.
+//
+//salsa:hotpath
 func TangoUpdateEach(rows []*Tango, seeds []uint64, mask, x uint64, v int64) {
 	if v < 0 {
 		for i, r := range rows {
@@ -397,6 +427,8 @@ func TangoUpdateEach(rows []*Tango, seeds []uint64, mask, x uint64, v int64) {
 }
 
 // TangoMinEach returns the minimum over rows of the counter at slots[i].
+//
+//salsa:hotpath
 func TangoMinEach(rows []*Tango, slots []uint32) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -422,6 +454,8 @@ func TangoMinEach(rows []*Tango, slots []uint32) uint64 {
 
 // TangoQueryEach returns the CMS estimate over Tango rows, hashing inline
 // with no slot scratch.
+//
+//salsa:hotpath
 func TangoQueryEach(rows []*Tango, seeds []uint64, mask, x uint64) uint64 {
 	est := ^uint64(0)
 	for i, r := range rows {
@@ -447,6 +481,8 @@ func TangoQueryEach(rows []*Tango, seeds []uint64, mask, x uint64) uint64 {
 
 // TangoConservativeEach applies the conservative update ⟨x, v⟩ over Tango
 // rows, hashing each row once.
+//
+//salsa:hotpath
 func TangoConservativeEach(rows []*Tango, seeds []uint64, mask, x uint64, v uint64, scratch []uint32) {
 	for i := range rows {
 		scratch[i] = uint32(hashing.Index(x, seeds[i], mask))
@@ -457,6 +493,8 @@ func TangoConservativeEach(rows []*Tango, seeds []uint64, mask, x uint64, v uint
 }
 
 // TangoRaiseEach raises row i's counter at slots[i] to at least target.
+//
+//salsa:hotpath
 func TangoRaiseEach(rows []*Tango, slots []uint32, target uint64) {
 	for i, r := range rows {
 		if !r.SetAtLeastFast(slots[i], target) {
@@ -468,6 +506,8 @@ func TangoRaiseEach(rows []*Tango, slots []uint32, target uint64) {
 // SalsaMinSlots folds the counter values at slots[j] into out[j]:
 // out[j] = min(out[j], value at slots[j]) — the QueryBatch inner loop, one
 // call per row per chunk with the probe in registers.
+//
+//salsa:hotpath
 func SalsaMinSlots(r *Salsa, slots []uint32, out []uint64) {
 	bl := r.blWords
 	if bl == nil {
@@ -518,6 +558,8 @@ func SalsaMinSlots(r *Salsa, slots []uint32, out []uint64) {
 }
 
 // FixedMinSlots folds the counter values at slots[j] into out[j].
+//
+//salsa:hotpath
 func FixedMinSlots(r *Fixed, slots []uint32, out []uint64) {
 	words, bits := r.words, r.bits
 	cmask := maxValue(bits)
@@ -530,6 +572,8 @@ func FixedMinSlots(r *Fixed, slots []uint32, out []uint64) {
 }
 
 // TangoMinSlots folds the counter values at slots[j] into out[j].
+//
+//salsa:hotpath
 func TangoMinSlots(r *Tango, slots []uint32, out []uint64) {
 	words, link, sb := r.words, r.link.Words(), r.s
 	cmask := (uint64(1) << sb) - 1
@@ -554,6 +598,8 @@ func TangoMinSlots(r *Tango, slots []uint32, out []uint64) {
 
 // SalsaSignReadSlots writes signs[j]·value(slots[j]) into out[j*stride+col]
 // — the Count Sketch QueryBatch gather into its strided scratch.
+//
+//salsa:hotpath
 func SalsaSignReadSlots(r *SalsaSign, slots []uint32, signs []int8, out []int64, stride, col int) {
 	bl := r.blWords
 	if bl == nil {
@@ -591,6 +637,8 @@ func SalsaSignReadSlots(r *SalsaSign, slots []uint32, signs []int8, out []int64,
 }
 
 // FixedSignReadSlots writes signs[j]·value(slots[j]) into out[j*stride+col].
+//
+//salsa:hotpath
 func FixedSignReadSlots(r *FixedSign, slots []uint32, signs []int8, out []int64, stride, col int) {
 	words, bits := r.words, r.bits
 	cmask := maxValue(bits)
@@ -605,6 +653,8 @@ func FixedSignReadSlots(r *FixedSign, slots []uint32, signs []int8, out []int64,
 // SalsaSignUpdateEach applies the Count Sketch update ⟨x, v⟩ to every
 // sign-magnitude row: row i adds v·gᵢ(x) at its slot, inline while the
 // magnitude fits, via the general Add (which merges) otherwise.
+//
+//salsa:hotpath
 func SalsaSignUpdateEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, x uint64, v int64) {
 	for i, r := range rows {
 		u := uint(hashing.Index(x, idxSeeds[i], mask))
@@ -652,6 +702,8 @@ func SalsaSignUpdateEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, 
 
 // SalsaSignReadEach writes row i's signed reading gᵢ(x)·C[i, hᵢ(x)] into
 // out[i] — the Count Sketch query gather; the caller takes the median.
+//
+//salsa:hotpath
 func SalsaSignReadEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, x uint64, out []int64) {
 	for i, r := range rows {
 		u := uint(hashing.Index(x, idxSeeds[i], mask))
@@ -686,6 +738,8 @@ func SalsaSignReadEach(rows []*SalsaSign, idxSeeds, signSeeds []uint64, mask, x 
 
 // FixedSignUpdateEach applies the Count Sketch update ⟨x, v⟩ to every
 // baseline two's-complement row.
+//
+//salsa:hotpath
 func FixedSignUpdateEach(rows []*FixedSign, idxSeeds, signSeeds []uint64, mask, x uint64, v int64) {
 	for i, r := range rows {
 		u := uint(hashing.Index(x, idxSeeds[i], mask))
@@ -706,6 +760,8 @@ func FixedSignUpdateEach(rows []*FixedSign, idxSeeds, signSeeds []uint64, mask, 
 }
 
 // FixedSignReadEach writes row i's signed reading into out[i].
+//
+//salsa:hotpath
 func FixedSignReadEach(rows []*FixedSign, idxSeeds, signSeeds []uint64, mask, x uint64, out []int64) {
 	for i, r := range rows {
 		u := uint(hashing.Index(x, idxSeeds[i], mask))

@@ -126,6 +126,8 @@ func (c *Salsa) Level(i int) uint { return c.level(i) }
 // divides 64, so a single word load covers all probes; the early-out loop
 // beats a branchless probe here because single-item callers see highly
 // predictable levels (AddSlots makes the opposite choice — see batch.go).
+//
+//salsa:hotpath
 func (c *Salsa) level(i int) uint {
 	words := c.blWords
 	if words == nil {
@@ -162,6 +164,8 @@ func (c *Salsa) CounterRange(i int) (start, count int) {
 }
 
 // Value returns the value of the counter containing base slot i.
+//
+//salsa:hotpath
 func (c *Salsa) Value(i int) uint64 {
 	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
@@ -171,6 +175,8 @@ func (c *Salsa) Value(i int) uint64 {
 // Add adds v to the counter containing base slot i, merging on overflow.
 // Negative v subtracts, clamping at zero; it is only permitted with
 // SumMerge (the Strict Turnstile policy).
+//
+//salsa:hotpath
 func (c *Salsa) Add(i int, v int64) {
 	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
@@ -195,6 +201,8 @@ func (c *Salsa) Add(i int, v int64) {
 // SetAtLeast raises the counter containing slot i to at least v, merging on
 // overflow. This is the conservative-update primitive; per Theorem V.3 it
 // should be used with MaxMerge arrays.
+//
+//salsa:hotpath
 func (c *Salsa) SetAtLeast(i int, v uint64) {
 	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
@@ -206,6 +214,8 @@ func (c *Salsa) SetAtLeast(i int, v uint64) {
 
 // store places nv into the counter at (start, lvl), merging upward until it
 // fits. nv already includes the counter's previous value.
+//
+//salsa:hotpath
 func (c *Salsa) store(start int, lvl uint, nv uint64) {
 	for {
 		size := c.s << lvl
@@ -229,6 +239,8 @@ func (c *Salsa) store(start int, lvl uint, nv uint64) {
 
 // blockSum returns the saturating sum of all counters inside the
 // 2^lvl-aligned block starting at start.
+//
+//salsa:hotpath
 func (c *Salsa) blockSum(start int, lvl uint) uint64 {
 	var total uint64
 	end := start + 1<<lvl
@@ -242,6 +254,8 @@ func (c *Salsa) blockSum(start int, lvl uint) uint64 {
 
 // blockMax returns the maximum over all counters inside the 2^lvl-aligned
 // block starting at start.
+//
+//salsa:hotpath
 func (c *Salsa) blockMax(start int, lvl uint) uint64 {
 	var max uint64
 	end := start + 1<<lvl

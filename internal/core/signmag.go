@@ -71,6 +71,8 @@ func newSalsaSignIn(width int, s uint, compact bool, words, layWords []uint64) *
 // level avoids the layout interface dispatch on the update/query hot path
 // for the simple encoding, probing the merge-bit words directly; the probe
 // is identical to (*Salsa).level.
+//
+//salsa:hotpath
 func (c *SalsaSign) level(i int) uint {
 	words := c.blWords
 	if words == nil {
@@ -114,9 +116,13 @@ func (c *SalsaSign) Reset() {
 }
 
 // maxMag returns the largest representable magnitude at the given size.
+//
+//salsa:hotpath
 func maxMag(size uint) int64 { return int64(maxValue(size) >> 1) }
 
 // decodeSM converts a raw sign-magnitude field of the given size to int64.
+//
+//salsa:hotpath
 func decodeSM(raw uint64, size uint) int64 {
 	mag := int64(raw & (maxValue(size) >> 1))
 	if raw>>(size-1)&1 == 1 {
@@ -126,6 +132,8 @@ func decodeSM(raw uint64, size uint) int64 {
 }
 
 // encodeSM converts v (|v| ≤ maxMag(size)) to a raw sign-magnitude field.
+//
+//salsa:hotpath
 func encodeSM(v int64, size uint) uint64 {
 	if v < 0 {
 		return uint64(-v) | 1<<(size-1)
@@ -134,6 +142,8 @@ func encodeSM(v int64, size uint) uint64 {
 }
 
 // Value returns the value of the counter containing base slot i.
+//
+//salsa:hotpath
 func (c *SalsaSign) Value(i int) int64 {
 	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
@@ -143,6 +153,8 @@ func (c *SalsaSign) Value(i int) int64 {
 
 // Add adds v (of either sign) to the counter containing base slot i,
 // merging when the magnitude overflows.
+//
+//salsa:hotpath
 func (c *SalsaSign) Add(i int, v int64) {
 	lvl := c.level(i)
 	start := i &^ (1<<lvl - 1)
@@ -153,6 +165,8 @@ func (c *SalsaSign) Add(i int, v int64) {
 
 // store places nv into the counter at (start, lvl), merging upward until
 // the magnitude fits; merged values are the signed sum of the parts.
+//
+//salsa:hotpath
 func (c *SalsaSign) store(start int, lvl uint, nv int64) {
 	for {
 		size := c.s << lvl
@@ -182,6 +196,8 @@ func (c *SalsaSign) store(start int, lvl uint, nv int64) {
 
 // blockSum returns the signed sum of all counters inside the 2^lvl-aligned
 // block starting at start.
+//
+//salsa:hotpath
 func (c *SalsaSign) blockSum(start int, lvl uint) int64 {
 	var total int64
 	end := start + 1<<lvl

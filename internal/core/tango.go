@@ -69,6 +69,8 @@ func (t *Tango) Merges() uint64 { return t.merges }
 
 // Span returns the base-cell range [lo, hi] of the counter containing cell i
 // by scanning the merge bits outward until unset bits are found (§IV).
+//
+//salsa:hotpath
 func (t *Tango) Span(i int) (lo, hi int) {
 	lo, hi = i, i
 	for lo > 0 && t.link.Get(lo-1) {
@@ -81,10 +83,14 @@ func (t *Tango) Span(i int) (lo, hi int) {
 }
 
 // spanBits returns the bit-size of a span of n cells.
+//
+//salsa:hotpath
 func (t *Tango) spanBits(n int) uint { return uint(n) * t.s }
 
 // readCounter reads the value of the counter spanning cells [lo, hi]. For
 // spans wider than 64 bits only the low 64 bits hold the (saturating) value.
+//
+//salsa:hotpath
 func (t *Tango) readCounter(lo, hi int) uint64 {
 	n := t.spanBits(hi - lo + 1)
 	if n > 64 {
@@ -95,6 +101,8 @@ func (t *Tango) readCounter(lo, hi int) uint64 {
 
 // writeCounter writes v into the counter spanning cells [lo, hi], zeroing
 // any bits of the span beyond 64.
+//
+//salsa:hotpath
 func (t *Tango) writeCounter(lo, hi int, v uint64) {
 	n := t.spanBits(hi - lo + 1)
 	if n > 64 {
@@ -105,12 +113,16 @@ func (t *Tango) writeCounter(lo, hi int, v uint64) {
 }
 
 // fits reports whether v is representable in a span of n cells.
+//
+//salsa:hotpath
 func (t *Tango) fits(v uint64, cells int) bool {
 	b := t.spanBits(cells)
 	return b >= 64 || v <= maxValue(b)
 }
 
 // Value returns the value of the counter containing cell i.
+//
+//salsa:hotpath
 func (t *Tango) Value(i int) uint64 {
 	lo, hi := t.Span(i)
 	return t.readCounter(lo, hi)
@@ -118,6 +130,8 @@ func (t *Tango) Value(i int) uint64 {
 
 // Add adds v to the counter containing cell i, absorbing neighbor cells on
 // overflow. Negative v subtracts (SumMerge only), clamping at zero.
+//
+//salsa:hotpath
 func (t *Tango) Add(i int, v int64) {
 	lo, hi := t.Span(i)
 	cur := t.readCounter(lo, hi)
@@ -138,6 +152,8 @@ func (t *Tango) Add(i int, v int64) {
 }
 
 // SetAtLeast raises the counter containing cell i to at least v.
+//
+//salsa:hotpath
 func (t *Tango) SetAtLeast(i int, v uint64) {
 	lo, hi := t.Span(i)
 	if v <= t.readCounter(lo, hi) {
@@ -148,6 +164,8 @@ func (t *Tango) SetAtLeast(i int, v uint64) {
 
 // store places nv in the counter spanning [lo, hi], absorbing neighbor
 // counters one target cell at a time until nv fits.
+//
+//salsa:hotpath
 func (t *Tango) store(lo, hi int, nv uint64) {
 	for !t.fits(nv, hi-lo+1) {
 		dir, ok := t.growDirection(lo, hi)
@@ -183,6 +201,8 @@ func (t *Tango) store(lo, hi int, nv uint64) {
 // alignment (§IV): grow toward completing the smallest power-of-two-aligned
 // block containing the span; once the span is a full block, grow toward the
 // parent block's other half.
+//
+//salsa:hotpath
 func (t *Tango) growDirection(lo, hi int) (dir int, ok bool) {
 	if lo == 0 && hi == t.width-1 {
 		return 0, false

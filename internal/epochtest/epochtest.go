@@ -26,11 +26,14 @@
 //
 // The package is driven from the root package's tests (it imports salsa;
 // salsa's non-test code never imports it back).
+//
+//salsa:deterministic
 package epochtest
 
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -293,11 +296,7 @@ func CheckSequentialEquivalence(t *testing.T, build func() *Target, sched Schedu
 	concurrent, sequential := build(), build()
 	Replay(concurrent, sched)
 	ReplaySequential(sequential, sched)
-	probe := make(map[uint64]struct{})
-	for _, item := range sched.Ingested() {
-		probe[item] = struct{}{}
-	}
-	for item := range probe {
+	for _, item := range distinctSorted(sched.Ingested()) {
 		got, want := concurrent.Query(item), sequential.Query(item)
 		if got != want {
 			t.Fatalf("drain-barrier equivalence: item %d estimates %d (interleaved) vs %d (sequential)", item, got, want)
@@ -328,11 +327,27 @@ func CheckOverestimate(t *testing.T, target *Target, sched Schedule) {
 	for _, item := range sched.Ingested() {
 		exact[item]++
 	}
-	for item, truth := range exact {
-		if got := target.Query(item); got < truth {
+	for _, item := range distinctSorted(sched.Ingested()) {
+		if got, truth := target.Query(item), exact[item]; got < truth {
 			t.Fatalf("undercount after drains: item %d estimate %d < exact %d", item, got, truth)
 		}
 	}
+}
+
+// distinctSorted returns the distinct items of a replay in ascending
+// order, so harness assertions always visit (and report) items in the
+// same order regardless of map iteration.
+func distinctSorted(items []uint64) []uint64 {
+	uniq := make(map[uint64]struct{}, len(items))
+	for _, item := range items {
+		uniq[item] = struct{}{}
+	}
+	out := make([]uint64, 0, len(uniq))
+	for item := range uniq {
+		out = append(out, item)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // HammerConfig shapes a truly concurrent run. The zero value is not

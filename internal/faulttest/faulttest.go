@@ -11,6 +11,8 @@
 //
 // Every schedule is a pure function of the seed: log the seed, replay the
 // failure.
+//
+//salsa:deterministic
 package faulttest
 
 import (

@@ -3,6 +3,7 @@ package faulttest
 import (
 	"bytes"
 	"context"
+	"sort"
 	"testing"
 
 	"salsa"
@@ -71,7 +72,13 @@ func checkConverged(t *testing.T, c *Cluster, wantBytes bool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for item := range c.ExactCounts() {
+	exact := c.ExactCounts()
+	items := make([]uint64, 0, len(exact))
+	for item := range exact {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
 		if got, want := querySketch(t, merged, item), querySketch(t, ref, item); got != want {
 			t.Fatalf("item %d: aggregator estimate %d != reference %d", item, got, want)
 		}

@@ -12,6 +12,8 @@ import "math/bits"
 // Mix64 is a seeded finalizer over 64-bit items based on the splitmix64
 // output permutation. For a fixed seed it is a bijection on uint64, which
 // gives good avalanche behaviour for the sketch index and sign hashes.
+//
+//salsa:hotpath
 func Mix64(x, seed uint64) uint64 {
 	z := x + seed*0x9e3779b97f4a7c15
 	z ^= z >> 30
@@ -47,12 +49,16 @@ func Seeds(master uint64, n int) []uint64 {
 
 // Index maps item x to a slot in [0, w) using the given seed. w must be a
 // power of two; the caller passes mask = w-1.
+//
+//salsa:hotpath
 func Index(x, seed, mask uint64) uint64 {
 	return Mix64(x, seed) & mask
 }
 
 // Sign maps item x to +1 or -1 with equal probability, independent of the
 // index hash when given an independent seed.
+//
+//salsa:hotpath
 func Sign(x, seed uint64) int64 {
 	// Use the top bit of the mixed value; the finalizer's avalanche makes
 	// every output bit unbiased and pairwise uncorrelated across items.
@@ -65,6 +71,8 @@ func Sign(x, seed uint64) int64 {
 // Bob computes Jenkins' lookup3 hashword-style hash over key with the given
 // initial value. It matches the classic "BobHash" used by the reference
 // sketch implementations for byte-string keys such as packet 5-tuples.
+//
+//salsa:hotpath
 func Bob(key []byte, initval uint32) uint32 {
 	a := uint32(0xdeadbeef) + uint32(len(key)) + initval
 	b, c := a, a
@@ -122,11 +130,13 @@ func Bob(key []byte, initval uint32) uint32 {
 	return c
 }
 
+//salsa:hotpath
 func le32(b []byte) uint32 {
 	_ = b[3]
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
+//salsa:hotpath
 func bobMix(a, b, c uint32) (uint32, uint32, uint32) {
 	a -= c
 	a ^= bits.RotateLeft32(c, 4)
@@ -149,6 +159,7 @@ func bobMix(a, b, c uint32) (uint32, uint32, uint32) {
 	return a, b, c
 }
 
+//salsa:hotpath
 func bobFinal(a, b, c uint32) (uint32, uint32, uint32) {
 	c ^= b
 	c -= bits.RotateLeft32(b, 14)
@@ -169,6 +180,8 @@ func bobFinal(a, b, c uint32) (uint32, uint32, uint32) {
 
 // Bob64 combines two lookup3 passes with different initial values into a
 // 64-bit hash for byte keys.
+//
+//salsa:hotpath
 func Bob64(key []byte, seed uint64) uint64 {
 	lo := Bob(key, uint32(seed))
 	hi := Bob(key, uint32(seed>>32)^0x9e3779b9)

@@ -8,6 +8,8 @@ package hashing
 
 // IndexVec writes Index(items[j], seed, mask) into dst[j] for every item.
 // dst must be at least as long as items.
+//
+//salsa:hotpath
 func IndexVec(items []uint64, seed, mask uint64, dst []uint32) {
 	_ = dst[len(items)-1]
 	for j, x := range items {
@@ -23,6 +25,8 @@ func IndexVec(items []uint64, seed, mask uint64, dst []uint32) {
 
 // SignVec writes Sign(items[j], seed) into dst[j] for every item.
 // dst must be at least as long as items.
+//
+//salsa:hotpath
 func SignVec(items []uint64, seed uint64, dst []int8) {
 	_ = dst[len(items)-1]
 	for j, x := range items {

@@ -1,0 +1,174 @@
+// Package analysis is a minimal, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and Report emits diagnostics.
+//
+// The repo cannot vendor x/tools (the build environment is offline and
+// go.mod is dependency-free by policy), so salsalint carries this
+// API-compatible subset instead. The field and method names mirror the
+// upstream package deliberately: if x/tools ever becomes available,
+// migrating the analyzers is a matter of swapping the import path and
+// deleting this package, not rewriting the checks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //salsa:ignore directives. Conventionally a short lowercase word.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report / pass.Reportf and returns an error only for internal
+	// failures (a returned error aborts the whole run, it is not a
+	// finding).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's syntax, test variant included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the module path of the tree under analysis ("salsa" for
+	// this repo). Packages whose import path is inside Module are held
+	// to the marker call-graph discipline; everything else is treated
+	// as foreign (stdlib) and only matched against explicit deny-lists.
+	Module string
+
+	// Markers holds the repo-wide //salsa:<marker> annotations for
+	// every function in the module, keyed by FuncKey. It spans the
+	// whole load, not just this package, so analyzers can check
+	// cross-package call-graph discipline (a //salsa:hotpath function
+	// may only call //salsa:hotpath functions).
+	Markers MarkerSet
+
+	// Report emits one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// MarkerSet maps FuncKey → the set of //salsa: markers on that
+// function's doc comment.
+type MarkerSet map[string]map[string]bool
+
+// Has reports whether the function identified by key carries marker.
+func (m MarkerSet) Has(key, marker string) bool { return m[key][marker] }
+
+// FuncKey returns the marker-set key for a resolved function object:
+// "pkgpath.Name" for package-level functions, "pkgpath.Recv.Name" for
+// methods (pointer receivers and generic instantiations collapse onto
+// the origin's named receiver type). It returns "" for objects the
+// marker discipline cannot name: builtins, interface methods, and
+// function-typed variables.
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	fn = fn.Origin()
+	key := fn.Pkg().Path()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || types.IsInterface(named) {
+			return "" // interface method: dynamic dispatch, unresolvable
+		}
+		key += "." + named.Obj().Name()
+	}
+	return key + "." + fn.Name()
+}
+
+// DeclKey returns the marker-set key for a function declaration in
+// package pkgPath, the syntactic dual of FuncKey: it strips pointer
+// and type-parameter decoration from the receiver type so that
+// `func (s *Ring[T]) Push` keys as "pkgpath.Ring.Push".
+func DeclKey(pkgPath string, decl *ast.FuncDecl) string {
+	key := pkgPath
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		name := receiverTypeName(decl.Recv.List[0].Type)
+		if name == "" {
+			return ""
+		}
+		key += "." + name
+	}
+	return key + "." + decl.Name.Name
+}
+
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // Ring[T]
+			expr = t.X
+		case *ast.IndexListExpr: // Ring[K, V]
+			expr = t.X
+		case *ast.ParenExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// Callee resolves the *types.Func a call expression statically targets,
+// or nil when the target is dynamic (function values, interface
+// methods) or a builtin/conversion.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation: f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

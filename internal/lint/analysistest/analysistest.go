@@ -1,0 +1,258 @@
+// Package analysistest runs one analyzer over golden-file fixture
+// packages and checks its diagnostics against // want comments — the
+// offline counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files under testdata/src/<pkg>
+// forming a single package. Lines that should be flagged carry a
+// trailing comment of one or more quoted regular expressions:
+//
+//	x := fmt.Sprintf("%d", v) // want `fmt\.Sprintf in hotpath`
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must be matched by a diagnostic — an analyzer that goes silent
+// on its deliberately-bad fixture fails the test, which is what keeps
+// the suite from being neutered by refactoring.
+//
+// Fixtures may import the standard library (resolved offline through
+// `go list -export` compiler export data) but not each other.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"salsa/internal/lint"
+	"salsa/internal/lint/analysis"
+)
+
+// Run applies the analyzer to each fixture package under
+// testdata/src/<pkg> and reports mismatches against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: stdlibImporter(t, fset, files),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s does not type-check: %v", pkgPath, err)
+	}
+
+	markers := make(analysis.MarkerSet)
+	lint.MarkersForFiles(markers, pkgPath, files)
+	ignores := lint.CollectIgnores(fset, files)
+
+	var got []lint.Finding
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Module:    pkgPath, // same-package calls count as in-module
+		Markers:   markers,
+		Report: func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if ignores.Suppressed(a.Name, pos) {
+				return
+			}
+			got = append(got, lint.Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, ignores.Malformed...)
+
+	checkWants(t, fset, files, got)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// exportCache maps import path → compiler export data file, filled by
+// `go list -export` once per distinct import set and shared across the
+// test binary.
+var exportCache = struct {
+	sync.Mutex
+	paths map[string]string
+}{paths: make(map[string]string)}
+
+func stdlibImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	var missing []string
+	exportCache.Lock()
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, ok := exportCache.paths[path]; !ok && path != "unsafe" {
+				missing = append(missing, path)
+			}
+		}
+	}
+	exportCache.Unlock()
+	if len(missing) > 0 {
+		listExports(t, missing)
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exportCache.Lock()
+		exp, ok := exportCache.paths[path]
+		exportCache.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import only the standard library)", path)
+		}
+		return os.Open(exp)
+	})
+}
+
+func listExports(t *testing.T, pkgs []string) {
+	t.Helper()
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, pkgs...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		t.Fatalf("go list -export %s: %v", strings.Join(pkgs, " "), err)
+	}
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("go list -export: %v", err)
+		}
+		if p.Export != "" {
+			exportCache.paths[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// wantRe matches the quoted patterns of a // want comment: Go-quoted
+// or backquoted regular expressions.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []lint.Finding) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string]map[int][]*want) // file → line → expectations
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(rest, -1) {
+					pattern, err := unquoteWant(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					lines := wants[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*want)
+						wants[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range got {
+		var matched bool
+		for _, w := range wants[f.Pos.Filename][f.Pos.Line] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"salsa/internal/lint/analysis"
+)
+
+// DetHarness preserves the one-logged-seed replay guarantee of the
+// deterministic test harnesses.
+//
+// internal/faulttest, internal/epochtest, and internal/oracletest all
+// promise that a failing run replays exactly from the seed printed in
+// the failure. That promise dies the moment a schedule, assertion, or
+// log line consults anything outside the seed. Packages opt in with a
+// //salsa:deterministic marker on their package documentation; inside
+// them this analyzer rejects:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - the global math/rand source: any package-level function of
+//     math/rand or math/rand/v2 except the New* constructors (a
+//     *rand.Rand seeded from the schedule is the sanctioned source);
+//   - map iteration, whose order varies per run. The one exception is
+//     the collect idiom — a range body consisting solely of
+//     `x = append(x, ...)` statements — because collecting into a slice
+//     and sorting is exactly how map contents become deterministic.
+var DetHarness = &analysis.Analyzer{
+	Name: "detharness",
+	Doc:  "//salsa:deterministic packages must not use wall clocks, global randomness, or unordered map iteration",
+	Run:  runDetHarness,
+}
+
+func runDetHarness(pass *analysis.Pass) error {
+	if !PackageMarked(pass.Files, "deterministic") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkDetRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			pass.Reportf(call.Pos(), "time.%s in a deterministic harness: schedules must be a pure function of the logged seed", name)
+		}
+	case "math/rand", "math/rand/v2":
+		sig := fn.Origin().Type().(*types.Signature)
+		if sig.Recv() == nil && !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(), "global %s.%s in a deterministic harness: draw from a *rand.Rand seeded by the schedule", path, name)
+		}
+	}
+}
+
+func checkDetRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	if _, isMap := t.(*types.Map); !isMap {
+		return
+	}
+	if isCollectOnlyBody(rng.Body) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration in a deterministic harness: order varies per run; collect into a slice and sort (a body of only `x = append(x, ...)` is exempt)")
+}
+
+// isCollectOnlyBody reports a range body consisting solely of
+// append-accumulate assignments: the deterministic collect-then-sort
+// idiom's first half.
+func isCollectOnlyBody(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+// Package lint is salsalint: the repo-specific static-analysis suite
+// that proves at compile time the invariants the runtime test suites
+// (TestZeroAlloc*, the race hammers, the seeded harnesses) can only
+// catch after the fact.
+//
+// Five analyzers, each encoding an invariant this codebase enforces:
+//
+//   - hotpath: //salsa:hotpath functions contain no heap-escaping
+//     constructs and call only other hotpath functions.
+//   - nolock: //salsa:nolock functions (the epoch writer ingest path)
+//     never reach mutexes, atomic read-modify-writes, or channels.
+//   - envelopetag: every tag* constant in the universal envelope is
+//     marshaled, unmarshaled, and fuzz-seeded — no gaps, no duplicates.
+//   - detharness: //salsa:deterministic packages (the seeded replay
+//     harnesses) never consult wall clocks, global randomness, or
+//     unordered map iteration.
+//   - typederr: //salsa:typederrors packages return the repo's typed
+//     or wrapped errors from their exported API, never bare fmt.Errorf.
+//
+// A finding is suppressed by a directive on the offending line or the
+// line above:
+//
+//	//salsa:ignore <analyzer>[,<analyzer>] <justification>
+//
+// The justification is mandatory; a bare directive is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"salsa/internal/lint/analysis"
+	"salsa/internal/lint/load"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPath,
+		NoLock,
+		EnvelopeTag,
+		DetHarness,
+		TypedErr,
+	}
+}
+
+// A Finding is one diagnostic tied to its analyzer and position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies analyzers to every analyzable package of a completed
+// load, resolves //salsa:ignore suppressions, and returns the findings
+// sorted by position.
+func Run(res *load.Result, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	markers := CollectMarkers(res)
+	var findings []Finding
+	seen := make(map[Finding]bool) // base and variant packages overlap; report once
+	for _, pkg := range res.Packages {
+		if !pkg.Analyze {
+			continue
+		}
+		ignores := CollectIgnores(res.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      res.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Module:    res.Module,
+				Markers:   markers,
+				Report: func(d analysis.Diagnostic) {
+					pos := res.Fset.Position(d.Pos)
+					if ignores.Suppressed(a.Name, pos) {
+						return
+					}
+					f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+					if !seen[f] {
+						seen[f] = true
+						findings = append(findings, f)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, f := range ignores.Malformed {
+			if !seen[f] {
+				seen[f] = true
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// CollectMarkers scans every loaded module package — dependencies
+// included, so cross-package call-graph discipline sees the whole repo —
+// for //salsa:<marker> lines in function doc comments.
+func CollectMarkers(res *load.Result) analysis.MarkerSet {
+	markers := make(analysis.MarkerSet)
+	for _, pkg := range res.Packages {
+		MarkersForFiles(markers, pkg.Pkg.Path(), pkg.Files)
+	}
+	return markers
+}
+
+// MarkersForFiles records the //salsa:<marker> function annotations of
+// one package's files into markers.
+func MarkersForFiles(markers analysis.MarkerSet, pkgPath string, files []*ast.File) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				addMarkers(markers, pkgPath, fd)
+			}
+		}
+	}
+}
+
+func addMarkers(markers analysis.MarkerSet, pkgPath string, fd *ast.FuncDecl) {
+	for _, c := range fd.Doc.List {
+		name, ok := markerName(c.Text)
+		if !ok {
+			continue
+		}
+		key := analysis.DeclKey(pkgPath, fd)
+		if key == "" {
+			continue
+		}
+		set := markers[key]
+		if set == nil {
+			set = make(map[string]bool)
+			markers[key] = set
+		}
+		set[name] = true
+	}
+}
+
+// markerName extracts "hotpath" from "//salsa:hotpath". Directives are
+// comments with no space after // (like //go:build), so "// salsa:..."
+// prose is not a marker.
+func markerName(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//salsa:")
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" || name == "ignore" {
+		return "", false
+	}
+	return name, true
+}
+
+// PackageMarked reports whether any file of the package carries the
+// package-level directive //salsa:<marker> (conventionally on the
+// package documentation). Package markers opt whole packages into an
+// analyzer: //salsa:deterministic for detharness, //salsa:typederrors
+// for typederr.
+func PackageMarked(files []*ast.File, marker string) bool {
+	for _, file := range files {
+		for _, group := range file.Comments {
+			// Only comments above or beside the package clause: a package
+			// marker is a property of the package, declared at its head.
+			if group.Pos() > file.Name.End() {
+				continue
+			}
+			for _, c := range group.List {
+				if name, ok := markerName(c.Text); ok && name == marker {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IgnoreIndex resolves //salsa:ignore suppressions for one package.
+type IgnoreIndex struct {
+	byLine map[string]map[int][]string // file → line → suppressed analyzers
+
+	// Malformed holds directives missing their analyzer list or
+	// justification — themselves findings, never suppressions.
+	Malformed []Finding
+}
+
+// CollectIgnores indexes the //salsa:ignore directives of one package.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) *IgnoreIndex {
+	idx := &IgnoreIndex{byLine: make(map[string]map[int][]string)}
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//salsa:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, justification, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if names == "" || strings.TrimSpace(justification) == "" {
+					idx.Malformed = append(idx.Malformed, Finding{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "//salsa:ignore needs an analyzer list and a justification: //salsa:ignore <analyzer>[,<analyzer>] <why this is safe>",
+					})
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byLine[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(names, ",") {
+					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a directive on the finding's line, or on
+// the line directly above it, names the analyzer.
+func (idx *IgnoreIndex) Suppressed(analyzer string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

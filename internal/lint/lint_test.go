@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"salsa/internal/lint"
+	"salsa/internal/lint/analysistest"
+)
+
+// Each analyzer runs over a deliberately-bad golden fixture; the
+// analysistest harness fails both on a missed // want and on an
+// unexpected diagnostic, so a neutered analyzer cannot pass.
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotPath, "hotpathtest")
+}
+
+func TestNoLock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoLock, "nolocktest")
+}
+
+func TestEnvelopeTag(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.EnvelopeTag, "envtagtest")
+}
+
+func TestDetHarness(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.DetHarness, "dettest")
+}
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TypedErr, "typederrtest")
+}
+
+// Malformed //salsa:ignore directives are findings anchored on the
+// directive's own line, where no // want comment can coexist — so the
+// fixture harness cannot cover them and they are unit-tested here.
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //salsa:ignore
+	_ = 2 //salsa:ignore hotpath
+	_ = 3 //salsa:ignore hotpath,nolock scratch buffer proven alloc-free
+	//salsa:ignore detharness teardown clock is logged, never asserted on
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := lint.CollectIgnores(fset, []*ast.File{file})
+
+	if len(idx.Malformed) != 2 {
+		t.Fatalf("Malformed = %v, want 2 findings (bare directive, missing justification)", idx.Malformed)
+	}
+	for _, f := range idx.Malformed {
+		if f.Analyzer != "ignore" {
+			t.Errorf("malformed finding attributed to %q, want \"ignore\"", f.Analyzer)
+		}
+		if !strings.Contains(f.Message, "justification") {
+			t.Errorf("malformed finding message %q does not demand a justification", f.Message)
+		}
+	}
+	wantLines := map[int]bool{4: true, 5: true}
+	for _, f := range idx.Malformed {
+		if !wantLines[f.Pos.Line] {
+			t.Errorf("malformed finding on line %d, want lines 4 and 5", f.Pos.Line)
+		}
+	}
+
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !idx.Suppressed("hotpath", at(6)) || !idx.Suppressed("nolock", at(6)) {
+		t.Error("comma-separated directive on line 6 must suppress both hotpath and nolock")
+	}
+	if idx.Suppressed("detharness", at(6)) {
+		t.Error("line 6 directive must not suppress an analyzer it does not name")
+	}
+	if !idx.Suppressed("detharness", at(8)) {
+		t.Error("directive on line 7 must suppress findings on the line below (line 8)")
+	}
+	if idx.Suppressed("detharness", at(9)) {
+		t.Error("suppression must not reach two lines past the directive")
+	}
+	// Malformed directives are findings, never suppressions.
+	if idx.Suppressed("hotpath", at(5)) {
+		t.Error("a malformed directive (no justification) must not suppress anything")
+	}
+}

@@ -1,0 +1,258 @@
+// Package load turns `go list` output into type-checked packages for
+// the salsalint analyzers — a minimal offline substitute for
+// golang.org/x/tools/go/packages.
+//
+// The strategy: one `go list -deps -test -export -json` invocation
+// enumerates every package the patterns reach, including the synthetic
+// test variants ("p [p.test]" with the in-package _test.go files merged
+// in, and the external "p_test [p.test]" package). Packages outside the
+// module are imported from the compiler export data the -export flag
+// materializes in the build cache; packages inside the module are
+// parsed and type-checked from source in dependency order, so analyzers
+// see full syntax trees with complete type information for the whole
+// repo — test files included — without any network or vendored tooling.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked module package ready for analysis.
+type Package struct {
+	ImportPath string // unique key, e.g. "salsa [salsa.test]"
+	BasePath   string // ImportPath with the test-variant suffix stripped
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	// Analyze marks packages the caller's patterns selected (as opposed
+	// to dependencies loaded only for their types). Base packages whose
+	// own "p [p.test]" variant was also selected are demoted to
+	// dependencies: the variant is a strict superset of their files.
+	Analyze bool
+}
+
+// Result is a completed load.
+type Result struct {
+	Module   string // module path, e.g. "salsa"
+	Fset     *token.FileSet
+	Packages []*Package // topological order, dependencies first
+}
+
+// listPkg mirrors the `go list -json` fields the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+}
+
+// Load lists patterns in dir and type-checks every in-module package.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Name,Dir,Export,Standard,ForTest,DepOnly,GoFiles,Imports,ImportMap,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	var listed []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		byPath:  make(map[string]*listPkg, len(listed)),
+		checked: make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	for _, p := range listed {
+		ld.byPath[p.ImportPath] = p
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && ld.module == "" {
+			ld.module = p.Module.Path
+		}
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	// Variants supersede their base package for analysis purposes.
+	hasVariant := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && basePath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	var result Result
+	result.Module = ld.module
+	result.Fset = ld.fset
+	for _, p := range listed {
+		if !ld.inModule(p) || isTestMain(p) {
+			continue
+		}
+		pkg, err := ld.check(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Analyze = !p.DepOnly &&
+			!(p.ForTest == "" && hasVariant[p.ImportPath]) && // variant supersedes
+			!(p.ForTest != "" && p.ForTest != basePath(p.ImportPath)) // "q [p.test]" rebuild: q's own run covers it
+		result.Packages = append(result.Packages, pkg)
+	}
+	return &result, nil
+}
+
+type loader struct {
+	fset    *token.FileSet
+	module  string
+	byPath  map[string]*listPkg
+	checked map[string]*Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (ld *loader) inModule(p *listPkg) bool {
+	return !p.Standard && p.Module != nil && p.Module.Path == ld.module
+}
+
+// isTestMain reports the generated "p.test" main package, whose only
+// file lives in the build cache; it is never analyzed or imported.
+func isTestMain(p *listPkg) bool {
+	return p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") && p.ForTest == ""
+}
+
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// check type-checks the in-module package identified by its full
+// `go list` ImportPath (variant suffix included), memoized.
+func (ld *loader) check(importPath string) (*Package, error) {
+	if pkg, ok := ld.checked[importPath]; ok {
+		return pkg, nil
+	}
+	p, ok := ld.byPath[importPath]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in go list output", importPath)
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, from: p},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(basePath(p.ImportPath), ld.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: p.ImportPath,
+		BasePath:   basePath(p.ImportPath),
+		Dir:        p.Dir,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}
+	ld.checked[importPath] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: through its ImportMap
+// (which routes test-variant builds to their rebuilt dependencies),
+// then to source-checked module packages or gc export data.
+type pkgImporter struct {
+	ld   *loader
+	from *listPkg
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	resolved := path
+	if mapped, ok := pi.from.ImportMap[path]; ok {
+		resolved = mapped
+	}
+	if p, ok := pi.ld.byPath[resolved]; ok && pi.ld.inModule(p) {
+		pkg, err := pi.ld.check(resolved)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return pi.ld.gc.Import(resolved)
+}

@@ -1,0 +1,49 @@
+// Package dettest is the golden fixture for the detharness analyzer: a
+// package opted in with the //salsa:deterministic marker below.
+//
+//salsa:deterministic
+package dettest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock pins the wall-clock bans.
+func Clock() time.Duration {
+	start := time.Now()      // want `time.Now in a deterministic harness: schedules must be a pure function of the logged seed`
+	_ = time.Until(start)    // want `time.Until in a deterministic harness`
+	return time.Since(start) // want `time.Since in a deterministic harness`
+}
+
+// Draw pins the global-randomness bans; a seeded *rand.Rand is the
+// sanctioned alternative.
+func Draw(seed int64) uint64 {
+	_ = rand.Int()                        // want `global math/rand.Int in a deterministic harness: draw from a \*rand.Rand seeded by the schedule`
+	_ = rand.Uint64()                     // want `global math/rand.Uint64 in a deterministic harness`
+	rng := rand.New(rand.NewSource(seed)) // rand.New* constructors are fine
+	return rng.Uint64()
+}
+
+// Iterate pins the map-iteration rule: ranges feeding assertions are
+// banned, collect-only ranges are the sanctioned way out.
+func Iterate(counts map[uint64]int64, fail func(string)) []uint64 {
+	for item := range counts { // want `map iteration in a deterministic harness: order varies per run`
+		if counts[item] < 0 {
+			fail("negative")
+		}
+	}
+	items := make([]uint64, 0, len(counts))
+	for item := range counts { // collect-only body: exempt
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// Suppressed: a justified escape for intentionally time-based teardown.
+func Suppressed() time.Time {
+	//salsa:ignore detharness teardown timestamp is logged, never asserted on
+	return time.Now()
+}

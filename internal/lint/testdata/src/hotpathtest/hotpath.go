@@ -1,0 +1,100 @@
+// Package hotpathtest is the golden fixture for the hotpath analyzer:
+// every banned construct flagged once, every allowed idiom unflagged.
+package hotpathtest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is scratch storage whose methods exercise receiver-owned appends.
+type Ring struct {
+	buf  []uint64
+	m    map[uint64]int
+	ch   chan int
+	next func()
+}
+
+//salsa:hotpath
+func (r *Ring) Bad(items []uint64, out []uint64) {
+	defer func() {}() // want `defer in hotpath function Bad`
+	go func() {}()    // want `goroutine launch in hotpath function Bad`
+	r.ch <- 1         // want `channel send in hotpath function Bad`
+	<-r.ch            // want `channel receive in hotpath function Bad`
+	_ = r.m[items[0]] // want `map access in hotpath function Bad`
+	for range r.m {   // want `map iteration in hotpath function Bad`
+	}
+	out = append(out, 1)      // want `append to non-receiver slice in hotpath function Bad`
+	r.buf = make([]uint64, 8) // want `make in hotpath function Bad`
+	fmt.Println(len(items))   // want `fmt.Println in hotpath function Bad`
+	sort.Slice(items, nil)    // want `sort.Slice in hotpath function Bad`
+	r.reset()                 // want `hotpath function Bad calls hotpathtest.reset, which is not marked //salsa:hotpath`
+	n := len(items)
+	r.next = func() { n++ } // want `closure captures "n" in hotpath function Bad`
+}
+
+func (r *Ring) reset() { r.buf = r.buf[:0] }
+
+// Good shows the allowed idioms: receiver-owned appends, calls into
+// marked functions (including methods and generic instantiations), and
+// allocation on the panic path.
+//
+//salsa:hotpath
+func (r *Ring) Good(items []uint64) uint64 {
+	r.buf = append(r.buf, items...) // receiver-owned scratch may append
+	var acc uint64
+	for _, x := range items { // slice range is fine
+		acc += mix(x)
+		acc += clampGeneric(x, 9)
+		acc += r.probe(x)
+	}
+	if acc == 0 {
+		panic(fmt.Sprintf("impossible accumulator for %d items", len(items)))
+	}
+	return acc
+}
+
+//salsa:hotpath
+func mix(x uint64) uint64 { return x * 0x9e3779b97f4a7c15 }
+
+// clampGeneric proves markers survive generic instantiation: the callee
+// key resolves through types.Func.Origin.
+//
+//salsa:hotpath
+func clampGeneric[T ~uint64](x, hi T) T {
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+//salsa:hotpath
+func (r *Ring) probe(x uint64) uint64 { return x & 63 }
+
+// Boxer pins the implicit-boxing and interface-conversion findings.
+//
+//salsa:hotpath
+func Boxer(x uint64) {
+	sink(x)            // want `argument boxes uint64 into interface{} in hotpath function Boxer`
+	_ = interface{}(x) // want `conversion to interface type interface{} in hotpath function Boxer \(boxes the operand\)`
+	var a any
+	sink(a) // passing an interface on is not a fresh boxing
+}
+
+//salsa:hotpath
+func sink(v interface{}) { _ = v }
+
+// Suppressed shows the escape hatch: a justified //salsa:ignore on the
+// offending line (or the line above) silences exactly that analyzer.
+//
+//salsa:hotpath
+func Suppressed() []uint64 {
+	//salsa:ignore hotpath one-time setup buffer, measured alloc-free afterwards
+	buf := make([]uint64, 8)
+	return buf
+}
+
+// Unmarked functions are outside the discipline entirely.
+func Unmarked() []uint64 {
+	return make([]uint64, 8)
+}

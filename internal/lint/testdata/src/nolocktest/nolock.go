@@ -1,0 +1,66 @@
+// Package nolocktest is the golden fixture for the nolock analyzer: the
+// seqlock-only discipline of the epoch writer ingest path.
+package nolocktest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Writer mirrors the shape of an epoch writer: an owned sequence word,
+// a guarded buffer, and the channels it must never touch while marked.
+type Writer struct {
+	mu  sync.Mutex
+	seq atomic.Uint64
+	n   uint64
+	ch  chan uint64
+}
+
+//salsa:nolock
+func (w *Writer) Bad(items []uint64) {
+	w.mu.Lock()                  // want `sync.Mutex method Lock in nolock function Bad`
+	w.mu.Unlock()                // want `sync.Mutex method Unlock in nolock function Bad`
+	w.seq.Add(1)                 // want `atomic read-modify-write Add in nolock function Bad \(the seqlock protocol permits only Load and Store\)`
+	w.seq.CompareAndSwap(0, 1)   // want `atomic read-modify-write CompareAndSwap in nolock function Bad`
+	atomic.AddUint64(&w.n, 1)    // want `atomic read-modify-write AddUint64 in nolock function Bad`
+	atomic.SwapUint64(&w.n, 2)   // want `atomic read-modify-write SwapUint64 in nolock function Bad`
+	w.ch <- items[0]             // want `channel send in nolock function Bad`
+	<-w.ch                       // want `channel receive in nolock function Bad`
+	close(w.ch)                  // want `channel close in nolock function Bad`
+	go func() {}()               // want `goroutine launch in nolock function Bad`
+	_ = sync.OnceFunc(func() {}) // want `sync.OnceFunc in nolock function Bad`
+	w.drain()                    // want `nolock function Bad calls nolocktest.drain, which is not marked //salsa:nolock`
+	select {                     // want `select in nolock function Bad`
+	default:
+	}
+}
+
+func (w *Writer) drain() {}
+
+// Good is the seqlock writer protocol itself: plain atomic loads and
+// stores of writer-owned words, plus calls into equally marked helpers.
+//
+//salsa:nolock
+func (w *Writer) Good(items []uint64) {
+	s := w.seq.Load()
+	w.seq.Store(s + 1)
+	atomic.StoreUint64(&w.n, atomic.LoadUint64(&w.n)+uint64(len(items)))
+	w.apply(items)
+	w.seq.Store(s + 2)
+}
+
+//salsa:nolock
+func (w *Writer) apply(items []uint64) {
+	for _, x := range items {
+		w.n += x
+	}
+}
+
+// Suppressed: the Close-side teardown may take the writer mutex when a
+// reviewer signs off on it.
+//
+//salsa:nolock
+func (w *Writer) Suppressed() {
+	w.mu.Lock() //salsa:ignore nolock teardown path, runs after the last ingest by contract
+	w.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+// Package typederrtest is the golden fixture for the typederr analyzer:
+// a package opted in to the typed-error contract via the marker below.
+//
+//salsa:typederrors
+package typederrtest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is the package sentinel callers dispatch on.
+var ErrClosed = errors.New("typederrtest: closed")
+
+// LimitError is the package's typed error.
+type LimitError struct{ Limit int }
+
+func (e *LimitError) Error() string { return fmt.Sprintf("typederrtest: over limit %d", e.Limit) }
+
+// Bare is the canonical violation: an exported function returning an
+// unwrappable fmt.Errorf string.
+func Bare(n int) error {
+	if n < 0 {
+		return fmt.Errorf("typederrtest: negative count %d", n) // want `Bare returns a bare fmt.Errorf string; wrap a sentinel with %w or return one of the package's typed errors`
+	}
+	return nil
+}
+
+// Inline is the second violation leg: an inline errors.New that no
+// caller can errors.Is against.
+func Inline() error {
+	return errors.New("typederrtest: ad-hoc failure") // want `Inline returns an inline errors.New; declare a package sentinel or typed error so callers can errors.Is it`
+}
+
+// Wrapped passes: the %w verb keeps the sentinel reachable.
+func Wrapped(n int) error {
+	return fmt.Errorf("typederrtest: count %d: %w", n, ErrClosed)
+}
+
+// Typed passes: a typed error is exactly what the contract wants.
+func Typed(n int) error {
+	if n > 10 {
+		return &LimitError{Limit: 10}
+	}
+	return ErrClosed
+}
+
+// bare is unexported, so its returns are not part of the package API.
+func bare() error {
+	return fmt.Errorf("typederrtest: internal scratch error")
+}
+
+// Pool is an exported receiver type, so its exported methods are API.
+type Pool struct{ closed bool }
+
+// Get is an exported method on an exported type: in scope.
+func (p *Pool) Get() error {
+	if p.closed {
+		return fmt.Errorf("typederrtest: pool is closed") // want `Get returns a bare fmt.Errorf string`
+	}
+	return nil
+}
+
+// pool is unexported, so even exported methods on it are out of scope.
+type pool struct{}
+
+func (pool) Get() error {
+	return errors.New("typederrtest: hidden pool failure")
+}
+
+// Callback proves function literals are skipped: a callback's return
+// values are not the enclosing function's API.
+func Callback() func() error {
+	return func() error {
+		return fmt.Errorf("typederrtest: callback failure")
+	}
+}
+
+// Suppressed shows the escape hatch with its mandatory justification.
+func Suppressed() error {
+	//salsa:ignore typederr transitional message pinned by a wire-compat test
+	return fmt.Errorf("typederrtest: legacy wire string")
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"salsa/internal/lint/analysis"
+)
+
+// TypedErr keeps the public error surface introspectable.
+//
+// The repo's contract (DeltaError, CompositionError, TooLargeError,
+// the ErrBadPayload/ErrBadFrame sentinels) is that callers can always
+// dispatch on an exported function's error with errors.Is/errors.As —
+// which a bare fmt.Errorf string silently breaks. Packages opt in with
+// a //salsa:typederrors marker on their package documentation; inside
+// them, every exported function or method (on an exported type) that
+// returns an error must not return, directly:
+//
+//   - fmt.Errorf(...) whose format has no %w verb, or
+//   - an inline errors.New(...).
+//
+// Wrapping a sentinel with %w, returning a typed error, or routing
+// through a package error-constructor helper all pass. Function
+// literals inside the body are skipped: a callback's return values are
+// not the function's API. This is a discipline check on the return
+// sites the compiler can see, not a dataflow analysis — the
+// corresponding runtime guarantee is the errors.Is/As assertions in
+// the package tests.
+var TypedErr = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "//salsa:typederrors packages must return typed or %w-wrapped errors from exported functions",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *analysis.Pass) error {
+	if !PackageMarked(pass.Files, "typederrors") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedAPI(fd) {
+				continue
+			}
+			checkTypedErrFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exportedAPI reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	recv := analysis.DeclKey("", fd) // ".Recv.Name"
+	parts := strings.Split(recv, ".")
+	if len(parts) < 3 {
+		return false
+	}
+	return token.IsExported(parts[1])
+}
+
+func checkTypedErrFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a callback's returns are not this function's API
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				continue
+			}
+			switch fn.Pkg().Path() + "." + fn.Name() {
+			case "fmt.Errorf":
+				if len(call.Args) > 0 && !formatWraps(call.Args[0]) {
+					pass.Reportf(res.Pos(), "%s returns a bare fmt.Errorf string; wrap a sentinel with %%w or return one of the package's typed errors", fd.Name.Name)
+				}
+			case "errors.New":
+				pass.Reportf(res.Pos(), "%s returns an inline errors.New; declare a package sentinel or typed error so callers can errors.Is it", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// formatWraps reports whether a fmt.Errorf format argument is a string
+// literal containing a %w (or %[n]w) verb. Non-literal formats are
+// given the benefit of the doubt.
+func formatWraps(arg ast.Expr) bool {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && (format[j] == '[' || format[j] == ']' || format[j] >= '0' && format[j] <= '9') {
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			return true
+		}
+	}
+	return false
+}

@@ -8,6 +8,8 @@
 // for the sampling noise of checking a per-query probabilistic guarantee
 // over finitely many queries (a three-sigma binomial allowance), not for
 // run-to-run variation.
+//
+//salsa:deterministic
 package oracletest
 
 import (
@@ -102,8 +104,8 @@ func binomialSlack(p float64, q int) float64 {
 // sketches: no estimate below the true count, for any item.
 func CheckOverestimate(t *testing.T, name string, wl Workload, query func(uint64) uint64) {
 	t.Helper()
-	for x, f := range wl.Exact.Counts() {
-		if est := query(x); est < f {
+	for _, x := range wl.Exact.SortedItems() {
+		if est, f := query(x), wl.Exact.Count(x); est < f {
 			t.Fatalf("%s/%s: item %d underestimated: %d < %d", name, wl.Name, x, est, f)
 		}
 	}
@@ -120,7 +122,8 @@ func CheckCountMinEnvelope(t *testing.T, name string, wl Workload, width, depth 
 	budget := math.E * float64(wl.Exact.Volume()) / float64(width)
 	pBound := math.Exp(-float64(depth))
 	violations, queries := 0, 0
-	for x, f := range wl.Exact.Counts() {
+	for _, x := range wl.Exact.SortedItems() {
+		f := wl.Exact.Count(x)
 		queries++
 		if float64(query(x))-float64(f) >= budget+extra {
 			violations++
@@ -145,7 +148,8 @@ func CheckCountSketchEnvelope(t *testing.T, name string, wl Workload, width int,
 	pBound := 1.0 / 9
 	violations, queries := 0, 0
 	var sum float64
-	for x, f := range wl.Exact.Counts() {
+	for _, x := range wl.Exact.SortedItems() {
+		f := wl.Exact.Count(x)
 		queries++
 		err := float64(query(x)) - float64(f)
 		sum += err
@@ -174,7 +178,8 @@ func CheckAdditiveEnvelope(t *testing.T, name string, wl Workload, width int, sa
 	t.Helper()
 	collision := math.E * float64(wl.Exact.Volume()) / float64(width)
 	violations, queries := 0, 0
-	for x, f := range wl.Exact.Counts() {
+	for _, x := range wl.Exact.SortedItems() {
+		f := wl.Exact.Count(x)
 		queries++
 		budget := sigmas*math.Sqrt(float64(f)/sampleProb+1) + collision
 		if err := query(x) - float64(f); err < -budget || err > budget {

@@ -52,8 +52,8 @@ func TestExactReferenceAgrees(t *testing.T) {
 	if got, want := wl.Exact.Distinct(), len(counts); got != want {
 		t.Fatalf("distinct %d, want %d", got, want)
 	}
-	for x, f := range counts {
-		if got := wl.Exact.Count(x); got != f {
+	for _, x := range wl.Exact.SortedItems() {
+		if got, f := wl.Exact.Count(x), counts[x]; got != f {
 			t.Fatalf("count(%d) = %d, want %d", x, got, f)
 		}
 	}

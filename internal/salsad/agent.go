@@ -130,10 +130,10 @@ type AgentStats struct {
 // windows, shards, trackers) is rejected with a *salsa.DeltaError.
 func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.ID == "" || len(cfg.ID) > MaxAgentIDLen {
-		return nil, fmt.Errorf("salsad: agent id %q must be 1..%d bytes", cfg.ID, MaxAgentIDLen)
+		return nil, &ConfigError{Field: "ID", Reason: fmt.Sprintf("agent id %q must be 1..%d bytes", cfg.ID, MaxAgentIDLen)}
 	}
 	if cfg.Spec == nil || cfg.Transport == nil {
-		return nil, errors.New("salsad: agent needs a Spec and a Transport")
+		return nil, &ConfigError{Field: "Spec", Reason: "agent needs a Spec and a Transport"}
 	}
 	if cfg.Generation == 0 {
 		cfg.Generation = 1

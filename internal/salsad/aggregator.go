@@ -99,7 +99,7 @@ type Aggregator struct {
 // CountSketch).
 func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Spec == nil {
-		return nil, fmt.Errorf("salsad: aggregator needs a topology Spec")
+		return nil, &ConfigError{Field: "Spec", Reason: "aggregator needs a topology Spec"}
 	}
 	ref, err := salsa.Build(cfg.Spec)
 	if err != nil {

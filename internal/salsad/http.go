@@ -172,6 +172,21 @@ func (t *HTTPTransport) client() *http.Client {
 	return &http.Client{Timeout: 10 * time.Second}
 }
 
+// A StatusError reports an aggregator response with a non-success HTTP
+// status, preserving the status line and trimmed body for inspection.
+type StatusError struct {
+	// Op is the rejected operation: "push" or "resume".
+	Op string
+	// Status is the HTTP status line (e.g. "503 Service Unavailable").
+	Status string
+	// Body is the trimmed response body.
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("salsad: %s rejected: %s: %s", e.Op, e.Status, e.Body)
+}
+
 // Push implements Transport.
 func (t *HTTPTransport) Push(ctx context.Context, p *Push) (*Ack, error) {
 	enc, err := p.Encode()
@@ -197,7 +212,7 @@ func (t *HTTPTransport) Push(ctx context.Context, p *Push) (*Ack, error) {
 		return &ack, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return nil, fmt.Errorf("salsad: push rejected: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, &StatusError{Op: "push", Status: resp.Status, Body: string(bytes.TrimSpace(msg))}
 	}
 }
 
@@ -215,7 +230,7 @@ func (t *HTTPTransport) Resume(ctx context.Context, agent string) (*ResumeInfo, 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return nil, fmt.Errorf("salsad: resume failed: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return nil, &StatusError{Op: "resume", Status: resp.Status, Body: string(bytes.TrimSpace(msg))}
 	}
 	var info ResumeInfo
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {

@@ -30,6 +30,8 @@
 // injects drops, duplicates, reorders, delays, partitions, and
 // crash-restarts, and asserts that a quiesced aggregator is byte-identical
 // to a no-fault sequential reference.
+//
+//salsa:typederrors
 package salsad
 
 import (
@@ -68,6 +70,17 @@ const (
 	// envelope: fixed header plus maximal agent id and candidate list.
 	maxFrameOverhead = 4 + 1 + 1 + 2 + MaxAgentIDLen + 8*3 + 2 + 8*MaxPushCandidates + 4 + 4
 )
+
+// A ConfigError reports an AgentConfig or AggregatorConfig field the
+// constructors reject.
+type ConfigError struct {
+	// Field names the offending config field.
+	Field string
+	// Reason states the violated constraint.
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return "salsad: " + e.Reason }
 
 // ErrBadFrame is returned when decoding bytes that are not a well-formed
 // push frame.
@@ -126,13 +139,13 @@ func (p *Push) Full() bool { return p.Flags&FlagFull != 0 }
 // what makes retried frames byte-identical on the wire.
 func (p *Push) Encode() ([]byte, error) {
 	if len(p.Agent) == 0 || len(p.Agent) > MaxAgentIDLen {
-		return nil, fmt.Errorf("salsad: agent id length %d outside [1,%d]", len(p.Agent), MaxAgentIDLen)
+		return nil, fmt.Errorf("salsad: agent id length %d outside [1,%d]: %w", len(p.Agent), MaxAgentIDLen, ErrBadFrame)
 	}
 	if len(p.Candidates) > MaxPushCandidates {
-		return nil, fmt.Errorf("salsad: %d candidates exceed the per-push cap %d", len(p.Candidates), MaxPushCandidates)
+		return nil, fmt.Errorf("salsad: %d candidates exceed the per-push cap %d: %w", len(p.Candidates), MaxPushCandidates, ErrBadFrame)
 	}
 	if p.Heartbeat() && len(p.Envelope) > 0 {
-		return nil, errors.New("salsad: heartbeat frames carry no envelope")
+		return nil, fmt.Errorf("salsad: heartbeat frames carry no envelope: %w", ErrBadFrame)
 	}
 	var comp bytes.Buffer
 	if len(p.Envelope) > 0 {

@@ -31,6 +31,8 @@ type signedSlotAdder interface {
 // order. It is equivalent to calling Update(items[j], v) for each item and
 // leaves the sketch in the identical state, only faster. In conservative
 // mode v must be non-negative.
+//
+//salsa:hotpath
 func (c *CMS) UpdateBatch(items []uint64, v int64) {
 	if len(items) == 0 {
 		return
@@ -43,6 +45,7 @@ func (c *CMS) UpdateBatch(items []uint64, v int64) {
 		return
 	}
 	if c.chunkSlots == nil {
+		//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 		c.chunkSlots = make([]uint32, batchChunk)
 	}
 	slots := c.chunkSlots
@@ -71,10 +74,14 @@ func (c *CMS) UpdateBatch(items []uint64, v int64) {
 // likewise hashes once per row, feeding both the min and the raise pass).
 // The per-item passes run through the monomorphic cores of fast.go when the
 // sketch is homogeneous.
+//
+//salsa:hotpath
 func (c *CMS) conservativeBatch(items []uint64, v uint64) {
 	if c.slotScratch == nil {
+		//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 		c.slotScratch = make([][]uint32, len(c.rows))
 		for i := range c.slotScratch {
+			//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 			c.slotScratch[i] = make([]uint32, batchChunk)
 		}
 	}
@@ -96,8 +103,11 @@ func (c *CMS) conservativeBatch(items []uint64, v uint64) {
 // QueryBatch writes the estimate f̂(items[j]) into dst[j] for every item and
 // returns dst, appending if dst is short (pass nil to allocate). Each row is
 // hashed once per chunk.
+//
+//salsa:hotpath
 func (c *CMS) QueryBatch(items []uint64, dst []uint64) []uint64 {
 	for len(dst) < len(items) {
+		//salsa:ignore hotpath dst grows by documented contract: pass nil to allocate, presized to avoid it
 		dst = append(dst, 0)
 	}
 	var slots [batchChunk]uint32
@@ -124,9 +134,13 @@ func (c *CMS) QueryBatch(items []uint64, dst []uint64) []uint64 {
 // order; equivalent to (but faster than) single Updates. The slot and sign
 // buffers live on the sketch: stack buffers would escape through the
 // row-interface AddSignedSlots call and allocate per batch.
+//
+//salsa:hotpath
 func (c *CountSketch) UpdateBatch(items []uint64, v int64) {
 	if c.chunkSlots == nil {
+		//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 		c.chunkSlots = make([]uint32, batchChunk)
+		//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 		c.chunkSigns = make([]int8, batchChunk)
 	}
 	slots, signs := c.chunkSlots, c.chunkSigns
@@ -153,6 +167,8 @@ func (c *CountSketch) UpdateBatch(items []uint64, v int64) {
 // readSigned writes signs[j]·row-value-at-slots[j] into the strided scratch
 // column i (the CountSketch QueryBatch inner loop), devirtualized per
 // concrete row type.
+//
+//salsa:hotpath
 func readSigned(r SignedRow, slots []uint32, signs []int8, scratch []int64, i, d int) {
 	switch row := r.(type) {
 	case *core.SalsaSign:
@@ -170,12 +186,16 @@ func readSigned(r SignedRow, slots []uint32, signs []int8, scratch []int64, i, d
 // returns dst, appending if dst is short (pass nil to allocate). Like Query,
 // it shares the sketch's scratch buffers and must not run concurrently with
 // other operations on c.
+//
+//salsa:hotpath
 func (c *CountSketch) QueryBatch(items []uint64, dst []int64) []int64 {
 	for len(dst) < len(items) {
+		//salsa:ignore hotpath dst grows by documented contract: pass nil to allocate, presized to avoid it
 		dst = append(dst, 0)
 	}
 	d := len(c.rows)
 	if c.batchScratch == nil {
+		//salsa:ignore hotpath one-time lazy scratch init, amortized across every later batch
 		c.batchScratch = make([]int64, d*batchChunk)
 	}
 	var (

@@ -150,6 +150,8 @@ func (c *CountSketch) SizeBits() int {
 // Update processes the stream update ⟨x, v⟩ (v of either sign). Homogeneous
 // sketches run the whole d-row update in one monomorphic row-set call
 // (core/rowset.go).
+//
+//salsa:hotpath
 func (c *CountSketch) Update(x uint64, v int64) {
 	switch {
 	case c.salsa != nil:
@@ -165,6 +167,8 @@ func (c *CountSketch) Update(x uint64, v int64) {
 }
 
 // Query returns the estimate f̂(x) = median over rows of C[i,hᵢ(x)]·gᵢ(x).
+//
+//salsa:hotpath
 func (c *CountSketch) Query(x uint64) int64 {
 	switch {
 	case c.salsa != nil:
@@ -185,6 +189,8 @@ func (c *CountSketch) Query(x uint64) int64 {
 // reference implementations. Insertion sort keeps the query path
 // allocation-free (sort.Slice boxes the slice header) and beats the
 // general-purpose sort at the handful of rows sketches have.
+//
+//salsa:hotpath
 func median(buf []int64) int64 {
 	for i := 1; i < len(buf); i++ {
 		v := buf[i]

@@ -16,6 +16,7 @@ import (
 // interface Query; fast_test.go pins that with marshal-byte-identical runs
 // against a fast-path-disabled twin.
 
+//salsa:hotpath
 func (c *CMS) updateSalsa(x uint64, v int64) {
 	if c.conservative {
 		core.SalsaConservativeEach(c.salsa, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
@@ -24,10 +25,12 @@ func (c *CMS) updateSalsa(x uint64, v int64) {
 	core.SalsaUpdateEach(c.salsa, c.seeds, c.mask, x, v)
 }
 
+//salsa:hotpath
 func (c *CMS) querySalsa(x uint64) uint64 {
 	return core.SalsaQueryEach(c.salsa, c.seeds, c.mask, x)
 }
 
+//salsa:hotpath
 func (c *CMS) updateFixed(x uint64, v int64) {
 	if c.conservative {
 		core.FixedConservativeEach(c.fixed, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
@@ -36,10 +39,12 @@ func (c *CMS) updateFixed(x uint64, v int64) {
 	core.FixedUpdateEach(c.fixed, c.seeds, c.mask, x, v)
 }
 
+//salsa:hotpath
 func (c *CMS) queryFixed(x uint64) uint64 {
 	return core.FixedQueryEach(c.fixed, c.seeds, c.mask, x)
 }
 
+//salsa:hotpath
 func (c *CMS) updateTango(x uint64, v int64) {
 	if c.conservative {
 		core.TangoConservativeEach(c.tango, c.seeds, c.mask, x, uint64(mustNonNegative(v)), c.slots)
@@ -48,6 +53,7 @@ func (c *CMS) updateTango(x uint64, v int64) {
 	core.TangoUpdateEach(c.tango, c.seeds, c.mask, x, v)
 }
 
+//salsa:hotpath
 func (c *CMS) queryTango(x uint64) uint64 {
 	return core.TangoQueryEach(c.tango, c.seeds, c.mask, x)
 }
@@ -55,6 +61,8 @@ func (c *CMS) queryTango(x uint64) uint64 {
 // minInto dispatches one row's QueryBatch inner loop to its concrete
 // row-set loop, falling back to the interface loop for foreign row
 // implementations.
+//
+//salsa:hotpath
 func minInto(r Row, slots []uint32, out []uint64) {
 	switch row := r.(type) {
 	case *core.Salsa:
@@ -75,6 +83,8 @@ func minInto(r Row, slots []uint32, out []uint64) {
 // conservativeItem applies the conservative rule for one item whose per-row
 // slots are scratch[i][j] — the batch counterpart of the single-item
 // conservative paths, sharing their min and raise row-set loops.
+//
+//salsa:hotpath
 func (c *CMS) conservativeItem(scratch [][]uint32, j int, v uint64) {
 	slots := c.slots
 	for i := range scratch {

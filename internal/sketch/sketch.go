@@ -236,6 +236,8 @@ func (c *CMS) Rows() []Row { return c.rows }
 
 // Update processes the stream update ⟨x, v⟩. In conservative mode v must be
 // non-negative (the Cash Register model).
+//
+//salsa:hotpath
 func (c *CMS) Update(x uint64, v int64) {
 	switch {
 	case c.salsa != nil:
@@ -252,6 +254,8 @@ func (c *CMS) Update(x uint64, v int64) {
 // updateGeneric is Update over the interface rows: the fallback for
 // mixed-row sketches, and the oracle the monomorphic paths are equivalence-
 // tested against.
+//
+//salsa:hotpath
 func (c *CMS) updateGeneric(x uint64, v int64) {
 	if !c.conservative {
 		for i, r := range c.rows {
@@ -278,6 +282,8 @@ func (c *CMS) updateGeneric(x uint64, v int64) {
 // hashOnce fills the per-sketch slot scratch with x's slot in every row.
 // The scratch makes single-item ops allocation-free; like the query scratch
 // of CountSketch, it means a sketch must not be mutated concurrently.
+//
+//salsa:hotpath
 func (c *CMS) hashOnce(x uint64) []uint32 {
 	slots := c.slots
 	for i := range slots {
@@ -288,6 +294,8 @@ func (c *CMS) hashOnce(x uint64) []uint32 {
 
 // mustNonNegative guards the Cash Register precondition of conservative
 // updates, returning v unchanged.
+//
+//salsa:hotpath
 func mustNonNegative(v int64) int64 {
 	if v < 0 {
 		panic("sketch: negative update in conservative mode")
@@ -296,6 +304,8 @@ func mustNonNegative(v int64) int64 {
 }
 
 // Query returns the estimate f̂(x) = min over rows.
+//
+//salsa:hotpath
 func (c *CMS) Query(x uint64) uint64 {
 	switch {
 	case c.salsa != nil:
@@ -402,6 +412,7 @@ func (c *CMS) DistinctLinearCounting() (float64, error) {
 	return total / float64(len(c.rows)), nil
 }
 
+//salsa:hotpath
 func satAddU(a, b uint64) uint64 {
 	s := a + b
 	if s < a {

@@ -133,6 +133,18 @@ func (e *Exact) Distinct() int { return len(e.counts) }
 // Counts exposes the exact frequency map (read-only by convention).
 func (e *Exact) Counts() map[uint64]uint64 { return e.counts }
 
+// SortedItems returns every distinct observed item in ascending order —
+// the deterministic iteration the seeded harnesses use instead of map
+// ranges, so a failing assertion always reports the same item first.
+func (e *Exact) SortedItems() []uint64 {
+	items := make([]uint64, 0, len(e.counts))
+	for x := range e.counts {
+		items = append(items, x)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
 // Entropy returns the empirical entropy Σ (f/N)·log2(N/f) of the frequency
 // vector.
 func (e *Exact) Entropy() float64 {

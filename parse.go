@@ -30,9 +30,26 @@ func ParseSpec(expr string, opt Options) (Spec, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.s) {
-		return nil, fmt.Errorf("salsa: trailing input %q in topology expression", p.s[p.pos:])
+		return nil, parseErrf(p.pos, "trailing input %q in topology expression", p.s[p.pos:])
 	}
 	return spec, nil
+}
+
+// A ParseError reports a topology expression ParseSpec rejects, with
+// the byte offset of the offending token. errors.As-match it to recover
+// the position for editor-style caret diagnostics.
+type ParseError struct {
+	// Offset is the byte position in the expression where parsing failed.
+	Offset int
+	// Reason states what the parser expected or found.
+	Reason string
+}
+
+func (e *ParseError) Error() string { return "salsa: " + e.Reason }
+
+// parseErrf builds a *ParseError at offset.
+func parseErrf(offset int, format string, args ...any) error {
+	return &ParseError{Offset: offset, Reason: fmt.Sprintf(format, args...)}
 }
 
 type specParser struct {
@@ -70,7 +87,7 @@ func (p *specParser) ident() string {
 func (p *specParser) expect(c byte) error {
 	p.skipSpace()
 	if p.pos >= len(p.s) || p.s[p.pos] != c {
-		return fmt.Errorf("salsa: expected %q at position %d of topology expression %q", string(c), p.pos, p.s)
+		return parseErrf(p.pos, "expected %q at position %d of topology expression %q", string(c), p.pos, p.s)
 	}
 	p.pos++
 	return nil
@@ -84,13 +101,13 @@ func (p *specParser) number() (int, error) {
 	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
 		d := int(p.s[p.pos] - '0')
 		if n > (1<<31-1-d)/10 {
-			return 0, fmt.Errorf("salsa: number too large at position %d of topology expression %q", start, p.s)
+			return 0, parseErrf(start, "number too large at position %d of topology expression %q", start, p.s)
 		}
 		n = n*10 + d
 		p.pos++
 	}
 	if p.pos == start {
-		return 0, fmt.Errorf("salsa: expected a number at position %d of topology expression %q", p.pos, p.s)
+		return 0, parseErrf(p.pos, "expected a number at position %d of topology expression %q", p.pos, p.s)
 	}
 	return n, nil
 }
@@ -99,7 +116,7 @@ func (p *specParser) parseExpr() (Spec, error) {
 	p.depth++
 	defer func() { p.depth-- }()
 	if p.depth > maxParseDepth {
-		return nil, fmt.Errorf("salsa: topology expression nests deeper than %d decorators", maxParseDepth)
+		return nil, parseErrf(p.pos, "topology expression nests deeper than %d decorators", maxParseDepth)
 	}
 	name := strings.ToLower(p.ident())
 	switch name {
@@ -214,7 +231,7 @@ func (p *specParser) parseExpr() (Spec, error) {
 		}
 		return ShardedBy(inner, n), nil
 	case "":
-		return nil, fmt.Errorf("salsa: expected a sketch kind at position %d of topology expression %q", p.pos, p.s)
+		return nil, parseErrf(p.pos, "expected a sketch kind at position %d of topology expression %q", p.pos, p.s)
 	}
-	return nil, fmt.Errorf("salsa: unknown sketch kind %q in topology expression %q (want cms, cus, cs, aee, distinct, monitor(k), topk(k), univmon(l,k), filtered(spec), tiered(spec), windowed(b,n,spec), sharded(s,spec), epoch(w,spec))", name, p.s)
+	return nil, parseErrf(p.pos, "unknown sketch kind %q in topology expression %q (want cms, cus, cs, aee, distinct, monitor(k), topk(k), univmon(l,k), filtered(spec), tiered(spec), windowed(b,n,spec), sharded(s,spec), epoch(w,spec))", name, p.s)
 }

@@ -44,6 +44,8 @@
 // All sketches are deterministic given Options.Seed and are not safe for
 // concurrent mutation unless wrapped in ShardedBy; use the batch APIs
 // (UpdateBatch/IncrementBatch/QueryBatch) for bulk streams.
+//
+//salsa:typederrors
 package salsa
 
 import (
@@ -168,6 +170,24 @@ func (o Options) withDefaults(defaultDepth int, defaultMerge Merge) Options {
 	return o
 }
 
+// An OptionsError reports Options that no sketch kind can use — the
+// kind-independent invariants Validate checks. errors.As-match it to
+// distinguish bad Options from an impossible composition
+// (*CompositionError) at Build time.
+type OptionsError struct {
+	// Field names the offending Options field.
+	Field string
+	// Reason states the violated constraint, including the offending value.
+	Reason string
+}
+
+func (e *OptionsError) Error() string { return "salsa: " + e.Reason }
+
+// optionsErrf builds an *OptionsError for field.
+func optionsErrf(field, format string, args ...any) error {
+	return &OptionsError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
 // Validate reports whether the Options are usable by any sketch kind. It
 // checks the kind-independent invariants; kind-specific rules (CountSketch
 // rejecting ModeTango, windowed sketches rejecting MergeMax, ...) are
@@ -175,19 +195,19 @@ func (o Options) withDefaults(defaultDepth int, defaultMerge Merge) Options {
 // constructors panic where Build returns these same errors.
 func (o Options) Validate() error {
 	if o.Width <= 0 || o.Width&(o.Width-1) != 0 {
-		return fmt.Errorf("salsa: Width %d must be a positive power of two", o.Width)
+		return optionsErrf("Width", "Width %d must be a positive power of two", o.Width)
 	}
 	if o.Depth < 0 {
-		return fmt.Errorf("salsa: negative Depth %d", o.Depth)
+		return optionsErrf("Depth", "negative Depth %d", o.Depth)
 	}
 	if o.Depth > maxDepth {
-		return fmt.Errorf("salsa: Depth %d exceeds the maximum %d", o.Depth, maxDepth)
+		return optionsErrf("Depth", "Depth %d exceeds the maximum %d", o.Depth, maxDepth)
 	}
 	if o.Mode < ModeSALSA || o.Mode > ModeTango {
-		return fmt.Errorf("salsa: unknown %v", o.Mode)
+		return optionsErrf("Mode", "unknown %v", o.Mode)
 	}
 	if o.Merge < MergeDefault || o.Merge > MergeMax {
-		return fmt.Errorf("salsa: unknown Merge(%d)", int(o.Merge))
+		return optionsErrf("Merge", "unknown Merge(%d)", int(o.Merge))
 	}
 	// Mirror the core row constructors' counter rules, so construction (and
 	// the envelope decoder, which validates declared Options before building
@@ -201,25 +221,25 @@ func (o Options) Validate() error {
 		}
 	}
 	if bits&(bits-1) != 0 {
-		return fmt.Errorf("salsa: CounterBits %d must be a power of two", o.CounterBits)
+		return optionsErrf("CounterBits", "CounterBits %d must be a power of two", o.CounterBits)
 	}
 	if o.Mode == ModeBaseline {
 		if bits > 64 {
-			return fmt.Errorf("salsa: CounterBits %d exceeds 64", o.CounterBits)
+			return optionsErrf("CounterBits", "CounterBits %d exceeds 64", o.CounterBits)
 		}
 	} else if bits > 32 {
-		return fmt.Errorf("salsa: CounterBits %d exceeds 32 (SALSA/Tango base counters subdivide a 64-bit word)", o.CounterBits)
+		return optionsErrf("CounterBits", "CounterBits %d exceeds 32 (SALSA/Tango base counters subdivide a 64-bit word)", o.CounterBits)
 	}
 	if o.Mode == ModeSALSA {
 		if group := int(64 / bits); o.Width < group {
-			return fmt.Errorf("salsa: ModeSALSA Width %d must hold a full 64-bit word of %d-bit counters (at least %d)", o.Width, bits, group)
+			return optionsErrf("Width", "ModeSALSA Width %d must hold a full 64-bit word of %d-bit counters (at least %d)", o.Width, bits, group)
 		}
 		if o.CompactEncoding && o.Width < 32 {
-			return fmt.Errorf("salsa: CompactEncoding Width %d must hold a full 32-counter group", o.Width)
+			return optionsErrf("Width", "CompactEncoding Width %d must hold a full 32-counter group", o.Width)
 		}
 	}
 	if o.CompactEncoding && o.Mode != ModeSALSA {
-		return fmt.Errorf("salsa: CompactEncoding requires ModeSALSA, got %v", o.Mode)
+		return optionsErrf("CompactEncoding", "CompactEncoding requires ModeSALSA, got %v", o.Mode)
 	}
 	return nil
 }
@@ -252,11 +272,15 @@ func (o Options) policy() core.MergePolicy {
 // uint64 item space the sketches consume, using BobHash as in the paper's
 // reference implementation. It is deterministic and seed-free; use distinct
 // logical namespaces by prefixing the key.
+//
+//salsa:hotpath
 func KeyBytes(key []byte) uint64 {
 	return hashing.Bob64(key, 0x5a15a0b0b)
 }
 
 // KeyString is KeyBytes for strings.
+//
+//salsa:hotpath
 func KeyString(key string) uint64 {
 	return KeyBytes([]byte(key))
 }

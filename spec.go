@@ -68,6 +68,9 @@ type Spec interface {
 // well-formed Spec combines a decorator with a leaf (or another decorator)
 // whose semantics do not support it. errors.As-match it to distinguish
 // "this topology cannot exist" from invalid Options or parameters.
+// ErrNilSpec is returned by Build for a nil Spec.
+var ErrNilSpec = errors.New("salsa: Build of a nil spec")
+
 type CompositionError struct {
 	// Decorator is the rejecting decorator ("Windowed", "ShardedBy",
 	// "Filtered", "Tiered").
@@ -595,7 +598,7 @@ func (s tieredSpec) build() (Sketch, error) {
 // returned, never panicked.
 func Build(spec Spec) (Sketch, error) {
 	if spec == nil {
-		return nil, errors.New("salsa: Build of a nil spec")
+		return nil, ErrNilSpec
 	}
 	if err := spec.validate(); err != nil {
 		return nil, err
