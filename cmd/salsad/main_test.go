@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -11,20 +13,20 @@ import (
 	"salsa/internal/salsad"
 )
 
-// startAggregator runs the aggregator run() path on a background
-// goroutine, returns its printed base URL, and gives the caller the pipe
-// end whose closing shuts it down.
-func startAggregator(t *testing.T, extraArgs ...string) (baseURL string, shutdown func() string) {
+// startServer runs a server-role run() invocation (aggregator or relay)
+// on a background goroutine, returns its printed base URL, and gives the
+// caller the pipe end whose closing shuts it down.
+func startServer(t *testing.T, ctx context.Context, args ...string) (baseURL string, shutdown func() string) {
 	t.Helper()
 	pr, pw := io.Pipe()
 	outR, outW := io.Pipe()
 	done := make(chan error, 1)
-	args := append([]string{"-mode", "aggregator", "-listen", "127.0.0.1:0", "-width", "4096"}, extraArgs...)
 	go func() {
 		defer outW.Close()
-		done <- run(args, pr, outW)
+		done <- run(ctx, args, pr, outW)
 	}()
-	// The first output line carries the bound address.
+	// The first output line carries the bound address (for a relay it is
+	// the first URL on the line; the second is its upstream).
 	buf := make([]byte, 256)
 	n, err := outR.Read(buf)
 	if err != nil {
@@ -38,10 +40,16 @@ func startAggregator(t *testing.T, extraArgs ...string) (baseURL string, shutdow
 		pw.Close() // stdin EOF → graceful shutdown
 		rest, _ := io.ReadAll(outR)
 		if err := <-done; err != nil {
-			t.Fatalf("aggregator run: %v", err)
+			t.Fatalf("server run: %v", err)
 		}
 		return string(rest)
 	}
+}
+
+func startAggregator(t *testing.T, extraArgs ...string) (baseURL string, shutdown func() string) {
+	t.Helper()
+	args := append([]string{"-mode", "aggregator", "-listen", "127.0.0.1:0", "-width", "4096"}, extraArgs...)
+	return startServer(t, context.Background(), args...)
 }
 
 // TestAgentAggregatorRoundTrip drives both CLI roles end to end over a
@@ -51,7 +59,7 @@ func TestAgentAggregatorRoundTrip(t *testing.T) {
 	base, shutdown := startAggregator(t)
 
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-mode", "agent", "-addr", base, "-id", "edge-test",
 		"-dataset", "NY18", "-n", "30000", "-width", "4096", "-pushevery", "10000",
 	}, strings.NewReader(""), &out)
@@ -82,7 +90,7 @@ func TestAgentStdinPath(t *testing.T) {
 		in.WriteString("\n")
 	}
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-mode", "agent", "-addr", base, "-id", "edge-stdin", "-width", "4096", "-pushevery", "200",
 	}, strings.NewReader(in.String()), &out)
 	if err != nil {
@@ -107,7 +115,7 @@ func TestAgentAgainstLibraryAggregator(t *testing.T) {
 	defer srv.Close()
 
 	var out strings.Builder
-	err = run([]string{
+	err = run(context.Background(), []string{
 		"-mode", "agent", "-addr", srv.URL, "-id", "edge-lib",
 		"-dataset", "NY18", "-n", "10000", "-width", "4096", "-pushevery", "4000",
 	}, strings.NewReader(""), &out)
@@ -119,6 +127,124 @@ func TestAgentAgainstLibraryAggregator(t *testing.T) {
 	}
 	if top, err := agg.Top(3); err != nil || len(top) == 0 {
 		t.Fatalf("no heavy hitters after CLI ingest: top=%v err=%v", top, err)
+	}
+}
+
+// TestRelayChainOverSockets stands up the full three-tier chain — root
+// aggregator, relay, edge agent — over real sockets. The agent's frames
+// land in the relay's table; the relay's shutdown ships the merged delta
+// upstream; the root's summary accounts for it.
+func TestRelayChainOverSockets(t *testing.T) {
+	rootURL, shutdownRoot := startAggregator(t)
+	// A long push interval keeps the cadence loop quiet; the graceful
+	// shutdown's final push is what ships the table — deterministically.
+	relayURL, shutdownRelay := startServer(t, context.Background(),
+		"-mode", "relay", "-listen", "127.0.0.1:0", "-addr", rootURL,
+		"-id", "relay-test", "-width", "4096", "-pushinterval", "1m")
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-mode", "agent", "-addr", relayURL, "-id", "edge-under-relay",
+		"-dataset", "NY18", "-n", "20000", "-width", "4096", "-pushevery", "8000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relayTail := shutdownRelay()
+	if !strings.Contains(relayTail, "frames applied downstream") ||
+		strings.Contains(relayTail, "0 frames applied downstream") {
+		t.Fatalf("relay absorbed nothing:\n%s", relayTail)
+	}
+	if !strings.Contains(relayTail, "shipped upstream") ||
+		strings.Contains(relayTail, "0 shipped upstream") {
+		t.Fatalf("relay shipped nothing upstream:\n%s", relayTail)
+	}
+	rootTail := shutdownRoot()
+	if !strings.Contains(rootTail, "frames applied") || strings.Contains(rootTail, "0 frames applied") {
+		t.Fatalf("root never saw the relay's frames:\n%s", rootTail)
+	}
+}
+
+// TestDurableShutdownSnapshot: a -datadir aggregator persists a final
+// snapshot at shutdown, and a restart over the same directory restores
+// it instead of starting empty.
+func TestDurableShutdownSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	base, shutdown := startAggregator(t, "-datadir", dir)
+
+	var out strings.Builder
+	err := run(context.Background(), []string{
+		"-mode", "agent", "-addr", base, "-id", "edge-durable",
+		"-dataset", "NY18", "-n", "10000", "-width", "4096", "-pushevery", "4000",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := shutdown()
+	if !strings.Contains(tail, "final snapshot persisted") {
+		t.Fatalf("no final snapshot in shutdown output:\n%s", tail)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.salsad"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot files in %s: %v", dir, err)
+	}
+
+	// The restarted process must restore cleanly (no resync warning) and
+	// hand the agent its persisted frontier.
+	_, shutdown2 := startAggregator(t, "-datadir", dir)
+	tail2 := shutdown2()
+	if strings.Contains(tail2, "restore rejected") {
+		t.Fatalf("restart rejected its own snapshot:\n%s", tail2)
+	}
+}
+
+// TestServerSignalShutdown cancels the server's context — the in-process
+// stand-in for SIGTERM — and expects the same graceful summary the
+// stdin-EOF path produces.
+func TestServerSignalShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		defer outW.Close()
+		done <- run(ctx, []string{"-mode", "aggregator", "-listen", "127.0.0.1:0", "-width", "4096"}, pr, outW)
+	}()
+	buf := make([]byte, 256)
+	if _, err := outR.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // SIGTERM
+	rest, _ := io.ReadAll(outR)
+	if err := <-done; err != nil {
+		t.Fatalf("signal shutdown returned error: %v", err)
+	}
+	if !strings.Contains(string(rest), "shutting down") {
+		t.Fatalf("no graceful summary after signal:\n%s", rest)
+	}
+}
+
+// TestAgentInterruptedFlush: an agent whose context is already cancelled
+// stops ingesting immediately but still exits cleanly through the final
+// flush path.
+func TestAgentInterruptedFlush(t *testing.T) {
+	base, shutdown := startAggregator(t)
+	defer shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	err := run(ctx, []string{
+		"-mode", "agent", "-addr", base, "-id", "edge-sigterm",
+		"-dataset", "NY18", "-n", "30000", "-width", "4096",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "agent edge-sigterm") {
+		t.Fatalf("no summary after interrupt:\n%s", out.String())
 	}
 }
 
@@ -136,7 +262,7 @@ func TestRunBadArgs(t *testing.T) {
 		"unreachable agg": {"-mode", "agent", "-addr", "http://127.0.0.1:1", "-id", "x", "-dataset", "NY18", "-n", "100", "-timeout", "50ms", "-attempts", "1"},
 	} {
 		var out strings.Builder
-		if err := run(args, strings.NewReader(""), &out); err == nil {
+		if err := run(context.Background(), args, strings.NewReader(""), &out); err == nil {
 			t.Fatalf("%s: want error", name)
 		}
 	}
@@ -144,7 +270,7 @@ func TestRunBadArgs(t *testing.T) {
 
 // TestHelpExitsClean: -h prints usage and returns nil like the other cmds.
 func TestHelpExitsClean(t *testing.T) {
-	if err := run([]string{"-h"}, strings.NewReader(""), io.Discard); err != nil {
+	if err := run(context.Background(), []string{"-h"}, strings.NewReader(""), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

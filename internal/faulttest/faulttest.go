@@ -54,6 +54,10 @@ type TransportStats struct {
 	Delayed    uint64
 	Released   uint64
 	Partition  uint64 // frames refused while partitioned
+	// FullFrames counts delivered full-state (FlagFull) data frames — the
+	// expensive resync traffic. Recovery-cost assertions bound it: a
+	// durable restart must add zero, a volatile restart O(agents).
+	FullFrames uint64
 }
 
 // Transport is a salsad.Transport that injects faults deterministically.
@@ -159,14 +163,22 @@ func (t *Transport) Resume(_ context.Context, agent string) (*salsad.ResumeInfo,
 }
 
 // deliverLocked carries one encoded frame across the wire path into the
-// aggregator.
+// aggregator, then gives a durable aggregator its persistence tick — the
+// same MaybePersist call the HTTP handler makes after an applied push.
 func (t *Transport) deliverLocked(enc []byte) (*salsad.Ack, error) {
 	p, err := salsad.DecodePush(enc, t.agg.MaxEnvelopeBytes())
 	if err != nil {
 		return nil, err
 	}
 	t.stats.Delivered++
-	return t.agg.ApplyPush(p)
+	if p.Full() && !p.Heartbeat() {
+		t.stats.FullFrames++
+	}
+	ack, err := t.agg.ApplyPush(p)
+	if err == nil && ack.Status == salsad.StatusApplied {
+		t.agg.MaybePersist() //nolint:errcheck // counted in aggregator stats
+	}
+	return ack, err
 }
 
 // releaseSomeLocked lets each held frame escape the network with
@@ -228,20 +240,38 @@ type Cluster struct {
 	Transport *Transport
 	Agg       *salsad.Aggregator
 	Members   []*Member
+	// DataDir/SnapshotEvery make the aggregator durable: CrashAggregator
+	// then restarts it from its snapshot directory instead of empty.
+	DataDir       string
+	SnapshotEvery int
+	seed          int64
 }
 
 // NewCluster builds an aggregator, a faulty transport, and n members with
 // the given traces.
 func NewCluster(spec, agentSpec salsa.Spec, traces [][]uint64, plan Plan) (*Cluster, error) {
-	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{Spec: spec})
+	return NewDurableCluster(spec, agentSpec, traces, plan, "", 0)
+}
+
+// NewDurableCluster is NewCluster with a durable aggregator: its table is
+// snapshotted under dataDir every snapshotEvery applied frames (plus the
+// transport's per-apply MaybePersist tick) and CrashAggregator restarts
+// it from disk. Empty dataDir means volatile, exactly NewCluster.
+func NewDurableCluster(spec, agentSpec salsa.Spec, traces [][]uint64, plan Plan, dataDir string, snapshotEvery int) (*Cluster, error) {
+	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec: spec, DataDir: dataDir, SnapshotEvery: snapshotEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
 	c := &Cluster{
-		Spec:      spec,
-		AgentSpec: agentSpec,
-		Transport: NewTransport(agg, plan),
-		Agg:       agg,
+		Spec:          spec,
+		AgentSpec:     agentSpec,
+		Transport:     NewTransport(agg, plan),
+		Agg:           agg,
+		DataDir:       dataDir,
+		SnapshotEvery: snapshotEvery,
+		seed:          plan.Seed,
 	}
 	for i, trace := range traces {
 		m := &Member{ID: fmt.Sprintf("edge-%02d", i), Trace: trace}
@@ -254,7 +284,10 @@ func NewCluster(spec, agentSpec salsa.Spec, traces [][]uint64, plan Plan) (*Clus
 }
 
 // startMember builds (or rebuilds) a member's agent at the given
-// generation and cursor, wiring the Replay hook to the durable trace.
+// generation and cursor, wiring the Replay hook to the durable trace. The
+// jitter seed is derived from the plan seed and the member id, so backoff
+// schedules are a pure function of the plan — never crypto-seeded inside
+// the deterministic harness.
 func (c *Cluster) startMember(m *Member, gen, cursor uint64) error {
 	ag, err := salsad.NewAgent(salsad.AgentConfig{
 		ID:          m.ID,
@@ -263,6 +296,7 @@ func (c *Cluster) startMember(m *Member, gen, cursor uint64) error {
 		Generation:  gen,
 		StartCursor: cursor,
 		MaxAttempts: 2, // the harness pumps rounds; keep each round short
+		JitterSeed:  jitterSeed(c.seed, m.ID),
 		Sleep:       func(time.Duration) {},
 	})
 	if err != nil {
@@ -270,6 +304,24 @@ func (c *Cluster) startMember(m *Member, gen, cursor uint64) error {
 	}
 	m.Agent = ag
 	return nil
+}
+
+// jitterSeed derives a per-node backoff seed from the plan seed and the
+// node id (FNV-1a over both, forced non-zero so the agent never falls
+// back to crypto seeding).
+func jitterSeed(planSeed int64, id string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(b byte) { h ^= uint64(b); h *= 0x100000001b3 }
+	for i := 0; i < 8; i++ {
+		mix(byte(uint64(planSeed) >> (8 * i)))
+	}
+	for i := 0; i < len(id); i++ {
+		mix(id[i])
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // Feed ingests the next n trace items into the member's live sketch.
@@ -302,11 +354,14 @@ func (c *Cluster) Crash(ctx context.Context, m *Member) error {
 	return nil
 }
 
-// CrashAggregator replaces the aggregator with an empty instance, as a
-// process restart without durable state would. Agents discover it through
-// resync acks on their next push.
+// CrashAggregator kills the aggregator process: a volatile cluster gets
+// an empty replacement (agents discover it through resync acks), a
+// durable one restarts from its snapshot directory — the kill -9 +
+// restart the zero-resync guarantee is about.
 func (c *Cluster) CrashAggregator() error {
-	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{Spec: c.Spec})
+	agg, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec: c.Spec, DataDir: c.DataDir, SnapshotEvery: c.SnapshotEvery,
+	})
 	if err != nil {
 		return err
 	}

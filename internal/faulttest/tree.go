@@ -1,0 +1,263 @@
+package faulttest
+
+// Multi-tier harness: a two-level fan-in tree of edge agents → relays →
+// root aggregator, every link crossing its own seeded faulty Transport.
+// Each relay subtree is a Cluster (so all the single-tier machinery —
+// feed, crash, pump — applies per subtree), and the relays push their
+// merged tables up through per-relay uplink transports that can be
+// partitioned, faulted, and crash-swapped independently. Like everything
+// in this package, a Tree's behavior is a pure function of the plan seed.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"salsa"
+	"salsa/internal/salsad"
+)
+
+// TreeOptions configures a Tree beyond its fault plan.
+type TreeOptions struct {
+	// Plan is the fault plan template; every transport in the tree runs a
+	// seed deterministically derived from Plan.Seed and its position.
+	Plan Plan
+	// DataDir, when non-empty, makes the root and every relay durable:
+	// the root snapshots under DataDir/root, relay i under DataDir/<id>.
+	// Empty means fully volatile.
+	DataDir string
+	// SnapshotEvery is the applied-frame persistence interval for every
+	// durable node; zero means salsad's default.
+	SnapshotEvery int
+}
+
+// RelayNode is one mid-tier node: its relay, the subtree of members
+// pushing into it, and its independent uplink to the root.
+type RelayNode struct {
+	ID string
+	// Relay is the current incarnation (replaced by CrashRelay).
+	Relay *salsad.Relay
+	// Sub is the downstream subtree: members pushing into Relay.Agg()
+	// through Sub.Transport.
+	Sub *Cluster
+	// Up is the relay→root transport.
+	Up      *Transport
+	dataDir string
+}
+
+// Tree is a 2-level aggregation tree under deterministic fault
+// injection.
+type Tree struct {
+	Spec      salsa.Spec
+	AgentSpec salsa.Spec
+	Root      *salsad.Aggregator
+	Relays    []*RelayNode
+	opt       TreeOptions
+}
+
+// NewTree builds a root aggregator and one relay per trace group;
+// traces[i][j] is member j of relay i's subtree.
+func NewTree(spec, agentSpec salsa.Spec, traces [][][]uint64, opt TreeOptions) (*Tree, error) {
+	t := &Tree{Spec: spec, AgentSpec: agentSpec, opt: opt}
+	rootDir := ""
+	if opt.DataDir != "" {
+		rootDir = filepath.Join(opt.DataDir, "root")
+	}
+	root, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec: spec, DataDir: rootDir, SnapshotEvery: opt.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Root = root
+	for ri, group := range traces {
+		node := &RelayNode{ID: fmt.Sprintf("relay-%02d", ri)}
+		if opt.DataDir != "" {
+			node.dataDir = filepath.Join(opt.DataDir, node.ID)
+		}
+		upPlan := opt.Plan
+		upPlan.Seed = int64(jitterSeed(opt.Plan.Seed, node.ID+"/up"))
+		node.Up = NewTransport(root, upPlan)
+		if err := t.startRelay(node); err != nil {
+			return nil, err
+		}
+		downPlan := opt.Plan
+		downPlan.Seed = int64(jitterSeed(opt.Plan.Seed, node.ID+"/down"))
+		node.Sub = &Cluster{
+			Spec:          spec,
+			AgentSpec:     agentSpec,
+			Transport:     NewTransport(node.Relay.Agg(), downPlan),
+			Agg:           node.Relay.Agg(),
+			DataDir:       "", // relay durability covers the subtree's table
+			SnapshotEvery: opt.SnapshotEvery,
+			seed:          downPlan.Seed,
+		}
+		for mi, trace := range group {
+			m := &Member{ID: fmt.Sprintf("edge-%02d-%02d", ri, mi), Trace: trace}
+			if err := node.Sub.startMember(m, 0, 0); err != nil {
+				return nil, err
+			}
+			node.Sub.Members = append(node.Sub.Members, m)
+		}
+		t.Relays = append(t.Relays, node)
+	}
+	return t, nil
+}
+
+// startRelay builds (or rebuilds, for CrashRelay) a node's relay
+// incarnation on its existing uplink transport.
+func (t *Tree) startRelay(node *RelayNode) error {
+	relay, err := salsad.NewRelay(salsad.RelayConfig{
+		ID:            node.ID,
+		Spec:          t.Spec,
+		Upstream:      node.Up,
+		DataDir:       node.dataDir,
+		SnapshotEvery: t.opt.SnapshotEvery,
+		MaxAttempts:   2,
+		JitterSeed:    jitterSeed(t.opt.Plan.Seed, node.ID),
+		Sleep:         func(time.Duration) {},
+	})
+	if err != nil {
+		return err
+	}
+	node.Relay = relay
+	return nil
+}
+
+// FeedAll ingests the next n trace items into every member.
+func (t *Tree) FeedAll(n int) {
+	for _, node := range t.Relays {
+		for _, m := range node.Sub.Members {
+			m.Feed(n)
+		}
+	}
+}
+
+// PumpMembers runs one member push round in every subtree.
+func (t *Tree) PumpMembers(ctx context.Context) {
+	for _, node := range t.Relays {
+		node.Sub.Pump(ctx)
+	}
+}
+
+// PumpRelays gives every relay one upstream push attempt; transport
+// errors are the faulty network doing its job.
+func (t *Tree) PumpRelays(ctx context.Context) {
+	for _, node := range t.Relays {
+		node.Relay.PushOnce(ctx) //nolint:errcheck // faults are expected
+	}
+}
+
+// Pump runs one full tree round: members first, then relays, so traffic
+// flows edge → relay → root within the round.
+func (t *Tree) Pump(ctx context.Context) {
+	t.PumpMembers(ctx)
+	t.PumpRelays(ctx)
+}
+
+// CrashRelay kills relay i's process. A durable relay restarts from its
+// snapshot directory (table, upstream generation, and any frozen frame
+// intact); a volatile one comes back empty and rejoins via the Resume +
+// resync path, forcing its members to resync too. Held frames in the
+// subtree's network outlive the crash, exactly like packets crossing a
+// server restart.
+func (t *Tree) CrashRelay(i int) error {
+	node := t.Relays[i]
+	if err := t.startRelay(node); err != nil {
+		return err
+	}
+	node.Sub.Agg = node.Relay.Agg()
+	node.Sub.Transport.SwapAggregator(node.Relay.Agg())
+	return nil
+}
+
+// CrashRoot kills the root aggregator process; durable trees restart it
+// from DataDir/root, volatile ones get an empty replacement that relays
+// discover through resync acks.
+func (t *Tree) CrashRoot() error {
+	rootDir := ""
+	if t.opt.DataDir != "" {
+		rootDir = filepath.Join(t.opt.DataDir, "root")
+	}
+	root, err := salsad.NewAggregator(salsad.AggregatorConfig{
+		Spec: t.Spec, DataDir: rootDir, SnapshotEvery: t.opt.SnapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	t.Root = root
+	for _, node := range t.Relays {
+		node.Up.SwapAggregator(root)
+	}
+	return nil
+}
+
+// Synced reports whether every member has everything acknowledged by its
+// relay AND every relay has its whole table acknowledged by the root.
+func (t *Tree) Synced() bool {
+	for _, node := range t.Relays {
+		if !node.Sub.Synced() || !node.Relay.Synced() {
+			return false
+		}
+	}
+	return true
+}
+
+// Quiesce heals and silences every transport in the tree.
+func (t *Tree) Quiesce() {
+	for _, node := range t.Relays {
+		node.Sub.Transport.Quiet()
+		node.Sub.Transport.Heal()
+		node.Up.Quiet()
+		node.Up.Heal()
+	}
+}
+
+// Converge quiesces the network and pumps until the whole tree is
+// Synced, bounded by maxRounds. Returns rounds used and success.
+func (t *Tree) Converge(ctx context.Context, maxRounds int) (int, bool) {
+	t.Quiesce()
+	for round := 1; round <= maxRounds; round++ {
+		t.Pump(ctx)
+		if t.Synced() {
+			return round, true
+		}
+	}
+	return maxRounds, false
+}
+
+// ReferenceBytes is the no-fault sequential reference for the whole
+// tree: one sketch of the root's topology fed every member's consumed
+// prefix in tree order, marshaled. A quiesced root must produce these
+// bytes for counter-exact backends no matter what any tier's network or
+// any crash did.
+func (t *Tree) ReferenceBytes() ([]byte, error) {
+	ref, err := salsa.Build(t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	core, err := salsa.DeltaCore(ref)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range t.Relays {
+		for _, m := range node.Sub.Members {
+			for _, x := range m.Trace[:m.fed] {
+				core.Update(x, 1)
+			}
+		}
+	}
+	return salsa.Marshal(core)
+}
+
+// UplinkFullFrames sums the full-state frames delivered on every
+// relay→root uplink — the recovery-traffic gauge the bounded-recovery
+// assertions read.
+func (t *Tree) UplinkFullFrames() uint64 {
+	var n uint64
+	for _, node := range t.Relays {
+		n += node.Up.Stats().FullFrames
+	}
+	return n
+}

@@ -2,6 +2,8 @@ package salsad
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -49,7 +51,12 @@ type AgentConfig struct {
 	// means 50ms / 2s.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
-	// JitterSeed seeds the backoff jitter; fixed seed, fixed schedule.
+	// JitterSeed seeds the backoff jitter source. Zero (the default)
+	// draws a crypto-random seed, so a fleet of agents restarted together
+	// spreads its retries instead of thundering in lockstep. A non-zero
+	// seed makes the backoff schedule an exact pure function of the seed —
+	// the deterministic fault harness passes explicit seeds so replays
+	// reproduce backoff timing bit-for-bit.
 	JitterSeed uint64
 	// Sleep is called between retries; nil means time.Sleep. Injectable
 	// so the fault harness runs on virtual time.
@@ -80,10 +87,12 @@ var ErrPushFailed = errors.New("salsad: push not acknowledged")
 type Agent struct {
 	cfg  AgentConfig
 	live salsa.Sketch
-	// ingest/cut/core abstract over the plain and epoch-wrapped backends.
-	ingest func(item uint64, count int64)
-	cut    func()
-	core   func() salsa.Sketch
+	// ingest/cut/core/pending abstract over the plain and epoch-wrapped
+	// backends.
+	ingest  func(item uint64, count int64)
+	cut     func()
+	core    func() salsa.Sketch
+	pending func() uint64
 
 	// shadow is the last acknowledged snapshot: everything the aggregator
 	// has confirmed. The next delta is live − shadow.
@@ -112,17 +121,22 @@ type Agent struct {
 // AgentStats counts delivery outcomes since construction.
 type AgentStats struct {
 	// FramesAcked counts data frames acknowledged (applied or duplicate).
-	FramesAcked uint64
+	FramesAcked uint64 `json:"framesAcked"`
 	// Heartbeats counts acknowledged heartbeat frames.
-	Heartbeats uint64
+	Heartbeats uint64 `json:"heartbeats"`
 	// Attempts counts transport deliveries, including retries.
-	Attempts uint64
-	// Retries counts attempts beyond the first per frame.
-	Retries uint64
+	Attempts uint64 `json:"attempts"`
+	// Retries counts attempts beyond the first per frame — each one sat
+	// behind a jittered backoff sleep.
+	Retries uint64 `json:"retries"`
 	// Resyncs counts full-state resynchronizations performed.
-	Resyncs uint64
+	Resyncs uint64 `json:"resyncs"`
 	// WireBytes sums the encoded size of every attempted frame.
-	WireBytes uint64
+	WireBytes uint64 `json:"wireBytes"`
+	// Pending is the epoch ingest layer's bounded-staleness gauge: items
+	// accepted by writers but not yet drained into the read view. Always
+	// 0 for plain (non-epoch) topologies.
+	Pending uint64 `json:"pending"`
 }
 
 // NewAgent builds an agent. The spec is built and validated here: a
@@ -147,12 +161,16 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 2 * time.Second
 	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = cryptoSeed()
+	}
 	a := &Agent{
 		cfg:      cfg,
 		gen:      cfg.Generation,
 		frontier: cfg.StartCursor,
 		fedFrom:  cfg.StartCursor,
-		rng:      rand.New(rand.NewSource(int64(cfg.JitterSeed))),
+		rng:      rand.New(rand.NewSource(int64(seed))),
 		sleep:    cfg.Sleep,
 	}
 	if a.sleep == nil {
@@ -182,19 +200,23 @@ func (a *Agent) buildLive() error {
 		a.ingest = w.Update
 		a.cut = func() { w.Flush(); s.Advance() }
 		a.core = func() salsa.Sketch { return s.View() }
+		a.pending = s.Pending
 	case *salsa.EpochCountSketch:
 		w := s.NewWriter(0)
 		a.ingest = w.Update
 		a.cut = func() { w.Flush(); s.Advance() }
 		a.core = func() salsa.Sketch { return s.View() }
+		a.pending = s.Pending
 	case *salsa.CountMin:
 		a.ingest = s.Update
 		a.cut = func() {}
 		a.core = func() salsa.Sketch { return s }
+		a.pending = func() uint64 { return 0 }
 	case *salsa.CountSketch:
 		a.ingest = s.Update
 		a.cut = func() {}
 		a.core = func() salsa.Sketch { return s }
+		a.pending = func() uint64 { return 0 }
 	default:
 		// DeltaCapable already screened these; kept for defense.
 		return fmt.Errorf("salsad: unsupported agent topology %T", built)
@@ -226,8 +248,13 @@ func (a *Agent) Gen() uint64 { return a.gen }
 // Frontier returns the upstream cursor: StartCursor plus items ingested.
 func (a *Agent) Frontier() uint64 { return a.frontier }
 
-// Stats returns delivery counters since construction.
-func (a *Agent) Stats() AgentStats { return a.stats }
+// Stats returns delivery counters since construction, plus the live
+// Pending gauge sampled at call time.
+func (a *Agent) Stats() AgentStats {
+	s := a.stats
+	s.Pending = a.pending()
+	return s
+}
 
 // Synced reports whether everything ingested so far has been acknowledged
 // by the aggregator: no frozen frame in flight and no unshipped traffic.
@@ -424,6 +451,18 @@ func (a *Agent) prepareResync(ack *Ack) error {
 	}
 	a.frameState, a.frameN = cur, a.ingestN
 	return nil
+}
+
+// cryptoSeed draws a random jitter seed from the OS entropy source. If
+// that fails (it essentially cannot on supported platforms) it falls back
+// to a fixed odd constant — jitter degrades, correctness does not depend
+// on it.
+func cryptoSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0x9e3779b97f4a7c15
+	}
+	return binary.LittleEndian.Uint64(b[:])
 }
 
 // Resume fetches the aggregator's durable frontier for an agent id and

@@ -1,6 +1,7 @@
 package salsad
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,6 +29,16 @@ type AggregatorConfig struct {
 	// Now is the clock used for leases; nil means time.Now. Injectable so
 	// the fault harness can drive virtual time.
 	Now func() time.Time
+	// DataDir, when non-empty, makes the aggregator durable: its per-agent
+	// table is snapshotted to crash-consistent files under this directory
+	// and reloaded on construction, so a restarted aggregator serves
+	// /v1/resume from persisted frontiers and agents continue from their
+	// frozen-frame seq instead of resyncing.
+	DataDir string
+	// SnapshotEvery persists after this many applied data frames (checked
+	// by MaybePersist). Zero means DefaultSnapshotEvery; 1 persists after
+	// every applied frame, making a restart lose nothing.
+	SnapshotEvery int
 }
 
 const (
@@ -37,6 +48,9 @@ const (
 	// DefaultMaxCandidates bounds the heavy-hitter candidate pool when
 	// AggregatorConfig.MaxCandidates is zero.
 	DefaultMaxCandidates = 4096
+	// DefaultSnapshotEvery is the applied-frame persistence interval when
+	// AggregatorConfig.SnapshotEvery is zero and a DataDir is set.
+	DefaultSnapshotEvery = 64
 )
 
 // agentEntry is the aggregator's durable state for one agent id.
@@ -53,6 +67,9 @@ type agentEntry struct {
 	// envelope is the complete history.
 	base     salsa.Sketch
 	lastSeen time.Time
+	// depth is the fan-in depth the sender reported (0 for edge agents,
+	// ≥ 1 for relays pushing their merged table).
+	depth byte
 }
 
 // AgentStatus is one row of the aggregator's membership table.
@@ -61,11 +78,14 @@ type AgentStatus struct {
 	Gen      uint64    `json:"gen"`
 	Seq      uint64    `json:"seq"`
 	Cursor   uint64    `json:"cursor"`
+	Depth    byte      `json:"depth"`
 	Alive    bool      `json:"alive"`
 	LastSeen time.Time `json:"lastSeen"`
 }
 
-// AggregatorStats counts protocol outcomes since construction.
+// AggregatorStats counts protocol outcomes since construction; for a
+// durable aggregator the counters are part of the snapshot, so they
+// survive restarts and read as "since the cluster's first boot".
 type AggregatorStats struct {
 	Applied           uint64 `json:"applied"`
 	Duplicates        uint64 `json:"duplicates"`
@@ -73,6 +93,10 @@ type AggregatorStats struct {
 	Heartbeats        uint64 `json:"heartbeats"`
 	Rejected          uint64 `json:"rejected"`
 	CandidatesDropped uint64 `json:"candidatesDropped"`
+	// Persists counts snapshots written; PersistErrors counts failed
+	// writes and rejected restores.
+	Persists      uint64 `json:"persists"`
+	PersistErrors uint64 `json:"persistErrors"`
 }
 
 // Aggregator merges delta pushes from many agents into per-agent
@@ -92,6 +116,18 @@ type Aggregator struct {
 	agents     map[string]*agentEntry
 	candidates map[uint64]struct{}
 	stats      AggregatorStats
+
+	// pers is the durable-state machinery (nil without a DataDir). The
+	// remaining fields track the last snapshot, guarded by mu.
+	pers             *persistor
+	snapEpoch        uint64
+	snapAt           time.Time
+	persistedApplied uint64
+	restoreErr       error
+
+	// upstreamStats, set once by NewRelay before any concurrency, samples
+	// the relay's upstream delivery counters for StatsView.
+	upstreamStats func() AgentStats
 }
 
 // NewAggregator builds an aggregator for the given core topology. The
@@ -132,7 +168,124 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if a.now == nil {
 		a.now = time.Now
 	}
+	if cfg.DataDir != "" {
+		store, err := OpenStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		every := cfg.SnapshotEvery
+		if every <= 0 {
+			every = DefaultSnapshotEvery
+		}
+		a.pers = &persistor{store: store, every: every, state: a.MarshalState}
+		a.restore(store, stateKindAggregator)
+	}
 	return a, nil
+}
+
+// restore loads the newest valid snapshot into the aggregator. A missing
+// snapshot is a first boot; an invalid or role-mismatched one is recorded
+// (RestoreError, stats.PersistErrors) and the aggregator starts empty —
+// the PR 8 resync path rebuilds state from the agents. It returns the
+// opaque upstream section for relay snapshots.
+func (a *Aggregator) restore(store *Store, wantKind byte) (upstream []byte, skipped int) {
+	res, err := store.LoadLatest()
+	if err != nil {
+		if errors.Is(err, ErrNoSnapshot) {
+			return nil, 0
+		}
+		a.noteRestoreError(err)
+		return nil, 0
+	}
+	kind, upstream, err := a.restoreState(res.State)
+	if err != nil {
+		a.noteRestoreError(&SnapshotError{Path: res.Path, Reason: "restore", Err: err})
+		return nil, len(res.Skipped)
+	}
+	if kind != wantKind {
+		// A role mismatch (an aggregator pointed at a relay's data dir, or
+		// vice versa) means the upstream/downstream split is wrong; the
+		// table was already swapped in by restoreState, so reset it.
+		a.mu.Lock()
+		a.agents = make(map[string]*agentEntry)
+		a.candidates = make(map[uint64]struct{})
+		a.stats = AggregatorStats{}
+		a.mu.Unlock()
+		a.noteRestoreError(&SnapshotError{Path: res.Path,
+			Reason: fmt.Sprintf("snapshot written by role kind %d, this node is kind %d", kind, wantKind)})
+		return nil, len(res.Skipped)
+	}
+	a.mu.Lock()
+	a.snapEpoch = res.Epoch
+	a.snapAt = a.now()
+	a.persistedApplied = a.stats.Applied
+	a.mu.Unlock()
+	return upstream, len(res.Skipped)
+}
+
+// noteRestoreError records a failed restore: typed error kept for
+// RestoreError, counted in stats.
+func (a *Aggregator) noteRestoreError(err error) {
+	a.mu.Lock()
+	a.restoreErr = err
+	a.stats.PersistErrors++
+	a.mu.Unlock()
+}
+
+// RestoreError returns the typed error of a failed snapshot restore (nil
+// when the last construction restored cleanly or found no snapshot). The
+// aggregator still serves — agents rebuild it through resyncs — but the
+// operator should know the durable state was rejected.
+func (a *Aggregator) RestoreError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.restoreErr
+}
+
+// Store returns the snapshot store (nil without a DataDir).
+func (a *Aggregator) Store() *Store {
+	if a.pers == nil {
+		return nil
+	}
+	return a.pers.store
+}
+
+// Persist writes the current durable state as a new snapshot epoch.
+// Returns a *ConfigError when the aggregator has no DataDir.
+func (a *Aggregator) Persist() (uint64, error) {
+	if a.pers == nil {
+		return 0, &ConfigError{Field: "DataDir", Reason: "aggregator is not durable; set DataDir"}
+	}
+	epoch, err := a.pers.persist()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.stats.PersistErrors++
+		return 0, err
+	}
+	a.snapEpoch = epoch
+	a.snapAt = a.now()
+	a.persistedApplied = a.stats.Applied
+	a.stats.Persists++
+	return epoch, nil
+}
+
+// MaybePersist persists when at least SnapshotEvery data frames have
+// been applied since the last snapshot. It is a no-op (false, nil) for a
+// non-durable aggregator; the transport or HTTP handler calls it after
+// every applied push.
+func (a *Aggregator) MaybePersist() (bool, error) {
+	if a.pers == nil {
+		return false, nil
+	}
+	a.mu.Lock()
+	due := a.stats.Applied >= a.persistedApplied+uint64(a.pers.every)
+	a.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	_, err := a.Persist()
+	return err == nil, err
 }
 
 // MaxEnvelopeBytes returns the configured decompressed-envelope cap.
@@ -265,6 +418,7 @@ func (a *Aggregator) ApplyPush(p *Push) (*Ack, error) {
 	}
 
 	e.lastSeen = now
+	e.depth = p.Depth
 	a.stats.Applied++
 	a.addCandidatesLocked(p.Candidates)
 	return ackFor(StatusApplied, e), nil
@@ -433,6 +587,7 @@ func (a *Aggregator) Agents() []AgentStatus {
 			Gen:      e.gen,
 			Seq:      e.lastSeq,
 			Cursor:   e.cursor,
+			Depth:    e.depth,
 			Alive:    now.Sub(e.lastSeen) <= a.leaseTTL,
 			LastSeen: e.lastSeen,
 		})
@@ -441,9 +596,92 @@ func (a *Aggregator) Agents() []AgentStatus {
 	return out
 }
 
-// Stats returns protocol counters since construction.
+// Stats returns protocol counters since construction (since the first
+// boot for durable aggregators, whose counters ride the snapshot).
 func (a *Aggregator) Stats() AggregatorStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+// StatsView is the operational /v1/stats payload: the protocol counters
+// plus durability and topology gauges.
+type StatsView struct {
+	AggregatorStats
+	// SnapshotEpoch is the epoch of the last persisted (or restored)
+	// snapshot; 0 means never persisted.
+	SnapshotEpoch uint64 `json:"snapshotEpoch"`
+	// SnapshotAgeMs is how long ago that snapshot was written, in
+	// milliseconds; -1 when the node is not durable or never persisted.
+	SnapshotAgeMs int64 `json:"snapshotAgeMs"`
+	// TierDepth is this node's fan-in depth: 1 + the deepest depth any
+	// sender reported (1 for a first-tier aggregator over edge agents).
+	TierDepth int `json:"tierDepth"`
+	// Upstream carries the relay's upstream delivery counters; nil on a
+	// plain aggregator.
+	Upstream *AgentStats `json:"upstream,omitempty"`
+}
+
+// StatsView returns the operational gauges served on /v1/stats.
+func (a *Aggregator) StatsView() StatsView {
+	var up *AgentStats
+	if a.upstreamStats != nil {
+		s := a.upstreamStats()
+		up = &s
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := StatsView{
+		AggregatorStats: a.stats,
+		SnapshotEpoch:   a.snapEpoch,
+		SnapshotAgeMs:   -1,
+		TierDepth:       a.depthLocked(),
+	}
+	if !a.snapAt.IsZero() {
+		v.SnapshotAgeMs = a.now().Sub(a.snapAt).Milliseconds()
+	}
+	v.Upstream = up
+	return v
+}
+
+// depthLocked is 1 + the deepest fan-in depth any sender reported.
+func (a *Aggregator) depthLocked() int {
+	depth := 0
+	for _, e := range a.agents {
+		if int(e.depth) > depth {
+			depth = int(e.depth)
+		}
+	}
+	return depth + 1
+}
+
+// appliedCount returns the applied-data-frame counter; the relay's
+// dirtiness gauge (anything applied since the last upstream shadow means
+// there is a delta worth shipping).
+func (a *Aggregator) appliedCount() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats.Applied
+}
+
+// upstreamCut atomically captures everything a relay needs to freeze an
+// upstream frame: the merged table, the applied-frame counter it
+// reflects, the candidate pool (sorted, capped for the wire), and this
+// node's tier depth.
+func (a *Aggregator) upstreamCut() (merged salsa.Sketch, applied uint64, cands []uint64, depth int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	merged, err = a.mergedLocked()
+	if err != nil {
+		return nil, 0, nil, 0, err
+	}
+	cands = make([]uint64, 0, len(a.candidates))
+	for it := range a.candidates {
+		cands = append(cands, it)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	if len(cands) > MaxPushCandidates {
+		cands = cands[:MaxPushCandidates]
+	}
+	return merged, a.stats.Applied, cands, a.depthLocked(), nil
 }

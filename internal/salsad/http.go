@@ -21,7 +21,7 @@ import (
 //	GET  /v1/top?k=K   → JSON heavy-hitter candidates vs the merged sketch
 //	GET  /v1/agents    → JSON membership/lease table
 //	GET  /v1/resume?agent=ID  → JSON ResumeInfo
-//	GET  /v1/stats     → JSON protocol counters
+//	GET  /v1/stats     → JSON protocol counters + durability/topology gauges
 //
 // The push decode path is bounded end to end before salsa.Unmarshal ever
 // sees a byte: http.MaxBytesReader caps the request body at the frame
@@ -102,7 +102,7 @@ func Handler(a *Aggregator) http.Handler {
 		writeJSON(w, http.StatusOK, a.Resume(id))
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, a.Stats())
+		writeJSON(w, http.StatusOK, a.StatsView())
 	})
 	return mux
 }
@@ -143,6 +143,12 @@ func handlePush(a *Aggregator, w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if ack.Status == StatusResync {
 		status = http.StatusConflict
+	}
+	if ack.Status == StatusApplied {
+		// Durability rides the apply path: every SnapshotEvery applied
+		// frames the table is snapshotted. Failures are counted in the
+		// aggregator's PersistErrors gauge; the ack is not affected.
+		a.MaybePersist() //nolint:errcheck // recorded in stats
 	}
 	writeJSON(w, status, ack)
 }

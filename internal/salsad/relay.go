@@ -1,0 +1,527 @@
+package salsad
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"salsa"
+)
+
+// Relay is an intermediate fan-in tier: downstream it is an Aggregator
+// (agents — or deeper relays — push delta frames into its table), and
+// upstream it behaves like an Agent whose "stream" is that table. Its cut
+// is the merged table delta (current − shadow via the subtract kernel),
+// shipped with the same frozen-frame/(gen,seq)/backoff/resync protocol
+// edge agents use, so trees compose to arbitrary depth with no new wire
+// format — relay frames only add FlagRelay and a Depth byte.
+//
+// Durability follows a strict ordering rule: a durable relay persists
+// every freshly cut data frame — frame bytes, pre-cut shadow, and the
+// post-cut snapshot — BEFORE its first transmission, and refuses to send
+// if that persist fails. Restoring to a state older than a transmitted
+// frame would otherwise cut a different delta under an already-used
+// sequence number, which upstream dedup would silently drop. With the
+// rule in place a crash at any point is safe: either the frozen frame is
+// on disk (restart retries it byte-identically; upstream acks it applied
+// or duplicate) or it was never sent. When the newest snapshot fails
+// validation and an older one is loaded instead, the persisted frontier
+// can no longer be trusted for dedup, so the relay burns the persisted
+// generation and rejoins through the full resync path.
+type Relay struct {
+	cfg  RelayConfig
+	agg  *Aggregator
+	pers *persistor // shared with agg so MaybePersist snapshots relay state
+
+	mu sync.Mutex
+	// gen/seq number upstream data frames; gen 0 is the "resolve a fresh
+	// generation from upstream before the first push" sentinel.
+	gen uint64
+	seq uint64
+	// shadow is the last acknowledged merged-table snapshot;
+	// appliedAtShadow the applied-frame counter it reflects. The next
+	// delta is merged − shadow.
+	shadow          salsa.Sketch
+	appliedAtShadow uint64
+	// frame is the frozen in-flight upstream push; frameState/frameApplied
+	// the snapshot the shadow advances to on ack. framePersisted records
+	// that the frame has reached disk (always true for heartbeats and
+	// volatile relays).
+	frame          *Push
+	frameState     salsa.Sketch
+	frameApplied   uint64
+	framePersisted bool
+	stats          AgentStats
+
+	rng   *rand.Rand
+	sleep func(time.Duration)
+}
+
+// RelayConfig configures a Relay.
+type RelayConfig struct {
+	// ID identifies this relay to its upstream aggregator. Required,
+	// ≤ MaxAgentIDLen.
+	ID string
+	// Spec is the core sketch topology of the tree (the same spec every
+	// tier runs). Required.
+	Spec salsa.Spec
+	// Upstream delivers this relay's merged-table frames to the next tier
+	// up. Required.
+	Upstream Transport
+	// Generation is this incarnation's upstream generation; zero resolves
+	// a fresh one from upstream (via Resume) before the first push, unless
+	// a durable snapshot supplies it.
+	Generation uint64
+	// DataDir, when non-empty, makes the relay durable: the downstream
+	// table and the upstream shipping state (generation, seq, shadow, and
+	// the frozen in-flight frame) are snapshotted crash-consistently.
+	DataDir string
+	// SnapshotEvery persists after this many applied downstream frames;
+	// zero means DefaultSnapshotEvery. Upstream data frames are always
+	// persisted at cut time regardless, per the ordering rule above.
+	SnapshotEvery int
+	// LeaseTTL / MaxEnvelopeBytes / MaxCandidates / Now configure the
+	// downstream aggregator half; see AggregatorConfig.
+	LeaseTTL         time.Duration
+	MaxEnvelopeBytes int
+	MaxCandidates    int
+	Now              func() time.Time
+	// MaxAttempts / BackoffBase / BackoffCap / JitterSeed / Sleep shape
+	// upstream delivery retries; see AgentConfig.
+	MaxAttempts int
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	JitterSeed  uint64
+	Sleep       func(time.Duration)
+}
+
+// NewRelay builds a relay. With a DataDir it reloads the newest valid
+// snapshot: the downstream table always, and the upstream shipping state
+// only when the newest snapshot itself validated (see Relay).
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.ID == "" || len(cfg.ID) > MaxAgentIDLen {
+		return nil, &ConfigError{Field: "ID", Reason: fmt.Sprintf("relay id %q must be 1..%d bytes", cfg.ID, MaxAgentIDLen)}
+	}
+	if cfg.Spec == nil || cfg.Upstream == nil {
+		return nil, &ConfigError{Field: "Upstream", Reason: "relay needs a Spec and an Upstream transport"}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 2 * time.Second
+	}
+	agg, err := NewAggregator(AggregatorConfig{
+		Spec:             cfg.Spec,
+		LeaseTTL:         cfg.LeaseTTL,
+		MaxEnvelopeBytes: cfg.MaxEnvelopeBytes,
+		MaxCandidates:    cfg.MaxCandidates,
+		Now:              cfg.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = cryptoSeed()
+	}
+	r := &Relay{
+		cfg:   cfg,
+		agg:   agg,
+		gen:   cfg.Generation,
+		rng:   rand.New(rand.NewSource(int64(seed))),
+		sleep: cfg.Sleep,
+	}
+	if r.sleep == nil {
+		r.sleep = time.Sleep
+	}
+	agg.upstreamStats = r.Stats
+	if cfg.DataDir != "" {
+		store, err := OpenStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		every := cfg.SnapshotEvery
+		if every <= 0 {
+			every = DefaultSnapshotEvery
+		}
+		r.pers = &persistor{store: store, every: every, state: r.marshalState}
+		agg.pers = r.pers
+		upstream, skipped := agg.restore(store, stateKindRelay)
+		switch {
+		case agg.RestoreError() != nil || skipped > 0:
+			// Either the snapshot was rejected outright, or the newest file
+			// failed validation and an older one was loaded. Any frontier on
+			// disk may predate frames a dead incarnation already transmitted,
+			// so it must not be reused for dedup: burn the persisted
+			// generation and rejoin via resync.
+			r.resetUpstream()
+		case len(upstream) > 0:
+			if err := r.restoreUpstream(upstream); err != nil {
+				agg.noteRestoreError(err)
+				r.resetUpstream()
+			}
+		}
+	}
+	return r, nil
+}
+
+// resetUpstream discards the upstream shipping state: generation sentinel
+// 0 (resolve from upstream), no shadow, no frame — the next PushOnce
+// rejoins with a fresh-generation full snapshot.
+func (r *Relay) resetUpstream() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen, r.seq = 0, 0
+	r.shadow, r.appliedAtShadow = nil, 0
+	r.frame, r.frameState, r.framePersisted = nil, nil, false
+}
+
+// Agg returns the downstream aggregator half: the table pushes land in
+// and the handler Handler serves.
+func (r *Relay) Agg() *Aggregator { return r.agg }
+
+// RestoreError returns the typed error of a failed snapshot restore; see
+// Aggregator.RestoreError.
+func (r *Relay) RestoreError() error { return r.agg.RestoreError() }
+
+// Gen returns the current upstream generation (0 until the first push of
+// a fresh incarnation resolves one).
+func (r *Relay) Gen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Stats returns upstream delivery counters since construction.
+func (r *Relay) Stats() AgentStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Synced reports whether everything applied downstream has been
+// acknowledged upstream: no frozen frame in flight and the shadow covers
+// the whole table.
+func (r *Relay) Synced() bool {
+	applied := r.agg.appliedCount()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame == nil && applied == r.appliedAtShadow
+}
+
+// PushOnce ships the relay's merged table forward by (at most) one
+// upstream frame, with the same freeze/retry/resync semantics as
+// Agent.PushOnce. For a durable relay a freshly cut data frame is
+// persisted before its first transmission; a failed persist aborts the
+// push (wrapping ErrPushFailed) and the frame is retried — persist first
+// — by the next call.
+func (r *Relay) PushOnce(ctx context.Context) error {
+	if r.Gen() == 0 {
+		info, err := r.cfg.Upstream.Resume(ctx, r.cfg.ID)
+		if err != nil {
+			return fmt.Errorf("%w: resolving a fresh generation: %w", ErrPushFailed, err)
+		}
+		r.mu.Lock()
+		r.gen = info.Gen + 1
+		r.mu.Unlock()
+	}
+	if r.currentFrame() == nil {
+		if err := r.cutFrame(); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.bump(func(s *AgentStats) { s.Retries++ })
+			r.sleep(r.backoff(attempt - 1))
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrPushFailed, err)
+		}
+		if err := r.persistFrame(); err != nil {
+			return fmt.Errorf("%w: frame not durable before transmission: %w", ErrPushFailed, err)
+		}
+		frame := r.currentFrame()
+		r.bump(func(s *AgentStats) {
+			s.Attempts++
+			if enc, err := frame.Encode(); err == nil {
+				s.WireBytes += uint64(len(enc))
+			}
+		})
+		ack, err := r.cfg.Upstream.Push(ctx, frame)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch ack.Status {
+		case StatusApplied, StatusDuplicate:
+			r.commitFrame()
+			return nil
+		case StatusResync:
+			if err := r.prepareResync(ack); err != nil {
+				return err
+			}
+			lastErr = errors.New("resynchronizing")
+			continue // deliver the freshly cut full frame
+		default:
+			lastErr = fmt.Errorf("unknown ack status %q", ack.Status)
+		}
+	}
+	frame := r.currentFrame()
+	return fmt.Errorf("%w: relay %s gen %d seq %d: %w",
+		ErrPushFailed, r.cfg.ID, frame.Gen, frame.Seq, lastErr)
+}
+
+func (r *Relay) currentFrame() *Push {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frame
+}
+
+func (r *Relay) bump(f func(*AgentStats)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(&r.stats)
+}
+
+// backoff mirrors Agent.backoff: uniformly in [d/2, d) for
+// d = min(cap, base·2ⁿ).
+func (r *Relay) backoff(n int) time.Duration {
+	d := r.cfg.BackoffBase << uint(n)
+	if d <= 0 || d > r.cfg.BackoffCap {
+		d = r.cfg.BackoffCap
+	}
+	half := d / 2
+	return half + time.Duration(r.rng.Int63n(int64(half)+1))
+}
+
+// cutFrame freezes the next upstream frame from an atomic capture of the
+// downstream table: a full replacing snapshot for a fresh incarnation
+// (whatever a prior incarnation shipped overlaps this subtree's merged
+// state, so only replacement is sound), a heartbeat when nothing was
+// applied since the shadow, and a merged-table delta otherwise.
+func (r *Relay) cutFrame() error {
+	merged, applied, cands, depth, err := r.agg.upstreamCut()
+	if err != nil {
+		return err
+	}
+	if depth > 255 {
+		depth = 255
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shadow == nil && r.seq == 0 {
+		env, err := salsa.Marshal(merged)
+		if err != nil {
+			return err
+		}
+		r.frame = &Push{
+			Agent:      r.cfg.ID,
+			Gen:        r.gen,
+			Seq:        1,
+			Cursor:     applied,
+			Flags:      FlagFull | FlagRelay,
+			Depth:      byte(depth),
+			Candidates: cands,
+			Envelope:   env,
+		}
+		r.frameState, r.frameApplied, r.framePersisted = merged, applied, false
+		return nil
+	}
+	if applied == r.appliedAtShadow {
+		r.frame = &Push{
+			Agent:  r.cfg.ID,
+			Gen:    r.gen,
+			Seq:    r.seq,
+			Cursor: applied,
+			Flags:  FlagHeartbeat | FlagRelay,
+			Depth:  byte(depth),
+		}
+		// Heartbeats consume no sequence number, so they skip the
+		// durability barrier.
+		r.frameState, r.frameApplied, r.framePersisted = nil, r.appliedAtShadow, true
+		return nil
+	}
+	delta, err := salsa.CloneSketch(merged)
+	if err != nil {
+		return err
+	}
+	if err := salsa.SubtractInto(delta, r.shadow); err != nil {
+		return err
+	}
+	env, err := salsa.Marshal(delta)
+	if err != nil {
+		return err
+	}
+	r.frame = &Push{
+		Agent:      r.cfg.ID,
+		Gen:        r.gen,
+		Seq:        r.seq + 1,
+		Cursor:     applied,
+		Flags:      FlagRelay,
+		Depth:      byte(depth),
+		Candidates: cands,
+		Envelope:   env,
+	}
+	r.frameState, r.frameApplied, r.framePersisted = merged, applied, false
+	return nil
+}
+
+// persistFrame enforces the durability barrier: a durable relay's frozen
+// data frame must be on disk before its first transmission. A no-op for
+// volatile relays, heartbeats, and frames already persisted (including
+// ones restored from a snapshot).
+func (r *Relay) persistFrame() error {
+	if r.pers == nil {
+		return nil
+	}
+	r.mu.Lock()
+	needed := r.frame != nil && !r.framePersisted
+	r.mu.Unlock()
+	if !needed {
+		return nil
+	}
+	if _, err := r.agg.Persist(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.framePersisted = true
+	r.mu.Unlock()
+	return nil
+}
+
+// commitFrame advances past an acknowledged upstream frame.
+func (r *Relay) commitFrame() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frame.Heartbeat() {
+		r.stats.Heartbeats++
+	} else {
+		r.seq = r.frame.Seq
+		r.shadow = r.frameState
+		r.appliedAtShadow = r.frameApplied
+		r.stats.FramesAcked++
+	}
+	r.frame, r.frameState, r.framePersisted = nil, nil, false
+}
+
+// prepareResync reacts to an upstream StatusResync: burn the generation,
+// drop the shadow, and cut a full replacing snapshot of the merged table.
+// The relay's table is its complete subtree state (children follow the
+// full-history resync contract themselves), so the snapshot is always
+// available — no replay hook needed.
+func (r *Relay) prepareResync(ack *Ack) error {
+	r.mu.Lock()
+	r.stats.Resyncs++
+	if ack.Gen > r.gen {
+		r.gen = ack.Gen
+	}
+	r.gen++
+	r.seq = 0
+	r.frame, r.frameState, r.framePersisted = nil, nil, false
+	r.shadow, r.appliedAtShadow = nil, 0
+	r.mu.Unlock()
+	return r.cutFrame()
+}
+
+// Persist writes a snapshot of the full relay state (downstream table
+// plus upstream shipping state) as a new epoch; see Aggregator.Persist.
+func (r *Relay) Persist() (uint64, error) {
+	if r.pers == nil {
+		return 0, &ConfigError{Field: "DataDir", Reason: "relay is not durable; set DataDir"}
+	}
+	return r.agg.Persist()
+}
+
+// marshalState is the persistor's payload hook: the upstream shipping
+// state captured under the relay lock, wrapped around the aggregator's
+// table marshal. The two captures are not atomic with each other, but the
+// persistor serializes whole persist cycles, and the cut-before-send
+// barrier guarantees the newest snapshot at any transmission already
+// contains that frame — an older pairing is only ever restored when the
+// frame it lacks was never sent.
+func (r *Relay) marshalState() ([]byte, error) {
+	r.mu.Lock()
+	buf := make([]byte, 0, 256)
+	buf = binary.LittleEndian.AppendUint64(buf, r.gen)
+	buf = binary.LittleEndian.AppendUint64(buf, r.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, r.appliedAtShadow)
+	var err error
+	if buf, err = appendOptionalSketch(buf, r.shadow); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	if r.frame == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, r.frameApplied)
+		enc, err := r.frame.Encode()
+		if err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+		if buf, err = appendOptionalSketch(buf, r.frameState); err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+	}
+	r.mu.Unlock()
+	return r.agg.marshalState(stateKindRelay, buf)
+}
+
+// restoreUpstream rebuilds the upstream shipping state from a snapshot's
+// upstream section. The frozen frame travels as its encoded wire bytes,
+// so a restored retry is byte-identical to what the dead incarnation
+// transmitted.
+func (r *Relay) restoreUpstream(data []byte) error {
+	fr := frameReader{data: data}
+	gen, seq, appliedAtShadow := fr.u64(), fr.u64(), fr.u64()
+	shadow, err := r.agg.readOptionalSketch(&fr)
+	if err != nil {
+		return err
+	}
+	var (
+		frame        *Push
+		frameState   salsa.Sketch
+		frameApplied uint64
+	)
+	if fr.u8() == 1 {
+		frameApplied = fr.u64()
+		encLen := int(fr.u32())
+		enc := fr.take(encLen)
+		if enc == nil {
+			return &SnapshotError{Reason: "upstream section: truncated frame"}
+		}
+		if frame, err = DecodePush(enc, r.agg.maxEnvelope); err != nil {
+			return &SnapshotError{Reason: "upstream section: undecodable frozen frame", Err: err}
+		}
+		if frame.Agent != r.cfg.ID {
+			return &SnapshotError{Reason: fmt.Sprintf("upstream section: frozen frame belongs to %q, this relay is %q", frame.Agent, r.cfg.ID)}
+		}
+		if frameState, err = r.agg.readOptionalSketch(&fr); err != nil {
+			return err
+		}
+	}
+	if fr.err != nil || fr.pos != len(fr.data) {
+		return &SnapshotError{Reason: "upstream section: truncated or oversized"}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen, r.seq, r.appliedAtShadow = gen, seq, appliedAtShadow
+	r.shadow = shadow
+	r.frame, r.frameState, r.frameApplied = frame, frameState, frameApplied
+	r.framePersisted = frame != nil // it came from disk
+	return nil
+}

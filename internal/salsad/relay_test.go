@@ -1,0 +1,366 @@
+package salsad
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// corruptFile flips one bit in the middle of the file at path.
+func corruptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	data[len(data)/2] ^= 0x01
+	return os.WriteFile(path, data, 0o644)
+}
+
+// newTestRelay wires a relay over a directTransport to the given root.
+func newTestRelay(t *testing.T, root *Aggregator, cfg RelayConfig) (*Relay, *directTransport) {
+	t.Helper()
+	tr := &directTransport{agg: root}
+	if cfg.ID == "" {
+		cfg.ID = "relay-1"
+	}
+	if cfg.Spec == nil {
+		cfg.Spec = testSpec()
+	}
+	cfg.Upstream = tr
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {}
+	}
+	r, err := NewRelay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tr
+}
+
+// feedRelay pushes agent frames into the relay's downstream table.
+func feedRelay(t *testing.T, r *Relay, agent string, gen, seq uint64, items ...uint64) {
+	t.Helper()
+	flags := byte(0)
+	if seq == 1 {
+		flags = FlagFull
+	}
+	ack := push(t, r.Agg(), &Push{Agent: agent, Gen: gen, Seq: seq, Flags: flags,
+		Envelope: envelopeFor(t, items...)})
+	if ack.Status != StatusApplied {
+		t.Fatalf("feed %s gen %d seq %d: %v", agent, gen, seq, ack.Status)
+	}
+}
+
+func TestRelayDeltaCycle(t *testing.T) {
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, _ := newTestRelay(t, root, RelayConfig{Generation: 1})
+	ctx := context.Background()
+
+	feedRelay(t, r, "e1", 1, 1, 10, 10, 11)
+	feedRelay(t, r, "e2", 1, 1, 12)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Synced() {
+		t.Fatal("relay not synced after clean push")
+	}
+	// Second round is a delta: only the new traffic crosses the uplink.
+	feedRelay(t, r, "e1", 1, 2, 10)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryOne(t, root, 10); got != 3 {
+		t.Fatalf("root count(10) = %d, want 3", got)
+	}
+	// Root sees the relay's merged table as one contribution; bytes must
+	// match the relay's own snapshot.
+	want, err := r.Agg().SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("root diverged from the relay's table")
+	}
+	st := r.Stats()
+	if st.FramesAcked != 2 || st.Resyncs != 0 {
+		t.Fatalf("relay stats: %+v", st)
+	}
+}
+
+func TestRelayIdleHeartbeat(t *testing.T) {
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, _ := newTestRelay(t, root, RelayConfig{Generation: 1})
+	ctx := context.Background()
+	feedRelay(t, r, "e1", 1, 1, 5)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing new applied: the next rounds are lease-renewing heartbeats,
+	// not data frames.
+	for i := 0; i < 3; i++ {
+		if err := r.PushOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Heartbeats != 3 || st.FramesAcked != 1 {
+		t.Fatalf("stats after idle rounds: %+v", st)
+	}
+}
+
+func TestRelayDepthGauge(t *testing.T) {
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, _ := newTestRelay(t, root, RelayConfig{Generation: 1})
+	feedRelay(t, r, "e1", 1, 1, 5)
+	if err := r.PushOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Edge agents are depth 0, the relay's table is depth 1, the root
+	// above it depth 2.
+	if d := r.Agg().StatsView().TierDepth; d != 1 {
+		t.Fatalf("relay tier depth = %d, want 1", d)
+	}
+	if d := root.StatsView().TierDepth; d != 2 {
+		t.Fatalf("root tier depth = %d, want 2", d)
+	}
+	agents := root.Agents()
+	if len(agents) != 1 || agents[0].Depth != 1 {
+		t.Fatalf("root membership: %+v", agents)
+	}
+	// The relay's upstream counters surface on its stats view.
+	if up := r.Agg().StatsView().Upstream; up == nil || up.FramesAcked != 1 {
+		t.Fatalf("upstream stats view: %+v", up)
+	}
+}
+
+func TestRelayResyncAfterRootWipe(t *testing.T) {
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, tr := newTestRelay(t, root, RelayConfig{Generation: 1})
+	ctx := context.Background()
+	feedRelay(t, r, "e1", 1, 1, 1, 2, 3)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The root restarts without durable state.
+	newRoot := newTestAggregator(t, AggregatorConfig{})
+	tr.agg = newRoot
+	feedRelay(t, r, "e1", 1, 2, 4)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Resyncs != 1 {
+		t.Fatalf("resyncs = %d, want 1", r.Stats().Resyncs)
+	}
+	// The full replacing snapshot rebuilt everything, not just the delta.
+	want, err := r.Agg().SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newRoot.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resync did not rebuild the root")
+	}
+}
+
+func TestRelayFreshGenerationResolvedFromUpstream(t *testing.T) {
+	root := newTestAggregator(t, AggregatorConfig{})
+	// A dead incarnation left gen 5 at the root.
+	push(t, root, &Push{Agent: "relay-1", Gen: 5, Seq: 1, Flags: FlagFull | FlagRelay,
+		Depth: 1, Envelope: envelopeFor(t, 9)})
+	r, _ := newTestRelay(t, root, RelayConfig{}) // Generation 0: resolve via Resume
+	feedRelay(t, r, "e1", 1, 1, 9)
+	if err := r.PushOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Gen(); g != 6 {
+		t.Fatalf("resolved generation %d, want 6", g)
+	}
+	// Its first frame replaced the dead incarnation's contribution.
+	if got := queryOne(t, root, 9); got != 1 {
+		t.Fatalf("count(9) = %d, want 1 (replace, not add)", got)
+	}
+}
+
+func TestRelayDurableRestartRetriesFrozenFrame(t *testing.T) {
+	dir := t.TempDir()
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, tr := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir, MaxAttempts: 1})
+	ctx := context.Background()
+	feedRelay(t, r, "e1", 1, 1, 1, 1, 2)
+
+	// The uplink eats every attempt: the frame is cut, persisted (the
+	// durability barrier), transmitted, and lost.
+	tr.failN = 99
+	if err := r.PushOnce(ctx); !errors.Is(err, ErrPushFailed) {
+		t.Fatalf("want ErrPushFailed, got %v", err)
+	}
+	wantFrame, err := r.currentFrame().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// kill -9; a new incarnation restores table AND frozen frame.
+	r2, tr2 := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir})
+	if err := r2.RestoreError(); err != nil {
+		t.Fatal(err)
+	}
+	gotFrame, err := r2.currentFrame().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotFrame, wantFrame) {
+		t.Fatal("restored frame is not byte-identical — retry dedup would break")
+	}
+	tr2.failN = 0
+	if err := r2.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats().Resyncs != 0 {
+		t.Fatal("durable relay restart caused a resync")
+	}
+	want, err := r2.Agg().SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("root diverged after durable relay restart")
+	}
+}
+
+func TestRelayDistrustsSkippedSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, _ := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir})
+	ctx := context.Background()
+	feedRelay(t, r, "e1", 1, 1, 1, 2)
+	if err := r.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Persist(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the NEWEST snapshot: the restart falls back to an older one
+	// whose frontier may predate transmitted frames — it must not be
+	// trusted for dedup.
+	store := r.Agg().Store()
+	res, err := store.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corruptFile(res.Path); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _ := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir})
+	if g := r2.Gen(); g != 0 {
+		t.Fatalf("gen = %d, want the resolve-fresh sentinel 0", g)
+	}
+	feedRelay(t, r2, "e1", 2, 1, 1, 2, 3)
+	if err := r2.PushOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g := r2.Gen(); g <= 1 {
+		t.Fatalf("rejoined under gen %d; the persisted generation was not burned", g)
+	}
+	// Convergence via the full-replacement path.
+	want, err := r2.Agg().SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("root diverged after distrusted restore")
+	}
+}
+
+func TestRelayPersistRidesDownstreamApplies(t *testing.T) {
+	dir := t.TempDir()
+	root := newTestAggregator(t, AggregatorConfig{})
+	r, _ := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir, SnapshotEvery: 2})
+	feedRelay(t, r, "e1", 1, 1, 1)
+	feedRelay(t, r, "e1", 1, 2, 2)
+	// The transport/handler persistence tick.
+	if ok, err := r.Agg().MaybePersist(); err != nil || !ok {
+		t.Fatalf("MaybePersist: ok=%v err=%v", ok, err)
+	}
+	// A relay restarted from that snapshot has the table without any
+	// upstream push ever having happened.
+	r2, _ := newTestRelay(t, root, RelayConfig{Generation: 1, DataDir: dir})
+	if err := r2.RestoreError(); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryOne(t, r2.Agg(), 2); got != 1 {
+		t.Fatalf("restored table count(2) = %d, want 1", got)
+	}
+	if info := r2.Agg().Resume("e1"); !info.Known || info.Seq != 2 {
+		t.Fatalf("restored downstream frontier: %+v", info)
+	}
+}
+
+func TestNewRelayRejects(t *testing.T) {
+	tr := &directTransport{agg: newTestAggregator(t, AggregatorConfig{})}
+	var ce *ConfigError
+	if _, err := NewRelay(RelayConfig{Spec: testSpec(), Upstream: tr}); !errors.As(err, &ce) {
+		t.Fatalf("missing id: %v", err)
+	}
+	if _, err := NewRelay(RelayConfig{ID: "r", Spec: testSpec()}); !errors.As(err, &ce) {
+		t.Fatalf("missing upstream: %v", err)
+	}
+	if _, err := NewRelay(RelayConfig{ID: "r", Upstream: tr}); !errors.As(err, &ce) {
+		t.Fatalf("missing spec: %v", err)
+	}
+}
+
+func TestPushRelayDepthRoundTrip(t *testing.T) {
+	p := &Push{Agent: "r", Gen: 2, Seq: 3, Cursor: 9, Flags: FlagRelay | FlagFull,
+		Depth: 4, Envelope: envelopeFor(t, 1)}
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodePush(enc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Relay() || q.Depth != 4 {
+		t.Fatalf("depth lost: relay=%v depth=%d", q.Relay(), q.Depth)
+	}
+	// Depth without the relay flag is malformed by construction.
+	if _, err := (&Push{Agent: "r", Depth: 1, Flags: FlagHeartbeat}).Encode(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("depth on non-relay frame: %v", err)
+	}
+}
+
+func TestAgentJitterSeedDeterminism(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var out []time.Duration
+		ag := newTestAgent(t, AgentConfig{ID: "j", Transport: &directTransport{agg: newTestAggregator(t, AggregatorConfig{})}, JitterSeed: seed})
+		for i := 0; i < 8; i++ {
+			out = append(out, ag.backoff(i%3))
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedules diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

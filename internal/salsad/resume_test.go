@@ -1,0 +1,118 @@
+package salsad
+
+import (
+	"testing"
+)
+
+// Replay-cursor edge cases around Resume: the frontier an aggregator
+// reports must let a reconnecting sender continue exactly — never
+// silently drop a frame, never double-apply one.
+
+// TestResumeCursorAtGenerationBoundary pins the frontier reported right
+// after a generation bump, where the previous generation's high-water
+// seq is larger than the new generation's.
+func TestResumeCursorAtGenerationBoundary(t *testing.T) {
+	a := newTestAggregator(t, AggregatorConfig{})
+	push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 1, Flags: FlagFull, Cursor: 10,
+		Envelope: envelopeFor(t, 1)})
+	push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 2, Cursor: 20, Envelope: envelopeFor(t, 2)})
+	// Generation bump: the replacing snapshot restarts seq at 1.
+	push(t, a, &Push{Agent: "a1", Gen: 2, Seq: 1, Flags: FlagFull, Cursor: 30,
+		Envelope: envelopeFor(t, 3)})
+
+	info := a.Resume("a1")
+	if !info.Known || info.Gen != 2 || info.Seq != 1 || info.Cursor != 30 {
+		t.Fatalf("frontier at generation boundary: %+v", info)
+	}
+	// Continuing from the reported frontier is seq 2 of gen 2 — NOT seq 3,
+	// which was the old generation's next slot.
+	if ack := push(t, a, &Push{Agent: "a1", Gen: 2, Seq: 2, Cursor: 40,
+		Envelope: envelopeFor(t, 4)}); ack.Status != StatusApplied {
+		t.Fatalf("continuation after boundary: %v", ack.Status)
+	}
+	// A straggler from the burned generation must be told to resync, not
+	// be applied into the replaced state.
+	if ack := push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 3, Cursor: 25,
+		Envelope: envelopeFor(t, 9)}); ack.Status != StatusResync {
+		t.Fatalf("stale-generation frame: %v", ack.Status)
+	}
+}
+
+// TestResumeAgainstRestartedDurableAggregator reconnects an agent to an
+// aggregator restarted from a snapshot taken at the agent's exact
+// frontier: the reported cursor lets it continue with zero replay.
+func TestResumeAgainstRestartedDurableAggregator(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestAggregator(t, AggregatorConfig{DataDir: dir, SnapshotEvery: 1})
+	push(t, a, &Push{Agent: "a1", Gen: 7, Seq: 1, Flags: FlagFull, Cursor: 100,
+		Envelope: envelopeFor(t, 1)})
+	if _, err := a.MaybePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestAggregator(t, AggregatorConfig{DataDir: dir, SnapshotEvery: 1})
+	info := b.Resume("a1")
+	if !info.Known || info.Gen != 7 || info.Seq != 1 || info.Cursor != 100 {
+		t.Fatalf("persisted frontier: %+v", info)
+	}
+	// The agent replays nothing and continues within the same generation.
+	if ack := push(t, b, &Push{Agent: "a1", Gen: 7, Seq: 2, Cursor: 120,
+		Envelope: envelopeFor(t, 2)}); ack.Status != StatusApplied {
+		t.Fatalf("continuation after restart: %v", ack.Status)
+	}
+	if b.Stats().Resyncs != 0 {
+		t.Fatal("durable restart cost a resync")
+	}
+}
+
+// TestResumeSnapshotPredatesFrontierForcesResync covers the dangerous
+// window: the aggregator persisted at seq 1 but acknowledged through seq
+// 3 before crashing. After restart its table is missing frames 2-3, so a
+// sender continuing from ITS frontier (seq 4) presents a gap. Silently
+// accepting — or acking it as a duplicate — would lose frames 2-3
+// forever; the only sound answer is a resync.
+func TestResumeSnapshotPredatesFrontierForcesResync(t *testing.T) {
+	dir := t.TempDir()
+	a := newTestAggregator(t, AggregatorConfig{DataDir: dir, SnapshotEvery: 1})
+	push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 1, Flags: FlagFull, Cursor: 10,
+		Envelope: envelopeFor(t, 1)})
+	if _, err := a.MaybePersist(); err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged but never persisted: lost in the crash.
+	push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 2, Cursor: 20, Envelope: envelopeFor(t, 2)})
+	push(t, a, &Push{Agent: "a1", Gen: 1, Seq: 3, Cursor: 30, Envelope: envelopeFor(t, 3)})
+
+	b := newTestAggregator(t, AggregatorConfig{DataDir: dir, SnapshotEvery: 1})
+	// The stale frontier is visible to an honest reconnect...
+	if info := b.Resume("a1"); info.Seq != 1 || info.Cursor != 10 {
+		t.Fatalf("restored frontier: %+v", info)
+	}
+	// ...but a sender that skipped Resume and continued from its own
+	// frontier presents seq 4 over a seq-1 table: a gap, never a silent
+	// apply or drop.
+	ack := push(t, b, &Push{Agent: "a1", Gen: 1, Seq: 4, Cursor: 40,
+		Envelope: envelopeFor(t, 4)})
+	if ack.Status != StatusResync {
+		t.Fatalf("gapped frame after lossy restart: %v", ack.Status)
+	}
+	if ack.Gen != 1 || ack.Seq != 1 {
+		t.Fatalf("resync ack must report the surviving frontier: %+v", ack)
+	}
+	// Recovery is the standard replacing snapshot under a fresh gen.
+	if ack := push(t, b, &Push{Agent: "a1", Gen: 2, Seq: 1, Flags: FlagFull, Cursor: 40,
+		Envelope: envelopeFor(t, 1, 2, 3, 4)}); ack.Status != StatusApplied {
+		t.Fatalf("recovery snapshot: %v", ack.Status)
+	}
+	if got := queryOne(t, b, 3); got != 1 {
+		t.Fatalf("count(3) after recovery = %d, want 1", got)
+	}
+}
+
+// TestResumeUnknownAgent pins the fresh-sender answer.
+func TestResumeUnknownAgent(t *testing.T) {
+	a := newTestAggregator(t, AggregatorConfig{})
+	if info := a.Resume("nobody"); info.Known || info.Gen != 0 || info.Seq != 0 {
+		t.Fatalf("unknown agent: %+v", info)
+	}
+}

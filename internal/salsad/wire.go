@@ -54,8 +54,12 @@ const (
 	// FlagHeartbeat marks a data-free lease renewal; the frame carries no
 	// envelope and does not consume a sequence number.
 	FlagHeartbeat byte = 1 << 1
+	// FlagRelay marks a frame pushed by a relay (an aggregator shipping
+	// its merged table upstream). Relay frames carry one extra Depth byte
+	// so every tier can report how deep the fan-in tree below it is.
+	FlagRelay byte = 1 << 2
 
-	flagsKnown = FlagFull | FlagHeartbeat
+	flagsKnown = FlagFull | FlagHeartbeat | FlagRelay
 
 	// MaxAgentIDLen bounds the agent identifier on the wire.
 	MaxAgentIDLen = 128
@@ -67,8 +71,9 @@ const (
 	DefaultMaxEnvelopeBytes = 8 << 20
 
 	// maxFrameOverhead bounds the frame bytes around the compressed
-	// envelope: fixed header plus maximal agent id and candidate list.
-	maxFrameOverhead = 4 + 1 + 1 + 2 + MaxAgentIDLen + 8*3 + 2 + 8*MaxPushCandidates + 4 + 4
+	// envelope: fixed header (incl. the optional relay depth byte) plus
+	// maximal agent id and candidate list.
+	maxFrameOverhead = 4 + 1 + 1 + 1 + 2 + MaxAgentIDLen + 8*3 + 2 + 8*MaxPushCandidates + 4 + 4
 )
 
 // A ConfigError reports an AgentConfig or AggregatorConfig field the
@@ -117,8 +122,11 @@ type Push struct {
 	// the last applied frame and hands it back on resume, so a restarted
 	// agent knows where to re-read its source from.
 	Cursor uint64
-	// Flags carries FlagFull / FlagHeartbeat.
+	// Flags carries FlagFull / FlagHeartbeat / FlagRelay.
 	Flags byte
+	// Depth is the fan-in depth of the tree below the sender (0 for edge
+	// agents, ≥ 1 for relays). Only encoded when FlagRelay is set.
+	Depth byte
 	// Candidates are heavy-hitter candidate items observed by the agent;
 	// the aggregator evaluates its candidate pool against the merged
 	// sketch to answer top-k queries.
@@ -134,6 +142,9 @@ func (p *Push) Heartbeat() bool { return p.Flags&FlagHeartbeat != 0 }
 // Full reports whether the frame replaces all prior state for the agent.
 func (p *Push) Full() bool { return p.Flags&FlagFull != 0 }
 
+// Relay reports whether the frame was pushed by a relay tier.
+func (p *Push) Relay() bool { return p.Flags&FlagRelay != 0 }
+
 // Encode serializes the frame, compressing the envelope. Frames are
 // deterministic: encoding the same Push yields the same bytes, which is
 // what makes retried frames byte-identical on the wire.
@@ -146,6 +157,9 @@ func (p *Push) Encode() ([]byte, error) {
 	}
 	if p.Heartbeat() && len(p.Envelope) > 0 {
 		return nil, fmt.Errorf("salsad: heartbeat frames carry no envelope: %w", ErrBadFrame)
+	}
+	if p.Depth != 0 && !p.Relay() {
+		return nil, fmt.Errorf("salsad: depth %d on a non-relay frame: %w", p.Depth, ErrBadFrame)
 	}
 	var comp bytes.Buffer
 	if len(p.Envelope) > 0 {
@@ -163,6 +177,9 @@ func (p *Push) Encode() ([]byte, error) {
 	buf := make([]byte, 0, 64+len(p.Agent)+8*len(p.Candidates)+comp.Len())
 	buf = binary.LittleEndian.AppendUint32(buf, frameMagic)
 	buf = append(buf, frameVersion, p.Flags)
+	if p.Relay() {
+		buf = append(buf, p.Depth)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Agent)))
 	buf = append(buf, p.Agent...)
 	buf = binary.LittleEndian.AppendUint64(buf, p.Gen)
@@ -198,6 +215,9 @@ func DecodePush(data []byte, maxEnvelope int) (*Push, error) {
 	p := &Push{Flags: r.u8()}
 	if p.Flags&^flagsKnown != 0 {
 		return nil, ErrBadFrame
+	}
+	if p.Relay() {
+		p.Depth = r.u8()
 	}
 	idLen := int(r.u16())
 	if idLen == 0 || idLen > MaxAgentIDLen {
